@@ -1,0 +1,86 @@
+//===- bench/BenchUtil.h - Shared benchmark helpers -------------*- C++ -*-===//
+///
+/// \file
+/// Helpers shared by the paper-reproduction benchmarks: program parsing,
+/// median wall-clock timing for the paper-style tables (google-benchmark
+/// handles the per-op microbenchmarks), and table formatting.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MONSEM_BENCH_BENCHUTIL_H
+#define MONSEM_BENCH_BENCHUTIL_H
+
+#include "interp/Eval.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace monsem::bench {
+
+inline std::unique_ptr<ParsedProgram> parseOrDie(std::string_view Src) {
+  auto P = ParsedProgram::parse(Src);
+  if (!P->ok()) {
+    std::fprintf(stderr, "benchmark program failed to parse:\n%s\n",
+                 P->diags().str().c_str());
+    std::abort();
+  }
+  return P;
+}
+
+/// Median wall-clock milliseconds of \p Reps runs of \p Fn (after one
+/// untimed warm-up run, so cold-start effects do not bias the first row of
+/// a table).
+inline double medianMs(const std::function<void()> &Fn, int Reps = 9) {
+  Fn();
+  std::vector<double> Times;
+  for (int I = 0; I < Reps; ++I) {
+    auto T0 = std::chrono::steady_clock::now();
+    Fn();
+    auto T1 = std::chrono::steady_clock::now();
+    Times.push_back(
+        std::chrono::duration<double, std::milli>(T1 - T0).count());
+  }
+  std::sort(Times.begin(), Times.end());
+  return Times[Times.size() / 2];
+}
+
+/// One timed run, in milliseconds.
+inline double timeOnceMs(const std::function<void()> &Fn) {
+  auto T0 = std::chrono::steady_clock::now();
+  Fn();
+  auto T1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(T1 - T0).count();
+}
+
+/// Median of per-rep time ratios Other/Base with the two measurements
+/// interleaved, so slow clock drift (thermal throttling, noisy neighbors)
+/// cancels out. Use this for the paper-style relative columns; absolute
+/// columns come from medianMs.
+inline double medianRatio(const std::function<void()> &Base,
+                          const std::function<void()> &Other,
+                          int Reps = 11) {
+  Base();
+  Other();
+  std::vector<double> Ratios;
+  for (int I = 0; I < Reps; ++I) {
+    double TB = timeOnceMs(Base);
+    double TO = timeOnceMs(Other);
+    Ratios.push_back(TO / TB);
+  }
+  std::sort(Ratios.begin(), Ratios.end());
+  return Ratios[Ratios.size() / 2];
+}
+
+inline void printRule(int Width = 78) {
+  for (int I = 0; I < Width; ++I)
+    std::putchar('-');
+  std::putchar('\n');
+}
+
+} // namespace monsem::bench
+
+#endif // MONSEM_BENCH_BENCHUTIL_H

@@ -1,0 +1,108 @@
+//===- bench/bench_cascade.cpp - A2: composition depth ----------------------===//
+//
+// Ablation A2 (DESIGN.md): the cost of cascaded monitors (Section 6).
+// A program point carries one qualified annotation per monitor in the
+// cascade (nested, as the doubly-derived semantics of Fig. 5 prescribes);
+// we sweep the cascade depth from 0 to 8 and measure the per-event cost.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "monitors/Profiler.h"
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+using namespace monsem;
+using namespace monsem::bench;
+
+namespace {
+
+/// A counting profiler with a configurable monitor name, so N instances
+/// can coexist with disjoint (qualified) annotation syntaxes.
+class NamedCounter : public CountingProfiler {
+public:
+  explicit NamedCounter(std::string Name)
+      : CountingProfiler("A", "B"), Name(std::move(Name)) {}
+  std::string_view name() const override { return Name; }
+
+private:
+  std::string Name;
+};
+
+std::string sourceWithDepth(unsigned Depth) {
+  // {c0:A}: {c1:A}: ... nested around the recursive step.
+  std::string Anns;
+  for (unsigned I = 0; I < Depth; ++I)
+    Anns += "{c" + std::to_string(I) + ":A}: ";
+  return "letrec down = lambda n. " + Anns +
+         "(if n = 0 then 0 else 1 + down (n - 1)) in "
+         "letrec loop = lambda i. if i = 0 then 0 else "
+         "down 50 + loop (i - 1) in loop 200";
+}
+
+} // namespace
+
+static void reportTable() {
+  std::printf("A2 — cascade depth: cost of composed monitors (Fig. 5 "
+              "iterated)\n");
+  printRule();
+  std::printf("%8s %12s %14s %16s\n", "depth", "median ms", "vs depth 0",
+              "events/run");
+  printRule();
+  double Base = 0.0;
+  for (unsigned Depth = 0; Depth <= 8; ++Depth) {
+    auto P = parseOrDie(sourceWithDepth(Depth));
+    std::vector<std::unique_ptr<NamedCounter>> Monitors;
+    Cascade C;
+    for (unsigned I = 0; I < Depth; ++I) {
+      Monitors.push_back(
+          std::make_unique<NamedCounter>("c" + std::to_string(I)));
+      C.use(*Monitors.back());
+    }
+    RunResult Check = evaluate(C, P->root());
+    if (!Check.Ok) {
+      std::fprintf(stderr, "invalid: %s\n", Check.Error.c_str());
+      std::abort();
+    }
+    uint64_t Events = 0;
+    for (const auto &S : Check.FinalStates)
+      Events += CountingProfiler::state(*S).CountA;
+    double Ms = medianMs([&] { evaluate(C, P->root()); });
+    if (Depth == 0)
+      Base = Ms;
+    std::printf("%8u %12.3f %13.2fx %16llu\n", Depth, Ms, Ms / Base,
+                static_cast<unsigned long long>(Events));
+  }
+  printRule();
+  std::printf("expected shape: time grows roughly linearly with cascade "
+              "depth\n(each level adds one pre+post probe per event "
+              "site).\n\n");
+}
+
+static void BM_CascadeDepth(benchmark::State &State) {
+  unsigned Depth = static_cast<unsigned>(State.range(0));
+  auto P = parseOrDie(sourceWithDepth(Depth));
+  std::vector<std::unique_ptr<NamedCounter>> Monitors;
+  Cascade C;
+  for (unsigned I = 0; I < Depth; ++I) {
+    Monitors.push_back(
+        std::make_unique<NamedCounter>("c" + std::to_string(I)));
+    C.use(*Monitors.back());
+  }
+  for (auto _ : State)
+    benchmark::DoNotOptimize(evaluate(C, P->root()));
+}
+BENCHMARK(BM_CascadeDepth)->Arg(0)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+int main(int argc, char **argv) {
+  reportTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

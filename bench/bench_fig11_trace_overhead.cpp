@@ -1,0 +1,128 @@
+//===- bench/bench_fig11_trace_overhead.cpp - Figure 11 ---------------------===//
+//
+// Reproduces Figure 11 (F11 in EXPERIMENTS.md): the monitored
+// interpreter's run time as a function of the number of requested trace
+// printouts, against the standard interpreter as the baseline (the
+// figure's x axis). The paper's observation:
+//
+//   "the monitor performance approaches the standard interpreter
+//    performance as the monitoring activity decreases ... the monitored
+//    interpreter performance graph corresponds to the linear complexity
+//    of the tracer dynamic behavior."
+//
+// Workload: a loop of N calls, of which the first K route through a traced
+// function (2K printouts: receives + returns) and the rest through an
+// identical untraced one. Total computation is constant across K.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "monitors/Tracer.h"
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+using namespace monsem;
+using namespace monsem::bench;
+
+namespace {
+
+constexpr int TotalCalls = 2000;
+
+std::string sourceWithTracedCalls() {
+  // `traced` and `plain` do identical work; `loop` sends the first K
+  // iterations through `traced`.
+  return "lambda kk. "
+         "letrec fib = lambda n. if n < 2 then n else "
+         "fib (n - 1) + fib (n - 2) in "
+         "letrec traced = lambda x. {traced(x)}: fib 3 + x in "
+         "letrec plain = lambda x. fib 3 + x in "
+         "letrec loop = lambda i. if i = 0 then 0 else "
+         "(if i <= kk then traced i else plain i) + loop (i - 1) in "
+         "loop " +
+         std::to_string(TotalCalls);
+}
+
+/// Builds the program for a given K by applying the lambda to K.
+struct Workload {
+  std::unique_ptr<ParsedProgram> P;
+  const Expr *AppliedTo(int K) {
+    return P->context().mkApp(P->root(), P->context().mkInt(K));
+  }
+};
+
+} // namespace
+
+static void reportSeries() {
+  Workload W{parseOrDie(sourceWithTracedCalls())};
+
+  Tracer Trc;
+  Cascade C;
+  C.use(Trc);
+
+  // Baseline: standard interpreter on the annotation-stripped program.
+  AstContext PlainCtx;
+  const Expr *PlainFn = stripAnnotations(PlainCtx, W.P->root());
+  const Expr *Plain =
+      PlainCtx.mkApp(PlainFn, PlainCtx.mkInt(0));
+  double Baseline = medianMs([&] { evaluate(Plain); });
+
+  std::printf("F11 — Figure 11: monitored-interpreter time vs. number of "
+              "trace printouts\n");
+  std::printf("(total work constant: %d calls; K traced calls produce 2K "
+              "printouts)\n", TotalCalls);
+  printRule();
+  std::printf("%8s %12s %12s %14s %12s\n", "K", "printouts", "median ms",
+              "vs standard", "ms/printout");
+  printRule();
+  std::printf("%8s %12s %12.3f %13.2fx %12s\n", "std", "-", Baseline, 1.0,
+              "-");
+  double PrevMs = Baseline;
+  for (int K = 0; K <= TotalCalls; K += 250) {
+    const Expr *Prog = W.AppliedTo(K);
+    // Sanity check once: monitored answer equals standard answer.
+    RunResult Mon = evaluate(C, Prog);
+    RunResult Std = evaluate(Prog);
+    if (!Mon.Ok || Mon.ValueText != Std.ValueText) {
+      std::fprintf(stderr, "benchmark invalid: %s\n", Mon.Error.c_str());
+      std::abort();
+    }
+    double Ms = Baseline * medianRatio([&] { evaluate(Plain); },
+                                       [&] { evaluate(C, Prog); });
+    double PerPrintout =
+        K == 0 ? 0.0 : (Ms - Baseline) / (2.0 * K);
+    std::printf("%8d %12d %12.3f %13.2fx %12.5f\n", K, 2 * K, Ms,
+                Ms / Baseline, PerPrintout);
+    PrevMs = Ms;
+  }
+  (void)PrevMs;
+  printRule();
+  std::printf("expected shape: column 3 grows linearly in K and approaches "
+              "the standard\ninterpreter time (1.00x) as K -> 0.\n\n");
+}
+
+static void BM_TracedCalls(benchmark::State &State) {
+  Workload W{parseOrDie(sourceWithTracedCalls())};
+  Tracer Trc;
+  Cascade C;
+  C.use(Trc);
+  const Expr *Prog = W.AppliedTo(static_cast<int>(State.range(0)));
+  for (auto _ : State)
+    benchmark::DoNotOptimize(evaluate(C, Prog));
+  State.counters["printouts"] = 2.0 * State.range(0);
+}
+BENCHMARK(BM_TracedCalls)
+    ->Arg(0)
+    ->Arg(500)
+    ->Arg(1000)
+    ->Arg(2000)
+    ->Unit(benchmark::kMillisecond);
+
+int main(int argc, char **argv) {
+  reportSeries();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,115 @@
+//===- bench/bench_imp.cpp - A4: imperative-module monitoring cost ----------===//
+//
+// Ablation A4 (companion to A1 for the imperative language module): the
+// cost of command-level monitoring on a store-heavy loop, per monitor.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "imp/ImpMachine.h"
+#include "imp/ImpMonitors.h"
+#include "imp/ImpParser.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace monsem;
+using namespace monsem::bench;
+
+namespace {
+
+const char *Source =
+    "n := 4000; acc := 0; "
+    "while n > 0 do "
+    "  {body}: begin acc := acc + n * n; n := n - 1 end "
+    "end; "
+    "print acc";
+
+struct ImpProgram {
+  ImpContext Ctx;
+  const Cmd *C = nullptr;
+};
+
+std::unique_ptr<ImpProgram> parseImpOrDie(const char *Src) {
+  auto P = std::make_unique<ImpProgram>();
+  DiagnosticSink Diags;
+  P->C = parseImpProgram(P->Ctx, Src, Diags);
+  if (!P->C) {
+    std::fprintf(stderr, "%s\n", Diags.str().c_str());
+    std::abort();
+  }
+  return P;
+}
+
+} // namespace
+
+static void reportTable() {
+  auto P = parseImpOrDie(Source);
+  const Cmd *Plain = stripCmdAnnotations(P->Ctx, P->C);
+
+  ImpStmtProfiler Prof;
+  ImpWatchMonitor Watch("acc");
+  ImpTracer Trc;
+
+  auto RunStd = [&] { runImp(Plain); };
+  double TStd = medianMs(RunStd);
+
+  std::printf("A4 — imperative module: command-monitoring cost "
+              "(4000 loop iterations)\n");
+  printRule();
+  std::printf("%-34s %10s %12s\n", "configuration", "median ms",
+              "vs standard");
+  printRule();
+  std::printf("%-34s %10.3f %11.2fx\n", "standard semantics", TStd, 1.0);
+
+  struct Row {
+    const char *Name;
+    const ImpMonitor *M;
+  };
+  for (Row R : {Row{"statement profiler", &Prof},
+                Row{"watchpoint demon (acc)", &Watch},
+                Row{"command tracer", &Trc}}) {
+    ImpCascade C;
+    C.use(*R.M);
+    double Ratio = medianRatio(RunStd, [&] { runImp(C, P->C); });
+    std::printf("%-34s %10.3f %11.2fx\n", R.Name, TStd * Ratio, Ratio);
+  }
+  printRule();
+  std::printf("expected shape: profiler < watchpoint < tracer (the tracer "
+              "renders the\nwhole store per event).\n\n");
+}
+
+static void BM_ImpStandard(benchmark::State &State) {
+  auto P = parseImpOrDie(Source);
+  const Cmd *Plain = stripCmdAnnotations(P->Ctx, P->C);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(runImp(Plain));
+}
+BENCHMARK(BM_ImpStandard)->Unit(benchmark::kMillisecond);
+
+static void BM_ImpProfiled(benchmark::State &State) {
+  auto P = parseImpOrDie(Source);
+  ImpStmtProfiler Prof;
+  ImpCascade C;
+  C.use(Prof);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(runImp(C, P->C));
+}
+BENCHMARK(BM_ImpProfiled)->Unit(benchmark::kMillisecond);
+
+static void BM_ImpTraced(benchmark::State &State) {
+  auto P = parseImpOrDie(Source);
+  ImpTracer Trc;
+  ImpCascade C;
+  C.use(Trc);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(runImp(C, P->C));
+}
+BENCHMARK(BM_ImpTraced)->Unit(benchmark::kMillisecond);
+
+int main(int argc, char **argv) {
+  reportTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

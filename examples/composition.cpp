@@ -1,0 +1,91 @@
+//===- examples/composition.cpp - Monitor composition showcase --------------===//
+//
+// Section 6 in action: five monitors cascaded over one run of naive
+// Fibonacci — call profiler, cost profiler, call graph, flight recorder,
+// and a custom inline "max recursion depth" monitor (the recipe from
+// docs/WRITING_MONITORS.md). One execution, five independent analyses, and
+// the answer provably unchanged.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Eval.h"
+#include "monitors/CallGraph.h"
+#include "monitors/CostProfiler.h"
+#include "monitors/FlightRecorder.h"
+#include "monitors/Profiler.h"
+#include "syntax/Annotator.h"
+
+#include <iostream>
+
+using namespace monsem;
+
+namespace {
+
+class DepthState : public MonitorState {
+public:
+  int Live = 0;
+  int MaxDepth = 0;
+  std::string str() const override {
+    return "max depth " + std::to_string(MaxDepth);
+  }
+};
+
+class DepthMonitor : public Monitor {
+public:
+  std::string_view name() const override { return "depth"; }
+  bool accepts(const Annotation &Ann) const override {
+    return !Ann.HasParams;
+  }
+  std::unique_ptr<MonitorState> initialState() const override {
+    return std::make_unique<DepthState>();
+  }
+  void pre(const MonitorEvent &, MonitorState &S) const override {
+    auto &D = static_cast<DepthState &>(S);
+    D.MaxDepth = std::max(D.MaxDepth, ++D.Live);
+  }
+  void post(const MonitorEvent &, Value, MonitorState &S) const override {
+    --static_cast<DepthState &>(S).Live;
+  }
+};
+
+} // namespace
+
+int main() {
+  auto P = ParsedProgram::parse(
+      "letrec fib = lambda n. if n < 2 then n else "
+      "fib (n - 1) + fib (n - 2) in fib 12");
+  if (!P->ok()) {
+    std::cerr << P->diags().str() << '\n';
+    return 1;
+  }
+
+  // One qualified annotation per monitor, inserted mechanically.
+  const Expr *Prog = P->root();
+  for (const char *Qual :
+       {"profile", "cost", "callgraph", "record", "depth"}) {
+    AnnotateOptions AO;
+    AO.Qualifier = Symbol::intern(Qual);
+    Prog = annotateFunctionBodies(P->context(), Prog, {}, AO);
+  }
+
+  CallProfiler Prof;
+  CostProfiler Cost;
+  CallGraphMonitor Graph;
+  FlightRecorder Rec(6);
+  DepthMonitor Depth;
+  Cascade C = cascadeOf({&Prof, &Cost, &Graph, &Rec, &Depth});
+
+  RunResult Std = evaluate(P->root());
+  RunResult R = evaluate(C, Prog);
+  if (!R.Ok) {
+    std::cerr << R.Error << '\n';
+    return 1;
+  }
+
+  std::cout << "fib 12 = " << R.ValueText << "  (standard semantics: "
+            << Std.ValueText << " — equal by Theorem 7.7)\n\n";
+  for (unsigned I = 0; I < C.size(); ++I)
+    std::cout << C.monitor(I).name() << ":\n  " << R.FinalStates[I]->str()
+              << "\n";
+  return 0;
+}

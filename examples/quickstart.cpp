@@ -1,0 +1,52 @@
+//===- examples/quickstart.cpp - Five-minute tour ---------------------------===//
+//
+// Parse an L_lambda program, run its standard semantics, then monitor it:
+// ask the "suitably engineered environment" (the Annotator) to instrument
+// every function, attach the call profiler, and read the monitor state.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Eval.h"
+#include "monitors/Profiler.h"
+#include "syntax/Annotator.h"
+#include "syntax/Printer.h"
+
+#include <iostream>
+
+using namespace monsem;
+
+int main() {
+  const char *Source =
+      "letrec fib = lambda n. if n < 2 then n else "
+      "fib (n - 1) + fib (n - 2) in fib 10";
+
+  // 1. Parse.
+  auto Program = ParsedProgram::parse(Source);
+  if (!Program->ok()) {
+    std::cerr << Program->diags().str() << '\n';
+    return 1;
+  }
+  std::cout << "program:  " << printExpr(Program->root()) << "\n\n";
+
+  // 2. Standard semantics.
+  RunResult Std = evaluate(Program->root());
+  std::cout << "standard semantics answer: " << Std.ValueText << " ("
+            << Std.Steps << " machine steps)\n\n";
+
+  // 3. Monitoring semantics: instrument every letrec function with a bare
+  //    `{f}` label and profile the run.
+  const Expr *Annotated =
+      annotateFunctionBodies(Program->context(), Program->root(), {});
+  std::cout << "annotated: " << printExpr(Annotated) << "\n\n";
+
+  CallProfiler Profiler;
+  Cascade C;
+  C.use(Profiler);
+  RunResult Mon = evaluate(C, Annotated);
+
+  std::cout << "monitored answer:          " << Mon.ValueText
+            << "   (identical by Theorem 7.7)\n";
+  std::cout << "profiler state (CEnv):     " << Mon.FinalStates[0]->str()
+            << '\n';
+  return 0;
+}

@@ -1,0 +1,55 @@
+//===- examples/sort_demon.cpp - The Section 8 demon example ----------------===//
+//
+// The unsorted-list demon (Fig. 8) watching the inclist pipeline. The demon
+// flags every labeled program point whose value is an unsorted list; the
+// paper's expected final state is sigma = {l1, l3}.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Eval.h"
+#include "monitors/Collecting.h"
+#include "monitors/Demon.h"
+
+#include <iostream>
+
+using namespace monsem;
+
+int main() {
+  const char *Source =
+      "letrec inclist = lambda l. lambda acc. if (l = []) then acc else "
+      "inclist (tl l) (((hd l) + 1) : acc) in "
+      "letrec l1 = {l1}:(inclist [1, 10, 100] []) in "
+      "letrec l2 = {l2}:(inclist l1 []) in "
+      "letrec l3 = {l3}:(inclist l2 []) in l3";
+
+  auto Program = ParsedProgram::parse(Source);
+  if (!Program->ok()) {
+    std::cerr << Program->diags().str() << '\n';
+    return 1;
+  }
+
+  // The demon records unsorted values; a collecting monitor (Fig. 9,
+  // qualified so the syntaxes stay disjoint) cannot run here unqualified —
+  // both accept bare labels — so we run the demon alone first...
+  Demon D = Demon::unsortedLists();
+  Cascade C;
+  C.use(D);
+  RunResult R = evaluate(C, Program->root());
+  if (!R.Ok) {
+    std::cerr << R.Error << '\n';
+    return 1;
+  }
+  std::cout << "final value l3 = " << R.ValueText << '\n';
+  std::cout << "demon state (points with unsorted lists): "
+            << R.FinalStates[0]->str() << "   -- paper: {l1, l3}\n";
+
+  // ...and demonstrate the Section 6 disjointness check: composing the
+  // demon with the collecting monitor on the same bare labels is rejected.
+  CollectingMonitor Coll;
+  Cascade Bad;
+  Bad.use(D).use(Coll);
+  RunResult Rejected = evaluate(Bad, Program->root());
+  std::cout << "\ncomposing demon & collecting monitor on the same labels:\n"
+            << "  " << Rejected.Error << '\n';
+  return 0;
+}

@@ -1,0 +1,101 @@
+//===- compile/Bytecode.h - Compiled (instrumented) programs ----*- C++ -*-===//
+///
+/// \file
+/// The paper's second level of specialization (Section 9.1, Fig. 10):
+/// specializing the (monitored) interpreter with respect to a source
+/// program yields an *instrumented program* — code in which all static
+/// computation (syntax dispatch, environment shape, which monitor probes
+/// fire where) has been performed once, and only the dynamic computation
+/// (values and monitor-state updates) remains.
+///
+/// Here that residual program is bytecode: one pass over the annotated AST
+/// emits straight-line instructions; `MonPre`/`MonPost` instructions appear
+/// exactly at annotation sites. Compiling with instrumentation disabled
+/// yields the residual of specializing the *standard* interpreter — the
+/// baseline "compiled program".
+///
+/// Variables are resolved to lexical depths at compile time; the run-time
+/// environment nevertheless keeps binder names so monitoring functions can
+/// perform rho(x) lookups (the tracer's ToStr(rho(x))), exactly as the
+/// semantics prescribes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MONSEM_COMPILE_BYTECODE_H
+#define MONSEM_COMPILE_BYTECODE_H
+
+#include "semantics/Value.h"
+#include "syntax/Ast.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace monsem {
+
+enum class Op : uint8_t {
+  Const,       ///< push ConstPool[A]
+  Var,         ///< push value at env depth A (error if uninitialized)
+  MkClosure,   ///< push closure over Blocks[A] and the current env
+  Jump,        ///< pc = A
+  JumpIfFalse, ///< pop condition; pc = A when false (error if non-bool)
+  Call,        ///< pop fn, pop arg; invoke
+  TailCall,    ///< like Call but reuses the current frame
+  Ret,         ///< return the top of stack to the caller
+  Prim1,       ///< pop v; push prim1<A>(v)
+  Prim2,       ///< pop rhs, pop lhs; push prim2<A>(lhs, rhs)
+  PushRecEnv,  ///< extend env with Names[A] bound to <uninitialized>
+  PatchRec,    ///< pop v; patch the innermost env node (letrec knot)
+  PopEnv,      ///< drop A innermost env nodes
+  MonPre,      ///< monitoring probe updPre for Annots[A]
+  MonPost,     ///< monitoring probe updPost for Annots[A] (peeks the top)
+  Halt,        ///< stop; top of stack is the answer
+};
+
+struct Instr {
+  Op Code;
+  uint32_t A = 0;
+};
+
+/// One compiled lambda (or the program entry).
+struct CodeBlock {
+  Symbol Param;             ///< Binder for Call (empty for the entry block).
+  std::vector<Instr> Code;
+  std::string Name;         ///< Best-effort name for disassembly.
+};
+
+/// A monitoring probe site: the annotation and the annotated expression
+/// (needed to build MonitorEvents at run time).
+struct ProbeSite {
+  const Annotation *Ann;
+  const Expr *Inner;
+};
+
+struct CompiledProgram {
+  std::vector<CodeBlock> Blocks; ///< Blocks[0] is the entry.
+  /// Constant pool. String constants reference the AstContext that owns the
+  /// source AST, which must outlive the compiled program.
+  std::vector<Value> ConstPool;
+  std::vector<Symbol> Names;     ///< Binder names for PushRecEnv.
+  std::vector<ProbeSite> Probes;
+  bool Instrumented = false;
+
+  size_t numInstructions() const {
+    size_t N = 0;
+    for (const CodeBlock &B : Blocks)
+      N += B.Code.size();
+    return N;
+  }
+
+  /// Human-readable disassembly (tests, debugging).
+  std::string disassemble() const;
+};
+
+struct VMClosure {
+  uint32_t Block;
+  EnvNode *Env;
+};
+
+} // namespace monsem
+
+#endif // MONSEM_COMPILE_BYTECODE_H

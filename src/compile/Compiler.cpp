@@ -1,0 +1,279 @@
+//===- compile/Compiler.cpp ------------------------------------------------===//
+
+#include "compile/Compiler.h"
+
+#include "syntax/Parser.h"
+
+#include <optional>
+#include <vector>
+
+using namespace monsem;
+
+namespace {
+
+class Compiler {
+public:
+  Compiler(DiagnosticSink &Diags, CompileOptions Opts)
+      : Diags(Diags), Opts(Opts), Prog(std::make_unique<CompiledProgram>()) {
+    Prog->Instrumented = Opts.Instrument;
+  }
+
+  std::unique_ptr<CompiledProgram> run(const Expr *Program) {
+    Prog->Blocks.emplace_back();
+    Prog->Blocks[0].Name = "<main>";
+    compileInto(0, Program);
+    if (Failed)
+      return nullptr;
+    emit(0, Op::Halt);
+    return std::move(Prog);
+  }
+
+private:
+  DiagnosticSink &Diags;
+  CompileOptions Opts;
+  std::unique_ptr<CompiledProgram> Prog;
+  std::vector<Symbol> Scope; ///< Compile-time environment shape.
+  bool Failed = false;
+
+  void emit(uint32_t Block, Op Code, uint32_t A = 0) {
+    Prog->Blocks[Block].Code.push_back(Instr{Code, A});
+  }
+  size_t here(uint32_t Block) const {
+    return Prog->Blocks[Block].Code.size();
+  }
+  void patch(uint32_t Block, size_t At, uint32_t Target) {
+    Prog->Blocks[Block].Code[At].A = Target;
+  }
+
+  uint32_t addConst(Value V) {
+    Prog->ConstPool.push_back(V);
+    return static_cast<uint32_t>(Prog->ConstPool.size() - 1);
+  }
+  uint32_t addName(Symbol S) {
+    Prog->Names.push_back(S);
+    return static_cast<uint32_t>(Prog->Names.size() - 1);
+  }
+  uint32_t addProbe(const Annotation *Ann, const Expr *Inner) {
+    Prog->Probes.push_back(ProbeSite{Ann, Inner});
+    return static_cast<uint32_t>(Prog->Probes.size() - 1);
+  }
+
+  std::optional<uint32_t> depthOf(Symbol Name) const {
+    for (size_t I = Scope.size(); I-- > 0;)
+      if (Scope[I] == Name)
+        return static_cast<uint32_t>(Scope.size() - 1 - I);
+    return std::nullopt;
+  }
+
+  void compileInto(uint32_t Block, const Expr *Top) {
+    compileExpr(Block, Top, /*Tail=*/true);
+  }
+
+  /// Compiles \p E into \p Block; when \p Tail, the expression's value is
+  /// the block's result (calls become TailCall; the caller then emits
+  /// Ret/Halt after the block body).
+  void compileExpr(uint32_t Block, const Expr *E, bool Tail) {
+    if (Failed)
+      return;
+    switch (E->kind()) {
+    case ExprKind::Const: {
+      const ConstVal &C = cast<ConstExpr>(E)->Val;
+      Value V;
+      switch (C.K) {
+      case ConstVal::Kind::Int:
+        V = Value::mkInt(C.Int);
+        break;
+      case ConstVal::Kind::Bool:
+        V = Value::mkBool(C.Bool);
+        break;
+      case ConstVal::Kind::Str:
+        V = Value::mkStr(C.Str);
+        break;
+      case ConstVal::Kind::Nil:
+        V = Value::mkNil();
+        break;
+      }
+      emit(Block, Op::Const, addConst(V));
+      return;
+    }
+    case ExprKind::Var: {
+      Symbol Name = cast<VarExpr>(E)->Name;
+      if (auto Depth = depthOf(Name)) {
+        emit(Block, Op::Var, *Depth);
+        return;
+      }
+      // Free variables denote primitives (the initial environment) or are
+      // compile-time errors — the environment shape is fully static.
+      if (auto P1 = lookupPrim1(Name)) {
+        emit(Block, Op::Const, addConst(Value::mkPrim1(*P1)));
+        return;
+      }
+      if (auto P2 = lookupPrim2(Name)) {
+        emit(Block, Op::Const, addConst(Value::mkPrim2(*P2)));
+        return;
+      }
+      Diags.error(E->loc(), "unbound variable '" + std::string(Name.str()) +
+                                "'");
+      Failed = true;
+      return;
+    }
+    case ExprKind::Lam: {
+      const auto *L = cast<LamExpr>(E);
+      uint32_t Sub = static_cast<uint32_t>(Prog->Blocks.size());
+      Prog->Blocks.emplace_back();
+      Prog->Blocks[Sub].Param = L->Param;
+      Prog->Blocks[Sub].Name = "lambda " + std::string(L->Param.str());
+      Scope.push_back(L->Param);
+      compileExpr(Sub, L->Body, /*Tail=*/true);
+      Scope.pop_back();
+      emit(Sub, Op::Ret);
+      emit(Block, Op::MkClosure, Sub);
+      return;
+    }
+    case ExprKind::If: {
+      const auto *I = cast<IfExpr>(E);
+      compileExpr(Block, I->Cond, /*Tail=*/false);
+      size_t JF = here(Block);
+      emit(Block, Op::JumpIfFalse);
+      compileExpr(Block, I->Then, Tail);
+      size_t J = here(Block);
+      emit(Block, Op::Jump);
+      patch(Block, JF, static_cast<uint32_t>(here(Block)));
+      compileExpr(Block, I->Else, Tail);
+      patch(Block, J, static_cast<uint32_t>(here(Block)));
+      return;
+    }
+    case ExprKind::App: {
+      const auto *A = cast<AppExpr>(E);
+      // Paper order: operand, then operator.
+      compileExpr(Block, A->Arg, /*Tail=*/false);
+      compileExpr(Block, A->Fn, /*Tail=*/false);
+      emit(Block, Tail && Opts.TailCalls ? Op::TailCall : Op::Call);
+      return;
+    }
+    case ExprKind::Letrec: {
+      const auto *L = cast<LetrecExpr>(E);
+      emit(Block, Op::PushRecEnv, addName(L->Name));
+      Scope.push_back(L->Name);
+      compileExpr(Block, L->Bound, /*Tail=*/false);
+      emit(Block, Op::PatchRec);
+      compileExpr(Block, L->Body, Tail);
+      Scope.pop_back();
+      if (!Tail)
+        emit(Block, Op::PopEnv, 1);
+      return;
+    }
+    case ExprKind::Prim1: {
+      const auto *P = cast<Prim1Expr>(E);
+      compileExpr(Block, P->Arg, /*Tail=*/false);
+      emit(Block, Op::Prim1, static_cast<uint32_t>(P->Op));
+      return;
+    }
+    case ExprKind::Prim2: {
+      const auto *P = cast<Prim2Expr>(E);
+      compileExpr(Block, P->Lhs, /*Tail=*/false);
+      compileExpr(Block, P->Rhs, /*Tail=*/false);
+      emit(Block, Op::Prim2, static_cast<uint32_t>(P->Op));
+      return;
+    }
+    case ExprKind::Annot: {
+      const auto *N = cast<AnnotExpr>(E);
+      if (!Opts.Instrument) {
+        // Compile-time obliviousness (Definition 7.1).
+        compileExpr(Block, N->Inner, Tail);
+        return;
+      }
+      uint32_t Probe = addProbe(N->Ann, N->Inner);
+      emit(Block, Op::MonPre, Probe);
+      // The post probe must run after the value is produced, so the inner
+      // expression is not in tail position (same as the CEK machine's
+      // MonPost frame).
+      compileExpr(Block, N->Inner, /*Tail=*/false);
+      emit(Block, Op::MonPost, Probe);
+      return;
+    }
+    }
+  }
+};
+
+} // namespace
+
+std::unique_ptr<CompiledProgram> monsem::compileProgram(const Expr *Program,
+                                                        DiagnosticSink &Diags,
+                                                        CompileOptions Opts) {
+  return Compiler(Diags, Opts).run(Program);
+}
+
+std::string CompiledProgram::disassemble() const {
+  auto OpName = [](Op O) -> const char * {
+    switch (O) {
+    case Op::Const:
+      return "const";
+    case Op::Var:
+      return "var";
+    case Op::MkClosure:
+      return "closure";
+    case Op::Jump:
+      return "jump";
+    case Op::JumpIfFalse:
+      return "jfalse";
+    case Op::Call:
+      return "call";
+    case Op::TailCall:
+      return "tailcall";
+    case Op::Ret:
+      return "ret";
+    case Op::Prim1:
+      return "prim1";
+    case Op::Prim2:
+      return "prim2";
+    case Op::PushRecEnv:
+      return "pushrec";
+    case Op::PatchRec:
+      return "patchrec";
+    case Op::PopEnv:
+      return "popenv";
+    case Op::MonPre:
+      return "monpre";
+    case Op::MonPost:
+      return "monpost";
+    case Op::Halt:
+      return "halt";
+    }
+    return "?";
+  };
+  std::string Out;
+  for (size_t B = 0; B < Blocks.size(); ++B) {
+    Out += "block " + std::to_string(B) + " (" + Blocks[B].Name + "):\n";
+    const auto &Code = Blocks[B].Code;
+    for (size_t I = 0; I < Code.size(); ++I) {
+      Out += "  " + std::to_string(I) + ": " + OpName(Code[I].Code);
+      switch (Code[I].Code) {
+      case Op::Prim1:
+        Out += std::string(" ") + prim1Name(static_cast<Prim1Op>(Code[I].A));
+        break;
+      case Op::Prim2:
+        Out += std::string(" ") + prim2Name(static_cast<Prim2Op>(Code[I].A));
+        break;
+      case Op::MonPre:
+      case Op::MonPost:
+        Out += " " + Probes[Code[I].A].Ann->text();
+        break;
+      case Op::Const:
+        Out += " " + toDisplayString(ConstPool[Code[I].A]);
+        break;
+      case Op::Ret:
+      case Op::Halt:
+      case Op::Call:
+      case Op::TailCall:
+      case Op::PatchRec:
+        break;
+      default:
+        Out += " " + std::to_string(Code[I].A);
+        break;
+      }
+      Out += '\n';
+    }
+  }
+  return Out;
+}

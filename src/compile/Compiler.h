@@ -1,0 +1,36 @@
+//===- compile/Compiler.h - AST -> bytecode ---------------------*- C++ -*-===//
+///
+/// \file
+/// Compiles an (annotated) L_lambda program to bytecode. See Bytecode.h for
+/// the role this plays in the paper's specialization pipeline.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MONSEM_COMPILE_COMPILER_H
+#define MONSEM_COMPILE_COMPILER_H
+
+#include "compile/Bytecode.h"
+#include "support/Diagnostics.h"
+
+#include <memory>
+
+namespace monsem {
+
+struct CompileOptions {
+  /// Emit MonPre/MonPost probes at annotation sites. With instrumentation
+  /// off, annotations compile to nothing — the standard semantics'
+  /// obliviousness (Definition 7.1) performed at compile time.
+  bool Instrument = true;
+  /// Emit TailCall for calls in tail position.
+  bool TailCalls = true;
+};
+
+/// Compiles \p Program. Returns nullptr (with diagnostics) for programs
+/// with unbound non-primitive variables — the only compile-time error.
+std::unique_ptr<CompiledProgram> compileProgram(const Expr *Program,
+                                                DiagnosticSink &Diags,
+                                                CompileOptions Opts = {});
+
+} // namespace monsem
+
+#endif // MONSEM_COMPILE_COMPILER_H

@@ -1,0 +1,264 @@
+//===- compile/VM.cpp ------------------------------------------------------===//
+
+#include "compile/VM.h"
+
+#include "compile/Compiler.h"
+#include "semantics/Primitives.h"
+
+using namespace monsem;
+
+namespace {
+
+struct CallFrame {
+  uint32_t Block;
+  uint32_t PC;
+  EnvNode *Env;
+};
+
+class VM {
+public:
+  VM(const CompiledProgram &P, MonitorHooks *Hooks, RunOptions Opts)
+      : P(P), Hooks(Hooks), Opts(Opts) {}
+
+  RunResult run();
+
+private:
+  const CompiledProgram &P;
+  MonitorHooks *Hooks;
+  RunOptions Opts;
+  Arena A;
+
+  std::vector<Value> Stack;
+  std::vector<CallFrame> Frames;
+  uint32_t Block = 0;
+  uint32_t PC = 0;
+  EnvNode *Env = nullptr;
+  uint64_t Steps = 0;
+  bool Failed = false;
+  std::string Error;
+
+  void fail(std::string Msg) {
+    Failed = true;
+    Error = std::move(Msg);
+  }
+
+  Value pop() {
+    Value V = Stack.back();
+    Stack.pop_back();
+    return V;
+  }
+
+  /// Applies \p Fn to \p Arg. Compiled closures enter a new (or, for tail
+  /// calls, the current) frame; primitives apply immediately.
+  void apply(Value Fn, Value Arg, bool Tail) {
+    switch (Fn.kind()) {
+    case ValueKind::CompiledClosure: {
+      VMClosure *C = Fn.asCompiledClosure();
+      if (!Tail)
+        Frames.push_back(CallFrame{Block, PC, Env});
+      Block = C->Block;
+      PC = 0;
+      Env = extendEnv(A, C->Env, P.Blocks[C->Block].Param, Arg);
+      return;
+    }
+    case ValueKind::Prim1: {
+      PrimResult R = applyPrim1(Fn.asPrim1(), Arg, A);
+      if (!R.Ok)
+        return fail(std::move(R.Error));
+      Stack.push_back(R.Val);
+      if (Tail)
+        doRet();
+      return;
+    }
+    case ValueKind::Prim2: {
+      PrimPartial *PP = A.create<PrimPartial>(Fn.asPrim2(), Arg);
+      Stack.push_back(Value::mkPrim2Partial(PP));
+      if (Tail)
+        doRet();
+      return;
+    }
+    case ValueKind::Prim2Partial: {
+      PrimPartial *PP = Fn.asPrim2Partial();
+      PrimResult R = applyPrim2(PP->Op, PP->First, Arg, A);
+      if (!R.Ok)
+        return fail(std::move(R.Error));
+      Stack.push_back(R.Val);
+      if (Tail)
+        doRet();
+      return;
+    }
+    default:
+      fail("cannot apply a non-function value (" + toDisplayString(Fn) +
+           ")");
+    }
+  }
+
+  /// Returns to the caller frame (the value stays on the stack). When no
+  /// frame remains, execution falls back to the entry block's Halt.
+  void doRet() {
+    CallFrame F = Frames.back();
+    Frames.pop_back();
+    Block = F.Block;
+    PC = F.PC;
+    Env = F.Env;
+  }
+};
+
+RunResult VM::run() {
+  RunResult R;
+  // Sentinel frame: a tail call at the top level of the entry block
+  // returns straight to the entry's Halt instruction.
+  Frames.push_back(CallFrame{
+      0, static_cast<uint32_t>(P.Blocks[0].Code.size() - 1), nullptr});
+  while (!Failed) {
+    ++Steps;
+    if (Opts.MaxSteps && Steps > Opts.MaxSteps) {
+      R.FuelExhausted = true;
+      R.Steps = Steps;
+      return R;
+    }
+    const Instr &I = P.Blocks[Block].Code[PC++];
+    switch (I.Code) {
+    case Op::Const:
+      Stack.push_back(P.ConstPool[I.A]);
+      break;
+    case Op::Var: {
+      EnvNode *N = Env;
+      for (uint32_t D = I.A; D; --D)
+        N = N->Parent;
+      if (N->Val.is(ValueKind::Unit)) {
+        fail("letrec variable '" + std::string(N->Name.str()) +
+             "' referenced before initialization");
+        break;
+      }
+      Stack.push_back(N->Val);
+      break;
+    }
+    case Op::MkClosure: {
+      VMClosure *C = A.create<VMClosure>(I.A, Env);
+      Stack.push_back(Value::mkCompiledClosure(C));
+      break;
+    }
+    case Op::Jump:
+      PC = I.A;
+      break;
+    case Op::JumpIfFalse: {
+      Value V = pop();
+      if (!V.is(ValueKind::Bool)) {
+        fail("conditional scrutinee must be a boolean, found " +
+             toDisplayString(V));
+        break;
+      }
+      if (!V.asBool())
+        PC = I.A;
+      break;
+    }
+    case Op::Call: {
+      Value Fn = pop();
+      Value Arg = pop();
+      apply(Fn, Arg, /*Tail=*/false);
+      break;
+    }
+    case Op::TailCall: {
+      Value Fn = pop();
+      Value Arg = pop();
+      apply(Fn, Arg, /*Tail=*/true);
+      break;
+    }
+    case Op::Ret:
+      doRet();
+      break;
+    case Op::Prim1: {
+      Value V = pop();
+      PrimResult PR = applyPrim1(static_cast<Prim1Op>(I.A), V, A);
+      if (!PR.Ok) {
+        fail(std::move(PR.Error));
+        break;
+      }
+      Stack.push_back(PR.Val);
+      break;
+    }
+    case Op::Prim2: {
+      Value Rhs = pop();
+      Value Lhs = pop();
+      PrimResult PR = applyPrim2(static_cast<Prim2Op>(I.A), Lhs, Rhs, A);
+      if (!PR.Ok) {
+        fail(std::move(PR.Error));
+        break;
+      }
+      Stack.push_back(PR.Val);
+      break;
+    }
+    case Op::PushRecEnv:
+      Env = extendEnv(A, Env, P.Names[I.A], Value::mkUnit());
+      break;
+    case Op::PatchRec:
+      Env->Val = pop();
+      break;
+    case Op::PopEnv:
+      for (uint32_t D = I.A; D; --D)
+        Env = Env->Parent;
+      break;
+    case Op::MonPre:
+      if (Hooks) {
+        const ProbeSite &S = P.Probes[I.A];
+        Hooks->pre(*S.Ann, *S.Inner, Env, Steps, A.bytesAllocated());
+      }
+      break;
+    case Op::MonPost:
+      if (Hooks) {
+        const ProbeSite &S = P.Probes[I.A];
+        Hooks->post(*S.Ann, *S.Inner, Env, Stack.back(), Steps,
+                    A.bytesAllocated());
+      }
+      break;
+    case Op::Halt: {
+      R.Ok = true;
+      R.Steps = Steps;
+      Value V = Stack.back();
+      R.ValueText = Opts.Algebra->render(V);
+      if (V.is(ValueKind::Int))
+        R.IntValue = V.asInt();
+      if (V.is(ValueKind::Bool))
+        R.BoolValue = V.asBool();
+      return R;
+    }
+    }
+  }
+  R.Ok = false;
+  R.Error = std::move(Error);
+  R.Steps = Steps;
+  return R;
+}
+
+} // namespace
+
+RunResult monsem::runCompiled(const CompiledProgram &Program,
+                              MonitorHooks *Hooks, RunOptions Opts) {
+  VM M(Program, Hooks, Opts);
+  return M.run();
+}
+
+RunResult monsem::evaluateCompiled(const Cascade &C, const Expr *Program,
+                                   RunOptions Opts) {
+  DiagnosticSink Diags;
+  if (!C.empty() && !C.validateFor(Program, Diags)) {
+    RunResult R;
+    R.Error = Diags.str();
+    return R;
+  }
+  CompileOptions CO;
+  CO.Instrument = !C.empty();
+  std::unique_ptr<CompiledProgram> CP = compileProgram(Program, Diags, CO);
+  if (!CP) {
+    RunResult R;
+    R.Error = Diags.str();
+    return R;
+  }
+  if (C.empty())
+    return runCompiled(*CP, nullptr, Opts);
+  RuntimeCascade RC(C);
+  RunResult R = runCompiled(*CP, &RC, Opts);
+  R.FinalStates = RC.takeStates();
+  return R;
+}

@@ -1,0 +1,38 @@
+//===- compile/VM.h - Bytecode virtual machine ------------------*- C++ -*-===//
+///
+/// \file
+/// Executes compiled (optionally instrumented) programs. Strict semantics
+/// only — the VM is the residual of specializing the *strict* monitored
+/// interpreter with respect to a program (Section 9.1); the lazy language
+/// modules run on the CEK machine.
+///
+/// Monitoring probes dispatch through the same MonitorHooks interface as
+/// the CEK machine, so any toolbox monitor/cascade runs unchanged on
+/// instrumented bytecode, and the soundness property carries over (probes
+/// cannot touch the value stack).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MONSEM_COMPILE_VM_H
+#define MONSEM_COMPILE_VM_H
+
+#include "compile/Bytecode.h"
+#include "interp/Machine.h" // RunResult, RunOptions
+#include "monitor/Cascade.h"
+
+namespace monsem {
+
+/// Runs \p Program on the VM. \p Hooks may be null (standard semantics).
+/// Only RunOptions::MaxSteps and Algebra are honored (one instruction =
+/// one step); the strategy is always strict.
+RunResult runCompiled(const CompiledProgram &Program,
+                      MonitorHooks *Hooks = nullptr, RunOptions Opts = {});
+
+/// Convenience: compile-and-run under a cascade, mirroring
+/// evaluate(Cascade, Expr). Validates disjointness first.
+RunResult evaluateCompiled(const Cascade &C, const Expr *Program,
+                           RunOptions Opts = {});
+
+} // namespace monsem
+
+#endif // MONSEM_COMPILE_VM_H

@@ -1,0 +1,134 @@
+//===- imp/ImpAst.cpp ------------------------------------------------------===//
+
+#include "imp/ImpAst.h"
+
+#include "syntax/Printer.h"
+
+using namespace monsem;
+
+namespace {
+
+void print(std::string &Out, const Cmd *C) {
+  switch (C->kind()) {
+  case CmdKind::Skip:
+    Out += "skip";
+    return;
+  case CmdKind::Assign: {
+    const auto *A = cast<AssignCmd>(C);
+    Out += A->Var.str();
+    Out += " := ";
+    Out += printExpr(A->Value);
+    return;
+  }
+  case CmdKind::Seq: {
+    const auto *S = cast<SeqCmd>(C);
+    print(Out, S->First);
+    Out += "; ";
+    print(Out, S->Second);
+    return;
+  }
+  case CmdKind::If: {
+    const auto *I = cast<IfCmd>(C);
+    Out += "if ";
+    Out += printExpr(I->Cond);
+    Out += " then ";
+    print(Out, I->Then);
+    Out += " else ";
+    print(Out, I->Else);
+    Out += " end";
+    return;
+  }
+  case CmdKind::While: {
+    const auto *W = cast<WhileCmd>(C);
+    Out += "while ";
+    Out += printExpr(W->Cond);
+    Out += " do ";
+    print(Out, W->Body);
+    Out += " end";
+    return;
+  }
+  case CmdKind::Print: {
+    Out += "print ";
+    Out += printExpr(cast<PrintCmd>(C)->Value);
+    return;
+  }
+  case CmdKind::Read:
+    Out += "read ";
+    Out += cast<ReadCmd>(C)->Var.str();
+    return;
+  case CmdKind::Annot: {
+    const auto *A = cast<AnnotCmd>(C);
+    Out += A->Ann->text();
+    Out += ": ";
+    print(Out, A->Inner);
+    return;
+  }
+  }
+}
+
+} // namespace
+
+std::string monsem::printCmd(const Cmd *C) {
+  std::string Out;
+  print(Out, C);
+  return Out;
+}
+
+void monsem::collectCmdAnnotations(const Cmd *C,
+                                   std::vector<const Annotation *> &Out) {
+  switch (C->kind()) {
+  case CmdKind::Skip:
+  case CmdKind::Assign:
+  case CmdKind::Print:
+  case CmdKind::Read:
+    return;
+  case CmdKind::Seq: {
+    const auto *S = cast<SeqCmd>(C);
+    collectCmdAnnotations(S->First, Out);
+    collectCmdAnnotations(S->Second, Out);
+    return;
+  }
+  case CmdKind::If: {
+    const auto *I = cast<IfCmd>(C);
+    collectCmdAnnotations(I->Then, Out);
+    collectCmdAnnotations(I->Else, Out);
+    return;
+  }
+  case CmdKind::While:
+    collectCmdAnnotations(cast<WhileCmd>(C)->Body, Out);
+    return;
+  case CmdKind::Annot: {
+    const auto *A = cast<AnnotCmd>(C);
+    Out.push_back(A->Ann);
+    collectCmdAnnotations(A->Inner, Out);
+    return;
+  }
+  }
+}
+
+const Cmd *monsem::stripCmdAnnotations(ImpContext &Ctx, const Cmd *C) {
+  switch (C->kind()) {
+  case CmdKind::Skip:
+  case CmdKind::Assign:
+  case CmdKind::Print:
+  case CmdKind::Read:
+    return C; // Leaves share structure (expressions are untouched).
+  case CmdKind::Seq: {
+    const auto *S = cast<SeqCmd>(C);
+    return Ctx.mkSeq(stripCmdAnnotations(Ctx, S->First),
+                     stripCmdAnnotations(Ctx, S->Second), C->loc());
+  }
+  case CmdKind::If: {
+    const auto *I = cast<IfCmd>(C);
+    return Ctx.mkIf(I->Cond, stripCmdAnnotations(Ctx, I->Then),
+                    stripCmdAnnotations(Ctx, I->Else), C->loc());
+  }
+  case CmdKind::While: {
+    const auto *W = cast<WhileCmd>(C);
+    return Ctx.mkWhile(W->Cond, stripCmdAnnotations(Ctx, W->Body), C->loc());
+  }
+  case CmdKind::Annot:
+    return stripCmdAnnotations(Ctx, cast<AnnotCmd>(C)->Inner);
+  }
+  return C;
+}

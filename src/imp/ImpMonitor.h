@@ -1,0 +1,125 @@
+//===- imp/ImpMonitor.h - Monitor specs for L_imp ---------------*- C++ -*-===//
+///
+/// \file
+/// Definition 5.1 instantiated at L_imp's command valuation function. The
+/// semantic context A*_i of a command is the store, so the monitoring
+/// functions have the shape
+///
+///   M_pre  : Ann -> Cmd -> Store -> MS -> MS
+///   M_post : Ann -> Cmd -> Store -> Store' -> MS -> MS
+///
+/// (the post function observes the store *after* the command ran). The
+/// C++ surface mirrors the L_lambda framework: const views in, a mutable
+/// reference to the monitor's own state only — monitors cannot write the
+/// store, so Theorem 7.7 holds for L_imp by the same construction. This
+/// demonstrates the paper's claim that the derivation applies to any
+/// language given in continuation style; C++'s type system simply requires
+/// one concrete instantiation per language.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MONSEM_IMP_IMPMONITOR_H
+#define MONSEM_IMP_IMPMONITOR_H
+
+#include "imp/ImpAst.h"
+#include "monitor/MonitorSpec.h" // MonitorState
+#include "semantics/Value.h"
+#include "support/Diagnostics.h"
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+namespace monsem {
+
+using ImpStore = std::map<Symbol, Value>;
+
+/// Read-only view of the store.
+class ImpStoreView {
+public:
+  explicit ImpStoreView(const ImpStore &S) : S(S) {}
+
+  std::optional<Value> lookup(Symbol Name) const {
+    auto It = S.find(Name);
+    if (It == S.end())
+      return std::nullopt;
+    return It->second;
+  }
+
+  std::string lookupStr(Symbol Name) const {
+    if (auto V = lookup(Name))
+      return toDisplayString(*V);
+    return "?";
+  }
+
+  /// "[a = 3, b = [1, 2]]", sorted by variable name.
+  std::string str() const;
+
+  const ImpStore &raw() const { return S; }
+
+private:
+  const ImpStore &S;
+};
+
+struct ImpMonitorEvent {
+  const Annotation &Ann;
+  const Cmd &C;
+  ImpStoreView Store;
+  uint64_t StepIndex;
+};
+
+/// An L_imp monitor specification (MSyn = accepts, MAlg = initialState,
+/// MFun = pre/post). MonitorState is shared with the L_lambda framework.
+class ImpMonitor {
+public:
+  virtual ~ImpMonitor();
+  virtual std::string_view name() const = 0;
+  virtual bool accepts(const Annotation &Ann) const = 0;
+  virtual std::unique_ptr<MonitorState> initialState() const = 0;
+  virtual void pre(const ImpMonitorEvent &Ev, MonitorState &State) const = 0;
+  virtual void post(const ImpMonitorEvent &Ev, MonitorState &State) const = 0;
+};
+
+/// Composition with the Section 6 disjointness constraint.
+class ImpCascade {
+public:
+  ImpCascade &use(const ImpMonitor &M) {
+    Monitors.push_back(&M);
+    return *this;
+  }
+  unsigned size() const { return static_cast<unsigned>(Monitors.size()); }
+  bool empty() const { return Monitors.empty(); }
+  const ImpMonitor &monitor(unsigned I) const { return *Monitors[I]; }
+
+  int resolve(const Annotation &Ann, DiagnosticSink *Diags = nullptr) const;
+  bool validateFor(const Cmd *Program, DiagnosticSink &Diags) const;
+
+private:
+  std::vector<const ImpMonitor *> Monitors;
+};
+
+/// Per-run states plus probe dispatch.
+class ImpRuntimeCascade {
+public:
+  explicit ImpRuntimeCascade(const ImpCascade &C);
+
+  void pre(const Annotation &Ann, const Cmd &C, const ImpStore &S,
+           uint64_t Step);
+  void post(const Annotation &Ann, const Cmd &C, const ImpStore &S,
+            uint64_t Step);
+
+  std::vector<std::unique_ptr<MonitorState>> takeStates();
+
+private:
+  int resolveCached(const Annotation &Ann);
+
+  const ImpCascade &C;
+  std::vector<std::unique_ptr<MonitorState>> States;
+  std::unordered_map<const Annotation *, int> Cache;
+};
+
+} // namespace monsem
+
+#endif // MONSEM_IMP_IMPMONITOR_H

@@ -1,0 +1,279 @@
+//===- interp/Direct.cpp ---------------------------------------------------===//
+
+#include "interp/Direct.h"
+
+using namespace monsem;
+
+DirectValuation monsem::fixpoint(DirectFunctional G) {
+  auto Hole = std::make_shared<DirectValuation>();
+  DirectValuation Self = [Hole](const Expr *E, EnvNode *Env,
+                                const DirectKont &K) { (*Hole)(E, Env, K); };
+  *Hole = G(Self);
+  return Self;
+}
+
+namespace {
+
+/// Applies function value \p Fn to \p Arg; recursive evaluation goes
+/// through \p Self (the fixpoint), so derived behavior is inherited at all
+/// levels of recursion.
+void applyDirect(DirectContext &Ctx, const DirectValuation &Self, Value Fn,
+                 Value Arg, const DirectKont &K) {
+  switch (Fn.kind()) {
+  case ValueKind::Closure: {
+    Closure *C = Fn.asClosure();
+    EnvNode *Env = extendEnv(Ctx.A, C->Env, C->Param, Arg);
+    Self(C->Body, Env, K);
+    return;
+  }
+  case ValueKind::Prim1: {
+    PrimResult R = applyPrim1(Fn.asPrim1(), Arg, Ctx.A);
+    if (!R.Ok) {
+      Ctx.fail(std::move(R.Error));
+      return;
+    }
+    K(R.Val);
+    return;
+  }
+  case ValueKind::Prim2: {
+    PrimPartial *PP = Ctx.A.create<PrimPartial>(Fn.asPrim2(), Arg);
+    K(Value::mkPrim2Partial(PP));
+    return;
+  }
+  case ValueKind::Prim2Partial: {
+    PrimPartial *PP = Fn.asPrim2Partial();
+    PrimResult R = applyPrim2(PP->Op, PP->First, Arg, Ctx.A);
+    if (!R.Ok) {
+      Ctx.fail(std::move(R.Error));
+      return;
+    }
+    K(R.Val);
+    return;
+  }
+  default:
+    Ctx.fail("cannot apply a non-function value (" + toDisplayString(Fn) +
+             ")");
+    return;
+  }
+}
+
+} // namespace
+
+DirectFunctional monsem::standardFunctional(DirectContext &Ctx) {
+  return [&Ctx](const DirectValuation &Self) -> DirectValuation {
+    return [&Ctx, Self](const Expr *E, EnvNode *Env, const DirectKont &K) {
+      if (Ctx.Failed || Ctx.Exhausted || !Ctx.charge())
+        return;
+      switch (E->kind()) {
+      case ExprKind::Const: {
+        const ConstVal &C = cast<ConstExpr>(E)->Val;
+        switch (C.K) {
+        case ConstVal::Kind::Int:
+          K(Value::mkInt(C.Int));
+          return;
+        case ConstVal::Kind::Bool:
+          K(Value::mkBool(C.Bool));
+          return;
+        case ConstVal::Kind::Str:
+          K(Value::mkStr(C.Str));
+          return;
+        case ConstVal::Kind::Nil:
+          K(Value::mkNil());
+          return;
+        }
+        return;
+      }
+      case ExprKind::Var: {
+        const auto *V = cast<VarExpr>(E);
+        EnvNode *N = lookupEnv(Env, V->Name);
+        if (!N) {
+          Ctx.fail("unbound variable '" + std::string(V->Name.str()) +
+                   "' at " + E->loc().str());
+          return;
+        }
+        if (N->Val.is(ValueKind::Unit)) {
+          Ctx.fail("letrec variable '" + std::string(V->Name.str()) +
+                   "' referenced before initialization");
+          return;
+        }
+        K(N->Val);
+        return;
+      }
+      case ExprKind::Lam: {
+        const auto *L = cast<LamExpr>(E);
+        Closure *C = Ctx.A.create<Closure>(L->Param, L->Body, Env);
+        K(Value::mkClosure(C));
+        return;
+      }
+      case ExprKind::If: {
+        const auto *I = cast<IfExpr>(E);
+        // E[e1] rho { \v. v|Bool -> E[e2] rho k, E[e3] rho k }
+        Self(I->Cond, Env, [&Ctx, Self, I, Env, K](Value V) {
+          if (!V.is(ValueKind::Bool)) {
+            Ctx.fail("conditional scrutinee must be a boolean, found " +
+                     toDisplayString(V));
+            return;
+          }
+          Self(V.asBool() ? I->Then : I->Else, Env, K);
+        });
+        return;
+      }
+      case ExprKind::App: {
+        const auto *App = cast<AppExpr>(E);
+        // E[e2] rho { \v2. E[e1] rho { \v1. (v1|Fun) v2 k } }
+        Self(App->Arg, Env, [&Ctx, Self, App, Env, K](Value V2) {
+          Self(App->Fn, Env, [&Ctx, Self, V2, K](Value V1) {
+            applyDirect(Ctx, Self, V1, V2, K);
+          });
+        });
+        return;
+      }
+      case ExprKind::Letrec: {
+        const auto *L = cast<LetrecExpr>(E);
+        EnvNode *Node = extendEnv(Ctx.A, Env, L->Name, Value::mkUnit());
+        Self(L->Bound, Node, [&Ctx, Self, L, Node, K](Value V) {
+          Node->Val = V; // rho' = rho[f -> ...]: tie the knot.
+          Self(L->Body, Node, K);
+        });
+        return;
+      }
+      case ExprKind::Prim1: {
+        const auto *P = cast<Prim1Expr>(E);
+        Self(P->Arg, Env, [&Ctx, P, K](Value V) {
+          PrimResult R = applyPrim1(P->Op, V, Ctx.A);
+          if (!R.Ok) {
+            Ctx.fail(std::move(R.Error));
+            return;
+          }
+          K(R.Val);
+        });
+        return;
+      }
+      case ExprKind::Prim2: {
+        const auto *P = cast<Prim2Expr>(E);
+        Self(P->Lhs, Env, [&Ctx, Self, P, Env, K](Value L) {
+          Self(P->Rhs, Env, [&Ctx, P, L, K](Value R) {
+            PrimResult PR = applyPrim2(P->Op, L, R, Ctx.A);
+            if (!PR.Ok) {
+              Ctx.fail(std::move(PR.Error));
+              return;
+            }
+            K(PR.Val);
+          });
+        });
+        return;
+      }
+      case ExprKind::Annot:
+        // G is oblivious to monitor annotations (Definition 7.1):
+        // G_obl V [{mu}: sbar] a* k = V [sbar] a* k.
+        Self(cast<AnnotExpr>(E)->Inner, Env, K);
+        return;
+      }
+    };
+  };
+}
+
+DirectFunctional monsem::deriveMonitoring(DirectFunctional G, const Monitor &M,
+                                          MonitorState &State,
+                                          const MonitorContext &MCtx,
+                                          DirectContext &Ctx) {
+  return [G, &M, &State, &MCtx, &Ctx](const DirectValuation &Self)
+             -> DirectValuation {
+    // Gbar Vbar: for non-annotated syntax, inherit G's equations (with the
+    // *derived* fixpoint Vbar as the recursive valuation).
+    DirectValuation Inherited = G(Self);
+    return [&M, &State, &MCtx, &Ctx, Inherited, Self](
+               const Expr *E, EnvNode *Env, const DirectKont &K) {
+      if (Ctx.Failed || Ctx.Exhausted)
+        return;
+      if (const auto *N = dyn_cast<AnnotExpr>(E)) {
+        const Annotation &Ann = *N->Ann;
+        bool Mine = Ann.Qual ? Ann.Qual.str() == M.name() : M.accepts(Ann);
+        if (Mine) {
+          // (Vbar [sbar'] a* kpost) . updPre   (Definition 4.2)
+          MonitorEvent Pre{Ann,      *N->Inner, EnvView(Env),
+                           Ctx.Calls, Ctx.A.bytesAllocated(), MCtx};
+          M.pre(Pre, State);
+          const Expr *Inner = N->Inner;
+          DirectKont KPost = [&M, &State, &MCtx, &Ctx, N, Inner, Env,
+                              K](Value V) {
+            // kpost = { \iota*. (k iota*) . updPost }
+            MonitorEvent Post{*N->Ann,   *Inner, EnvView(Env), Ctx.Calls,
+                              Ctx.A.bytesAllocated(), MCtx};
+            M.post(Post, V, State);
+            K(V);
+          };
+          Self(Inner, Env, KPost);
+          return;
+        }
+      }
+      Inherited(E, Env, K);
+    };
+  };
+}
+
+namespace {
+
+/// MonitorContext exposing the first N states of a cascade run.
+class PrefixContext : public MonitorContext {
+public:
+  PrefixContext(const std::vector<std::unique_ptr<MonitorState>> &States,
+                unsigned N)
+      : States(States), N(N) {}
+  unsigned numInnerMonitors() const override { return N; }
+  const MonitorState &innerState(unsigned I) const override {
+    return *States[I];
+  }
+
+private:
+  const std::vector<std::unique_ptr<MonitorState>> &States;
+  unsigned N;
+};
+
+} // namespace
+
+RunResult monsem::runDirect(const Expr *Program, const Cascade *C,
+                            uint64_t CallBudget) {
+  DirectContext Ctx;
+  Ctx.CallBudget = CallBudget;
+
+  std::vector<std::unique_ptr<MonitorState>> States;
+  std::vector<std::unique_ptr<PrefixContext>> MCtxs;
+  DirectFunctional G = standardFunctional(Ctx);
+  if (C) {
+    for (unsigned I = 0; I < C->size(); ++I) {
+      States.push_back(C->monitor(I).initialState());
+      MCtxs.push_back(std::make_unique<PrefixContext>(States, I));
+      G = deriveMonitoring(G, C->monitor(I), *States[I], *MCtxs[I], Ctx);
+    }
+  }
+
+  DirectValuation V = fixpoint(G);
+  DirectKont KInit = [&Ctx](Value Val) {
+    Ctx.Result = Val;
+    Ctx.HasResult = true;
+  };
+  V(Program, initialEnv(Ctx.A), KInit);
+
+  RunResult R;
+  R.Steps = Ctx.Calls;
+  if (Ctx.Exhausted) {
+    R.FuelExhausted = true;
+    R.FinalStates = std::move(States);
+    return R;
+  }
+  if (Ctx.Failed || !Ctx.HasResult) {
+    R.Ok = false;
+    R.Error = Ctx.Failed ? Ctx.Error : "no result produced";
+    R.FinalStates = std::move(States);
+    return R;
+  }
+  R.Ok = true;
+  R.ValueText = StdAnswerAlgebra::instance().render(Ctx.Result);
+  if (Ctx.Result.is(ValueKind::Int))
+    R.IntValue = Ctx.Result.asInt();
+  if (Ctx.Result.is(ValueKind::Bool))
+    R.BoolValue = Ctx.Result.asBool();
+  R.FinalStates = std::move(States);
+  return R;
+}

@@ -1,0 +1,112 @@
+//===- interp/Direct.h - Definitional CPS interpreter -----------*- C++ -*-===//
+///
+/// \file
+/// A direct transliteration of the paper's semantics into C++ closures.
+/// This is the *reference* evaluator: it exists to realize the paper's
+/// derivation technique literally and to cross-check the production CEK
+/// machine, not to run big programs (CPS in C++ consumes C stack, so a
+/// call budget bounds execution).
+///
+/// The valuation type is the paper's
+///
+///   T_lambda = Exp -> Env -> Kont -> Ans      (Fig. 2)
+///
+/// and valuation *functionals* G : T -> T are first-class values here, so
+/// the fixpoint construction `V = fix G`, the monitoring derivation
+/// `Gbar` (Fig. 3), and cascading (Fig. 5: derive, treat as standard,
+/// derive again) are all expressed exactly as in the paper:
+///
+///   Valuation Std  = fixpoint(standardFunctional(Ctx));
+///   Valuation Mon  = fixpoint(deriveMonitoring(standardFunctional(Ctx),
+///                                              monitor, state, Ctx));
+///   // Cascading: wrap the already-derived functional again.
+///   Valuation Mon2 = fixpoint(deriveMonitoring(deriveMonitoring(G, m1,
+///                                              s1, Ctx), m2, s2, Ctx));
+///
+/// Monitor states are updated in place; because evaluation is sequential
+/// and monitoring functions are state transformers, this is observationally
+/// the paper's state-threading MS -> (Ans x MS).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MONSEM_INTERP_DIRECT_H
+#define MONSEM_INTERP_DIRECT_H
+
+#include "interp/Machine.h"
+#include "monitor/Cascade.h"
+
+#include <functional>
+#include <memory>
+
+namespace monsem {
+
+/// Shared mutable context of one direct-interpretation run: the arena, the
+/// final answer slot, failure state, and the call budget.
+struct DirectContext {
+  Arena A;
+  /// Aborts runaway CPS recursion. Every valuation call nests on the C
+  /// stack until the final continuation fires, so the budget bounds the
+  /// peak C-stack depth as well as the work.
+  uint64_t CallBudget = 15000;
+
+  // Run state.
+  uint64_t Calls = 0;
+  bool Failed = false;
+  bool Exhausted = false;
+  std::string Error;
+  Value Result;
+  bool HasResult = false;
+
+  void fail(std::string Msg) {
+    if (Failed || Exhausted)
+      return;
+    Failed = true;
+    Error = std::move(Msg);
+  }
+
+  /// Charges one valuation call; false when out of budget.
+  bool charge() {
+    ++Calls;
+    if (CallBudget && Calls > CallBudget) {
+      Exhausted = true;
+      return false;
+    }
+    return true;
+  }
+};
+
+/// Kont = V -> Ans. Answers are delivered by side effect into the context,
+/// so the C++ return type is void; every continuation call is a tail call
+/// in the semantics (Reynolds' "serious" functions).
+using DirectKont = std::function<void(Value)>;
+
+/// The valuation-function type T_lambda.
+using DirectValuation =
+    std::function<void(const Expr *, EnvNode *, const DirectKont &)>;
+
+/// A valuation functional G : T_lambda -> T_lambda.
+using DirectFunctional =
+    std::function<DirectValuation(const DirectValuation &)>;
+
+/// fix : (T -> T) -> T, by knot-tying.
+DirectValuation fixpoint(DirectFunctional G);
+
+/// G_lambda of Fig. 2 (strict evaluation).
+DirectFunctional standardFunctional(DirectContext &Ctx);
+
+/// Gbar of Fig. 3 / Definition 4.2, derived from any functional \p G:
+/// handles annotations accepted by \p M (updPre / kappa_post with updPost)
+/// and inherits \p G's behavior everywhere else. Wrapping an already
+/// derived functional yields the doubly-derived semantics of Fig. 5.
+DirectFunctional deriveMonitoring(DirectFunctional G, const Monitor &M,
+                                  MonitorState &State,
+                                  const MonitorContext &MCtx, DirectContext &Ctx);
+
+/// Convenience: derives a full cascade (innermost first) and runs
+/// \p Program to a RunResult comparable with the CEK machine's.
+RunResult runDirect(const Expr *Program, const Cascade *C = nullptr,
+                    uint64_t CallBudget = 15000);
+
+} // namespace monsem
+
+#endif // MONSEM_INTERP_DIRECT_H

@@ -1,0 +1,56 @@
+//===- interp/Eval.cpp -----------------------------------------------------===//
+
+#include "interp/Eval.h"
+
+using namespace monsem;
+
+std::unique_ptr<ParsedProgram> ParsedProgram::parse(std::string_view Source,
+                                                    ParseOptions Opts) {
+  auto P = std::make_unique<ParsedProgram>();
+  P->Root = parseProgram(P->Ctx, Source, P->Diags, Opts);
+  return P;
+}
+
+RunResult monsem::evaluate(const Expr *Program, RunOptions Opts) {
+  StandardMachine M(Program, Opts);
+  return M.run();
+}
+
+RunResult monsem::evaluate(const Cascade &C, const Expr *Program,
+                           RunOptions Opts) {
+  if (C.empty())
+    return evaluate(Program, Opts);
+
+  DiagnosticSink Diags;
+  if (!C.validateFor(Program, Diags)) {
+    RunResult R;
+    R.Ok = false;
+    R.Error = Diags.str();
+    return R;
+  }
+
+  RuntimeCascade RC(C);
+  DynamicMonitorPolicy Policy{&RC};
+  MonitoredMachine M(Program, Opts, Policy);
+  RunResult R = M.run();
+  R.FinalStates = RC.takeStates();
+  return R;
+}
+
+RunResult monsem::evaluate(const EvalMode &Mode, const Expr *Program) {
+  RunOptions Opts;
+  Opts.Strat = Mode.Strat;
+  Opts.MaxSteps = Mode.MaxSteps;
+  return evaluate(Mode.C, Program, Opts);
+}
+
+std::string monsem::describeStates(const Cascade &C, const RunResult &R) {
+  std::string Out;
+  for (unsigned I = 0; I < C.size() && I < R.FinalStates.size(); ++I) {
+    Out += C.monitor(I).name();
+    Out += ": ";
+    Out += R.FinalStates[I]->str();
+    Out += '\n';
+  }
+  return Out;
+}

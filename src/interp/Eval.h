@@ -1,0 +1,109 @@
+//===- interp/Eval.h - Top-level evaluation API ------------------*- C++ -*-===//
+///
+/// \file
+/// The user-facing API. It mirrors the Haskell environment of Section 9.2,
+/// where the user writes
+///
+///   evaluate (profile & debug & strict) prog
+///
+/// Here:
+///
+///   ParsedProgram P = parseOrError(src);
+///   RunResult R = evaluate(profiler & debugger & kStrict, P.root());
+///
+/// `&` composes monitor specifications into a cascade (Section 6) and may
+/// also select the evaluation strategy ("language module"). Plain
+/// `evaluate(expr)` runs the standard semantics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MONSEM_INTERP_EVAL_H
+#define MONSEM_INTERP_EVAL_H
+
+#include "interp/Machine.h"
+#include "monitor/Cascade.h"
+#include "syntax/Parser.h"
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace monsem {
+
+/// A parsed program: the AST plus the context that owns it.
+class ParsedProgram {
+public:
+  ParsedProgram() = default;
+  ParsedProgram(const ParsedProgram &) = delete;
+  ParsedProgram &operator=(const ParsedProgram &) = delete;
+
+  /// Parses \p Source; on failure root() is null and diags() has errors.
+  static std::unique_ptr<ParsedProgram> parse(std::string_view Source,
+                                              ParseOptions Opts = {});
+
+  const Expr *root() const { return Root; }
+  bool ok() const { return Root != nullptr; }
+  AstContext &context() { return Ctx; }
+  const DiagnosticSink &diags() const { return Diags; }
+
+private:
+  AstContext Ctx;
+  DiagnosticSink Diags;
+  const Expr *Root = nullptr;
+};
+
+/// A cascade plus an evaluation strategy: the argument of the paper's
+/// `evaluate (profile & debug & strict) prog`.
+struct EvalMode {
+  Cascade C;
+  Strategy Strat = Strategy::Strict;
+  uint64_t MaxSteps = 0;
+};
+
+/// Strategy selectors composable with `&`.
+struct StrategyTag {
+  Strategy S;
+};
+inline constexpr StrategyTag kStrict{Strategy::Strict};
+inline constexpr StrategyTag kByName{Strategy::CallByName};
+inline constexpr StrategyTag kByNeed{Strategy::CallByNeed};
+
+inline EvalMode operator&(const Monitor &A, const Monitor &B) {
+  EvalMode M;
+  M.C.use(A).use(B);
+  return M;
+}
+inline EvalMode operator&(const Monitor &A, StrategyTag T) {
+  EvalMode M;
+  M.C.use(A);
+  M.Strat = T.S;
+  return M;
+}
+inline EvalMode operator&(EvalMode M, const Monitor &B) {
+  M.C.use(B);
+  return M;
+}
+inline EvalMode operator&(EvalMode M, StrategyTag T) {
+  M.Strat = T.S;
+  return M;
+}
+
+/// Standard semantics: no monitoring, annotations skipped.
+RunResult evaluate(const Expr *Program, RunOptions Opts = {});
+
+/// Monitoring semantics with \p C instantiated over \p Program. Validates
+/// annotation-syntax disjointness first (Section 6); a violation yields an
+/// error result without running.
+RunResult evaluate(const Cascade &C, const Expr *Program,
+                   RunOptions Opts = {});
+
+/// The Section 9.2 spelling.
+RunResult evaluate(const EvalMode &Mode, const Expr *Program);
+
+/// Renders final monitor states like the paper does, one per line:
+///   profiler: [fac -> 4, mul -> 3]
+std::string describeStates(const Cascade &C, const RunResult &R);
+
+} // namespace monsem
+
+#endif // MONSEM_INTERP_EVAL_H

@@ -1,0 +1,603 @@
+//===- interp/Machine.h - CEK machine for L_lambda --------------*- C++ -*-===//
+///
+/// \file
+/// The production evaluator: a trampolined CEK machine that is a
+/// defunctionalized form of the paper's continuation semantics.
+///
+/// Standard semantics (Fig. 2): every transition below is one clause of
+/// G_lambda. Continuations are explicit frame chains in the run's arena, so
+/// the machine never grows the C stack; the paper's application order —
+/// operand before operator — is preserved.
+///
+/// Monitoring semantics (Fig. 3, Definition 4.2): the single extra clause
+/// for `{mu}: e` runs updPre on the monitor state, pushes a MonPost frame
+/// (the kappa_post continuation), and evaluates e; when a value returns to
+/// a MonPost frame, updPost runs and the value continues unchanged. With
+/// monitoring disabled the clause reduces to evaluating e — the oblivious
+/// functional G_obl of Definition 7.1.
+///
+/// The machine is a template over a monitor *policy*, which realizes the
+/// paper's first level of specialization (Section 9.1): instantiating the
+/// machine with a concrete, statically known monitor removes the
+/// interpretive overhead of monitor dispatch, exactly as specializing the
+/// parameterized interpreter with respect to a monitor specification does.
+/// `NoMonitorPolicy` (standard semantics) and `DynamicMonitorPolicy`
+/// (cascade chosen at run time) are provided; benchmarks instantiate
+/// further policies.
+///
+/// Three evaluation strategies (Section 9.2's "language modules"): strict,
+/// call-by-name, and call-by-need.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MONSEM_INTERP_MACHINE_H
+#define MONSEM_INTERP_MACHINE_H
+
+#include "monitor/Hooks.h"
+#include "semantics/Answer.h"
+#include "semantics/Primitives.h"
+#include "semantics/Value.h"
+#include "syntax/Ast.h"
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace monsem {
+
+enum class Strategy : uint8_t { Strict, CallByName, CallByNeed };
+
+const char *strategyName(Strategy S);
+
+struct RunOptions {
+  Strategy Strat = Strategy::Strict;
+  /// 0 = unlimited. Each machine transition costs one unit.
+  uint64_t MaxSteps = 0;
+  /// The answer algebra phi used by the initial continuation (Section 3.1).
+  const AnswerAlgebra *Algebra = &StdAnswerAlgebra::instance();
+};
+
+/// The final answer: the paper's <alpha, sigma'> pair. `ValueText` is
+/// phi(alpha); typed accessors are provided for test convenience. Monitor
+/// states are attached by the driver (see Eval.h), not by the machine.
+struct RunResult {
+  bool Ok = false;
+  bool FuelExhausted = false;
+  std::string Error;
+  std::string ValueText;
+  std::optional<int64_t> IntValue;
+  std::optional<bool> BoolValue;
+  uint64_t Steps = 0;
+  std::vector<std::unique_ptr<MonitorState>> FinalStates;
+
+  /// True when two runs produced the same observable outcome.
+  bool sameOutcome(const RunResult &O) const {
+    if (FuelExhausted || O.FuelExhausted)
+      return FuelExhausted == O.FuelExhausted;
+    if (Ok != O.Ok)
+      return false;
+    return Ok ? ValueText == O.ValueText : Error == O.Error;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Monitor policies (level-1 specialization points)
+//===----------------------------------------------------------------------===//
+
+/// Standard semantics: annotations are skipped (G_obl of Definition 7.1).
+struct NoMonitorPolicy {
+  static constexpr bool Enabled = false;
+  void pre(const Annotation &, const Expr &, const EnvNode *, uint64_t,
+           uint64_t) {}
+  void post(const Annotation &, const Expr &, const EnvNode *, Value,
+            uint64_t, uint64_t) {}
+};
+
+/// Monitoring semantics with the cascade chosen at run time.
+struct DynamicMonitorPolicy {
+  static constexpr bool Enabled = true;
+  MonitorHooks *Hooks = nullptr;
+  void pre(const Annotation &Ann, const Expr &E, const EnvNode *Env,
+           uint64_t Step, uint64_t Bytes) {
+    Hooks->pre(Ann, E, Env, Step, Bytes);
+  }
+  void post(const Annotation &Ann, const Expr &E, const EnvNode *Env,
+            Value V, uint64_t Step, uint64_t Bytes) {
+    Hooks->post(Ann, E, Env, V, Step, Bytes);
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// The machine
+//===----------------------------------------------------------------------===//
+
+namespace detail {
+
+/// A defunctionalized continuation frame. One allocation per pending
+/// sub-evaluation; frames are immutable once pushed (except for nothing —
+/// patching happens in EnvNodes/Thunks, never frames).
+struct Frame {
+  enum class Kind : uint8_t {
+    Halt,
+    EvalFn,     ///< Operand evaluated; evaluate the operator (paper order).
+    Apply,      ///< Operator evaluated; apply it to the stored argument.
+    Branch,     ///< Conditional scrutinee evaluated; pick a branch.
+    LetrecBind, ///< Bound expression evaluated; tie the knot, run the body.
+    Prim2Rhs,   ///< Left prim operand evaluated; evaluate the right one.
+    Prim2Apply, ///< Both prim operands evaluated; apply the primitive.
+    Prim1Apply, ///< Prim operand evaluated; apply the primitive.
+    MonPost,    ///< kappa_post of Definition 4.2: run updPost, pass value on.
+    UpdateThunk ///< Memoize a forced thunk (call-by-need).
+  };
+
+  Kind K;
+  uint8_t Op = 0;             ///< Prim1Op/Prim2Op for primitive frames.
+  const Expr *E1 = nullptr;   ///< Pending expression (EvalFn/Branch/...).
+  const Expr *E2 = nullptr;   ///< Else branch (Branch).
+  EnvNode *Env = nullptr;     ///< Environment for the pending evaluation.
+  Value V;                    ///< Stored intermediate value.
+  const Annotation *Ann = nullptr; ///< MonPost.
+  EnvNode *BindNode = nullptr;     ///< LetrecBind: the node to patch.
+  Thunk *Th = nullptr;             ///< UpdateThunk.
+  Frame *Next = nullptr;
+};
+
+} // namespace detail
+
+/// One program execution. Owns the run's arena; `run()` drives the
+/// transition loop to a final answer.
+template <typename Policy> class MachineT {
+public:
+  MachineT(const Expr *Program, RunOptions Opts, Policy P = Policy())
+      : Program(Program), Opts(Opts), Pol(P) {}
+
+  RunResult run();
+
+  /// Bytes the run allocated (diagnostics/benchmarks).
+  size_t arenaBytes() const { return A.bytesAllocated(); }
+
+private:
+  using Frame = detail::Frame;
+  using FK = detail::Frame::Kind;
+
+  Frame *mkFrame(FK K, Frame *Next) {
+    Frame *F = A.create<Frame>();
+    F->K = K;
+    F->Next = Next;
+    return F;
+  }
+
+  void fail(std::string Msg) {
+    Failed = true;
+    Error = std::move(Msg);
+  }
+
+  /// Transition: evaluate \p E in \p Env with continuation \p K.
+  /// Sets Mode to Return when a value is produced immediately.
+  void doEval(const Expr *E, EnvNode *Env, Frame *K);
+
+  /// Transition: process exactly one frame of the continuation for the
+  /// returned value \p V. Never recurses; chained pass-through frames
+  /// (MonPost, UpdateThunk, primitive frames) bounce through the
+  /// trampoline, keeping C-stack usage constant.
+  void doReturn(Value V, Frame *K);
+
+  /// Schedules delivery of \p V to \p K via the trampoline.
+  void setReturn(Value V, Frame *K) {
+    M = Mode::Return;
+    CurVal = V;
+    CurKont = K;
+  }
+
+  /// Applies function value \p Fn to argument \p Arg with continuation
+  /// \p K. Handles closures, primitives and partial primitives; forces
+  /// thunk arguments of primitives.
+  void applyFunction(Value Fn, Value Arg, Frame *K);
+
+  /// Forces \p V (a thunk) and delivers the result to \p K.
+  void force(Value V, Frame *K);
+
+  const Expr *Program;
+  RunOptions Opts;
+  Policy Pol;
+  Arena A;
+
+  // Trampoline state.
+  enum class Mode : uint8_t { Eval, Return, Done } M = Mode::Eval;
+  const Expr *CurExpr = nullptr;
+  EnvNode *CurEnv = nullptr;
+  Value CurVal;
+  Frame *CurKont = nullptr;
+
+  uint64_t Steps = 0;
+  bool Failed = false;
+  std::string Error;
+};
+
+extern template class MachineT<NoMonitorPolicy>;
+extern template class MachineT<DynamicMonitorPolicy>;
+
+using StandardMachine = MachineT<NoMonitorPolicy>;
+using MonitoredMachine = MachineT<DynamicMonitorPolicy>;
+
+//===----------------------------------------------------------------------===//
+// Template implementation
+//===----------------------------------------------------------------------===//
+
+template <typename Policy>
+void MachineT<Policy>::doEval(const Expr *E, EnvNode *Env, Frame *K) {
+  switch (E->kind()) {
+  case ExprKind::Const: {
+    const ConstVal &C = cast<ConstExpr>(E)->Val;
+    switch (C.K) {
+    case ConstVal::Kind::Int:
+      setReturn(Value::mkInt(C.Int), K);
+      return;
+    case ConstVal::Kind::Bool:
+      setReturn(Value::mkBool(C.Bool), K);
+      return;
+    case ConstVal::Kind::Str:
+      setReturn(Value::mkStr(C.Str), K);
+      return;
+    case ConstVal::Kind::Nil:
+      setReturn(Value::mkNil(), K);
+      return;
+    }
+    return;
+  }
+  case ExprKind::Var: {
+    const auto *V = cast<VarExpr>(E);
+    EnvNode *N = lookupEnv(Env, V->Name);
+    if (!N) {
+      fail("unbound variable '" + std::string(V->Name.str()) + "' at " +
+           E->loc().str());
+      return;
+    }
+    Value Val = N->Val;
+    if (Val.is(ValueKind::Unit)) {
+      fail("letrec variable '" + std::string(V->Name.str()) +
+           "' referenced before initialization");
+      return;
+    }
+    if (Val.is(ValueKind::Thunk)) {
+      force(Val, K);
+      return;
+    }
+    setReturn(Val, K);
+    return;
+  }
+  case ExprKind::Lam: {
+    const auto *L = cast<LamExpr>(E);
+    Closure *C = A.create<Closure>(L->Param, L->Body, Env);
+    setReturn(Value::mkClosure(C), K);
+    return;
+  }
+  case ExprKind::If: {
+    const auto *I = cast<IfExpr>(E);
+    Frame *F = mkFrame(FK::Branch, K);
+    F->E1 = I->Then;
+    F->E2 = I->Else;
+    F->Env = Env;
+    M = Mode::Eval;
+    CurExpr = I->Cond;
+    CurEnv = Env;
+    CurKont = F;
+    return;
+  }
+  case ExprKind::App: {
+    const auto *App = cast<AppExpr>(E);
+    if (Opts.Strat == Strategy::Strict) {
+      // Paper order: E[e2] rho { \v2. E[e1] rho { \v1. (v1|Fun) v2 k } }.
+      Frame *F = mkFrame(FK::EvalFn, K);
+      F->E1 = App->Fn;
+      F->Env = Env;
+      M = Mode::Eval;
+      CurExpr = App->Arg;
+      CurEnv = Env;
+      CurKont = F;
+      return;
+    }
+    // Lazy strategies: suspend the operand, evaluate the operator.
+    Thunk *T = A.create<Thunk>(App->Arg, Env, Thunk::State::Unforced, Value());
+    Frame *F = mkFrame(FK::Apply, K);
+    F->V = Value::mkThunk(T);
+    M = Mode::Eval;
+    CurExpr = App->Fn;
+    CurEnv = Env;
+    CurKont = F;
+    return;
+  }
+  case ExprKind::Letrec: {
+    const auto *L = cast<LetrecExpr>(E);
+    EnvNode *Node = extendEnv(A, Env, L->Name, Value::mkUnit());
+    if (Opts.Strat != Strategy::Strict) {
+      // Lazy letrec: bind the name to a thunk of the bound expression in
+      // the extended environment; self-reference cycles are caught as
+      // black holes under call-by-need.
+      Thunk *T =
+          A.create<Thunk>(L->Bound, Node, Thunk::State::Unforced, Value());
+      Node->Val = Value::mkThunk(T);
+      M = Mode::Eval;
+      CurExpr = L->Body;
+      CurEnv = Node;
+      CurKont = K;
+      return;
+    }
+    Frame *F = mkFrame(FK::LetrecBind, K);
+    F->BindNode = Node;
+    F->E1 = L->Body;
+    M = Mode::Eval;
+    CurExpr = L->Bound;
+    CurEnv = Node;
+    CurKont = F;
+    return;
+  }
+  case ExprKind::Prim1: {
+    const auto *P = cast<Prim1Expr>(E);
+    Frame *F = mkFrame(FK::Prim1Apply, K);
+    F->Op = static_cast<uint8_t>(P->Op);
+    M = Mode::Eval;
+    CurExpr = P->Arg;
+    CurEnv = Env;
+    CurKont = F;
+    return;
+  }
+  case ExprKind::Prim2: {
+    const auto *P = cast<Prim2Expr>(E);
+    Frame *F = mkFrame(FK::Prim2Rhs, K);
+    F->Op = static_cast<uint8_t>(P->Op);
+    F->E1 = P->Rhs;
+    F->Env = Env;
+    M = Mode::Eval;
+    CurExpr = P->Lhs;
+    CurEnv = Env;
+    CurKont = F;
+    return;
+  }
+  case ExprKind::Annot: {
+    const auto *N = cast<AnnotExpr>(E);
+    if constexpr (Policy::Enabled) {
+      // Definition 4.2: (Vbar [s'] a* kpost) . updPre
+      Pol.pre(*N->Ann, *N->Inner, Env, Steps, A.bytesAllocated());
+      Frame *F = mkFrame(FK::MonPost, K);
+      F->Ann = N->Ann;
+      F->E1 = N->Inner;
+      F->Env = Env;
+      M = Mode::Eval;
+      CurExpr = N->Inner;
+      CurEnv = Env;
+      CurKont = F;
+      return;
+    }
+    // Oblivious (Definition 7.1): skip the annotation.
+    M = Mode::Eval;
+    CurExpr = N->Inner;
+    CurEnv = Env;
+    CurKont = K;
+    return;
+  }
+  }
+}
+
+template <typename Policy>
+void MachineT<Policy>::force(Value V, Frame *K) {
+  Thunk *T = V.asThunk();
+  switch (T->St) {
+  case Thunk::State::Forced:
+    setReturn(T->Memo, K);
+    return;
+  case Thunk::State::Forcing:
+    fail("infinite value dependency (black hole)");
+    return;
+  case Thunk::State::Unforced:
+    break;
+  }
+  if (Opts.Strat == Strategy::CallByNeed) {
+    T->St = Thunk::State::Forcing;
+    Frame *F = mkFrame(FK::UpdateThunk, K);
+    F->Th = T;
+    K = F;
+  }
+  M = Mode::Eval;
+  CurExpr = T->E;
+  CurEnv = T->Env;
+  CurKont = K;
+}
+
+template <typename Policy>
+void MachineT<Policy>::applyFunction(Value Fn, Value Arg, Frame *K) {
+  switch (Fn.kind()) {
+  case ValueKind::Closure: {
+    Closure *C = Fn.asClosure();
+    EnvNode *Env = extendEnv(A, C->Env, C->Param, Arg);
+    M = Mode::Eval;
+    CurExpr = C->Body;
+    CurEnv = Env;
+    CurKont = K;
+    return;
+  }
+  case ValueKind::Prim1: {
+    if (Arg.is(ValueKind::Thunk)) {
+      // Primitives are strict: force, then re-apply.
+      Frame *F = mkFrame(FK::Prim1Apply, K);
+      F->Op = static_cast<uint8_t>(Fn.asPrim1());
+      force(Arg, F);
+      return;
+    }
+    PrimResult R = applyPrim1(Fn.asPrim1(), Arg, A);
+    if (!R.Ok) {
+      fail(std::move(R.Error));
+      return;
+    }
+    setReturn(R.Val, K);
+    return;
+  }
+  case ValueKind::Prim2: {
+    if (Arg.is(ValueKind::Thunk)) {
+      // Left-strict at partial application; see Primitives.h.
+      Frame *F = mkFrame(FK::Prim2Rhs, K);
+      F->Op = static_cast<uint8_t>(Fn.asPrim2());
+      F->E1 = nullptr; // Signals "build a partial" instead of eval RHS.
+      force(Arg, F);
+      return;
+    }
+    PrimPartial *PP = A.create<PrimPartial>(Fn.asPrim2(), Arg);
+    setReturn(Value::mkPrim2Partial(PP), K);
+    return;
+  }
+  case ValueKind::Prim2Partial: {
+    PrimPartial *PP = Fn.asPrim2Partial();
+    if (Arg.is(ValueKind::Thunk)) {
+      Frame *F = mkFrame(FK::Prim2Apply, K);
+      F->Op = static_cast<uint8_t>(PP->Op);
+      F->V = PP->First;
+      force(Arg, F);
+      return;
+    }
+    PrimResult R = applyPrim2(PP->Op, PP->First, Arg, A);
+    if (!R.Ok) {
+      fail(std::move(R.Error));
+      return;
+    }
+    setReturn(R.Val, K);
+    return;
+  }
+  default:
+    fail("cannot apply a non-function value (" + toDisplayString(Fn) + ")");
+    return;
+  }
+}
+
+template <typename Policy>
+void MachineT<Policy>::doReturn(Value V, Frame *K) {
+  switch (K->K) {
+  case FK::Halt:
+    M = Mode::Done;
+    CurVal = V;
+    return;
+  case FK::EvalFn: {
+    // V is the operand value; evaluate the operator next.
+    Frame *F = mkFrame(FK::Apply, K->Next);
+    F->V = V;
+    M = Mode::Eval;
+    CurExpr = K->E1;
+    CurEnv = K->Env;
+    CurKont = F;
+    return;
+  }
+  case FK::Apply:
+    // V is the operator; the stored value is the operand.
+    applyFunction(V, K->V, K->Next);
+    return;
+  case FK::Branch: {
+    if (!V.is(ValueKind::Bool)) {
+      fail("conditional scrutinee must be a boolean, found " +
+           toDisplayString(V));
+      return;
+    }
+    M = Mode::Eval;
+    CurExpr = V.asBool() ? K->E1 : K->E2;
+    CurEnv = K->Env;
+    CurKont = K->Next;
+    return;
+  }
+  case FK::LetrecBind: {
+    K->BindNode->Val = V;
+    M = Mode::Eval;
+    CurExpr = K->E1;
+    CurEnv = K->BindNode;
+    CurKont = K->Next;
+    return;
+  }
+  case FK::Prim2Rhs: {
+    if (!K->E1) {
+      // Forced first operand of a higher-order prim2 application.
+      PrimPartial *PP =
+          A.create<PrimPartial>(static_cast<Prim2Op>(K->Op), V);
+      setReturn(Value::mkPrim2Partial(PP), K->Next);
+      return;
+    }
+    Frame *F = mkFrame(FK::Prim2Apply, K->Next);
+    F->Op = K->Op;
+    F->V = V;
+    M = Mode::Eval;
+    CurExpr = K->E1;
+    CurEnv = K->Env;
+    CurKont = F;
+    return;
+  }
+  case FK::Prim2Apply: {
+    PrimResult R = applyPrim2(static_cast<Prim2Op>(K->Op), K->V, V, A);
+    if (!R.Ok) {
+      fail(std::move(R.Error));
+      return;
+    }
+    setReturn(R.Val, K->Next);
+    return;
+  }
+  case FK::Prim1Apply: {
+    PrimResult R = applyPrim1(static_cast<Prim1Op>(K->Op), V, A);
+    if (!R.Ok) {
+      fail(std::move(R.Error));
+      return;
+    }
+    setReturn(R.Val, K->Next);
+    return;
+  }
+  case FK::MonPost: {
+    if constexpr (Policy::Enabled)
+      Pol.post(*K->Ann, *K->E1, K->Env, V, Steps, A.bytesAllocated());
+    setReturn(V, K->Next);
+    return;
+  }
+  case FK::UpdateThunk: {
+    K->Th->St = Thunk::State::Forced;
+    K->Th->Memo = V;
+    setReturn(V, K->Next);
+    return;
+  }
+  }
+}
+
+template <typename Policy> RunResult MachineT<Policy>::run() {
+  RunResult R;
+  Frame *Halt = mkFrame(FK::Halt, nullptr);
+  CurExpr = Program;
+  CurEnv = initialEnv(A);
+  CurKont = Halt;
+  M = Mode::Eval;
+
+  while (M != Mode::Done && !Failed) {
+    ++Steps;
+    if (Opts.MaxSteps && Steps > Opts.MaxSteps) {
+      R.FuelExhausted = true;
+      R.Steps = Steps;
+      return R;
+    }
+    if (M == Mode::Eval)
+      doEval(CurExpr, CurEnv, CurKont);
+    else
+      doReturn(CurVal, CurKont);
+  }
+
+  R.Steps = Steps;
+  if (Failed) {
+    R.Ok = false;
+    R.Error = std::move(Error);
+    return R;
+  }
+  R.Ok = true;
+  // kappa_init = \v. phi v (Section 3.1).
+  R.ValueText = Opts.Algebra->render(CurVal);
+  if (CurVal.is(ValueKind::Int))
+    R.IntValue = CurVal.asInt();
+  if (CurVal.is(ValueKind::Bool))
+    R.BoolValue = CurVal.asBool();
+  return R;
+}
+
+} // namespace monsem
+
+#endif // MONSEM_INTERP_MACHINE_H

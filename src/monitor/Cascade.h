@@ -1,0 +1,117 @@
+//===- monitor/Cascade.h - Monitor composition ------------------*- C++ -*-===//
+///
+/// \file
+/// Section 6: monitors compose. `Cascade` is an ordered list of monitor
+/// specifications — index 0 is the innermost monitor (the first one derived
+/// from the standard semantics); each later monitor is derived from the
+/// semantics produced by its predecessors and may observe their states.
+///
+/// The section's constraint that annotation syntaxes be *disjoint* is
+/// enforced by `validateFor`: for a given program, every annotation must be
+/// claimed by at most one monitor in the cascade (annotations claimed by
+/// none are fine — the semantics is oblivious to them, Definition 7.1).
+/// Qualified annotations `{name:...}` are disjoint by construction.
+///
+/// `RuntimeCascade` instantiates the cascade for one execution: it owns one
+/// MonitorState per monitor and implements the machine-facing MonitorHooks
+/// dispatch, including the per-annotation monitor-resolution cache.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MONSEM_MONITOR_CASCADE_H
+#define MONSEM_MONITOR_CASCADE_H
+
+#include "monitor/Hooks.h"
+#include "monitor/MonitorSpec.h"
+#include "support/Diagnostics.h"
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+namespace monsem {
+
+/// An immutable composition of monitor specifications.
+class Cascade {
+public:
+  Cascade() = default;
+
+  /// Appends \p M as the new outermost monitor; returns *this for chaining
+  /// (the paper's `profile & debug` composition operator).
+  Cascade &use(const Monitor &M) {
+    Monitors.push_back(&M);
+    return *this;
+  }
+
+  unsigned size() const { return static_cast<unsigned>(Monitors.size()); }
+  bool empty() const { return Monitors.empty(); }
+  const Monitor &monitor(unsigned Idx) const { return *Monitors[Idx]; }
+
+  /// Resolves \p Ann to the index of the unique monitor that claims it, or
+  /// -1 if none does. Ambiguity (more than one claimant for an unqualified
+  /// annotation) is reported through \p Diags if provided.
+  int resolve(const Annotation &Ann, DiagnosticSink *Diags = nullptr) const;
+
+  /// Checks the disjointness constraint for every annotation in \p Program.
+  /// Returns false (with diagnostics) on ambiguity.
+  bool validateFor(const Expr *Program, DiagnosticSink &Diags) const;
+
+  /// Emits a warning for every annotation in \p Program that no monitor in
+  /// this cascade claims (legal — the semantics is oblivious to them — but
+  /// usually a typo in the label or a missing monitor). Returns the number
+  /// of unclaimed annotations.
+  unsigned reportUnclaimed(const Expr *Program, DiagnosticSink &Diags) const;
+
+private:
+  std::vector<const Monitor *> Monitors;
+};
+
+/// Convenience composition: `cascadeOf({&profiler, &tracer})`.
+Cascade cascadeOf(std::initializer_list<const Monitor *> Ms);
+
+/// The per-execution instantiation of a cascade (one sigma per monitor)
+/// and the dispatch of probes to the claiming monitor.
+class RuntimeCascade : public MonitorHooks {
+public:
+  explicit RuntimeCascade(const Cascade &C);
+
+  void pre(const Annotation &Ann, const Expr &E, const EnvNode *Env,
+           uint64_t StepIndex, uint64_t AllocatedBytes) override;
+  void post(const Annotation &Ann, const Expr &E, const EnvNode *Env,
+            Value Result, uint64_t StepIndex,
+            uint64_t AllocatedBytes) override;
+
+  /// Final monitor states, transferred to the caller (paper: the sigma'
+  /// component of the <alpha, sigma'> answer pair).
+  std::vector<std::unique_ptr<MonitorState>> takeStates();
+
+  /// Read access while the run is in progress (tests, debugger).
+  const MonitorState &state(unsigned Idx) const { return *States[Idx]; }
+  MonitorState &state(unsigned Idx) { return *States[Idx]; }
+  unsigned numMonitors() const { return C.size(); }
+
+private:
+  /// MonitorContext exposing the states of monitors inside monitor \p Idx.
+  class InnerView : public MonitorContext {
+  public:
+    InnerView(const RuntimeCascade &RC, unsigned Idx) : RC(RC), Idx(Idx) {}
+    unsigned numInnerMonitors() const override { return Idx; }
+    const MonitorState &innerState(unsigned I) const override {
+      return *RC.States[I];
+    }
+
+  private:
+    const RuntimeCascade &RC;
+    unsigned Idx;
+  };
+
+  int resolveCached(const Annotation &Ann);
+
+  const Cascade &C;
+  std::vector<std::unique_ptr<MonitorState>> States;
+  std::unordered_map<const Annotation *, int> ResolutionCache;
+};
+
+} // namespace monsem
+
+#endif // MONSEM_MONITOR_CASCADE_H

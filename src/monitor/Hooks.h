@@ -1,0 +1,42 @@
+//===- monitor/Hooks.h - Machine-side monitoring interface ------*- C++ -*-===//
+///
+/// \file
+/// The interface through which an evaluator (the CEK machine, the direct
+/// interpreter, the bytecode VM, the imperative machine) communicates
+/// monitoring probes. Definition 4.2's annotated-syntax case becomes:
+///
+///   case {mu}: s'  =>  Hooks.pre(event);
+///                      evaluate s' with a continuation that first calls
+///                      Hooks.post(event, result) and then continues;
+///
+/// A null hooks pointer yields the standard semantics (obliviousness,
+/// Definition 7.1 — annotations are skipped entirely).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MONSEM_MONITOR_HOOKS_H
+#define MONSEM_MONITOR_HOOKS_H
+
+#include "monitor/MonitorSpec.h"
+
+namespace monsem {
+
+class MonitorHooks {
+public:
+  virtual ~MonitorHooks() = default;
+
+  /// updPre = M_pre mu sbar' a* : MS -> MS, applied to the current state.
+  /// \p AllocatedBytes is the run's cumulative arena allocation at probe
+  /// time (enables allocation-profiling monitors).
+  virtual void pre(const Annotation &Ann, const Expr &E, const EnvNode *Env,
+                   uint64_t StepIndex, uint64_t AllocatedBytes) = 0;
+
+  /// updPost = M_post mu sbar' a* iota* : MS -> MS.
+  virtual void post(const Annotation &Ann, const Expr &E, const EnvNode *Env,
+                    Value Result, uint64_t StepIndex,
+                    uint64_t AllocatedBytes) = 0;
+};
+
+} // namespace monsem
+
+#endif // MONSEM_MONITOR_HOOKS_H

@@ -1,0 +1,92 @@
+//===- monitors/AllocProfiler.h - Allocation profiler -----------*- C++ -*-===//
+///
+/// \file
+/// A heap/allocation profiler (extension monitor): for each annotation
+/// label it accumulates the *inclusive* arena bytes allocated while the
+/// annotated expression evaluated — post's AllocatedBytes minus pre's.
+/// Works on every evaluator that reports its arena counter through the
+/// probe interface (CEK machine, bytecode VM, direct interpreter, and the
+/// imperative module's expression evaluator).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MONSEM_MONITORS_ALLOCPROFILER_H
+#define MONSEM_MONITORS_ALLOCPROFILER_H
+
+#include "monitor/MonitorSpec.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace monsem {
+
+class AllocProfilerState : public MonitorState {
+public:
+  struct Entry {
+    uint64_t Calls = 0;
+    uint64_t TotalBytes = 0;
+    uint64_t MaxBytes = 0;
+  };
+
+  std::map<std::string, Entry, std::less<>> Entries;
+  /// Live probes: (label, bytes at entry).
+  std::vector<std::pair<std::string, uint64_t>> Stack;
+
+  const Entry *entry(std::string_view Label) const {
+    auto It = Entries.find(Label);
+    return It == Entries.end() ? nullptr : &It->second;
+  }
+
+  std::string str() const override {
+    std::string Out = "[";
+    bool First = true;
+    for (const auto &[Label, E] : Entries) {
+      if (!First)
+        Out += ", ";
+      First = false;
+      Out += Label + ": calls=" + std::to_string(E.Calls) +
+             " bytes=" + std::to_string(E.TotalBytes);
+    }
+    return Out + "]";
+  }
+};
+
+class AllocProfiler : public Monitor {
+public:
+  std::string_view name() const override { return "alloc"; }
+  bool accepts(const Annotation &Ann) const override {
+    return !Ann.HasParams;
+  }
+  std::unique_ptr<MonitorState> initialState() const override {
+    return std::make_unique<AllocProfilerState>();
+  }
+
+  void pre(const MonitorEvent &Ev, MonitorState &State) const override {
+    auto &S = static_cast<AllocProfilerState &>(State);
+    S.Stack.emplace_back(std::string(Ev.Ann.Head.str()), Ev.AllocatedBytes);
+  }
+
+  void post(const MonitorEvent &Ev, Value, MonitorState &State) const override {
+    auto &S = static_cast<AllocProfilerState &>(State);
+    if (S.Stack.empty())
+      return;
+    auto [Label, Start] = S.Stack.back();
+    S.Stack.pop_back();
+    uint64_t Bytes =
+        Ev.AllocatedBytes >= Start ? Ev.AllocatedBytes - Start : 0;
+    auto &E = S.Entries[Label];
+    ++E.Calls;
+    E.TotalBytes += Bytes;
+    if (Bytes > E.MaxBytes)
+      E.MaxBytes = Bytes;
+  }
+
+  static const AllocProfilerState &state(const MonitorState &S) {
+    return static_cast<const AllocProfilerState &>(S);
+  }
+};
+
+} // namespace monsem
+
+#endif // MONSEM_MONITORS_ALLOCPROFILER_H

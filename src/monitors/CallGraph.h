@@ -1,0 +1,79 @@
+//===- monitors/CallGraph.h - Dynamic call-graph monitor --------*- C++ -*-===//
+///
+/// \file
+/// Records the dynamic call graph over annotated functions (an extension
+/// monitor): an edge caller -> callee is counted whenever a probe for
+/// `callee` fires while `caller`'s probe is the innermost live one. The
+/// monitor maintains its own stack from pre/post events — no evaluator
+/// support needed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MONSEM_MONITORS_CALLGRAPH_H
+#define MONSEM_MONITORS_CALLGRAPH_H
+
+#include "monitor/MonitorSpec.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace monsem {
+
+class CallGraphState : public MonitorState {
+public:
+  /// (caller, callee) -> count. The synthetic root caller is "<root>".
+  std::map<std::pair<std::string, std::string>, uint64_t> Edges;
+  std::vector<std::string> Stack;
+
+  uint64_t edge(std::string_view From, std::string_view To) const {
+    auto It = Edges.find({std::string(From), std::string(To)});
+    return It == Edges.end() ? 0 : It->second;
+  }
+
+  /// "<root> -> fac: 1, fac -> fac: 3, fac -> mul: 3" style.
+  std::string str() const override {
+    std::string Out;
+    bool First = true;
+    for (const auto &[Edge, N] : Edges) {
+      if (!First)
+        Out += ", ";
+      First = false;
+      Out += Edge.first + " -> " + Edge.second + ": " + std::to_string(N);
+    }
+    return Out;
+  }
+};
+
+class CallGraphMonitor : public Monitor {
+public:
+  std::string_view name() const override { return "callgraph"; }
+  bool accepts(const Annotation &Ann) const override {
+    return !Ann.HasParams;
+  }
+  std::unique_ptr<MonitorState> initialState() const override {
+    return std::make_unique<CallGraphState>();
+  }
+
+  void pre(const MonitorEvent &Ev, MonitorState &State) const override {
+    auto &S = static_cast<CallGraphState &>(State);
+    std::string Callee(Ev.Ann.Head.str());
+    std::string Caller = S.Stack.empty() ? "<root>" : S.Stack.back();
+    ++S.Edges[{Caller, Callee}];
+    S.Stack.push_back(std::move(Callee));
+  }
+
+  void post(const MonitorEvent &, Value, MonitorState &State) const override {
+    auto &S = static_cast<CallGraphState &>(State);
+    if (!S.Stack.empty())
+      S.Stack.pop_back();
+  }
+
+  static const CallGraphState &state(const MonitorState &S) {
+    return static_cast<const CallGraphState &>(S);
+  }
+};
+
+} // namespace monsem
+
+#endif // MONSEM_MONITORS_CALLGRAPH_H

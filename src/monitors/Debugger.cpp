@@ -1,0 +1,174 @@
+//===- monitors/Debugger.cpp -----------------------------------------------===//
+
+#include "monitors/Debugger.h"
+
+#include "support/StrUtils.h"
+
+#include <istream>
+
+using namespace monsem;
+
+std::unique_ptr<MonitorState> Debugger::initialState() const {
+  auto S = std::make_unique<DebuggerState>();
+  S->Script = Script;
+  S->Input = Input;
+  if (Echo)
+    S->Chan.echoTo(Echo);
+  return S;
+}
+
+std::optional<std::string> Debugger::nextCommand(DebuggerState &S) {
+  if (S.ScriptPos < S.Script.size())
+    return S.Script[S.ScriptPos++];
+  if (S.Input) {
+    std::string Line;
+    if (std::getline(*S.Input, Line))
+      return Line;
+  }
+  return std::nullopt;
+}
+
+/// Renders the event header, e.g. "fac(x = 2)".
+static std::string describeEvent(const MonitorEvent &Ev) {
+  std::string Out(Ev.Ann.Head.str());
+  if (Ev.Ann.HasParams) {
+    Out += '(';
+    for (size_t I = 0; I < Ev.Ann.Params.size(); ++I) {
+      if (I != 0)
+        Out += ", ";
+      Out += Ev.Ann.Params[I].str();
+      Out += " = ";
+      Out += Ev.Env.lookupStr(Ev.Ann.Params[I]);
+    }
+    Out += ')';
+  }
+  return Out;
+}
+
+void Debugger::interact(const MonitorEvent &Ev, DebuggerState &S) const {
+  S.Chan.addLine("stopped at " + describeEvent(Ev));
+  while (true) {
+    std::optional<std::string> CmdLine = nextCommand(S);
+    if (!CmdLine) {
+      // Command source exhausted: run to completion silently.
+      S.M = DebuggerState::Mode::Detached;
+      return;
+    }
+    std::vector<std::string> Words;
+    for (const std::string &W : splitString(trimString(*CmdLine), ' '))
+      if (!W.empty())
+        Words.push_back(W);
+    if (Words.empty())
+      continue;
+    const std::string &Cmd = Words[0];
+
+    if (Cmd == "step" || Cmd == "s") {
+      S.M = DebuggerState::Mode::Stepping;
+      return;
+    }
+    if (Cmd == "continue" || Cmd == "c") {
+      S.M = DebuggerState::Mode::Running;
+      return;
+    }
+    if (Cmd == "quit" || Cmd == "q") {
+      S.M = DebuggerState::Mode::Detached;
+      return;
+    }
+    if (Cmd == "break" && Words.size() > 1) {
+      S.Breakpoints.insert(Words[1]);
+      S.Chan.addLine("breakpoint set on " + Words[1]);
+      continue;
+    }
+    if (Cmd == "breakif" && Words.size() > 3) {
+      S.CondBreaks[Words[1]] = {Words[2], Words[3]};
+      S.Chan.addLine("conditional breakpoint set on " + Words[1] +
+                     " when " + Words[2] + " = " + Words[3]);
+      continue;
+    }
+    if (Cmd == "watch" && Words.size() > 1) {
+      // Seed the watch with the current value so it fires on change.
+      S.Watches[Words[1]] =
+          Ev.Env.lookupStr(Symbol::intern(Words[1]));
+      S.Chan.addLine("watching " + Words[1]);
+      continue;
+    }
+    if (Cmd == "delete" && Words.size() > 1) {
+      S.Breakpoints.erase(Words[1]);
+      S.CondBreaks.erase(Words[1]);
+      S.Chan.addLine("breakpoint removed from " + Words[1]);
+      continue;
+    }
+    if ((Cmd == "print" || Cmd == "p") && Words.size() > 1) {
+      S.Chan.addLine(Words[1] + " = " +
+                     Ev.Env.lookupStr(Symbol::intern(Words[1])));
+      continue;
+    }
+    if (Cmd == "locals") {
+      for (const auto &[Name, Val] : Ev.Env.bindings(16))
+        S.Chan.addLine("  " + std::string(Name.str()) + " = " +
+                       toDisplayString(Val));
+      continue;
+    }
+    if (Cmd == "where" || Cmd == "bt") {
+      if (S.CallStack.empty())
+        S.Chan.addLine("  <empty call stack>");
+      for (size_t I = S.CallStack.size(); I-- > 0;)
+        S.Chan.addLine("  #" + std::to_string(S.CallStack.size() - 1 - I) +
+                       " " + S.CallStack[I]);
+      continue;
+    }
+    if (Cmd == "monitors") {
+      // Section 6: observe the states of inner monitors in the cascade.
+      if (Ev.Ctx.numInnerMonitors() == 0)
+        S.Chan.addLine("  <no inner monitors>");
+      for (unsigned I = 0; I < Ev.Ctx.numInnerMonitors(); ++I)
+        S.Chan.addLine("  monitor " + std::to_string(I) + ": " +
+                       Ev.Ctx.innerState(I).str());
+      continue;
+    }
+    S.Chan.addLine("unknown command: " + Cmd);
+  }
+}
+
+void Debugger::pre(const MonitorEvent &Ev, MonitorState &State) const {
+  auto &S = static_cast<DebuggerState &>(State);
+  S.CallStack.push_back(describeEvent(Ev));
+  if (S.M == DebuggerState::Mode::Detached)
+    return;
+  std::string Label(Ev.Ann.Head.str());
+  bool Stop = S.M == DebuggerState::Mode::Stepping ||
+              S.Breakpoints.count(Label);
+  if (!Stop) {
+    // Conditional breakpoint on this label?
+    if (auto It = S.CondBreaks.find(Label); It != S.CondBreaks.end()) {
+      const auto &[Var, Want] = It->second;
+      if (Ev.Env.lookupStr(Symbol::intern(Var)) == Want) {
+        S.Chan.addLine("condition hit: " + Var + " = " + Want);
+        Stop = true;
+      }
+    }
+  }
+  if (!Stop) {
+    // Watched variable changed?
+    for (auto &[Var, Last] : S.Watches) {
+      std::string Now = Ev.Env.lookupStr(Symbol::intern(Var));
+      if (Now != Last) {
+        S.Chan.addLine("watch hit: " + Var + " " + Last + " -> " + Now);
+        Last = Now;
+        Stop = true;
+      }
+    }
+  }
+  if (Stop)
+    interact(Ev, S);
+}
+
+void Debugger::post(const MonitorEvent &Ev, Value Result,
+                    MonitorState &State) const {
+  auto &S = static_cast<DebuggerState &>(State);
+  if (!S.CallStack.empty())
+    S.CallStack.pop_back();
+  if (S.M == DebuggerState::Mode::Stepping)
+    S.Chan.addLine(std::string(Ev.Ann.Head.str()) + " returned " +
+                   toDisplayString(Result));
+}

@@ -1,0 +1,104 @@
+//===- monitors/Debugger.h - Interactive debugger a la dbx ------*- C++ -*-===//
+///
+/// \file
+/// The Section 9.2 toolbox's interactive debugger. The framework supports
+/// interactive tools "by providing an input as well as an output stream to
+/// and from the monitor" (Section 8); both streams live in the monitor's
+/// state, so the debugger remains a pure monitor-state transformer and the
+/// soundness theorem applies: it can observe everything and change nothing.
+///
+/// Commands (read from the command source whenever execution stops):
+///
+///   break <label>           set a breakpoint on annotation label <label>
+///   breakif <label> <x> <v> conditional breakpoint: stop at <label> only
+///                           when rho(x) prints as <v>
+///   watch <x>               stop at any event where rho(x) changed since
+///                           the last event
+///   delete <label>          remove a breakpoint (conditional or not)
+///   step | s                stop at the next monitored event
+///   continue | c            run to the next breakpoint/watch hit
+///   print <x> | p           print rho(x)
+///   locals                  print the visible bindings
+///   where | bt              print the monitored call stack
+///   monitors                print the states of inner monitors (§6)
+///   quit | q                disable all stopping and run to completion
+///
+/// In tests and examples the command source is a script (vector of lines);
+/// an interactive std::istream source works identically. When the script
+/// is exhausted the debugger continues silently.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MONSEM_MONITORS_DEBUGGER_H
+#define MONSEM_MONITORS_DEBUGGER_H
+
+#include "monitor/MonitorSpec.h"
+#include "support/OutChan.h"
+
+#include <iosfwd>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace monsem {
+
+class DebuggerState : public MonitorState {
+public:
+  enum class Mode { Running, Stepping, Detached };
+
+  OutChan Chan;                       ///< Output stream to the user.
+  std::vector<std::string> Script;    ///< Scripted command source.
+  size_t ScriptPos = 0;
+  std::istream *Input = nullptr;      ///< Interactive source (optional).
+  Mode M = Mode::Stepping;            ///< Start stopped at the first event.
+  std::set<std::string> Breakpoints;
+  /// label -> (variable, expected rendered value).
+  std::map<std::string, std::pair<std::string, std::string>> CondBreaks;
+  /// variable -> last observed rendered value.
+  std::map<std::string, std::string> Watches;
+  std::vector<std::string> CallStack; ///< Maintained from pre/post events.
+
+  std::string str() const override { return Chan.str(); }
+};
+
+class Debugger : public Monitor {
+public:
+  /// Scripted debugger (tests, examples).
+  explicit Debugger(std::vector<std::string> Script,
+                    std::ostream *Echo = nullptr)
+      : Script(std::move(Script)), Echo(Echo) {}
+
+  /// Interactive debugger reading commands from \p Input.
+  Debugger(std::istream &Input, std::ostream &Echo)
+      : Input(&Input), Echo(&Echo) {}
+
+  std::string_view name() const override { return "debug"; }
+  bool accepts(const Annotation &) const override { return true; }
+
+  std::unique_ptr<MonitorState> initialState() const override;
+
+  void pre(const MonitorEvent &Ev, MonitorState &State) const override;
+  void post(const MonitorEvent &Ev, Value Result,
+            MonitorState &State) const override;
+
+  static const DebuggerState &state(const MonitorState &S) {
+    return static_cast<const DebuggerState &>(S);
+  }
+
+private:
+  /// Reads the next command line; empty optional when the source is dry.
+  static std::optional<std::string> nextCommand(DebuggerState &S);
+
+  /// The stop loop: reports the stop and processes commands until a
+  /// control command (step/continue/quit) resumes execution.
+  void interact(const MonitorEvent &Ev, DebuggerState &S) const;
+
+  std::vector<std::string> Script;
+  std::istream *Input = nullptr;
+  std::ostream *Echo = nullptr;
+};
+
+} // namespace monsem
+
+#endif // MONSEM_MONITORS_DEBUGGER_H

@@ -1,0 +1,29 @@
+//===- monitors/Demon.cpp --------------------------------------------------===//
+
+#include "monitors/Demon.h"
+
+using namespace monsem;
+
+bool monsem::isSortedList(Value V) {
+  // sorted? (x:xs) = case xs of (y:ys) : (x <= y) & sorted? xs; Nil : True
+  // sorted? Nil = True
+  while (V.is(ValueKind::Cell)) {
+    Cell *C = V.asCell();
+    Value Tail = C->Tail;
+    if (!Tail.is(ValueKind::Cell))
+      return true;
+    Value X = C->Head, Y = Tail.asCell()->Head;
+    if (X.is(ValueKind::Int) && Y.is(ValueKind::Int)) {
+      if (X.asInt() > Y.asInt())
+        return false;
+    } else if (X.is(ValueKind::Str) && Y.is(ValueKind::Str)) {
+      if (X.asStr() > Y.asStr())
+        return false;
+    } else {
+      // Heterogeneous or non-ordered elements: vacuously sorted.
+      return true;
+    }
+    V = Tail;
+  }
+  return true;
+}

@@ -1,0 +1,91 @@
+//===- monitors/FlightRecorder.h - Ring-buffer event recorder ---*- C++ -*-===//
+///
+/// \file
+/// A "flight recorder": keeps the last N monitoring events in a ring
+/// buffer, so when a program fails you can ask what happened *just before*
+/// — the post-mortem debugging pattern, as a pure monitor (another
+/// Definition 5.1 instance beyond the paper's toolbox). Because monitor
+/// states survive aborted runs (errors, fuel exhaustion), the recording is
+/// available exactly when it is most useful.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MONSEM_MONITORS_FLIGHTRECORDER_H
+#define MONSEM_MONITORS_FLIGHTRECORDER_H
+
+#include "monitor/MonitorSpec.h"
+
+#include <deque>
+#include <string>
+
+namespace monsem {
+
+class FlightRecorderState : public MonitorState {
+public:
+  size_t Capacity = 16;
+  uint64_t TotalEvents = 0;
+  std::deque<std::string> Ring; ///< Oldest first.
+
+  void record(std::string Line) {
+    ++TotalEvents;
+    Ring.push_back(std::move(Line));
+    if (Ring.size() > Capacity)
+      Ring.pop_front();
+  }
+
+  /// The retained tail, oldest first, one event per line.
+  std::string str() const override {
+    std::string Out;
+    for (const std::string &L : Ring) {
+      Out += L;
+      Out += '\n';
+    }
+    return Out;
+  }
+};
+
+class FlightRecorder : public Monitor {
+public:
+  explicit FlightRecorder(size_t Capacity = 16) : Capacity(Capacity) {}
+
+  std::string_view name() const override { return "record"; }
+  bool accepts(const Annotation &) const override { return true; }
+  std::unique_ptr<MonitorState> initialState() const override {
+    auto S = std::make_unique<FlightRecorderState>();
+    S->Capacity = Capacity;
+    return S;
+  }
+
+  void pre(const MonitorEvent &Ev, MonitorState &State) const override {
+    auto &S = static_cast<FlightRecorderState &>(State);
+    std::string Line = "enter " + std::string(Ev.Ann.Head.str());
+    if (Ev.Ann.HasParams) {
+      Line += " (";
+      for (size_t I = 0; I < Ev.Ann.Params.size(); ++I) {
+        if (I != 0)
+          Line += ' ';
+        Line += Ev.Env.lookupStr(Ev.Ann.Params[I]);
+      }
+      Line += ')';
+    }
+    S.record(std::move(Line));
+  }
+
+  void post(const MonitorEvent &Ev, Value Result,
+            MonitorState &State) const override {
+    static_cast<FlightRecorderState &>(State).record(
+        "exit " + std::string(Ev.Ann.Head.str()) + " = " +
+        toDisplayString(Result));
+  }
+
+  static const FlightRecorderState &state(const MonitorState &S) {
+    return static_cast<const FlightRecorderState &>(S);
+  }
+
+private:
+  size_t Capacity;
+};
+
+} // namespace monsem
+
+#endif // MONSEM_MONITORS_FLIGHTRECORDER_H

@@ -1,0 +1,77 @@
+//===- monitors/Stepper.h - Execution stepper (Section 9.2) -----*- C++ -*-===//
+///
+/// \file
+/// The stepper from the Section 9.2 toolbox: a non-interactive monitor that
+/// records (and optionally live-prints) every monitored step — entry into
+/// and exit from each annotated expression — with the machine step index,
+/// giving a linear account of execution suitable for post-mortem study.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MONSEM_MONITORS_STEPPER_H
+#define MONSEM_MONITORS_STEPPER_H
+
+#include "monitor/MonitorSpec.h"
+#include "support/OutChan.h"
+#include "syntax/Printer.h"
+
+#include <iosfwd>
+
+namespace monsem {
+
+class StepperState : public MonitorState {
+public:
+  OutChan Chan;
+  uint64_t Events = 0;
+
+  std::string str() const override { return Chan.str(); }
+};
+
+class Stepper : public Monitor {
+public:
+  /// \p PrintExprs additionally renders the annotated expression at each
+  /// enter event. \p Echo live-streams the log.
+  explicit Stepper(bool PrintExprs = false, std::ostream *Echo = nullptr)
+      : PrintExprs(PrintExprs), Echo(Echo) {}
+
+  std::string_view name() const override { return "step"; }
+  bool accepts(const Annotation &) const override { return true; }
+
+  std::unique_ptr<MonitorState> initialState() const override {
+    auto S = std::make_unique<StepperState>();
+    if (Echo)
+      S->Chan.echoTo(Echo);
+    return S;
+  }
+
+  void pre(const MonitorEvent &Ev, MonitorState &State) const override {
+    auto &S = static_cast<StepperState &>(State);
+    ++S.Events;
+    std::string Line = "step " + std::to_string(S.Events) + ": enter " +
+                       std::string(Ev.Ann.Head.str());
+    if (PrintExprs)
+      Line += "  -- " + printExpr(&Ev.E);
+    S.Chan.addLine(std::move(Line));
+  }
+
+  void post(const MonitorEvent &Ev, Value Result,
+            MonitorState &State) const override {
+    auto &S = static_cast<StepperState &>(State);
+    ++S.Events;
+    S.Chan.addLine("step " + std::to_string(S.Events) + ": exit " +
+                   std::string(Ev.Ann.Head.str()) + " = " +
+                   toDisplayString(Result));
+  }
+
+  static const StepperState &state(const MonitorState &S) {
+    return static_cast<const StepperState &>(S);
+  }
+
+private:
+  bool PrintExprs;
+  std::ostream *Echo;
+};
+
+} // namespace monsem
+
+#endif // MONSEM_MONITORS_STEPPER_H

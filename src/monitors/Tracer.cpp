@@ -1,0 +1,51 @@
+//===- monitors/Tracer.cpp -------------------------------------------------===//
+
+#include "monitors/Tracer.h"
+
+#include <cctype>
+
+using namespace monsem;
+
+static std::string upperName(Symbol S) {
+  std::string Out(S.str());
+  for (char &C : Out)
+    C = static_cast<char>(std::toupper(static_cast<unsigned char>(C)));
+  return Out;
+}
+
+static std::string indent(int N) {
+  std::string Out;
+  for (int I = 0; I < N; ++I)
+    Out += "     ";
+  return Out;
+}
+
+std::unique_ptr<MonitorState> Tracer::initialState() const {
+  auto S = std::make_unique<TracerState>();
+  if (Echo)
+    S->Chan.echoTo(Echo);
+  return S;
+}
+
+void Tracer::pre(const MonitorEvent &Ev, MonitorState &State) const {
+  auto &S = static_cast<TracerState &>(State);
+  // printChan ("[" ++ f ++ " receives (" ++ ToStr(rho(x1)) ++ ... ++ ")]")
+  std::string Line = indent(S.Level) + "[" + upperName(Ev.Ann.Head) +
+                     " receives (";
+  for (size_t I = 0; I < Ev.Ann.Params.size(); ++I) {
+    if (I != 0)
+      Line += ' ';
+    Line += Ev.Env.lookupStr(Ev.Ann.Params[I]);
+  }
+  Line += ")]";
+  S.Chan.addLine(std::move(Line));
+  ++S.Level;
+}
+
+void Tracer::post(const MonitorEvent &Ev, Value Result,
+                  MonitorState &State) const {
+  auto &S = static_cast<TracerState &>(State);
+  --S.Level;
+  S.Chan.addLine(indent(S.Level) + "[" + upperName(Ev.Ann.Head) +
+                 " returns " + toDisplayString(Result) + "]");
+}

@@ -1,0 +1,15 @@
+//===- semantics/Answer.cpp ------------------------------------------------===//
+
+#include "semantics/Answer.h"
+
+using namespace monsem;
+
+const StdAnswerAlgebra &StdAnswerAlgebra::instance() {
+  static const StdAnswerAlgebra Algebra;
+  return Algebra;
+}
+
+const StringAnswerAlgebra &StringAnswerAlgebra::instance() {
+  static const StringAnswerAlgebra Algebra;
+  return Algebra;
+}

@@ -1,0 +1,55 @@
+//===- semantics/Answer.h - Answer algebras ---------------------*- C++ -*-===//
+///
+/// \file
+/// The answer-algebra parameterization of Section 3.1 (Definitions 3.2 and
+/// 3.3). The standard continuation semantics is parameterized with an
+/// algebra Ans = [Ans; {phi}] whose operation phi maps denotable values to
+/// final answers; the initial continuation is kappa_init = \v. phi v.
+///
+/// Two concrete algebras mirror the paper's examples:
+///  * StdAnswerAlgebra — Ans_std: the identity projection (rendered);
+///  * StringAnswerAlgebra — Ans_str: "The result is: " ++ toStr(v).
+///
+/// The *monitoring* answer algebra Ans_mon of Definition 4.1 — phi_bar =
+/// theta . phi with theta alpha = \sigma. <alpha, sigma> — is realized by
+/// the run result type: an execution yields the pair of phi(value) and the
+/// final monitor states.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MONSEM_SEMANTICS_ANSWER_H
+#define MONSEM_SEMANTICS_ANSWER_H
+
+#include "semantics/Value.h"
+
+#include <string>
+
+namespace monsem {
+
+/// phi : V -> Ans, rendered as text so answers survive the arena that owns
+/// the value's cells.
+class AnswerAlgebra {
+public:
+  virtual ~AnswerAlgebra() = default;
+  virtual std::string render(Value V) const = 0;
+};
+
+/// Ans_std of Section 3.1.
+class StdAnswerAlgebra : public AnswerAlgebra {
+public:
+  std::string render(Value V) const override { return toDisplayString(V); }
+  static const StdAnswerAlgebra &instance();
+};
+
+/// Ans_str of Section 3.1: maps results to character strings.
+class StringAnswerAlgebra : public AnswerAlgebra {
+public:
+  std::string render(Value V) const override {
+    return "The result is: " + toDisplayString(V);
+  }
+  static const StringAnswerAlgebra &instance();
+};
+
+} // namespace monsem
+
+#endif // MONSEM_SEMANTICS_ANSWER_H

@@ -1,0 +1,52 @@
+//===- semantics/Primitives.h - Primitive operations ------------*- C++ -*-===//
+///
+/// \file
+/// Strict application of the built-in operators over denotable values. A
+/// primitive either produces a value or a run-time error message; errors
+/// abort evaluation (they are reported through the final answer, never
+/// through C++ exceptions).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MONSEM_SEMANTICS_PRIMITIVES_H
+#define MONSEM_SEMANTICS_PRIMITIVES_H
+
+#include "semantics/Value.h"
+
+#include <string>
+
+namespace monsem {
+
+/// Result of a primitive application.
+struct PrimResult {
+  bool Ok = true;
+  Value Val;
+  std::string Error;
+
+  static PrimResult ok(Value V) {
+    PrimResult R;
+    R.Val = V;
+    return R;
+  }
+  static PrimResult err(std::string Msg) {
+    PrimResult R;
+    R.Ok = false;
+    R.Error = std::move(Msg);
+    return R;
+  }
+};
+
+/// Applies a unary primitive. \p A allocates cons cells if needed.
+PrimResult applyPrim1(Prim1Op Op, Value V, Arena &A);
+
+/// Applies a binary primitive.
+PrimResult applyPrim2(Prim2Op Op, Value L, Value R, Arena &A);
+
+/// Builds the initial environment binding every primitive name (`hd`,
+/// `min`, ...) to its first-class function value, so unsaturated or
+/// shadow-escaping uses still work.
+EnvNode *initialEnv(Arena &A);
+
+} // namespace monsem
+
+#endif // MONSEM_SEMANTICS_PRIMITIVES_H

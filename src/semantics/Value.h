@@ -1,0 +1,252 @@
+//===- semantics/Value.h - Denotable values ---------------------*- C++ -*-===//
+///
+/// \file
+/// The paper's semantic algebras (Fig. 2):
+///
+///   Bas = Int + Bool + Str + Nil      basic values (incl. list nil)
+///   Fun = V -> Kont -> Ans            function values
+///   V   = Bas + Fun (+ Cell + Thunk)  denotable values
+///
+/// Function values are closures; primitives are also first-class function
+/// values (bare or partially applied). Thunks appear only under the lazy
+/// evaluation strategies. All heap cells are arena-allocated and trivially
+/// destructible; a Value is a two-word tagged handle passed by value.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MONSEM_SEMANTICS_VALUE_H
+#define MONSEM_SEMANTICS_VALUE_H
+
+#include "support/Arena.h"
+#include "support/Symbol.h"
+#include "syntax/Ast.h"
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+namespace monsem {
+
+class Value;
+
+/// A single-binding environment frame (the paper's Env = Ide -> V realized
+/// as a persistent linked list; extension is O(1) and shares the parent).
+/// `Val` is mutated exactly twice in well-formed runs: once to tie the
+/// letrec knot and once per thunk update.
+struct EnvNode;
+
+/// A cons cell.
+struct Cell;
+
+/// A user-defined function value: `lambda Param. Body` closed over Env.
+struct Closure {
+  Symbol Param;
+  const Expr *Body;
+  EnvNode *Env;
+};
+
+/// A suspended computation (lazy strategies only); defined after Value.
+struct Thunk;
+
+/// A binary primitive applied to its first argument.
+struct PrimPartial;
+
+/// A closure over compiled bytecode (see compile/Bytecode.h); the VM's
+/// counterpart of Closure.
+struct VMClosure;
+
+enum class ValueKind : uint8_t {
+  Unit, ///< The letrec "not yet initialized" placeholder.
+  Int,
+  Bool,
+  Str,
+  Nil,
+  Cell,
+  Closure,
+  Prim1,        ///< Unapplied unary primitive.
+  Prim2,        ///< Unapplied binary primitive.
+  Prim2Partial, ///< Binary primitive with one argument applied.
+  Thunk,
+  CompiledClosure, ///< Bytecode closure (compile/VM.h).
+};
+
+class Value {
+public:
+  Value() : K(ValueKind::Unit) { P.Int = 0; }
+
+  static Value mkUnit() { return Value(); }
+  static Value mkInt(int64_t V) {
+    Value R(ValueKind::Int);
+    R.P.Int = V;
+    return R;
+  }
+  static Value mkBool(bool V) {
+    Value R(ValueKind::Bool);
+    R.P.B = V;
+    return R;
+  }
+  static Value mkStr(const std::string *S) {
+    Value R(ValueKind::Str);
+    R.P.S = S;
+    return R;
+  }
+  static Value mkNil() { return Value(ValueKind::Nil); }
+  static Value mkCell(Cell *C) {
+    Value R(ValueKind::Cell);
+    R.P.C = C;
+    return R;
+  }
+  static Value mkClosure(Closure *C) {
+    Value R(ValueKind::Closure);
+    R.P.Cl = C;
+    return R;
+  }
+  static Value mkPrim1(Prim1Op Op) {
+    Value R(ValueKind::Prim1);
+    R.P.Op = static_cast<uint8_t>(Op);
+    return R;
+  }
+  static Value mkPrim2(Prim2Op Op) {
+    Value R(ValueKind::Prim2);
+    R.P.Op = static_cast<uint8_t>(Op);
+    return R;
+  }
+  static Value mkPrim2Partial(PrimPartial *PP) {
+    Value R(ValueKind::Prim2Partial);
+    R.P.PP = PP;
+    return R;
+  }
+  static Value mkThunk(Thunk *T) {
+    Value R(ValueKind::Thunk);
+    R.P.T = T;
+    return R;
+  }
+  static Value mkCompiledClosure(VMClosure *C) {
+    Value R(ValueKind::CompiledClosure);
+    R.P.VC = C;
+    return R;
+  }
+
+  ValueKind kind() const { return K; }
+  bool is(ValueKind Kind) const { return K == Kind; }
+
+  int64_t asInt() const {
+    assert(K == ValueKind::Int);
+    return P.Int;
+  }
+  bool asBool() const {
+    assert(K == ValueKind::Bool);
+    return P.B;
+  }
+  const std::string &asStr() const {
+    assert(K == ValueKind::Str);
+    return *P.S;
+  }
+  Cell *asCell() const {
+    assert(K == ValueKind::Cell);
+    return P.C;
+  }
+  Closure *asClosure() const {
+    assert(K == ValueKind::Closure);
+    return P.Cl;
+  }
+  Prim1Op asPrim1() const {
+    assert(K == ValueKind::Prim1);
+    return static_cast<Prim1Op>(P.Op);
+  }
+  Prim2Op asPrim2() const {
+    assert(K == ValueKind::Prim2);
+    return static_cast<Prim2Op>(P.Op);
+  }
+  PrimPartial *asPrim2Partial() const {
+    assert(K == ValueKind::Prim2Partial);
+    return P.PP;
+  }
+  Thunk *asThunk() const {
+    assert(K == ValueKind::Thunk);
+    return P.T;
+  }
+  VMClosure *asCompiledClosure() const {
+    assert(K == ValueKind::CompiledClosure);
+    return P.VC;
+  }
+
+  /// True for closures and (partial) primitives — the paper's Fun domain.
+  bool isFunction() const {
+    return K == ValueKind::Closure || K == ValueKind::Prim1 ||
+           K == ValueKind::Prim2 || K == ValueKind::Prim2Partial ||
+           K == ValueKind::CompiledClosure;
+  }
+
+private:
+  explicit Value(ValueKind K) : K(K) { P.Int = 0; }
+
+  ValueKind K;
+  union {
+    int64_t Int;
+    bool B;
+    const std::string *S;
+    Cell *C;
+    Closure *Cl;
+    Thunk *T;
+    PrimPartial *PP;
+    VMClosure *VC;
+    uint8_t Op;
+  } P;
+};
+
+struct Cell {
+  Value Head;
+  Value Tail;
+};
+
+struct PrimPartial {
+  Prim2Op Op;
+  Value First;
+};
+
+struct EnvNode {
+  Symbol Name;
+  Value Val;
+  EnvNode *Parent;
+};
+
+struct Thunk {
+  enum class State : uint8_t { Unforced, Forcing, Forced };
+  const Expr *E;
+  EnvNode *Env;
+  State St;
+  Value Memo; ///< Meaningful only when St == Forced.
+};
+
+//===----------------------------------------------------------------------===//
+// Environment operations
+//===----------------------------------------------------------------------===//
+
+inline EnvNode *extendEnv(Arena &A, EnvNode *Parent, Symbol Name, Value V) {
+  return A.create<EnvNode>(Name, V, Parent);
+}
+
+/// Innermost binding of \p Name, or nullptr.
+inline EnvNode *lookupEnv(EnvNode *Env, Symbol Name) {
+  for (EnvNode *N = Env; N; N = N->Parent)
+    if (N->Name == Name)
+      return N;
+  return nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Rendering and equality
+//===----------------------------------------------------------------------===//
+
+/// The paper's ToStr: "3", "True", "[3, 12, 102]", "<fun>", string contents
+/// verbatim, "<thunk>" for unforced thunks (forced ones render their memo).
+std::string toDisplayString(Value V);
+
+/// Structural equality as computed by the `=` primitive. Sets \p Ok to
+/// false (and returns false) when the comparison is undefined (functions).
+bool valueEquals(Value A, Value B, bool &Ok);
+
+} // namespace monsem
+
+#endif // MONSEM_SEMANTICS_VALUE_H

@@ -1,0 +1,4 @@
+//===- support/Arena.cpp --------------------------------------------------===//
+// Arena is header-only; this file anchors the library target.
+
+#include "support/Arena.h"

@@ -1,0 +1,86 @@
+//===- support/Arena.h - Bump allocation ------------------------*- C++ -*-===//
+///
+/// \file
+/// A chunked bump allocator. Every run-time object of an execution
+/// (environment frames, closures, continuation frames, cons cells, thunks)
+/// is allocated from the arena owned by that execution and released
+/// wholesale when the execution ends. Objects allocated here must be
+/// trivially destructible, which the allocator enforces statically.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MONSEM_SUPPORT_ARENA_H
+#define MONSEM_SUPPORT_ARENA_H
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace monsem {
+
+/// Chunked bump allocator; see file comment.
+class Arena {
+public:
+  Arena() = default;
+  Arena(const Arena &) = delete;
+  Arena &operator=(const Arena &) = delete;
+
+  /// Allocates \p Size bytes aligned to \p Align.
+  void *allocate(size_t Size, size_t Align) {
+    uintptr_t P = reinterpret_cast<uintptr_t>(Cur);
+    uintptr_t Aligned = (P + Align - 1) & ~(uintptr_t)(Align - 1);
+    if (Aligned + Size > reinterpret_cast<uintptr_t>(End)) {
+      grow(Size + Align);
+      return allocate(Size, Align);
+    }
+    Cur = reinterpret_cast<char *>(Aligned + Size);
+    BytesAllocated += Size;
+    return reinterpret_cast<void *>(Aligned);
+  }
+
+  /// Constructs a T in the arena. T must be trivially destructible because
+  /// destructors are never run.
+  template <typename T, typename... Args> T *create(Args &&...As) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena objects are never destroyed");
+    return new (allocate(sizeof(T), alignof(T))) T{std::forward<Args>(As)...};
+  }
+
+  /// Total payload bytes handed out (diagnostic counter).
+  size_t bytesAllocated() const { return BytesAllocated; }
+
+  /// Releases all chunks; every pointer previously returned is invalidated.
+  void reset() {
+    Chunks.clear();
+    Cur = End = nullptr;
+    BytesAllocated = 0;
+  }
+
+private:
+  void grow(size_t AtLeast) {
+    size_t Size = Chunks.empty() ? 16 * 1024 : Chunks.back().Size * 2;
+    if (Size < AtLeast)
+      Size = AtLeast;
+    Chunks.push_back(Chunk{std::make_unique<char[]>(Size), Size});
+    Cur = Chunks.back().Data.get();
+    End = Cur + Size;
+  }
+
+  struct Chunk {
+    std::unique_ptr<char[]> Data;
+    size_t Size;
+  };
+
+  std::vector<Chunk> Chunks;
+  char *Cur = nullptr;
+  char *End = nullptr;
+  size_t BytesAllocated = 0;
+};
+
+} // namespace monsem
+
+#endif // MONSEM_SUPPORT_ARENA_H

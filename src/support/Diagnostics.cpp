@@ -1,0 +1,34 @@
+//===- support/Diagnostics.cpp --------------------------------------------===//
+
+#include "support/Diagnostics.h"
+
+using namespace monsem;
+
+std::string Diagnostic::str() const {
+  std::string Out;
+  switch (Lvl) {
+  case Level::Error:
+    Out = "error";
+    break;
+  case Level::Warning:
+    Out = "warning";
+    break;
+  case Level::Note:
+    Out = "note";
+    break;
+  }
+  if (Loc.isValid())
+    Out += " at " + Loc.str();
+  Out += ": " + Message;
+  return Out;
+}
+
+std::string DiagnosticSink::str() const {
+  std::string Out;
+  for (const Diagnostic &D : Diags) {
+    if (!Out.empty())
+      Out += '\n';
+    Out += D.str();
+  }
+  return Out;
+}

@@ -1,0 +1,61 @@
+//===- support/Diagnostics.h - Error reporting ------------------*- C++ -*-===//
+///
+/// \file
+/// A collecting diagnostic sink. The library reports recoverable errors
+/// (parse errors, run-time type errors) as Diagnostic records instead of
+/// throwing; callers inspect hasErrors() and the message list.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MONSEM_SUPPORT_DIAGNOSTICS_H
+#define MONSEM_SUPPORT_DIAGNOSTICS_H
+
+#include "support/SourceLoc.h"
+
+#include <string>
+#include <vector>
+
+namespace monsem {
+
+struct Diagnostic {
+  enum class Level { Error, Warning, Note };
+  Level Lvl;
+  SourceLoc Loc;
+  std::string Message;
+
+  std::string str() const;
+};
+
+/// Accumulates diagnostics during a pass (lexing, parsing, evaluation).
+class DiagnosticSink {
+public:
+  void error(SourceLoc Loc, std::string Message) {
+    Diags.push_back({Diagnostic::Level::Error, Loc, std::move(Message)});
+    ++NumErrors;
+  }
+  void warning(SourceLoc Loc, std::string Message) {
+    Diags.push_back({Diagnostic::Level::Warning, Loc, std::move(Message)});
+  }
+  void note(SourceLoc Loc, std::string Message) {
+    Diags.push_back({Diagnostic::Level::Note, Loc, std::move(Message)});
+  }
+
+  bool hasErrors() const { return NumErrors != 0; }
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// All messages joined with newlines; convenient for test failure output.
+  std::string str() const;
+
+  void clear() {
+    Diags.clear();
+    NumErrors = 0;
+  }
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+};
+
+} // namespace monsem
+
+#endif // MONSEM_SUPPORT_DIAGNOSTICS_H

@@ -1,0 +1,42 @@
+//===- support/OutChan.cpp ------------------------------------------------===//
+
+#include "support/OutChan.h"
+
+#include <ostream>
+
+using namespace monsem;
+
+void OutChan::addLine(std::string Line) {
+  if (!Pending.empty()) {
+    Line = Pending + Line;
+    Pending.clear();
+  }
+  if (Echo)
+    *Echo << Line << '\n';
+  Lines.push_back(std::move(Line));
+}
+
+void OutChan::addText(std::string_view Text) { Pending += Text; }
+
+void OutChan::endLine() {
+  std::string Line = std::move(Pending);
+  Pending.clear();
+  if (Echo)
+    *Echo << Line << '\n';
+  Lines.push_back(std::move(Line));
+}
+
+std::string OutChan::str() const {
+  std::string Out;
+  for (const std::string &L : Lines) {
+    Out += L;
+    Out += '\n';
+  }
+  Out += Pending;
+  return Out;
+}
+
+void OutChan::clear() {
+  Lines.clear();
+  Pending.clear();
+}

@@ -1,0 +1,62 @@
+//===- support/OutChan.h - Output channels ----------------------*- C++ -*-===//
+///
+/// \file
+/// The paper's Stream / OutChan algebra (Fig. 7): an abstract output channel
+/// with addStream, plus the indentation helpers the fancy tracer uses. Two
+/// implementations: an in-memory buffer (used by tests and as monitor state)
+/// and a tee to a std::ostream (used by the examples for live output).
+///
+/// Monitors own their channels as part of their monitor state, which is how
+/// a "printing" monitor stays a pure monitor-state transformer in the sense
+/// of Def. 4.2.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MONSEM_SUPPORT_OUTCHAN_H
+#define MONSEM_SUPPORT_OUTCHAN_H
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace monsem {
+
+/// An append-only output channel: the paper's `Stream` with `addStream` and
+/// `initStream`. Lines are recorded individually so tests can make precise
+/// assertions, and the whole contents can be rendered as one string.
+class OutChan {
+public:
+  OutChan() = default;
+
+  /// Appends one complete line (the paper's addStream of a string followed
+  /// by a newline; every tracer message is line-structured).
+  void addLine(std::string Line);
+
+  /// Appends raw text to the current (last) line without terminating it.
+  void addText(std::string_view Text);
+
+  /// Terminates the current line.
+  void endLine();
+
+  /// Optional live sink: every completed line is also written there.
+  void echoTo(std::ostream *OS) { Echo = OS; }
+
+  const std::vector<std::string> &lines() const { return Lines; }
+  size_t numLines() const { return Lines.size(); }
+  bool empty() const { return Lines.empty() && Pending.empty(); }
+
+  /// All lines joined with '\n' (plus any unterminated pending text).
+  std::string str() const;
+
+  void clear();
+
+private:
+  std::vector<std::string> Lines;
+  std::string Pending;
+  std::ostream *Echo = nullptr;
+};
+
+} // namespace monsem
+
+#endif // MONSEM_SUPPORT_OUTCHAN_H

@@ -1,0 +1,35 @@
+//===- support/SourceLoc.h - Source locations -------------------*- C++ -*-===//
+///
+/// \file
+/// 1-based line/column source positions attached to tokens, AST nodes, and
+/// diagnostics. Line 0 denotes "no location" (synthesized nodes).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MONSEM_SUPPORT_SOURCELOC_H
+#define MONSEM_SUPPORT_SOURCELOC_H
+
+#include <string>
+
+namespace monsem {
+
+struct SourceLoc {
+  unsigned Line = 0;
+  unsigned Col = 0;
+
+  bool isValid() const { return Line != 0; }
+
+  std::string str() const {
+    if (!isValid())
+      return "<synthesized>";
+    return std::to_string(Line) + ":" + std::to_string(Col);
+  }
+
+  friend bool operator==(SourceLoc A, SourceLoc B) {
+    return A.Line == B.Line && A.Col == B.Col;
+  }
+};
+
+} // namespace monsem
+
+#endif // MONSEM_SUPPORT_SOURCELOC_H

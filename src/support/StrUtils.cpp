@@ -1,0 +1,46 @@
+//===- support/StrUtils.cpp -----------------------------------------------===//
+
+#include "support/StrUtils.h"
+
+using namespace monsem;
+
+std::vector<std::string> monsem::splitString(std::string_view Text, char Sep) {
+  std::vector<std::string> Out;
+  size_t Start = 0;
+  while (true) {
+    size_t Pos = Text.find(Sep, Start);
+    if (Pos == std::string_view::npos) {
+      Out.emplace_back(Text.substr(Start));
+      return Out;
+    }
+    Out.emplace_back(Text.substr(Start, Pos - Start));
+    Start = Pos + 1;
+  }
+}
+
+std::string_view monsem::trimString(std::string_view Text) {
+  size_t B = 0, E = Text.size();
+  while (B < E && (Text[B] == ' ' || Text[B] == '\t' || Text[B] == '\n' ||
+                   Text[B] == '\r'))
+    ++B;
+  while (E > B && (Text[E - 1] == ' ' || Text[E - 1] == '\t' ||
+                   Text[E - 1] == '\n' || Text[E - 1] == '\r'))
+    --E;
+  return Text.substr(B, E - B);
+}
+
+bool monsem::startsWith(std::string_view Text, std::string_view Prefix) {
+  return Text.size() >= Prefix.size() &&
+         Text.substr(0, Prefix.size()) == Prefix;
+}
+
+std::string monsem::joinStrings(const std::vector<std::string> &Parts,
+                                std::string_view Sep) {
+  std::string Out;
+  for (size_t I = 0; I < Parts.size(); ++I) {
+    if (I != 0)
+      Out += Sep;
+    Out += Parts[I];
+  }
+  return Out;
+}

@@ -1,0 +1,32 @@
+//===- support/StrUtils.h - Small string helpers ----------------*- C++ -*-===//
+///
+/// \file
+/// String helpers shared by the printer, tracer, and tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MONSEM_SUPPORT_STRUTILS_H
+#define MONSEM_SUPPORT_STRUTILS_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace monsem {
+
+/// Splits \p Text on \p Sep; keeps empty fields.
+std::vector<std::string> splitString(std::string_view Text, char Sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view trimString(std::string_view Text);
+
+/// True if \p Text begins with \p Prefix.
+bool startsWith(std::string_view Text, std::string_view Prefix);
+
+/// Joins \p Parts with \p Sep.
+std::string joinStrings(const std::vector<std::string> &Parts,
+                        std::string_view Sep);
+
+} // namespace monsem
+
+#endif // MONSEM_SUPPORT_STRUTILS_H

@@ -1,0 +1,46 @@
+//===- support/Symbol.cpp - Interned identifiers --------------------------===//
+
+#include "support/Symbol.h"
+
+#include <cassert>
+#include <deque>
+#include <unordered_map>
+
+using namespace monsem;
+
+namespace {
+
+/// Process-wide intern table. Spellings are stored in a deque so handles
+/// remain stable as the table grows. Index 0 is reserved for the sentinel.
+struct InternTable {
+  std::deque<std::string> Spellings;
+  std::unordered_map<std::string_view, unsigned> Index;
+
+  InternTable() { Spellings.emplace_back(); }
+
+  unsigned intern(std::string_view Spelling) {
+    auto It = Index.find(Spelling);
+    if (It != Index.end())
+      return It->second;
+    Spellings.emplace_back(Spelling);
+    unsigned Id = static_cast<unsigned>(Spellings.size() - 1);
+    Index.emplace(std::string_view(Spellings.back()), Id);
+    return Id;
+  }
+};
+
+InternTable &table() {
+  static InternTable Table;
+  return Table;
+}
+
+} // namespace
+
+Symbol Symbol::intern(std::string_view Spelling) {
+  assert(!Spelling.empty() && "cannot intern an empty spelling");
+  return Symbol(table().intern(Spelling));
+}
+
+std::string_view Symbol::str() const {
+  return table().Spellings[Id];
+}

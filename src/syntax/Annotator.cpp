@@ -1,0 +1,177 @@
+//===- syntax/Annotator.cpp ------------------------------------------------===//
+
+#include "syntax/Annotator.h"
+
+#include <algorithm>
+
+using namespace monsem;
+
+namespace {
+
+class BodyAnnotator {
+public:
+  BodyAnnotator(AstContext &Ctx, const std::vector<Symbol> &Names,
+                AnnotateOptions Opts)
+      : Ctx(Ctx), Names(Names), Opts(Opts) {}
+
+  const Expr *run(const Expr *E) {
+    switch (E->kind()) {
+    case ExprKind::Const:
+    case ExprKind::Var:
+      return E;
+    case ExprKind::Lam: {
+      const auto *L = cast<LamExpr>(E);
+      return Ctx.mkLam(L->Param, run(L->Body), E->loc());
+    }
+    case ExprKind::If: {
+      const auto *I = cast<IfExpr>(E);
+      return Ctx.mkIf(run(I->Cond), run(I->Then), run(I->Else), E->loc());
+    }
+    case ExprKind::App: {
+      const auto *A = cast<AppExpr>(E);
+      return Ctx.mkApp(run(A->Fn), run(A->Arg), E->loc());
+    }
+    case ExprKind::Letrec: {
+      const auto *L = cast<LetrecExpr>(E);
+      const Expr *Bound = run(L->Bound);
+      if (shouldAnnotate(L->Name))
+        Bound = annotateLambdaChain(L->Name, Bound);
+      return Ctx.mkLetrec(L->Name, Bound, run(L->Body), E->loc());
+    }
+    case ExprKind::Prim1: {
+      const auto *P = cast<Prim1Expr>(E);
+      return Ctx.mkPrim1(P->Op, run(P->Arg), E->loc());
+    }
+    case ExprKind::Prim2: {
+      const auto *P = cast<Prim2Expr>(E);
+      return Ctx.mkPrim2(P->Op, run(P->Lhs), run(P->Rhs), E->loc());
+    }
+    case ExprKind::Annot: {
+      const auto *N = cast<AnnotExpr>(E);
+      return Ctx.mkAnnot(N->Ann, run(N->Inner), E->loc());
+    }
+    }
+    return E;
+  }
+
+private:
+  bool shouldAnnotate(Symbol Name) const {
+    return Names.empty() ||
+           std::find(Names.begin(), Names.end(), Name) != Names.end();
+  }
+
+  /// Rewrites `lambda x1. ... lambda xn. body` into
+  /// `lambda x1. ... lambda xn. {f(x1,...,xn)}: body`. Non-lambda bindings
+  /// get the annotation directly on the bound expression (the demon
+  /// example's `letrec l1 = {l1}:(...)` convention).
+  const Expr *annotateLambdaChain(Symbol Name, const Expr *Bound) {
+    std::vector<const LamExpr *> Chain;
+    const Expr *Body = Bound;
+    while (const auto *L = dyn_cast<LamExpr>(Body)) {
+      Chain.push_back(L);
+      Body = L->Body;
+    }
+    // Idempotence: skip only if an identical annotation (same label *and*
+    // qualifier) is already present; annotations for other monitors stack.
+    for (const Expr *Probe = Body;;) {
+      const auto *Already = dyn_cast<AnnotExpr>(Probe);
+      if (!Already)
+        break;
+      if (Already->Ann->Head == Name && Already->Ann->Qual == Opts.Qualifier)
+        return Bound;
+      Probe = Already->Inner;
+    }
+
+    Annotation Ann;
+    Ann.Qual = Opts.Qualifier;
+    Ann.Head = Name;
+    if (Opts.WithParams) {
+      Ann.HasParams = true;
+      for (const LamExpr *L : Chain)
+        Ann.Params.push_back(L->Param);
+    }
+    const Expr *New =
+        Ctx.mkAnnot(Ctx.internAnnotation(std::move(Ann)), Body, Body->loc());
+    for (size_t I = Chain.size(); I-- > 0;)
+      New = Ctx.mkLam(Chain[I]->Param, New, Chain[I]->loc());
+    return New;
+  }
+
+  AstContext &Ctx;
+  const std::vector<Symbol> &Names;
+  AnnotateOptions Opts;
+};
+
+class PointLabeler {
+public:
+  PointLabeler(AstContext &Ctx, std::string_view Prefix, Symbol Qual)
+      : Ctx(Ctx), Prefix(Prefix), Qual(Qual) {}
+
+  const Expr *run(const Expr *E) {
+    switch (E->kind()) {
+    case ExprKind::Const:
+    case ExprKind::Var:
+      return E;
+    case ExprKind::Lam: {
+      const auto *L = cast<LamExpr>(E);
+      return Ctx.mkLam(L->Param, run(L->Body), E->loc());
+    }
+    case ExprKind::If: {
+      const auto *I = cast<IfExpr>(E);
+      return Ctx.mkIf(run(I->Cond), run(I->Then), run(I->Else), E->loc());
+    }
+    case ExprKind::App: {
+      const auto *A = cast<AppExpr>(E);
+      const Expr *New = Ctx.mkApp(run(A->Fn), run(A->Arg), E->loc());
+      Annotation Ann;
+      Ann.Qual = Qual;
+      Ann.Head = Symbol::intern(Prefix + std::to_string(Counter++));
+      Ann.Loc = E->loc();
+      return Ctx.mkAnnot(Ctx.internAnnotation(std::move(Ann)), New, E->loc());
+    }
+    case ExprKind::Letrec: {
+      const auto *L = cast<LetrecExpr>(E);
+      return Ctx.mkLetrec(L->Name, run(L->Bound), run(L->Body), E->loc());
+    }
+    case ExprKind::Prim1: {
+      const auto *P = cast<Prim1Expr>(E);
+      return Ctx.mkPrim1(P->Op, run(P->Arg), E->loc());
+    }
+    case ExprKind::Prim2: {
+      const auto *P = cast<Prim2Expr>(E);
+      return Ctx.mkPrim2(P->Op, run(P->Lhs), run(P->Rhs), E->loc());
+    }
+    case ExprKind::Annot: {
+      const auto *N = cast<AnnotExpr>(E);
+      return Ctx.mkAnnot(N->Ann, run(N->Inner), E->loc());
+    }
+    }
+    return E;
+  }
+
+  unsigned numLabels() const { return Counter; }
+
+private:
+  AstContext &Ctx;
+  std::string Prefix;
+  Symbol Qual;
+  unsigned Counter = 0;
+};
+
+} // namespace
+
+const Expr *monsem::annotateFunctionBodies(AstContext &Ctx, const Expr *E,
+                                           const std::vector<Symbol> &Names,
+                                           AnnotateOptions Opts) {
+  return BodyAnnotator(Ctx, Names, Opts).run(E);
+}
+
+const Expr *monsem::labelProgramPoints(AstContext &Ctx, const Expr *E,
+                                       std::string_view Prefix,
+                                       Symbol Qualifier, unsigned *NumLabels) {
+  PointLabeler L(Ctx, Prefix, Qualifier);
+  const Expr *Out = L.run(E);
+  if (NumLabels)
+    *NumLabels = L.numLabels();
+  return Out;
+}

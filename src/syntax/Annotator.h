@@ -1,0 +1,56 @@
+//===- syntax/Annotator.h - Automatic annotation insertion ------*- C++ -*-===//
+///
+/// \file
+/// Section 4.1 envisions a "suitably engineered programming environment"
+/// that inserts monitoring annotations mechanically when the user asks,
+/// e.g., to trace calls to `f`. These utilities are that environment:
+///
+///  * annotateFunctionBodies — wraps the body of each named letrec-bound
+///    function with `{f}` or `{f(x1,...,xn)}` (the profiler and tracer
+///    conventions of Section 8);
+///  * labelProgramPoints — gives every application node a unique label
+///    `{p0}, {p1}, ...` (used by the coverage monitor and the debugger's
+///    breakpoint machinery).
+///
+/// Both return a rewritten tree in the given context and leave the input
+/// untouched.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MONSEM_SYNTAX_ANNOTATOR_H
+#define MONSEM_SYNTAX_ANNOTATOR_H
+
+#include "syntax/Ast.h"
+
+#include <vector>
+
+namespace monsem {
+
+struct AnnotateOptions {
+  /// Optional monitor qualifier, producing `{qual:f(...)}` annotations.
+  /// Qualifiers make cascaded monitors' annotation syntaxes disjoint
+  /// (Section 6).
+  Symbol Qualifier;
+  /// Emit function-header annotations `{f(x1,...,xn)}` (tracer style)
+  /// instead of bare labels `{f}` (profiler style).
+  bool WithParams = false;
+};
+
+/// Annotates the bodies of the letrec-bound functions named in \p Names
+/// (empty \p Names means every letrec-bound function). For a curried
+/// definition `letrec f = lambda x. lambda y. e` the annotation wraps the
+/// innermost body and lists both parameters, exactly like the paper's
+/// `mul` example.
+const Expr *annotateFunctionBodies(AstContext &Ctx, const Expr *E,
+                                   const std::vector<Symbol> &Names,
+                                   AnnotateOptions Opts = {});
+
+/// Wraps every application node with a fresh `{<prefix>N}` label.
+/// Returns the rewritten tree; \p NumLabels receives the number of labels.
+const Expr *labelProgramPoints(AstContext &Ctx, const Expr *E,
+                               std::string_view Prefix, Symbol Qualifier,
+                               unsigned *NumLabels = nullptr);
+
+} // namespace monsem
+
+#endif // MONSEM_SYNTAX_ANNOTATOR_H

@@ -1,0 +1,300 @@
+//===- syntax/Ast.cpp - AST utilities --------------------------------------===//
+
+#include "syntax/Ast.h"
+
+using namespace monsem;
+
+const char *monsem::prim1Name(Prim1Op Op) {
+  switch (Op) {
+  case Prim1Op::Neg:
+    return "-";
+  case Prim1Op::Not:
+    return "not";
+  case Prim1Op::Hd:
+    return "hd";
+  case Prim1Op::Tl:
+    return "tl";
+  case Prim1Op::Null:
+    return "null";
+  case Prim1Op::IsInt:
+    return "int?";
+  case Prim1Op::IsBool:
+    return "bool?";
+  case Prim1Op::IsPair:
+    return "pair?";
+  case Prim1Op::IsFun:
+    return "fun?";
+  case Prim1Op::Abs:
+    return "abs";
+  }
+  return "?";
+}
+
+const char *monsem::prim2Name(Prim2Op Op) {
+  switch (Op) {
+  case Prim2Op::Add:
+    return "+";
+  case Prim2Op::Sub:
+    return "-";
+  case Prim2Op::Mul:
+    return "*";
+  case Prim2Op::Div:
+    return "/";
+  case Prim2Op::Mod:
+    return "%";
+  case Prim2Op::Eq:
+    return "=";
+  case Prim2Op::Ne:
+    return "<>";
+  case Prim2Op::Lt:
+    return "<";
+  case Prim2Op::Le:
+    return "<=";
+  case Prim2Op::Gt:
+    return ">";
+  case Prim2Op::Ge:
+    return ">=";
+  case Prim2Op::Cons:
+    return ":";
+  case Prim2Op::Min:
+    return "min";
+  case Prim2Op::Max:
+    return "max";
+  }
+  return "?";
+}
+
+bool monsem::isInfix(Prim2Op Op) {
+  switch (Op) {
+  case Prim2Op::Min:
+  case Prim2Op::Max:
+    return false;
+  default:
+    return true;
+  }
+}
+
+std::string Annotation::text() const {
+  std::string Out = "{";
+  if (Qual) {
+    Out += Qual.str();
+    Out += ':';
+  }
+  Out += Head.str();
+  if (HasParams) {
+    Out += '(';
+    for (size_t I = 0; I < Params.size(); ++I) {
+      if (I != 0)
+        Out += ", ";
+      Out += Params[I].str();
+    }
+    Out += ')';
+  }
+  Out += '}';
+  return Out;
+}
+
+bool monsem::exprEquals(const Expr *A, const Expr *B) {
+  if (A == B)
+    return true;
+  if (!A || !B || A->kind() != B->kind())
+    return false;
+  switch (A->kind()) {
+  case ExprKind::Const:
+    return cast<ConstExpr>(A)->Val == cast<ConstExpr>(B)->Val;
+  case ExprKind::Var:
+    return cast<VarExpr>(A)->Name == cast<VarExpr>(B)->Name;
+  case ExprKind::Lam: {
+    const auto *LA = cast<LamExpr>(A), *LB = cast<LamExpr>(B);
+    return LA->Param == LB->Param && exprEquals(LA->Body, LB->Body);
+  }
+  case ExprKind::If: {
+    const auto *IA = cast<IfExpr>(A), *IB = cast<IfExpr>(B);
+    return exprEquals(IA->Cond, IB->Cond) && exprEquals(IA->Then, IB->Then) &&
+           exprEquals(IA->Else, IB->Else);
+  }
+  case ExprKind::App: {
+    const auto *AA = cast<AppExpr>(A), *AB = cast<AppExpr>(B);
+    return exprEquals(AA->Fn, AB->Fn) && exprEquals(AA->Arg, AB->Arg);
+  }
+  case ExprKind::Letrec: {
+    const auto *LA = cast<LetrecExpr>(A), *LB = cast<LetrecExpr>(B);
+    return LA->Name == LB->Name && exprEquals(LA->Bound, LB->Bound) &&
+           exprEquals(LA->Body, LB->Body);
+  }
+  case ExprKind::Prim1: {
+    const auto *PA = cast<Prim1Expr>(A), *PB = cast<Prim1Expr>(B);
+    return PA->Op == PB->Op && exprEquals(PA->Arg, PB->Arg);
+  }
+  case ExprKind::Prim2: {
+    const auto *PA = cast<Prim2Expr>(A), *PB = cast<Prim2Expr>(B);
+    return PA->Op == PB->Op && exprEquals(PA->Lhs, PB->Lhs) &&
+           exprEquals(PA->Rhs, PB->Rhs);
+  }
+  case ExprKind::Annot: {
+    const auto *NA = cast<AnnotExpr>(A), *NB = cast<AnnotExpr>(B);
+    return *NA->Ann == *NB->Ann && exprEquals(NA->Inner, NB->Inner);
+  }
+  }
+  return false;
+}
+
+const Expr *monsem::cloneExpr(AstContext &Ctx, const Expr *E) {
+  switch (E->kind()) {
+  case ExprKind::Const:
+    return Ctx.mkConst(cast<ConstExpr>(E)->Val, E->loc());
+  case ExprKind::Var:
+    return Ctx.mkVar(cast<VarExpr>(E)->Name, E->loc());
+  case ExprKind::Lam: {
+    const auto *L = cast<LamExpr>(E);
+    return Ctx.mkLam(L->Param, cloneExpr(Ctx, L->Body), E->loc());
+  }
+  case ExprKind::If: {
+    const auto *I = cast<IfExpr>(E);
+    return Ctx.mkIf(cloneExpr(Ctx, I->Cond), cloneExpr(Ctx, I->Then),
+                    cloneExpr(Ctx, I->Else), E->loc());
+  }
+  case ExprKind::App: {
+    const auto *A = cast<AppExpr>(E);
+    return Ctx.mkApp(cloneExpr(Ctx, A->Fn), cloneExpr(Ctx, A->Arg), E->loc());
+  }
+  case ExprKind::Letrec: {
+    const auto *L = cast<LetrecExpr>(E);
+    return Ctx.mkLetrec(L->Name, cloneExpr(Ctx, L->Bound),
+                        cloneExpr(Ctx, L->Body), E->loc());
+  }
+  case ExprKind::Prim1: {
+    const auto *P = cast<Prim1Expr>(E);
+    return Ctx.mkPrim1(P->Op, cloneExpr(Ctx, P->Arg), E->loc());
+  }
+  case ExprKind::Prim2: {
+    const auto *P = cast<Prim2Expr>(E);
+    return Ctx.mkPrim2(P->Op, cloneExpr(Ctx, P->Lhs), cloneExpr(Ctx, P->Rhs),
+                       E->loc());
+  }
+  case ExprKind::Annot: {
+    const auto *N = cast<AnnotExpr>(E);
+    const Annotation *Ann = Ctx.internAnnotation(*N->Ann);
+    return Ctx.mkAnnot(Ann, cloneExpr(Ctx, N->Inner), E->loc());
+  }
+  }
+  return nullptr;
+}
+
+size_t monsem::exprSize(const Expr *E) {
+  switch (E->kind()) {
+  case ExprKind::Const:
+  case ExprKind::Var:
+    return 1;
+  case ExprKind::Lam:
+    return 1 + exprSize(cast<LamExpr>(E)->Body);
+  case ExprKind::If: {
+    const auto *I = cast<IfExpr>(E);
+    return 1 + exprSize(I->Cond) + exprSize(I->Then) + exprSize(I->Else);
+  }
+  case ExprKind::App: {
+    const auto *A = cast<AppExpr>(E);
+    return 1 + exprSize(A->Fn) + exprSize(A->Arg);
+  }
+  case ExprKind::Letrec: {
+    const auto *L = cast<LetrecExpr>(E);
+    return 1 + exprSize(L->Bound) + exprSize(L->Body);
+  }
+  case ExprKind::Prim1:
+    return 1 + exprSize(cast<Prim1Expr>(E)->Arg);
+  case ExprKind::Prim2: {
+    const auto *P = cast<Prim2Expr>(E);
+    return 1 + exprSize(P->Lhs) + exprSize(P->Rhs);
+  }
+  case ExprKind::Annot:
+    return 1 + exprSize(cast<AnnotExpr>(E)->Inner);
+  }
+  return 0;
+}
+
+void monsem::collectAnnotations(const Expr *E,
+                                std::vector<const Annotation *> &Out) {
+  switch (E->kind()) {
+  case ExprKind::Const:
+  case ExprKind::Var:
+    return;
+  case ExprKind::Lam:
+    collectAnnotations(cast<LamExpr>(E)->Body, Out);
+    return;
+  case ExprKind::If: {
+    const auto *I = cast<IfExpr>(E);
+    collectAnnotations(I->Cond, Out);
+    collectAnnotations(I->Then, Out);
+    collectAnnotations(I->Else, Out);
+    return;
+  }
+  case ExprKind::App: {
+    const auto *A = cast<AppExpr>(E);
+    collectAnnotations(A->Fn, Out);
+    collectAnnotations(A->Arg, Out);
+    return;
+  }
+  case ExprKind::Letrec: {
+    const auto *L = cast<LetrecExpr>(E);
+    collectAnnotations(L->Bound, Out);
+    collectAnnotations(L->Body, Out);
+    return;
+  }
+  case ExprKind::Prim1:
+    collectAnnotations(cast<Prim1Expr>(E)->Arg, Out);
+    return;
+  case ExprKind::Prim2: {
+    const auto *P = cast<Prim2Expr>(E);
+    collectAnnotations(P->Lhs, Out);
+    collectAnnotations(P->Rhs, Out);
+    return;
+  }
+  case ExprKind::Annot: {
+    const auto *N = cast<AnnotExpr>(E);
+    Out.push_back(N->Ann);
+    collectAnnotations(N->Inner, Out);
+    return;
+  }
+  }
+}
+
+const Expr *monsem::stripAnnotations(AstContext &Ctx, const Expr *E) {
+  switch (E->kind()) {
+  case ExprKind::Const:
+    return Ctx.mkConst(cast<ConstExpr>(E)->Val, E->loc());
+  case ExprKind::Var:
+    return Ctx.mkVar(cast<VarExpr>(E)->Name, E->loc());
+  case ExprKind::Lam: {
+    const auto *L = cast<LamExpr>(E);
+    return Ctx.mkLam(L->Param, stripAnnotations(Ctx, L->Body), E->loc());
+  }
+  case ExprKind::If: {
+    const auto *I = cast<IfExpr>(E);
+    return Ctx.mkIf(stripAnnotations(Ctx, I->Cond),
+                    stripAnnotations(Ctx, I->Then),
+                    stripAnnotations(Ctx, I->Else), E->loc());
+  }
+  case ExprKind::App: {
+    const auto *A = cast<AppExpr>(E);
+    return Ctx.mkApp(stripAnnotations(Ctx, A->Fn),
+                     stripAnnotations(Ctx, A->Arg), E->loc());
+  }
+  case ExprKind::Letrec: {
+    const auto *L = cast<LetrecExpr>(E);
+    return Ctx.mkLetrec(L->Name, stripAnnotations(Ctx, L->Bound),
+                        stripAnnotations(Ctx, L->Body), E->loc());
+  }
+  case ExprKind::Prim1: {
+    const auto *P = cast<Prim1Expr>(E);
+    return Ctx.mkPrim1(P->Op, stripAnnotations(Ctx, P->Arg), E->loc());
+  }
+  case ExprKind::Prim2: {
+    const auto *P = cast<Prim2Expr>(E);
+    return Ctx.mkPrim2(P->Op, stripAnnotations(Ctx, P->Lhs),
+                       stripAnnotations(Ctx, P->Rhs), E->loc());
+  }
+  case ExprKind::Annot:
+    return stripAnnotations(Ctx, cast<AnnotExpr>(E)->Inner);
+  }
+  return nullptr;
+}

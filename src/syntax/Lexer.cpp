@@ -1,0 +1,321 @@
+//===- syntax/Lexer.cpp ----------------------------------------------------===//
+
+#include "syntax/Lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+using namespace monsem;
+
+const char *monsem::tokenKindName(TokenKind K) {
+  switch (K) {
+  case TokenKind::Eof:
+    return "end of input";
+  case TokenKind::Error:
+    return "invalid token";
+  case TokenKind::Ident:
+    return "identifier";
+  case TokenKind::IntLit:
+    return "integer literal";
+  case TokenKind::StrLit:
+    return "string literal";
+  case TokenKind::KwLambda:
+    return "'lambda'";
+  case TokenKind::KwIf:
+    return "'if'";
+  case TokenKind::KwThen:
+    return "'then'";
+  case TokenKind::KwElse:
+    return "'else'";
+  case TokenKind::KwLetrec:
+    return "'letrec'";
+  case TokenKind::KwLet:
+    return "'let'";
+  case TokenKind::KwIn:
+    return "'in'";
+  case TokenKind::KwTrue:
+    return "'true'";
+  case TokenKind::KwFalse:
+    return "'false'";
+  case TokenKind::KwAnd:
+    return "'and'";
+  case TokenKind::KwOr:
+    return "'or'";
+  case TokenKind::KwWhile:
+    return "'while'";
+  case TokenKind::KwDo:
+    return "'do'";
+  case TokenKind::KwSkip:
+    return "'skip'";
+  case TokenKind::KwPrint:
+    return "'print'";
+  case TokenKind::KwBegin:
+    return "'begin'";
+  case TokenKind::KwEnd:
+    return "'end'";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::LBracket:
+    return "'['";
+  case TokenKind::RBracket:
+    return "']'";
+  case TokenKind::LBrace:
+    return "'{'";
+  case TokenKind::RBrace:
+    return "'}'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::Dot:
+    return "'.'";
+  case TokenKind::Colon:
+    return "':'";
+  case TokenKind::Semi:
+    return "';'";
+  case TokenKind::Assign:
+    return "':='";
+  case TokenKind::Eq:
+    return "'='";
+  case TokenKind::Ne:
+    return "'<>'";
+  case TokenKind::Lt:
+    return "'<'";
+  case TokenKind::Le:
+    return "'<='";
+  case TokenKind::Gt:
+    return "'>'";
+  case TokenKind::Ge:
+    return "'>='";
+  case TokenKind::Plus:
+    return "'+'";
+  case TokenKind::Minus:
+    return "'-'";
+  case TokenKind::Star:
+    return "'*'";
+  case TokenKind::Slash:
+    return "'/'";
+  case TokenKind::Percent:
+    return "'%'";
+  }
+  return "?";
+}
+
+static const std::unordered_map<std::string_view, TokenKind> &keywordTable() {
+  static const std::unordered_map<std::string_view, TokenKind> Table = {
+      {"lambda", TokenKind::KwLambda}, {"if", TokenKind::KwIf},
+      {"then", TokenKind::KwThen},     {"else", TokenKind::KwElse},
+      {"letrec", TokenKind::KwLetrec}, {"let", TokenKind::KwLet},
+      {"in", TokenKind::KwIn},         {"true", TokenKind::KwTrue},
+      {"false", TokenKind::KwFalse},   {"and", TokenKind::KwAnd},
+      {"or", TokenKind::KwOr},         {"while", TokenKind::KwWhile},
+      {"do", TokenKind::KwDo},         {"skip", TokenKind::KwSkip},
+      {"print", TokenKind::KwPrint},   {"begin", TokenKind::KwBegin},
+      {"end", TokenKind::KwEnd},
+  };
+  return Table;
+}
+
+Lexer::Lexer(std::string_view Source, DiagnosticSink &Diags)
+    : Src(Source), Diags(Diags) {}
+
+void Lexer::advance() {
+  if (Pos >= Src.size())
+    return;
+  if (Src[Pos] == '\n') {
+    ++Line;
+    Col = 1;
+  } else {
+    ++Col;
+  }
+  ++Pos;
+}
+
+void Lexer::skipTrivia() {
+  while (Pos < Src.size()) {
+    char C = Src[Pos];
+    if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+      advance();
+      continue;
+    }
+    if (C == '-' && lookahead() == '-') {
+      while (Pos < Src.size() && Src[Pos] != '\n')
+        advance();
+      continue;
+    }
+    break;
+  }
+}
+
+Token Lexer::makeToken(TokenKind K) const {
+  Token T;
+  T.Kind = K;
+  T.Loc = TokLoc;
+  return T;
+}
+
+const Token &Lexer::peek() {
+  if (!HasLookahead) {
+    Lookahead = lexImpl();
+    HasLookahead = true;
+  }
+  return Lookahead;
+}
+
+Token Lexer::next() {
+  if (HasLookahead) {
+    HasLookahead = false;
+    return std::move(Lookahead);
+  }
+  return lexImpl();
+}
+
+Token Lexer::lexImpl() {
+  skipTrivia();
+  TokLoc = SourceLoc{Line, Col};
+  if (Pos >= Src.size())
+    return makeToken(TokenKind::Eof);
+
+  char C = cur();
+
+  if (std::isdigit(static_cast<unsigned char>(C))) {
+    int64_t V = 0;
+    bool Overflow = false;
+    while (std::isdigit(static_cast<unsigned char>(cur()))) {
+      int64_t Digit = cur() - '0';
+      if (V > (INT64_MAX - Digit) / 10)
+        Overflow = true;
+      else
+        V = V * 10 + Digit;
+      advance();
+    }
+    if (Overflow)
+      Diags.error(TokLoc, "integer literal too large");
+    Token T = makeToken(TokenKind::IntLit);
+    T.IntValue = V;
+    return T;
+  }
+
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+    size_t Start = Pos;
+    while (std::isalnum(static_cast<unsigned char>(cur())) || cur() == '_' ||
+           cur() == '\'' || cur() == '?')
+      advance();
+    std::string_view Text = Src.substr(Start, Pos - Start);
+    auto It = keywordTable().find(Text);
+    if (It != keywordTable().end())
+      return makeToken(It->second);
+    Token T = makeToken(TokenKind::Ident);
+    T.Ident = Symbol::intern(Text);
+    return T;
+  }
+
+  if (C == '"') {
+    advance();
+    std::string Text;
+    while (Pos < Src.size() && cur() != '"') {
+      char D = cur();
+      if (D == '\\') {
+        advance();
+        switch (cur()) {
+        case 'n':
+          Text += '\n';
+          break;
+        case 't':
+          Text += '\t';
+          break;
+        case '\\':
+          Text += '\\';
+          break;
+        case '"':
+          Text += '"';
+          break;
+        default:
+          Diags.error(SourceLoc{Line, Col}, "unknown escape sequence");
+          Text += cur();
+          break;
+        }
+        advance();
+        continue;
+      }
+      Text += D;
+      advance();
+    }
+    if (Pos >= Src.size()) {
+      Diags.error(TokLoc, "unterminated string literal");
+      return makeToken(TokenKind::Error);
+    }
+    advance(); // Closing quote.
+    Token T = makeToken(TokenKind::StrLit);
+    T.StrValue = std::move(Text);
+    return T;
+  }
+
+  advance();
+  switch (C) {
+  case '(':
+    return makeToken(TokenKind::LParen);
+  case ')':
+    return makeToken(TokenKind::RParen);
+  case '[':
+    return makeToken(TokenKind::LBracket);
+  case ']':
+    return makeToken(TokenKind::RBracket);
+  case '{':
+    return makeToken(TokenKind::LBrace);
+  case '}':
+    return makeToken(TokenKind::RBrace);
+  case ',':
+    return makeToken(TokenKind::Comma);
+  case '.':
+    return makeToken(TokenKind::Dot);
+  case ';':
+    return makeToken(TokenKind::Semi);
+  case '\\':
+    return makeToken(TokenKind::KwLambda);
+  case ':':
+    if (cur() == '=') {
+      advance();
+      return makeToken(TokenKind::Assign);
+    }
+    return makeToken(TokenKind::Colon);
+  case '=':
+    if (cur() == '=') {
+      advance();
+      return makeToken(TokenKind::Eq);
+    }
+    return makeToken(TokenKind::Eq);
+  case '<':
+    if (cur() == '=') {
+      advance();
+      return makeToken(TokenKind::Le);
+    }
+    if (cur() == '>') {
+      advance();
+      return makeToken(TokenKind::Ne);
+    }
+    return makeToken(TokenKind::Lt);
+  case '>':
+    if (cur() == '=') {
+      advance();
+      return makeToken(TokenKind::Ge);
+    }
+    return makeToken(TokenKind::Gt);
+  case '+':
+    return makeToken(TokenKind::Plus);
+  case '-':
+    return makeToken(TokenKind::Minus);
+  case '*':
+    return makeToken(TokenKind::Star);
+  case '/':
+    return makeToken(TokenKind::Slash);
+  case '%':
+    return makeToken(TokenKind::Percent);
+  default: {
+    Diags.error(TokLoc, std::string("unexpected character '") + C + "'");
+    Token T = makeToken(TokenKind::Error);
+    T.StrValue = std::string(1, C);
+    return T;
+  }
+  }
+}

@@ -1,0 +1,58 @@
+//===- syntax/Lexer.h - Lexer for L_lambda ----------------------*- C++ -*-===//
+///
+/// \file
+/// A hand-written lexer for the concrete syntax used throughout the paper's
+/// examples:
+///
+///   letrec fac = lambda x. {fac(x)}: if (x = 0) then 1 else x * fac (x - 1)
+///   in fac 3
+///
+/// Comments run from `--` to end of line. `\` is accepted as a synonym for
+/// `lambda`. String literals use double quotes with `\n`, `\t`, `\\`, `\"`
+/// escapes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MONSEM_SYNTAX_LEXER_H
+#define MONSEM_SYNTAX_LEXER_H
+
+#include "support/Diagnostics.h"
+#include "syntax/Token.h"
+
+#include <string_view>
+
+namespace monsem {
+
+class Lexer {
+public:
+  Lexer(std::string_view Source, DiagnosticSink &Diags);
+
+  /// Lexes and returns the next token.
+  Token next();
+
+  /// The token that next() would return, without consuming it.
+  const Token &peek();
+
+private:
+  Token lexImpl();
+  Token makeToken(TokenKind K) const;
+  char cur() const { return Pos < Src.size() ? Src[Pos] : '\0'; }
+  char lookahead() const {
+    return Pos + 1 < Src.size() ? Src[Pos + 1] : '\0';
+  }
+  void advance();
+  void skipTrivia();
+
+  std::string_view Src;
+  DiagnosticSink &Diags;
+  size_t Pos = 0;
+  unsigned Line = 1;
+  unsigned Col = 1;
+  SourceLoc TokLoc;
+  Token Lookahead;
+  bool HasLookahead = false;
+};
+
+} // namespace monsem
+
+#endif // MONSEM_SYNTAX_LEXER_H

@@ -1,0 +1,59 @@
+//===- syntax/Parser.h - Parser for L_lambda --------------------*- C++ -*-===//
+///
+/// \file
+/// Recursive-descent parser for L_lambda's concrete syntax. Precedence, from
+/// loosest to tightest:
+///
+///   expression forms:  {ann}: e   lambda x. e   if/then/else
+///                      letrec f = e in e        let x = e in e
+///   or  <  and  <  comparisons (= <> < <= > >=, non-associative)
+///   <  cons `:` (right-assoc)  <  + -  <  * / %  <  unary -  <  application
+///
+/// Sugar handled here:
+///  * `let x = e1 in e2`       desugars to `(lambda x. e2) e1`.
+///  * `a and b` / `a or b`     desugar to conditionals (short-circuit).
+///  * `lambda x y. e`          desugars to nested lambdas.
+///  * `[e1, e2, ...]`          desugars to cons chains ending in `[]`.
+///  * saturated applications of primitive names (`hd e`, `min a b`) become
+///    Prim1/Prim2 nodes when the name is not locally shadowed; unsaturated
+///    or shadowed uses stay variables (the initial environment binds them).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MONSEM_SYNTAX_PARSER_H
+#define MONSEM_SYNTAX_PARSER_H
+
+#include "support/Diagnostics.h"
+#include "syntax/Ast.h"
+
+#include <optional>
+#include <string_view>
+
+namespace monsem {
+
+struct ParseOptions {
+  /// Rewrite saturated applications of unshadowed primitive names into
+  /// Prim1/Prim2 nodes.
+  bool ResolvePrims = true;
+};
+
+/// Parses a complete program. Returns nullptr and fills \p Diags on error;
+/// on success the returned expression is owned by \p Ctx.
+const Expr *parseProgram(AstContext &Ctx, std::string_view Source,
+                         DiagnosticSink &Diags, ParseOptions Opts = {});
+
+class Lexer;
+
+/// Parses one (maximal) expression from \p Lex, leaving trailing tokens
+/// (e.g. the imperative module's `then`, `do`, `;`) unconsumed. Used by
+/// host languages that embed L_lambda expressions.
+const Expr *parseExprWith(AstContext &Ctx, Lexer &Lex, DiagnosticSink &Diags,
+                          ParseOptions Opts = {});
+
+/// Looks up \p Name in the primitive tables used by prim resolution.
+std::optional<Prim1Op> lookupPrim1(Symbol Name);
+std::optional<Prim2Op> lookupPrim2(Symbol Name);
+
+} // namespace monsem
+
+#endif // MONSEM_SYNTAX_PARSER_H

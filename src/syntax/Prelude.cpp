@@ -1,0 +1,132 @@
+//===- syntax/Prelude.cpp --------------------------------------------------===//
+
+#include "syntax/Prelude.h"
+
+#include "syntax/Parser.h"
+
+#include <vector>
+
+using namespace monsem;
+
+// Definitions in dependency order; each is a `name := lambda ...` pair
+// separated by `;;`. Written against the concrete syntax in
+// docs/LANGUAGE.md.
+static const char PreludeText[] = R"prelude(
+id = lambda x. x
+;;
+compose = lambda f g x. f (g x)
+;;
+flip = lambda f x y. f y x
+;;
+length = lambda l. letrec go = lambda l n.
+  if l = [] then n else go (tl l) (n + 1) in go l 0
+;;
+append = lambda a b. letrec go = lambda a.
+  if a = [] then b else hd a : go (tl a) in go a
+;;
+reverse = lambda l. letrec go = lambda l acc.
+  if l = [] then acc else go (tl l) (hd l : acc) in go l []
+;;
+map = lambda f. letrec go = lambda l.
+  if l = [] then [] else f (hd l) : go (tl l) in go
+;;
+filter = lambda p. letrec go = lambda l.
+  if l = [] then []
+  else if p (hd l) then hd l : go (tl l)
+  else go (tl l) in go
+;;
+foldl = lambda f. letrec go = lambda acc l.
+  if l = [] then acc else go (f acc (hd l)) (tl l) in go
+;;
+foldr = lambda f z. letrec go = lambda l.
+  if l = [] then z else f (hd l) (go (tl l)) in go
+;;
+range = lambda a b. letrec go = lambda i.
+  if i > b then [] else i : go (i + 1) in go a
+;;
+take = lambda n l. letrec go = lambda n l.
+  if n = 0 or l = [] then [] else hd l : go (n - 1) (tl l) in go n l
+;;
+drop = lambda n l. letrec go = lambda n l.
+  if n = 0 or l = [] then l else go (n - 1) (tl l) in go n l
+;;
+elem = lambda x. letrec go = lambda l.
+  if l = [] then false
+  else if hd l = x then true
+  else go (tl l) in go
+;;
+sum = lambda l. foldl (lambda a b. a + b) 0 l
+;;
+product = lambda l. foldl (lambda a b. a * b) 1 l
+;;
+all = lambda p l. foldl (lambda a x. a and p x) true l
+;;
+any = lambda p l. foldl (lambda a x. a or p x) false l
+;;
+zipwith = lambda f. letrec go = lambda a b.
+  if a = [] or b = [] then []
+  else f (hd a) (hd b) : go (tl a) (tl b) in go
+;;
+nth = lambda n l. letrec go = lambda n l.
+  if n = 0 then hd l else go (n - 1) (tl l) in go n l
+)prelude";
+
+std::string_view monsem::preludeSource() { return PreludeText; }
+
+namespace {
+
+struct Def {
+  std::string Name;
+  std::string Body;
+};
+
+std::vector<Def> splitDefs(std::string_view Text) {
+  std::vector<Def> Out;
+  size_t Pos = 0;
+  while (Pos < Text.size()) {
+    size_t End = Text.find(";;", Pos);
+    std::string_view Chunk = Text.substr(
+        Pos, End == std::string_view::npos ? std::string_view::npos
+                                           : End - Pos);
+    Pos = End == std::string_view::npos ? Text.size() : End + 2;
+    // Chunk is "name = body".
+    size_t Eq = Chunk.find('=');
+    if (Eq == std::string_view::npos)
+      continue;
+    std::string Name(Chunk.substr(0, Eq));
+    std::string Body(Chunk.substr(Eq + 1));
+    // Trim.
+    auto Trim = [](std::string &S) {
+      size_t B = S.find_first_not_of(" \t\n\r");
+      size_t E = S.find_last_not_of(" \t\n\r");
+      S = B == std::string::npos ? "" : S.substr(B, E - B + 1);
+    };
+    Trim(Name);
+    Trim(Body);
+    if (!Name.empty())
+      Out.push_back(Def{std::move(Name), std::move(Body)});
+  }
+  return Out;
+}
+
+} // namespace
+
+const Expr *monsem::wrapWithPrelude(AstContext &Ctx, const Expr *Program,
+                                    DiagnosticSink &Diags) {
+  // Parse each definition body, then nest letrecs innermost-last so later
+  // definitions see earlier ones and the program sees all of them.
+  std::vector<Def> Defs = splitDefs(PreludeText);
+  std::vector<std::pair<Symbol, const Expr *>> Parsed;
+  for (const Def &D : Defs) {
+    const Expr *Body = parseProgram(Ctx, D.Body, Diags);
+    if (!Body) {
+      Diags.error({}, "prelude definition '" + D.Name + "' failed to parse");
+      return nullptr;
+    }
+    Parsed.emplace_back(Symbol::intern(D.Name), Body);
+  }
+  const Expr *Out = Program;
+  for (size_t I = Parsed.size(); I-- > 0;)
+    Out = Ctx.mkLetrec(Parsed[I].first, Parsed[I].second, Out);
+  return Out;
+}

@@ -1,0 +1,39 @@
+//===- syntax/Prelude.h - Standard prelude for L_lambda ---------*- C++ -*-===//
+///
+/// \file
+/// A small standard library of list and arithmetic functions, provided as
+/// ordinary L_lambda source and wrapped around user programs as a chain of
+/// letrec bindings. Everything here is written in the object language, so
+/// the prelude runs under every evaluator, every strategy, and every
+/// monitor — and can itself be traced or profiled like user code.
+///
+/// Provided bindings: id, compose, flip, length, append, reverse, map,
+/// filter, foldl, foldr, range, take, drop, elem, sum, product, all, any,
+/// zipwith, nth.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MONSEM_SYNTAX_PRELUDE_H
+#define MONSEM_SYNTAX_PRELUDE_H
+
+#include "support/Diagnostics.h"
+#include "syntax/Ast.h"
+
+#include <string_view>
+
+namespace monsem {
+
+/// The prelude's source text (a sequence of `name = expr` definitions in
+/// dependency order; see Prelude.cpp).
+std::string_view preludeSource();
+
+/// Wraps \p Program in the prelude's letrec chain:
+///   letrec id = ... in letrec map = ... in ... <Program>
+/// Returns nullptr (with diagnostics) only if the prelude itself fails to
+/// parse, which is a build defect and covered by tests.
+const Expr *wrapWithPrelude(AstContext &Ctx, const Expr *Program,
+                            DiagnosticSink &Diags);
+
+} // namespace monsem
+
+#endif // MONSEM_SYNTAX_PRELUDE_H

@@ -1,0 +1,225 @@
+//===- syntax/Printer.cpp --------------------------------------------------===//
+
+#include "syntax/Printer.h"
+
+using namespace monsem;
+
+namespace {
+
+// Precedence levels, loosest to tightest. A node is parenthesized whenever
+// its own level is looser than the level its context requires.
+enum Level : int {
+  LvlExpr = 0, // lambda, if, letrec, annotation
+  LvlCmp = 3,
+  LvlCons = 4,
+  LvlAdd = 5,
+  LvlMul = 6,
+  LvlUnary = 7,
+  LvlApp = 8,
+  LvlAtom = 9,
+};
+
+int prim2Level(Prim2Op Op) {
+  switch (Op) {
+  case Prim2Op::Eq:
+  case Prim2Op::Ne:
+  case Prim2Op::Lt:
+  case Prim2Op::Le:
+  case Prim2Op::Gt:
+  case Prim2Op::Ge:
+    return LvlCmp;
+  case Prim2Op::Cons:
+    return LvlCons;
+  case Prim2Op::Add:
+  case Prim2Op::Sub:
+    return LvlAdd;
+  case Prim2Op::Mul:
+  case Prim2Op::Div:
+  case Prim2Op::Mod:
+    return LvlMul;
+  case Prim2Op::Min:
+  case Prim2Op::Max:
+    return LvlApp;
+  }
+  return LvlAtom;
+}
+
+int exprLevel(const Expr *E) {
+  switch (E->kind()) {
+  case ExprKind::Const: {
+    const auto *C = cast<ConstExpr>(E);
+    // Negative literals reparse through unary minus; give them that level
+    // so they are parenthesized in argument position.
+    if (C->Val.K == ConstVal::Kind::Int && C->Val.Int < 0)
+      return LvlUnary;
+    return LvlAtom;
+  }
+  case ExprKind::Var:
+    return LvlAtom;
+  case ExprKind::Lam:
+  case ExprKind::If:
+  case ExprKind::Letrec:
+  case ExprKind::Annot:
+    return LvlExpr;
+  case ExprKind::App:
+    return LvlApp;
+  case ExprKind::Prim1:
+    return cast<Prim1Expr>(E)->Op == Prim1Op::Neg ? LvlUnary : LvlApp;
+  case ExprKind::Prim2:
+    return prim2Level(cast<Prim2Expr>(E)->Op);
+  }
+  return LvlAtom;
+}
+
+void print(std::string &Out, const Expr *E, int Required);
+
+void printAt(std::string &Out, const Expr *E, int Required) {
+  if (exprLevel(E) < Required) {
+    Out += '(';
+    print(Out, E, LvlExpr);
+    Out += ')';
+    return;
+  }
+  print(Out, E, Required);
+}
+
+void print(std::string &Out, const Expr *E, int Required) {
+  switch (E->kind()) {
+  case ExprKind::Const: {
+    const ConstVal &V = cast<ConstExpr>(E)->Val;
+    switch (V.K) {
+    case ConstVal::Kind::Int:
+      Out += std::to_string(V.Int);
+      return;
+    case ConstVal::Kind::Bool:
+      Out += V.Bool ? "true" : "false";
+      return;
+    case ConstVal::Kind::Nil:
+      Out += "[]";
+      return;
+    case ConstVal::Kind::Str: {
+      Out += '"';
+      for (char C : *V.Str) {
+        switch (C) {
+        case '\n':
+          Out += "\\n";
+          break;
+        case '\t':
+          Out += "\\t";
+          break;
+        case '\\':
+          Out += "\\\\";
+          break;
+        case '"':
+          Out += "\\\"";
+          break;
+        default:
+          Out += C;
+        }
+      }
+      Out += '"';
+      return;
+    }
+    }
+    return;
+  }
+  case ExprKind::Var:
+    Out += cast<VarExpr>(E)->Name.str();
+    return;
+  case ExprKind::Lam: {
+    const auto *L = cast<LamExpr>(E);
+    Out += "lambda ";
+    Out += L->Param.str();
+    // Coalesce nested lambdas: lambda x y. e
+    const Expr *Body = L->Body;
+    while (const auto *Inner = dyn_cast<LamExpr>(Body)) {
+      Out += ' ';
+      Out += Inner->Param.str();
+      Body = Inner->Body;
+    }
+    Out += ". ";
+    print(Out, Body, LvlExpr);
+    return;
+  }
+  case ExprKind::If: {
+    const auto *I = cast<IfExpr>(E);
+    Out += "if ";
+    print(Out, I->Cond, LvlExpr);
+    Out += " then ";
+    print(Out, I->Then, LvlExpr);
+    Out += " else ";
+    print(Out, I->Else, LvlExpr);
+    return;
+  }
+  case ExprKind::App: {
+    const auto *A = cast<AppExpr>(E);
+    printAt(Out, A->Fn, LvlApp);
+    Out += ' ';
+    printAt(Out, A->Arg, LvlAtom);
+    return;
+  }
+  case ExprKind::Letrec: {
+    const auto *L = cast<LetrecExpr>(E);
+    Out += "letrec ";
+    Out += L->Name.str();
+    Out += " = ";
+    print(Out, L->Bound, LvlExpr);
+    Out += " in ";
+    print(Out, L->Body, LvlExpr);
+    return;
+  }
+  case ExprKind::Prim1: {
+    const auto *P = cast<Prim1Expr>(E);
+    if (P->Op == Prim1Op::Neg) {
+      Out += '-';
+      printAt(Out, P->Arg, LvlUnary);
+      return;
+    }
+    Out += prim1Name(P->Op);
+    Out += ' ';
+    printAt(Out, P->Arg, LvlAtom);
+    return;
+  }
+  case ExprKind::Prim2: {
+    const auto *P = cast<Prim2Expr>(E);
+    if (!isInfix(P->Op)) {
+      Out += prim2Name(P->Op);
+      Out += ' ';
+      printAt(Out, P->Lhs, LvlAtom);
+      Out += ' ';
+      printAt(Out, P->Rhs, LvlAtom);
+      return;
+    }
+    int Lvl = prim2Level(P->Op);
+    if (P->Op == Prim2Op::Cons) {
+      // Right-associative.
+      printAt(Out, P->Lhs, Lvl + 1);
+      Out += " : ";
+      printAt(Out, P->Rhs, Lvl);
+      return;
+    }
+    bool NonAssoc = Lvl == LvlCmp;
+    printAt(Out, P->Lhs, NonAssoc ? Lvl + 1 : Lvl);
+    Out += ' ';
+    Out += prim2Name(P->Op);
+    Out += ' ';
+    printAt(Out, P->Rhs, Lvl + 1);
+    return;
+  }
+  case ExprKind::Annot: {
+    const auto *N = cast<AnnotExpr>(E);
+    Out += N->Ann->text();
+    Out += ": ";
+    print(Out, N->Inner, LvlExpr);
+    return;
+  }
+  }
+}
+
+} // namespace
+
+std::string monsem::printExpr(const Expr *E) {
+  std::string Out;
+  print(Out, E, LvlExpr);
+  return Out;
+}

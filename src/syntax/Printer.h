@@ -1,0 +1,24 @@
+//===- syntax/Printer.h - Pretty printer for L_lambda -----------*- C++ -*-===//
+///
+/// \file
+/// Precedence-aware pretty printer. The invariant (checked by property
+/// tests) is that printing then reparsing yields a structurally equal tree:
+/// `parse(print(e)) == e` for every tree the parser can produce.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MONSEM_SYNTAX_PRINTER_H
+#define MONSEM_SYNTAX_PRINTER_H
+
+#include "syntax/Ast.h"
+
+#include <string>
+
+namespace monsem {
+
+/// Renders \p E in concrete syntax on a single line.
+std::string printExpr(const Expr *E);
+
+} // namespace monsem
+
+#endif // MONSEM_SYNTAX_PRINTER_H

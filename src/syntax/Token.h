@@ -1,0 +1,84 @@
+//===- syntax/Token.h - Tokens for L_lambda ---------------------*- C++ -*-===//
+///
+/// \file
+/// Token kinds produced by the lexer for the concrete syntax of L_lambda
+/// (and shared by the imperative language module).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MONSEM_SYNTAX_TOKEN_H
+#define MONSEM_SYNTAX_TOKEN_H
+
+#include "support/SourceLoc.h"
+#include "support/Symbol.h"
+
+#include <cstdint>
+#include <string>
+
+namespace monsem {
+
+enum class TokenKind : uint8_t {
+  Eof,
+  Error,
+  Ident,
+  IntLit,
+  StrLit,
+  // Keywords.
+  KwLambda,
+  KwIf,
+  KwThen,
+  KwElse,
+  KwLetrec,
+  KwLet,
+  KwIn,
+  KwTrue,
+  KwFalse,
+  KwAnd,
+  KwOr,
+  // Imperative-module keywords (harmless extra reserved words for L_lambda).
+  KwWhile,
+  KwDo,
+  KwSkip,
+  KwPrint,
+  KwBegin,
+  KwEnd,
+  // Punctuation and operators.
+  LParen,
+  RParen,
+  LBracket,
+  RBracket,
+  LBrace,
+  RBrace,
+  Comma,
+  Dot,
+  Colon,
+  Semi,
+  Assign, // :=
+  Eq,     // = or ==
+  Ne,     // <>
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+};
+
+const char *tokenKindName(TokenKind K);
+
+struct Token {
+  TokenKind Kind = TokenKind::Eof;
+  SourceLoc Loc;
+  Symbol Ident;        ///< For Ident tokens.
+  int64_t IntValue = 0; ///< For IntLit tokens.
+  std::string StrValue; ///< For StrLit and Error tokens.
+
+  bool is(TokenKind K) const { return Kind == K; }
+};
+
+} // namespace monsem
+
+#endif // MONSEM_SYNTAX_TOKEN_H

@@ -1,0 +1,141 @@
+//===- tests/RandomImpProgram.h - Random L_imp programs ---------*- C++ -*-===//
+///
+/// \file
+/// Seeded generator of imperative programs for property tests (soundness
+/// of the L_imp monitoring semantics). Programs are terminating by
+/// construction: every while loop decrements a dedicated counter variable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MONSEM_TESTS_RANDOMIMPPROGRAM_H
+#define MONSEM_TESTS_RANDOMIMPPROGRAM_H
+
+#include "imp/ImpAst.h"
+
+#include <random>
+#include <string>
+#include <vector>
+
+namespace monsem::testing {
+
+class ImpProgramGen {
+public:
+  ImpProgramGen(ImpContext &Ctx, unsigned Seed) : Ctx(Ctx), Rng(Seed) {
+    // A fixed set of integer variables, all initialized up front so reads
+    // never fail.
+    for (const char *N : {"a", "b", "c", "d"})
+      Vars.push_back(Symbol::intern(N));
+  }
+
+  const Cmd *gen() {
+    const Cmd *Init = nullptr;
+    for (Symbol V : Vars) {
+      const Cmd *A = Ctx.mkAssign(V, intLit((int64_t)pick(10)));
+      Init = Init ? Ctx.mkSeq(Init, A) : A;
+    }
+    const Cmd *Body = genSeq(3);
+    const Cmd *P = Ctx.mkSeq(Init, Body);
+    // Print everything so outputs capture the whole store.
+    for (Symbol V : Vars)
+      P = Ctx.mkSeq(P, Ctx.mkPrint(Ctx.exprs().mkVar(V)));
+    return P;
+  }
+
+private:
+  ImpContext &Ctx;
+  std::mt19937 Rng;
+  std::vector<Symbol> Vars;
+  unsigned LoopCounter = 0;
+  unsigned NextLabel = 0;
+
+  unsigned pick(unsigned N) {
+    return std::uniform_int_distribution<unsigned>(0, N - 1)(Rng);
+  }
+  bool flip(double P = 0.5) {
+    return std::uniform_real_distribution<double>(0, 1)(Rng) < P;
+  }
+  Symbol var() { return Vars[pick((unsigned)Vars.size())]; }
+  const Expr *intLit(int64_t V) { return Ctx.exprs().mkInt(V); }
+
+  const Expr *maybeAnnotateExpr(const Expr *E) {
+    if (!flip(0.15))
+      return E;
+    Annotation Ann;
+    Ann.Head = Symbol::intern("e" + std::to_string(NextLabel++ % 8));
+    return Ctx.exprs().mkAnnot(Ctx.exprs().internAnnotation(std::move(Ann)),
+                               E);
+  }
+
+  const Expr *genIntExpr(int Depth) {
+    if (Depth <= 0 || flip(0.4)) {
+      if (flip())
+        return Ctx.exprs().mkVar(var());
+      return intLit((int64_t)pick(12) - 2);
+    }
+    Prim2Op Ops[] = {Prim2Op::Add, Prim2Op::Sub, Prim2Op::Mul,
+                     Prim2Op::Min, Prim2Op::Max};
+    return maybeAnnotateExpr(
+        Ctx.exprs().mkPrim2(Ops[pick(5)], genIntExpr(Depth - 1),
+                            genIntExpr(Depth - 1)));
+  }
+
+  const Expr *genBoolExpr(int Depth) {
+    Prim2Op Ops[] = {Prim2Op::Lt, Prim2Op::Le, Prim2Op::Eq, Prim2Op::Ne};
+    return Ctx.exprs().mkPrim2(Ops[pick(4)], genIntExpr(Depth),
+                               genIntExpr(Depth));
+  }
+
+  const Cmd *maybeAnnotate(const Cmd *C) {
+    if (!flip(0.3))
+      return C;
+    Annotation Ann;
+    Ann.Head = Symbol::intern("s" + std::to_string(NextLabel++ % 8));
+    return Ctx.mkAnnot(Ctx.exprs().internAnnotation(std::move(Ann)), C);
+  }
+
+  const Cmd *genSeq(int Depth) {
+    const Cmd *C = genCmd(Depth);
+    unsigned Extra = pick(3);
+    for (unsigned I = 0; I < Extra; ++I)
+      C = Ctx.mkSeq(C, genCmd(Depth));
+    return C;
+  }
+
+  const Cmd *genCmd(int Depth) {
+    if (Depth <= 0)
+      return maybeAnnotate(Ctx.mkAssign(var(), genIntExpr(1)));
+    switch (pick(5)) {
+    case 0:
+      return maybeAnnotate(Ctx.mkAssign(var(), genIntExpr(2)));
+    case 1:
+      return maybeAnnotate(Ctx.mkPrint(genIntExpr(2)));
+    case 2:
+      return maybeAnnotate(Ctx.mkIf(genBoolExpr(1), genSeq(Depth - 1),
+                                    genSeq(Depth - 1)));
+    case 3: {
+      // Bounded loop: k := <0..6>; while k > 0 do body; k := k - 1 end.
+      Symbol K =
+          Symbol::intern("k" + std::to_string(LoopCounter++));
+      const Cmd *InitK = Ctx.mkAssign(K, intLit((int64_t)pick(7)));
+      const Expr *Cond = Ctx.exprs().mkPrim2(
+          Prim2Op::Gt, Ctx.exprs().mkVar(K), intLit(0));
+      const Cmd *Dec = Ctx.mkAssign(
+          K, Ctx.exprs().mkPrim2(Prim2Op::Sub, Ctx.exprs().mkVar(K),
+                                 intLit(1)));
+      const Cmd *Body = Ctx.mkSeq(genSeq(Depth - 1), Dec);
+      return Ctx.mkSeq(InitK,
+                       maybeAnnotate(Ctx.mkWhile(Cond, Body)));
+    }
+    default:
+      return maybeAnnotate(Ctx.mkSkip());
+    }
+  }
+};
+
+inline const Cmd *genImpProgram(ImpContext &Ctx, unsigned Seed) {
+  return ImpProgramGen(Ctx, Seed).gen();
+}
+
+} // namespace monsem::testing
+
+#endif // MONSEM_TESTS_RANDOMIMPPROGRAM_H

@@ -1,0 +1,222 @@
+//===- tests/RandomProgram.h - Random L_lambda programs ---------*- C++ -*-===//
+///
+/// \file
+/// A seeded generator of (mostly) well-behaved L_lambda programs for
+/// property tests: soundness (monitored == standard, Thm. 7.7),
+/// differential testing of the evaluators (direct CPS vs CEK vs bytecode
+/// VM), and partial-evaluation correctness.
+///
+/// Generation is typed (Int / Bool / IntList) so most programs compute a
+/// value; run-time errors (hd [], division by zero) are still possible and
+/// are part of the compared outcome. Recursive functions follow a
+/// structurally decreasing template, so almost all programs terminate;
+/// tests additionally run with fuel.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MONSEM_TESTS_RANDOMPROGRAM_H
+#define MONSEM_TESTS_RANDOMPROGRAM_H
+
+#include "syntax/Ast.h"
+
+#include <random>
+#include <string>
+#include <vector>
+
+namespace monsem::testing {
+
+class ProgramGen {
+public:
+  ProgramGen(AstContext &Ctx, unsigned Seed) : Ctx(Ctx), Rng(Seed) {}
+
+  /// Generates a closed Int-valued program, possibly with annotations
+  /// (bare labels m0..m9 and A/B), letrec functions, lists, and booleans.
+  const Expr *gen() {
+    // A couple of integer variables via lets, one recursive function, then
+    // an Int body using everything in scope.
+    const Expr *Body = genTop(3);
+    return Body;
+  }
+
+private:
+  AstContext &Ctx;
+  std::mt19937 Rng;
+  std::vector<Symbol> IntVars;
+  std::vector<Symbol> FunVars;  ///< Int -> Int functions.
+  std::vector<Symbol> ListVars; ///< Integer lists.
+  unsigned NextName = 0;
+  unsigned NextLabel = 0;
+
+  unsigned pick(unsigned N) {
+    return std::uniform_int_distribution<unsigned>(0, N - 1)(Rng);
+  }
+  bool flip(double P = 0.5) {
+    return std::uniform_real_distribution<double>(0, 1)(Rng) < P;
+  }
+  Symbol fresh(const char *Prefix) {
+    return Symbol::intern(std::string(Prefix) + std::to_string(NextName++));
+  }
+
+  /// Wraps \p E with a bare annotation about 20% of the time.
+  const Expr *maybeAnnotate(const Expr *E) {
+    if (!flip(0.2))
+      return E;
+    Annotation Ann;
+    switch (pick(3)) {
+    case 0:
+      Ann.Head = Symbol::intern("A");
+      break;
+    case 1:
+      Ann.Head = Symbol::intern("B");
+      break;
+    default:
+      Ann.Head = Symbol::intern("m" + std::to_string(NextLabel++ % 10));
+      break;
+    }
+    return Ctx.mkAnnot(Ctx.internAnnotation(std::move(Ann)), E);
+  }
+
+  const Expr *genTop(int Depth) {
+    // let x = <int> in ... ; letrec f = ... in ... ; let l = <list> in ...
+    switch (pick(4)) {
+    case 0: {
+      Symbol X = fresh("x");
+      const Expr *Init = genInt(Depth - 1);
+      IntVars.push_back(X);
+      const Expr *Body = genTop(Depth - 1);
+      IntVars.pop_back();
+      return Ctx.mkApp(Ctx.mkLam(X, Body), Init);
+    }
+    case 1: {
+      Symbol F = fresh("f");
+      Symbol N = fresh("n");
+      // letrec f = lambda n. if n < 1 then <leaf> else <body with f(n-1)>
+      IntVars.push_back(N);
+      const Expr *Leaf = genInt(1);
+      FunVars.push_back(F);
+      const Expr *Rec = Ctx.mkApp(
+          Ctx.mkVar(F), Ctx.mkPrim2(Prim2Op::Sub, Ctx.mkVar(N), Ctx.mkInt(1)));
+      const Expr *Step = genIntAround(Rec, Depth - 1);
+      IntVars.pop_back();
+      const Expr *FunBody = Ctx.mkIf(
+          Ctx.mkPrim2(Prim2Op::Lt, Ctx.mkVar(N), Ctx.mkInt(1)), Leaf,
+          maybeAnnotate(Step));
+      const Expr *Fun = Ctx.mkLam(N, FunBody);
+      const Expr *Body = genTop(Depth - 1);
+      FunVars.pop_back();
+      return Ctx.mkLetrec(F, Fun, Body);
+    }
+    case 2: {
+      Symbol L = fresh("l");
+      const Expr *Init = genList(Depth - 1);
+      ListVars.push_back(L);
+      const Expr *Body = genTop(Depth - 1);
+      ListVars.pop_back();
+      return Ctx.mkApp(Ctx.mkLam(L, Body), Init);
+    }
+    default:
+      return maybeAnnotate(genInt(Depth));
+    }
+  }
+
+  /// An Int expression that uses \p Hole (a recursive call) exactly once.
+  const Expr *genIntAround(const Expr *Hole, int Depth) {
+    switch (pick(3)) {
+    case 0:
+      return Ctx.mkPrim2(Prim2Op::Add, Hole, genInt(Depth - 1));
+    case 1:
+      return Ctx.mkPrim2(flip() ? Prim2Op::Mul : Prim2Op::Sub,
+                         genInt(Depth - 1), Hole);
+    default:
+      return Ctx.mkIf(genBool(Depth - 1), Hole, genInt(Depth - 1));
+    }
+  }
+
+  const Expr *genInt(int Depth) {
+    if (Depth <= 0 || flip(0.25)) {
+      if (!IntVars.empty() && flip(0.5))
+        return Ctx.mkVar(IntVars[pick((unsigned)IntVars.size())]);
+      return Ctx.mkInt((int64_t)pick(20) - 5);
+    }
+    switch (pick(8)) {
+    case 0:
+      return Ctx.mkPrim2(Prim2Op::Add, genInt(Depth - 1), genInt(Depth - 1));
+    case 1:
+      return Ctx.mkPrim2(Prim2Op::Sub, genInt(Depth - 1), genInt(Depth - 1));
+    case 2:
+      return Ctx.mkPrim2(Prim2Op::Mul, genInt(Depth - 1), genInt(Depth - 1));
+    case 3:
+      // Division/modulo: may fail with division by zero — intentional.
+      return Ctx.mkPrim2(flip() ? Prim2Op::Div : Prim2Op::Mod,
+                         genInt(Depth - 1), genInt(Depth - 1));
+    case 4:
+      return Ctx.mkIf(genBool(Depth - 1), genInt(Depth - 1),
+                      genInt(Depth - 1));
+    case 5:
+      if (!FunVars.empty()) {
+        // Call a recursive function on a small argument.
+        return Ctx.mkApp(Ctx.mkVar(FunVars[pick((unsigned)FunVars.size())]),
+                         Ctx.mkInt(pick(6)));
+      }
+      return maybeAnnotate(genInt(Depth - 1));
+    case 6:
+      // hd of a list: may fail on [] — intentional.
+      return Ctx.mkPrim1(Prim1Op::Hd, genList(Depth - 1));
+    default: {
+      // Immediately applied lambda.
+      Symbol X = fresh("x");
+      IntVars.push_back(X);
+      const Expr *Body = genInt(Depth - 1);
+      IntVars.pop_back();
+      return Ctx.mkApp(Ctx.mkLam(X, Body), genInt(Depth - 1));
+    }
+    }
+  }
+
+  const Expr *genBool(int Depth) {
+    if (Depth <= 0 || flip(0.3))
+      return Ctx.mkBool(flip());
+    switch (pick(4)) {
+    case 0:
+      return Ctx.mkPrim2(Prim2Op::Lt, genInt(Depth - 1), genInt(Depth - 1));
+    case 1:
+      return Ctx.mkPrim2(Prim2Op::Eq, genInt(Depth - 1), genInt(Depth - 1));
+    case 2:
+      return Ctx.mkPrim1(Prim1Op::Not, genBool(Depth - 1));
+    default:
+      return Ctx.mkPrim1(Prim1Op::Null, genList(Depth - 1));
+    }
+  }
+
+  const Expr *genList(int Depth) {
+    if (Depth <= 0 || flip(0.3)) {
+      if (!ListVars.empty() && flip(0.5))
+        return Ctx.mkVar(ListVars[pick((unsigned)ListVars.size())]);
+      // Small literal list.
+      const Expr *L = Ctx.mkNil();
+      for (unsigned I = 0, N = pick(4); I < N; ++I)
+        L = Ctx.mkPrim2(Prim2Op::Cons, Ctx.mkInt((int64_t)pick(10)), L);
+      return L;
+    }
+    switch (pick(3)) {
+    case 0:
+      return Ctx.mkPrim2(Prim2Op::Cons, genInt(Depth - 1),
+                         genList(Depth - 1));
+    case 1:
+      // tl: may fail on [] — intentional.
+      return Ctx.mkPrim1(Prim1Op::Tl, genList(Depth - 1));
+    default:
+      return Ctx.mkIf(genBool(Depth - 1), genList(Depth - 1),
+                      genList(Depth - 1));
+    }
+  }
+};
+
+/// Convenience: generate program #Seed into \p Ctx.
+inline const Expr *genProgram(AstContext &Ctx, unsigned Seed) {
+  return ProgramGen(Ctx, Seed).gen();
+}
+
+} // namespace monsem::testing
+
+#endif // MONSEM_TESTS_RANDOMPROGRAM_H

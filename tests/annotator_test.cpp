@@ -1,0 +1,116 @@
+//===- tests/annotator_test.cpp - Automatic annotation insertion -----------===//
+
+#include "syntax/Annotator.h"
+#include "syntax/Parser.h"
+#include "syntax/Printer.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace monsem;
+
+namespace {
+
+struct Parsed {
+  AstContext Ctx;
+  DiagnosticSink Diags;
+  const Expr *E = nullptr;
+};
+
+std::unique_ptr<Parsed> parse(std::string_view Src) {
+  auto P = std::make_unique<Parsed>();
+  P->E = parseProgram(P->Ctx, Src, P->Diags);
+  EXPECT_NE(P->E, nullptr) << P->Diags.str();
+  return P;
+}
+
+} // namespace
+
+TEST(AnnotatorTest, ProfilerStyleBareLabels) {
+  auto P = parse("letrec fac = lambda x. if x = 0 then 1 else "
+                 "x * fac (x - 1) in fac 3");
+  const Expr *Ann = annotateFunctionBodies(P->Ctx, P->E, {});
+  auto Q = parse("letrec fac = lambda x. {fac}: if x = 0 then 1 else "
+                 "x * fac (x - 1) in fac 3");
+  EXPECT_TRUE(exprEquals(Ann, Q->E))
+      << "got: " << printExpr(Ann) << "\nwant: " << printExpr(Q->E);
+}
+
+TEST(AnnotatorTest, TracerStyleFunctionHeaders) {
+  auto P = parse("letrec mul = lambda x. lambda y. x * y in mul 2 3");
+  AnnotateOptions Opts;
+  Opts.WithParams = true;
+  const Expr *Ann = annotateFunctionBodies(P->Ctx, P->E, {}, Opts);
+  auto Q = parse("letrec mul = lambda x. lambda y. {mul(x, y)}: x * y "
+                 "in mul 2 3");
+  EXPECT_TRUE(exprEquals(Ann, Q->E))
+      << "got: " << printExpr(Ann) << "\nwant: " << printExpr(Q->E);
+}
+
+TEST(AnnotatorTest, SelectsNamedFunctionsOnly) {
+  auto P = parse("letrec f = lambda x. x in letrec g = lambda y. y in "
+                 "f (g 1)");
+  const Expr *Ann =
+      annotateFunctionBodies(P->Ctx, P->E, {Symbol::intern("g")});
+  std::vector<const Annotation *> Anns;
+  collectAnnotations(Ann, Anns);
+  ASSERT_EQ(Anns.size(), 1u);
+  EXPECT_EQ(Anns[0]->Head.str(), "g");
+}
+
+TEST(AnnotatorTest, QualifierIsAttached) {
+  auto P = parse("letrec f = lambda x. x in f 1");
+  AnnotateOptions Opts;
+  Opts.Qualifier = Symbol::intern("trace");
+  Opts.WithParams = true;
+  const Expr *Ann = annotateFunctionBodies(P->Ctx, P->E, {}, Opts);
+  std::vector<const Annotation *> Anns;
+  collectAnnotations(Ann, Anns);
+  ASSERT_EQ(Anns.size(), 1u);
+  EXPECT_EQ(Anns[0]->Qual.str(), "trace");
+  EXPECT_EQ(Anns[0]->text(), "{trace:f(x)}");
+}
+
+TEST(AnnotatorTest, IsIdempotent) {
+  auto P = parse("letrec f = lambda x. x in f 1");
+  const Expr *Once = annotateFunctionBodies(P->Ctx, P->E, {});
+  const Expr *Twice = annotateFunctionBodies(P->Ctx, Once, {});
+  EXPECT_TRUE(exprEquals(Once, Twice));
+}
+
+TEST(AnnotatorTest, ValueBindingsGetDirectAnnotations) {
+  // The demon example's convention: letrec l1 = {l1}:(...).
+  auto P = parse("letrec l1 = [3, 1] in l1");
+  const Expr *Ann = annotateFunctionBodies(P->Ctx, P->E, {});
+  const auto *L = dyn_cast<LetrecExpr>(Ann);
+  ASSERT_NE(L, nullptr);
+  EXPECT_EQ(L->Bound->kind(), ExprKind::Annot);
+}
+
+TEST(AnnotatorTest, LabelProgramPoints) {
+  auto P = parse("f (g 1) (h 2)");
+  unsigned NumLabels = 0;
+  const Expr *Ann =
+      labelProgramPoints(P->Ctx, P->E, "p", Symbol(), &NumLabels);
+  EXPECT_EQ(NumLabels, 4u); // f(g 1), (f ..)(h 2), g 1, h 2.
+  std::vector<const Annotation *> Anns;
+  collectAnnotations(Ann, Anns);
+  EXPECT_EQ(Anns.size(), 4u);
+  // Labels are unique.
+  std::set<std::string> Heads;
+  for (const Annotation *A : Anns)
+    Heads.insert(std::string(A->Head.str()));
+  EXPECT_EQ(Heads.size(), 4u);
+}
+
+TEST(AnnotatorTest, AnnotationTextForms) {
+  Annotation A;
+  A.Head = Symbol::intern("fac");
+  EXPECT_EQ(A.text(), "{fac}");
+  A.HasParams = true;
+  A.Params = {Symbol::intern("x"), Symbol::intern("y")};
+  EXPECT_EQ(A.text(), "{fac(x, y)}");
+  A.Qual = Symbol::intern("trace");
+  EXPECT_EQ(A.text(), "{trace:fac(x, y)}");
+}

@@ -1,0 +1,134 @@
+//===- tests/cascade_test.cpp - Deep monitor composition (Section 6) -------===//
+
+#include "interp/Direct.h"
+#include "interp/Eval.h"
+#include "monitors/Collecting.h"
+#include "monitors/Coverage.h"
+#include "monitors/Demon.h"
+#include "monitors/Profiler.h"
+#include "monitors/Stepper.h"
+#include "monitors/Tracer.h"
+
+#include <gtest/gtest.h>
+
+using namespace monsem;
+
+namespace {
+
+std::unique_ptr<ParsedProgram> parseOk(std::string_view Src) {
+  auto P = ParsedProgram::parse(Src);
+  EXPECT_TRUE(P->ok()) << P->diags().str();
+  return P;
+}
+
+/// fac 4 with one qualified annotation per monitor in the cascade.
+const char *QuadSrc =
+    "letrec fac = lambda x. "
+    "{profile:fac}: {trace:fac(x)}: {collect:fac}: {cover:fac}: "
+    "if x = 0 then 1 else x * fac (x - 1) in fac 4";
+
+} // namespace
+
+TEST(CascadeDepthTest, FourMonitorsEachSeeTheirAnnotations) {
+  auto P = parseOk(QuadSrc);
+  CallProfiler Prof;
+  Tracer Trc;
+  CollectingMonitor Coll;
+  CoverageMonitor Cov;
+  Cascade C = cascadeOf({&Prof, &Trc, &Coll, &Cov});
+  DiagnosticSink D;
+  ASSERT_TRUE(C.validateFor(P->root(), D)) << D.str();
+
+  RunResult R = evaluate(C, P->root());
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.IntValue, 24);
+  ASSERT_EQ(R.FinalStates.size(), 4u);
+  EXPECT_EQ(CallProfiler::state(*R.FinalStates[0]).count("fac"), 5u);
+  EXPECT_EQ(Tracer::state(*R.FinalStates[1]).Chan.numLines(), 10u);
+  const auto *Vals =
+      CollectingMonitor::state(*R.FinalStates[2]).setFor("fac");
+  ASSERT_NE(Vals, nullptr);
+  EXPECT_EQ(*Vals, (std::set<std::string>{"1", "2", "6", "24"}));
+  EXPECT_EQ(CoverageMonitor::state(*R.FinalStates[3]).TotalHits, 5u);
+}
+
+TEST(CascadeDepthTest, CascadeOrderDoesNotChangeStates) {
+  // With disjoint (qualified) syntaxes, the monitors' final states are
+  // independent of cascade order.
+  auto P = parseOk(QuadSrc);
+  CallProfiler Prof;
+  Tracer Trc;
+  CollectingMonitor Coll;
+  CoverageMonitor Cov;
+  Cascade AB = cascadeOf({&Prof, &Trc, &Coll, &Cov});
+  Cascade BA = cascadeOf({&Cov, &Coll, &Trc, &Prof});
+  RunResult R1 = evaluate(AB, P->root());
+  RunResult R2 = evaluate(BA, P->root());
+  ASSERT_TRUE(R1.Ok && R2.Ok);
+  EXPECT_EQ(R1.ValueText, R2.ValueText);
+  EXPECT_EQ(R1.FinalStates[0]->str(), R2.FinalStates[3]->str());
+  EXPECT_EQ(R1.FinalStates[1]->str(), R2.FinalStates[2]->str());
+  EXPECT_EQ(R1.FinalStates[2]->str(), R2.FinalStates[1]->str());
+  EXPECT_EQ(R1.FinalStates[3]->str(), R2.FinalStates[0]->str());
+}
+
+TEST(CascadeDepthTest, DirectAndMachineAgreeOnDeepCascades) {
+  auto P = parseOk(QuadSrc);
+  CallProfiler Prof;
+  Tracer Trc;
+  CollectingMonitor Coll;
+  CoverageMonitor Cov;
+  Cascade C = cascadeOf({&Prof, &Trc, &Coll, &Cov});
+  RunResult M = evaluate(C, P->root());
+  RunResult D = runDirect(P->root(), &C);
+  ASSERT_TRUE(M.Ok && D.Ok) << M.Error << D.Error;
+  ASSERT_EQ(M.FinalStates.size(), D.FinalStates.size());
+  for (size_t I = 0; I < M.FinalStates.size(); ++I)
+    EXPECT_EQ(M.FinalStates[I]->str(), D.FinalStates[I]->str());
+}
+
+TEST(CascadeDepthTest, SameMonitorTypeTwiceViaQualifiers) {
+  // Two counting profilers with different labels coexist.
+  auto P = parseOk("letrec f = lambda n. if n = 0 then {ca:A}: 0 else "
+                   "({cb:B}: n) + f (n - 1) in f 3");
+  class NamedCounting : public CountingProfiler {
+  public:
+    NamedCounting(std::string N) : Nm(std::move(N)) {}
+    std::string_view name() const override { return Nm; }
+
+  private:
+    std::string Nm;
+  };
+  NamedCounting CA("ca"), CB("cb");
+  Cascade C = cascadeOf({&CA, &CB});
+  RunResult R = evaluate(C, P->root());
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.FinalStates[0]->str(), "<1, 0>");
+  EXPECT_EQ(R.FinalStates[1]->str(), "<0, 3>");
+}
+
+TEST(CascadeDepthTest, EmptyCascadeIsStandardSemantics) {
+  auto P = parseOk("{A}: 1 + 2");
+  Cascade Empty;
+  RunResult R = evaluate(Empty, P->root());
+  EXPECT_TRUE(R.Ok);
+  EXPECT_EQ(R.IntValue, 3);
+  EXPECT_TRUE(R.FinalStates.empty());
+}
+
+TEST(CascadeDepthTest, MonitorsComposeAcrossStrategies) {
+  auto P = parseOk(QuadSrc);
+  CallProfiler Prof;
+  Tracer Trc;
+  for (Strategy S :
+       {Strategy::Strict, Strategy::CallByName, Strategy::CallByNeed}) {
+    RunOptions Opts;
+    Opts.Strat = S;
+    Cascade C = cascadeOf({&Prof, &Trc});
+    RunResult R = evaluate(C, P->root(), Opts);
+    ASSERT_TRUE(R.Ok) << strategyName(S) << ": " << R.Error;
+    EXPECT_EQ(R.IntValue, 24) << strategyName(S);
+    EXPECT_EQ(CallProfiler::state(*R.FinalStates[0]).count("fac"), 5u)
+        << strategyName(S);
+  }
+}

@@ -1,0 +1,184 @@
+//===- tests/cli_test.cpp - CLI integration tests --------------------------===//
+//
+// Drives the `monsem` command-line tool end-to-end over the sample
+// programs (popen; no extra test infrastructure).
+//
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#ifndef MONSEM_CLI_PATH
+#error "MONSEM_CLI_PATH must be defined by the build"
+#endif
+#ifndef MONSEM_SOURCE_DIR
+#error "MONSEM_SOURCE_DIR must be defined by the build"
+#endif
+
+namespace {
+
+struct CliResult {
+  int ExitCode;
+  std::string Output; // stdout + stderr.
+};
+
+CliResult runShell(const std::string &Cmd);
+
+CliResult runCli(const std::string &Args) {
+  return runShell(std::string(MONSEM_CLI_PATH) + " " + Args);
+}
+
+CliResult runShell(const std::string &RawCmd) {
+  std::string Cmd = RawCmd + " 2>&1";
+  FILE *Pipe = popen(Cmd.c_str(), "r");
+  EXPECT_NE(Pipe, nullptr);
+  std::string Out;
+  char Buf[512];
+  while (size_t N = fread(Buf, 1, sizeof(Buf), Pipe))
+    Out.append(Buf, N);
+  int Status = pclose(Pipe);
+  return CliResult{WEXITSTATUS(Status), Out};
+}
+
+std::string sample(const char *Name) {
+  return std::string(MONSEM_SOURCE_DIR) + "/examples/programs/" + Name;
+}
+
+} // namespace
+
+TEST(CliTest, PlainRun) {
+  CliResult R = runCli(sample("fac.lam"));
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  EXPECT_NE(R.Output.find("3628800"), std::string::npos) << R.Output;
+}
+
+TEST(CliTest, ProfileAndCost) {
+  CliResult R = runCli(sample("fib.lam") + " --profile --cost");
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  EXPECT_NE(R.Output.find("profile: [fib -> 8361]"), std::string::npos)
+      << R.Output;
+  EXPECT_NE(R.Output.find("cost: [fib: calls=8361"), std::string::npos)
+      << R.Output;
+}
+
+TEST(CliTest, TraceEmitsPaperFormat) {
+  CliResult R = runCli(sample("fac.lam") + " --trace");
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  EXPECT_NE(R.Output.find("[FAC receives (10)]"), std::string::npos)
+      << R.Output;
+  EXPECT_NE(R.Output.find("[FAC returns 3628800]"), std::string::npos);
+}
+
+TEST(CliTest, DemonFlagsSortSample) {
+  CliResult R = runCli(sample("sort.lam") + " --demon-sorted");
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  EXPECT_NE(R.Output.find("demon: {input}"), std::string::npos) << R.Output;
+}
+
+TEST(CliTest, CollectingMonitor) {
+  CliResult R = runCli(sample("collect.lam") + " --collect");
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  EXPECT_NE(R.Output.find("test -> {False, True}"), std::string::npos)
+      << R.Output;
+}
+
+TEST(CliTest, VmAndInterpreterAgree) {
+  CliResult Interp = runCli(sample("church.lam"));
+  CliResult VM = runCli(sample("church.lam") + " --vm");
+  EXPECT_EQ(Interp.ExitCode, 0);
+  EXPECT_EQ(VM.ExitCode, 0);
+  EXPECT_EQ(Interp.Output, VM.Output);
+}
+
+TEST(CliTest, PartialEvaluationRun) {
+  CliResult R = runCli(sample("fac.lam") + " --pe --print-residual");
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  EXPECT_NE(R.Output.find("residual: 3628800"), std::string::npos)
+      << R.Output;
+}
+
+TEST(CliTest, LazyStrategy) {
+  CliResult R = runCli(sample("church.lam") + " --strategy=need");
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  EXPECT_NE(R.Output.find("12"), std::string::npos);
+}
+
+TEST(CliTest, ImperativeWatch) {
+  CliResult R = runCli(sample("gcd.imp") + " --imp --imp-watch=a");
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  EXPECT_NE(R.Output.find("step: a 252 -> 147"), std::string::npos)
+      << R.Output;
+  EXPECT_NE(R.Output.find("store: a = 21; b = 21;"), std::string::npos);
+}
+
+TEST(CliTest, MaxStepsFuel) {
+  CliResult R = runShell(
+      std::string("printf 'letrec loop = lambda x. loop x in loop 1' | ") +
+      MONSEM_CLI_PATH + " - --max-steps=100");
+  EXPECT_NE(R.ExitCode, 0);
+  EXPECT_NE(R.Output.find("fuel exhausted"), std::string::npos) << R.Output;
+}
+
+TEST(CliTest, ParseErrorsExitNonzero) {
+  CliResult R = runShell(std::string("printf 'lambda . oops' | ") +
+                         MONSEM_CLI_PATH + " -");
+  EXPECT_NE(R.ExitCode, 0);
+  EXPECT_NE(R.Output.find("error"), std::string::npos);
+}
+
+TEST(CliTest, StdinImperative) {
+  CliResult R = runShell(std::string("printf 'print 1+2' | ") +
+                         MONSEM_CLI_PATH + " - --imp");
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  EXPECT_NE(R.Output.find("3"), std::string::npos);
+}
+
+TEST(CliTest, UsageOnBadFlag) {
+  CliResult R = runCli(sample("fac.lam") + " --no-such-flag");
+  EXPECT_EQ(R.ExitCode, 2);
+  EXPECT_NE(R.Output.find("usage:"), std::string::npos);
+}
+
+TEST(CliTest, CoverageReport) {
+  CliResult R = runCli(sample("ackermann.lam") + " --coverage");
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  EXPECT_NE(R.Output.find("cover: 8/8 points hit"), std::string::npos)
+      << R.Output;
+}
+
+TEST(CliTest, ReplSession) {
+  CliResult R = runShell(
+      std::string("printf ':let sq = lambda x. x * x\\n:monitor profile\\n"
+                  "sq 7\\n:quit\\n' | ") +
+      MONSEM_CLI_PATH + " --repl");
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  EXPECT_NE(R.Output.find("49"), std::string::npos) << R.Output;
+  EXPECT_NE(R.Output.find("profile: [sq -> 1]"), std::string::npos)
+      << R.Output;
+}
+
+TEST(CliTest, ReplRejectsBadDefinitions) {
+  CliResult R = runShell(std::string("printf ':let broken = lambda .\\n"
+                                     "1 + 1\\n:quit\\n' | ") +
+                         MONSEM_CLI_PATH + " --repl");
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  EXPECT_NE(R.Output.find("error"), std::string::npos) << R.Output;
+  EXPECT_NE(R.Output.find("2"), std::string::npos)
+      << "later evaluations must still work";
+}
+
+TEST(CliTest, PreludeQuicksort) {
+  CliResult R = runCli(sample("quicksort.lam") + " --prelude");
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  EXPECT_NE(R.Output.find("[1, 2, 3, 3, 5, 7, 8, 9]"), std::string::npos)
+      << R.Output;
+}
+
+TEST(CliTest, ImperativeReadInput) {
+  CliResult R =
+      runCli(sample("average.imp") + " --imp --input=3,10,20,12");
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  EXPECT_NE(R.Output.find("14"), std::string::npos) << R.Output;
+}

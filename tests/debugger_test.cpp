@@ -1,0 +1,181 @@
+//===- tests/debugger_test.cpp - Scripted dbx-style debugger sessions ------===//
+
+#include "interp/Eval.h"
+#include "monitors/Debugger.h"
+#include "monitors/Profiler.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace monsem;
+
+namespace {
+
+std::unique_ptr<ParsedProgram> parseOk(std::string_view Src) {
+  auto P = ParsedProgram::parse(Src);
+  EXPECT_TRUE(P->ok()) << P->diags().str();
+  return P;
+}
+
+const char *FacSrc =
+    "letrec fac = lambda x. {fac(x)}: if x = 0 then 1 else "
+    "x * fac (x - 1) in fac 3";
+
+std::vector<std::string> runScript(std::vector<std::string> Script,
+                                   std::string_view Src = FacSrc) {
+  auto P = parseOk(Src);
+  Debugger Dbg(std::move(Script));
+  Cascade C;
+  C.use(Dbg);
+  RunResult R = evaluate(C, P->root());
+  EXPECT_TRUE(R.Ok) << R.Error;
+  return Debugger::state(*R.FinalStates[0]).Chan.lines();
+}
+
+} // namespace
+
+TEST(DebuggerTest, StopsAtFirstEventAndContinues) {
+  auto Lines = runScript({"continue"});
+  ASSERT_GE(Lines.size(), 1u);
+  EXPECT_EQ(Lines[0], "stopped at fac(x = 3)");
+  EXPECT_EQ(Lines.size(), 1u) << "continue must run to completion";
+}
+
+TEST(DebuggerTest, SteppingVisitsEveryCall) {
+  auto Lines = runScript({"step", "step", "step", "step", "quit"});
+  std::vector<std::string> Stops;
+  for (const auto &L : Lines)
+    if (L.rfind("stopped at", 0) == 0)
+      Stops.push_back(L);
+  ASSERT_EQ(Stops.size(), 4u);
+  EXPECT_EQ(Stops[0], "stopped at fac(x = 3)");
+  EXPECT_EQ(Stops[1], "stopped at fac(x = 2)");
+  EXPECT_EQ(Stops[2], "stopped at fac(x = 1)");
+  EXPECT_EQ(Stops[3], "stopped at fac(x = 0)");
+}
+
+TEST(DebuggerTest, StepModeReportsReturns) {
+  auto Lines = runScript({"step", "step", "step", "step", "step"});
+  bool SawReturn = false;
+  for (const auto &L : Lines)
+    if (L.find("fac returned") != std::string::npos)
+      SawReturn = true;
+  EXPECT_TRUE(SawReturn);
+}
+
+TEST(DebuggerTest, PrintInspectsEnvironment) {
+  auto Lines = runScript({"print x", "continue"});
+  ASSERT_GE(Lines.size(), 2u);
+  EXPECT_EQ(Lines[1], "x = 3");
+}
+
+TEST(DebuggerTest, PrintUnboundVariable) {
+  auto Lines = runScript({"print nothere", "continue"});
+  EXPECT_EQ(Lines[1], "nothere = ?");
+}
+
+TEST(DebuggerTest, LocalsListsBindings) {
+  auto Lines = runScript({"locals", "continue"});
+  bool SawX = false;
+  for (const auto &L : Lines)
+    if (L.find("x = 3") != std::string::npos)
+      SawX = true;
+  EXPECT_TRUE(SawX);
+}
+
+TEST(DebuggerTest, WhereShowsCallStack) {
+  // Stop at the third fac event and ask for a backtrace.
+  auto Lines = runScript({"step", "step", "where", "quit"});
+  // After two steps we are stopped at fac(x = 1) with three frames live.
+  std::vector<std::string> Frames;
+  for (const auto &L : Lines)
+    if (L.find("#") != std::string::npos)
+      Frames.push_back(L);
+  ASSERT_EQ(Frames.size(), 3u);
+  EXPECT_NE(Frames[0].find("fac(x = 1)"), std::string::npos)
+      << "innermost frame first";
+  EXPECT_NE(Frames[2].find("fac(x = 3)"), std::string::npos);
+}
+
+TEST(DebuggerTest, BreakpointsSkipUninterestingEvents) {
+  const char *Src =
+      "letrec g = lambda y. {g(y)}: y + 1 in "
+      "letrec f = lambda x. {f(x)}: g x in f 41";
+  auto Lines = runScript({"break g", "continue", "print y", "quit"}, Src);
+  // First stop: f (debugger starts in stepping mode); then runs to g.
+  ASSERT_GE(Lines.size(), 4u);
+  EXPECT_EQ(Lines[0], "stopped at f(x = 41)");
+  EXPECT_EQ(Lines[1], "breakpoint set on g");
+  EXPECT_EQ(Lines[2], "stopped at g(y = 41)");
+  EXPECT_EQ(Lines[3], "y = 41");
+}
+
+TEST(DebuggerTest, DeleteBreakpoint) {
+  const char *Src =
+      "letrec g = lambda y. {g(y)}: y + 1 in "
+      "letrec f = lambda x. {f(x)}: g x + g x in f 1";
+  auto Lines = runScript(
+      {"break g", "continue", "delete g", "continue"}, Src);
+  unsigned Stops = 0;
+  for (const auto &L : Lines)
+    if (L.rfind("stopped at", 0) == 0)
+      ++Stops;
+  EXPECT_EQ(Stops, 2u) << "f stop + first g stop only";
+}
+
+TEST(DebuggerTest, ExhaustedScriptDetaches) {
+  auto Lines = runScript({});
+  EXPECT_EQ(Lines.size(), 1u);
+  EXPECT_EQ(Lines[0], "stopped at fac(x = 3)");
+}
+
+TEST(DebuggerTest, UnknownCommandIsReported) {
+  auto Lines = runScript({"frobnicate", "continue"});
+  EXPECT_EQ(Lines[1], "unknown command: frobnicate");
+}
+
+TEST(DebuggerTest, MonitorsCommandObservesInnerStates) {
+  // Annotations are routed by qualifier: {profile:...} to the profiler,
+  // {debug:...} to the debugger. At the third debug stop (fac 1) the
+  // profiler has already counted the calls for x = 3, 2, 1 — the outer
+  // annotation fires after the inner one in this nesting.
+  auto Q = parseOk("letrec fac = lambda x. {profile:fac}: {debug:fac(x)}: "
+                   "if x = 0 then 1 else x * fac (x - 1) in fac 3");
+  CallProfiler Prof;
+  Debugger Dbg({"step", "step", "monitors", "quit"});
+  Cascade C;
+  C.use(Prof).use(Dbg);
+  RunResult R = evaluate(C, Q->root());
+  ASSERT_TRUE(R.Ok) << R.Error;
+  const auto &Lines = Debugger::state(*R.FinalStates[1]).Chan.lines();
+  bool Saw = false;
+  for (const auto &L : Lines)
+    if (L.find("monitor 0: [fac -> 3]") != std::string::npos)
+      Saw = true;
+  EXPECT_TRUE(Saw) << Debugger::state(*R.FinalStates[1]).Chan.str();
+}
+
+TEST(DebuggerTest, InteractiveStreamSource) {
+  std::istringstream In("print x\ncontinue\n");
+  std::ostringstream Out;
+  Debugger Dbg(In, Out);
+  auto P = parseOk(FacSrc);
+  Cascade C;
+  C.use(Dbg);
+  RunResult R = evaluate(C, P->root());
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_NE(Out.str().find("stopped at fac(x = 3)"), std::string::npos);
+  EXPECT_NE(Out.str().find("x = 3"), std::string::npos);
+}
+
+TEST(DebuggerTest, SoundnessDespiteInteraction) {
+  auto P = parseOk(FacSrc);
+  RunResult Std = evaluate(P->root());
+  Debugger Dbg({"step", "print x", "where", "step", "continue"});
+  Cascade C;
+  C.use(Dbg);
+  RunResult Mon = evaluate(C, P->root());
+  EXPECT_TRUE(Mon.sameOutcome(Std));
+  EXPECT_EQ(Mon.IntValue, 6);
+}

@@ -1,0 +1,236 @@
+//===- tests/edge_test.cpp - Targeted edge-case tests ----------------------===//
+//
+// Corner cases of each evaluator that the broad property tests hit only
+// probabilistically: letrec in expression position, closures escaping
+// letrec scopes, higher-order primitives under laziness, PE fallback
+// paths, and output-channel echoing.
+//
+//===----------------------------------------------------------------------===//
+
+#include "compile/VM.h"
+#include "interp/Direct.h"
+#include "interp/Eval.h"
+#include "monitors/Profiler.h"
+#include "pe/PartialEval.h"
+#include "support/OutChan.h"
+#include "syntax/Printer.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace monsem;
+
+namespace {
+
+std::unique_ptr<ParsedProgram> parseOk(std::string_view Src) {
+  auto P = ParsedProgram::parse(Src);
+  EXPECT_TRUE(P->ok()) << P->diags().str();
+  return P;
+}
+
+/// Runs Src on CEK (all strategies), VM, and Direct; all must produce
+/// \p Expected.
+void everywhere(std::string_view Src, std::string_view Expected) {
+  auto P = parseOk(Src);
+  RunResult Strict = evaluate(P->root());
+  ASSERT_TRUE(Strict.Ok) << Src << ": " << Strict.Error;
+  EXPECT_EQ(Strict.ValueText, Expected) << Src;
+  for (Strategy S : {Strategy::CallByName, Strategy::CallByNeed}) {
+    RunOptions Opts;
+    Opts.Strat = S;
+    RunResult R = evaluate(P->root(), Opts);
+    ASSERT_TRUE(R.Ok) << Src << " (" << strategyName(S) << "): " << R.Error;
+    EXPECT_EQ(R.ValueText, Expected) << Src;
+  }
+  Cascade Empty;
+  RunResult VM = evaluateCompiled(Empty, P->root());
+  ASSERT_TRUE(VM.Ok) << Src << " (VM): " << VM.Error;
+  EXPECT_EQ(VM.ValueText, Expected) << Src;
+  RunResult Dir = runDirect(P->root());
+  if (!Dir.FuelExhausted) {
+    ASSERT_TRUE(Dir.Ok) << Src << " (direct): " << Dir.Error;
+    EXPECT_EQ(Dir.ValueText, Expected) << Src;
+  }
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// letrec placement
+//===----------------------------------------------------------------------===//
+
+TEST(EdgeTest, LetrecInExpressionPosition) {
+  everywhere("1 + (letrec x = 2 in x) + 3", "6");
+  everywhere("(letrec f = lambda x. x * 2 in f) 21", "42");
+  everywhere("hd (letrec l = [7, 8] in l)", "7");
+}
+
+TEST(EdgeTest, LetrecUnderLambda) {
+  everywhere("(lambda n. letrec f = lambda x. if x = 0 then 0 else "
+             "n + f (x - 1) in f 3) 5",
+             "15");
+}
+
+TEST(EdgeTest, ClosureEscapingLetrecScope) {
+  // The closure returned from the letrec body still sees f.
+  everywhere("(letrec f = lambda x. if x = 0 then 0 else 1 + f (x - 1) "
+             "in lambda y. f y) 4",
+             "4");
+}
+
+TEST(EdgeTest, ShadowingCapturesLexically) {
+  // The lambda-bound f shadows the letrec f in the body, while the passed
+  // function captured the letrec f at its definition site.
+  everywhere("letrec f = lambda x. x + 1 in "
+             "(lambda f. f 10) (lambda x. f x * 2)",
+             "22");
+}
+
+TEST(EdgeTest, LetrecValueUsingEarlierLetrec) {
+  everywhere("letrec f = lambda x. x * x in letrec v = f 5 in v + 1", "26");
+}
+
+//===----------------------------------------------------------------------===//
+// Higher-order primitives and partial application
+//===----------------------------------------------------------------------===//
+
+TEST(EdgeTest, PartialPrimitivesEverywhere) {
+  everywhere("let m3 = min 3 in m3 1 + m3 7", "4");
+  everywhere("letrec map = lambda f l. if l = [] then [] else "
+             "f (hd l) : map f (tl l) in map (min 4) [2, 6]",
+             "[2, 4]");
+}
+
+TEST(EdgeTest, PrimitiveAsResult) {
+  everywhere("(if true then hd else tl) [9, 1]", "9");
+}
+
+TEST(EdgeTest, CurriedApplicationChains) {
+  everywhere("(lambda a b c d. a - b + c - d) 10 1 2 3", "8");
+}
+
+//===----------------------------------------------------------------------===//
+// Booleans, strings, comparisons
+//===----------------------------------------------------------------------===//
+
+TEST(EdgeTest, StringValues) {
+  everywhere("\"abc\"", "abc");
+  everywhere("if \"a\" < \"b\" then 1 else 2", "1");
+  everywhere("\"x\" = \"x\"", "True");
+  everywhere("[\"a\", \"b\"]", "[a, b]");
+}
+
+TEST(EdgeTest, MixedTypeEquality) {
+  everywhere("1 = true", "False");
+  everywhere("[] = 0", "False");
+  everywhere("[1, [2, 3]] = [1, [2, 3]]", "True");
+}
+
+//===----------------------------------------------------------------------===//
+// Annotations in unusual positions
+//===----------------------------------------------------------------------===//
+
+TEST(EdgeTest, AnnotationOnConditionAndBranches) {
+  auto P = parseOk("letrec f = lambda n. if {c}: (n = 0) then {t}: 1 "
+                   "else {e}: f (n - 1) in f 2");
+  CallProfiler Prof;
+  Cascade C;
+  C.use(Prof);
+  RunResult R = evaluate(C, P->root());
+  ASSERT_TRUE(R.Ok) << R.Error;
+  const auto &S = CallProfiler::state(*R.FinalStates[0]);
+  EXPECT_EQ(S.count("c"), 3u);
+  EXPECT_EQ(S.count("t"), 1u);
+  EXPECT_EQ(S.count("e"), 2u);
+}
+
+TEST(EdgeTest, AnnotationOnLambdaItself) {
+  // The annotation fires when the lambda *expression* is evaluated (once,
+  // yielding a closure), not when the function is applied.
+  auto P = parseOk("let f = ({mk}: lambda x. x + 1) in f 1 + f 2");
+  CallProfiler Prof;
+  Cascade C;
+  C.use(Prof);
+  RunResult R = evaluate(C, P->root());
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(CallProfiler::state(*R.FinalStates[0]).count("mk"), 1u);
+  EXPECT_EQ(R.IntValue, 5);
+}
+
+//===----------------------------------------------------------------------===//
+// PE fallback paths
+//===----------------------------------------------------------------------===//
+
+TEST(PEEdgeTest, EscapedRecursiveClosureStaysCorrect) {
+  // f escapes its letrec and is applied outside; whether or not the
+  // specializer manages to fold it, the answer must be preserved.
+  const char *Src = "(letrec f = lambda x. if x = 0 then 0 else "
+                    "1 + f (x - 1) in lambda y. f y) 6";
+  auto P = parseOk(Src);
+  AstContext Out;
+  PEResult R = partialEvaluate(Out, P->root());
+  RunResult Orig = evaluate(P->root());
+  RunResult Res = evaluate(R.Residual);
+  ASSERT_TRUE(Res.Ok) << Res.Error << "\n" << printExpr(R.Residual);
+  EXPECT_EQ(Orig.ValueText, Res.ValueText);
+}
+
+TEST(PEEdgeTest, SpecializeApplyWithStaticListArgument) {
+  const char *Sum = "letrec sum = lambda l. if l = [] then 0 else "
+                    "hd l + sum (tl l) in lambda extra l. extra + sum l";
+  auto P = parseOk(Sum);
+  AstContext Out, ArgCtx;
+  DiagnosticSink D;
+  const Expr *List = parseProgram(ArgCtx, "[1, 2]", D);
+  ASSERT_NE(List, nullptr);
+  // `extra` is static (100), the list stays dynamic.
+  PEResult R = specializeApply(Out, P->root(), {ArgCtx.mkInt(100)}, 1);
+  ASSERT_FALSE(R.GaveUp);
+  AstContext AppCtx;
+  const Expr *App =
+      AppCtx.mkApp(cloneExpr(AppCtx, R.Residual), cloneExpr(AppCtx, List));
+  EXPECT_EQ(evaluate(App).IntValue, 103);
+}
+
+TEST(PEEdgeTest, ResidualOfDynamicConditionKeepsBothBranches) {
+  auto P = parseOk("lambda b. if b then 1 + 1 else 2 + 2");
+  AstContext Out;
+  PEResult R = partialEvaluate(Out, P->root());
+  ASSERT_FALSE(R.GaveUp);
+  std::string Text = printExpr(R.Residual);
+  EXPECT_NE(Text.find("2"), std::string::npos);
+  EXPECT_NE(Text.find("4"), std::string::npos) << Text;
+  AstContext AppCtx;
+  const Expr *App =
+      AppCtx.mkApp(cloneExpr(AppCtx, R.Residual), AppCtx.mkBool(false));
+  EXPECT_EQ(evaluate(App).IntValue, 4);
+}
+
+TEST(PEEdgeTest, SelfReferencingValueLetrecResidualizes) {
+  // letrec v = <mentions v> cannot be folded; the residual still errors
+  // the same way at run time.
+  auto P = parseOk("letrec v = v + 1 in v");
+  AstContext Out;
+  PEResult R = partialEvaluate(Out, P->root());
+  RunResult Orig = evaluate(P->root());
+  RunResult Res = evaluate(R.Residual);
+  EXPECT_FALSE(Res.Ok);
+  EXPECT_EQ(Orig.Error.find("before initialization") != std::string::npos,
+            Res.Error.find("before initialization") != std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// OutChan echo
+//===----------------------------------------------------------------------===//
+
+TEST(EdgeTest, OutChanEchoesLive) {
+  std::ostringstream OS;
+  OutChan C;
+  C.echoTo(&OS);
+  C.addLine("one");
+  C.addText("tw");
+  C.endLine();
+  EXPECT_EQ(OS.str(), "one\ntw\n");
+  EXPECT_EQ(C.str(), "one\ntw\n");
+}

@@ -1,0 +1,327 @@
+//===- tests/extension_test.cpp - Extension monitors & debugger extras -----===//
+
+#include "interp/Eval.h"
+#include "compile/VM.h"
+#include "monitors/AllocProfiler.h"
+#include "monitors/CallGraph.h"
+#include "monitors/CostProfiler.h"
+#include "monitors/Debugger.h"
+#include "monitors/FlightRecorder.h"
+#include "monitors/Profiler.h"
+#include "syntax/Annotator.h"
+
+#include <gtest/gtest.h>
+
+using namespace monsem;
+
+namespace {
+
+std::unique_ptr<ParsedProgram> parseOk(std::string_view Src) {
+  auto P = ParsedProgram::parse(Src);
+  EXPECT_TRUE(P->ok()) << P->diags().str();
+  return P;
+}
+
+RunResult runWith(const Monitor &M, const Expr *E) {
+  Cascade C;
+  C.use(M);
+  return evaluate(C, E);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// CostProfiler
+//===----------------------------------------------------------------------===//
+
+TEST(CostProfilerTest, AccumulatesInclusiveCosts) {
+  auto P = parseOk("letrec fac = lambda x. {fac}: if x = 0 then 1 else "
+                   "x * fac (x - 1) in fac 5");
+  CostProfiler M;
+  RunResult R = runWith(M, P->root());
+  ASSERT_TRUE(R.Ok) << R.Error;
+  const auto &S = CostProfiler::state(*R.FinalStates[0]);
+  const auto *E = S.entry("fac");
+  ASSERT_NE(E, nullptr);
+  EXPECT_EQ(E->Calls, 6u);
+  // The outermost call includes all inner ones (inclusive cost), so the
+  // maximum is strictly larger than the minimum (the base case).
+  EXPECT_GT(E->MaxSteps, E->MinSteps);
+  EXPECT_GE(E->TotalSteps, E->MaxSteps);
+  EXPECT_TRUE(S.Stack.empty()) << "all probes matched";
+}
+
+TEST(CostProfilerTest, DistinguishesCheapAndExpensiveFunctions) {
+  auto P = parseOk(
+      "letrec cheap = lambda x. {cheap}: x in "
+      "letrec pricey = lambda x. {pricey}: "
+      "(letrec spin = lambda n. if n = 0 then x else spin (n - 1) "
+      "in spin 100) in cheap 1 + pricey 1");
+  CostProfiler M;
+  RunResult R = runWith(M, P->root());
+  ASSERT_TRUE(R.Ok) << R.Error;
+  const auto &S = CostProfiler::state(*R.FinalStates[0]);
+  ASSERT_NE(S.entry("cheap"), nullptr);
+  ASSERT_NE(S.entry("pricey"), nullptr);
+  EXPECT_GT(S.entry("pricey")->TotalSteps,
+            10 * S.entry("cheap")->TotalSteps);
+}
+
+TEST(CostProfilerTest, StateRendering) {
+  auto P = parseOk("{f}: 1 + 1");
+  CostProfiler M;
+  RunResult R = runWith(M, P->root());
+  std::string Text = R.FinalStates[0]->str();
+  EXPECT_NE(Text.find("f: calls=1"), std::string::npos) << Text;
+}
+
+//===----------------------------------------------------------------------===//
+// CallGraphMonitor
+//===----------------------------------------------------------------------===//
+
+TEST(CallGraphTest, RecordsEdgesWithCounts) {
+  auto P = parseOk(
+      "letrec mul = lambda x. lambda y. {mul}:(x*y) in "
+      "letrec fac = lambda x. {fac}: if (x=0) then 1 else "
+      "mul x (fac (x-1)) in fac 3");
+  CallGraphMonitor M;
+  RunResult R = runWith(M, P->root());
+  ASSERT_TRUE(R.Ok) << R.Error;
+  const auto &S = CallGraphMonitor::state(*R.FinalStates[0]);
+  EXPECT_EQ(S.edge("<root>", "fac"), 1u);
+  EXPECT_EQ(S.edge("fac", "fac"), 3u);
+  EXPECT_EQ(S.edge("fac", "mul"), 3u);
+  EXPECT_EQ(S.edge("mul", "fac"), 0u);
+  EXPECT_TRUE(S.Stack.empty());
+}
+
+TEST(CallGraphTest, MutualStructureViaHigherOrder) {
+  auto P = parseOk(
+      "letrec apply = lambda f x. {apply}: f x in "
+      "letrec double = lambda x. {double}: x * 2 in "
+      "apply double 1 + apply double 2");
+  CallGraphMonitor M;
+  RunResult R = runWith(M, P->root());
+  ASSERT_TRUE(R.Ok) << R.Error;
+  const auto &S = CallGraphMonitor::state(*R.FinalStates[0]);
+  EXPECT_EQ(S.edge("<root>", "apply"), 2u);
+  EXPECT_EQ(S.edge("apply", "double"), 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// Debugger: conditional breakpoints and watchpoints
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::vector<std::string> debugFac(std::vector<std::string> Script) {
+  auto P = parseOk("letrec fac = lambda x. {fac(x)}: if x = 0 then 1 else "
+                   "x * fac (x - 1) in fac 5");
+  Debugger Dbg(std::move(Script));
+  Cascade C;
+  C.use(Dbg);
+  RunResult R = evaluate(C, P->root());
+  EXPECT_TRUE(R.Ok) << R.Error;
+  return Debugger::state(*R.FinalStates[0]).Chan.lines();
+}
+
+} // namespace
+
+TEST(DebuggerExtrasTest, ConditionalBreakpoint) {
+  auto Lines = debugFac({"breakif fac x 2", "continue", "print x", "quit"});
+  // First stop (stepping) at fac(x = 5); then the condition fires at x = 2.
+  bool SawCondition = false, SawStop2 = false, SawPrint = false;
+  for (const auto &L : Lines) {
+    if (L == "condition hit: x = 2")
+      SawCondition = true;
+    if (L == "stopped at fac(x = 2)")
+      SawStop2 = true;
+    if (L == "x = 2")
+      SawPrint = true;
+  }
+  EXPECT_TRUE(SawCondition);
+  EXPECT_TRUE(SawStop2);
+  EXPECT_TRUE(SawPrint);
+}
+
+TEST(DebuggerExtrasTest, ConditionalBreakpointSkipsNonMatching) {
+  auto Lines = debugFac({"breakif fac x 2", "continue", "quit"});
+  unsigned Stops = 0;
+  for (const auto &L : Lines)
+    if (L.rfind("stopped at", 0) == 0)
+      ++Stops;
+  EXPECT_EQ(Stops, 2u) << "initial stepping stop + the x=2 stop only";
+}
+
+TEST(DebuggerExtrasTest, WatchpointFiresOnChange) {
+  auto Lines = debugFac({"watch x", "continue", "continue", "quit"});
+  bool SawHit = false;
+  for (const auto &L : Lines)
+    if (L == "watch hit: x 5 -> 4")
+      SawHit = true;
+  EXPECT_TRUE(SawHit) << "x changes 5 -> 4 at the second fac event";
+}
+
+TEST(DebuggerExtrasTest, DeleteRemovesConditionalBreakpoints) {
+  auto Lines =
+      debugFac({"breakif fac x 2", "delete fac", "continue"});
+  unsigned Stops = 0;
+  for (const auto &L : Lines)
+    if (L.rfind("stopped at", 0) == 0)
+      ++Stops;
+  EXPECT_EQ(Stops, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Annotator stacking (multiple monitors, distinct qualifiers)
+//===----------------------------------------------------------------------===//
+
+TEST(AnnotatorStackingTest, QualifiedAnnotationsStack) {
+  auto P = parseOk("letrec f = lambda x. x in f 1");
+  AnnotateOptions TraceOpts;
+  TraceOpts.Qualifier = Symbol::intern("trace");
+  TraceOpts.WithParams = true;
+  AnnotateOptions ProfOpts;
+  ProfOpts.Qualifier = Symbol::intern("profile");
+  const Expr *A1 = annotateFunctionBodies(P->context(), P->root(), {},
+                                          TraceOpts);
+  const Expr *A2 = annotateFunctionBodies(P->context(), A1, {}, ProfOpts);
+  std::vector<const Annotation *> Anns;
+  collectAnnotations(A2, Anns);
+  ASSERT_EQ(Anns.size(), 2u);
+  // Re-annotating with an already-present qualifier is still idempotent.
+  const Expr *A3 = annotateFunctionBodies(P->context(), A2, {}, ProfOpts);
+  Anns.clear();
+  collectAnnotations(A3, Anns);
+  EXPECT_EQ(Anns.size(), 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// Failure injection: monitors must survive aborted runs
+//===----------------------------------------------------------------------===//
+
+TEST(FailureInjectionTest, StatesSurviveRuntimeErrors) {
+  auto P = parseOk("letrec f = lambda n. {f}: if n = 0 then hd [] else "
+                   "1 + f (n - 1) in f 3");
+  CallProfiler Prof;
+  Cascade C;
+  C.use(Prof);
+  RunResult R = evaluate(C, P->root());
+  EXPECT_FALSE(R.Ok);
+  ASSERT_EQ(R.FinalStates.size(), 1u);
+  // All four entries fired their pre before the error surfaced.
+  EXPECT_EQ(CallProfiler::state(*R.FinalStates[0]).count("f"), 4u);
+}
+
+TEST(FailureInjectionTest, StatesSurviveFuelExhaustion) {
+  auto P = parseOk("letrec loop = lambda n. {loop}: loop (n + 1) in loop 0");
+  CallProfiler Prof;
+  Cascade C;
+  C.use(Prof);
+  RunOptions Opts;
+  Opts.MaxSteps = 5000;
+  RunResult R = evaluate(C, P->root(), Opts);
+  EXPECT_TRUE(R.FuelExhausted);
+  ASSERT_EQ(R.FinalStates.size(), 1u);
+  EXPECT_GT(CallProfiler::state(*R.FinalStates[0]).count("loop"), 100u);
+}
+
+TEST(FailureInjectionTest, CostProfilerToleratesUnmatchedProbes) {
+  // An error aborts evaluation between pre and post; the cost profiler's
+  // stack must not confuse later runs (fresh state per run) or crash.
+  auto P = parseOk("{f}: (1 / 0)");
+  CostProfiler M;
+  Cascade C;
+  C.use(M);
+  RunResult R = evaluate(C, P->root());
+  EXPECT_FALSE(R.Ok);
+  const auto &S = CostProfiler::state(*R.FinalStates[0]);
+  EXPECT_EQ(S.Stack.size(), 1u) << "the aborted probe remains open";
+  EXPECT_EQ(S.Entries.count("f"), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// FlightRecorder
+//===----------------------------------------------------------------------===//
+
+TEST(FlightRecorderTest, KeepsOnlyTheTail) {
+  auto P = parseOk("letrec f = lambda n. {f(n)}: if n = 0 then 0 else "
+                   "f (n - 1) in f 10");
+  FlightRecorder Rec(4);
+  Cascade C;
+  C.use(Rec);
+  RunResult R = evaluate(C, P->root());
+  ASSERT_TRUE(R.Ok) << R.Error;
+  const auto &S = FlightRecorder::state(*R.FinalStates[0]);
+  EXPECT_EQ(S.TotalEvents, 22u); // 11 enters + 11 exits.
+  ASSERT_EQ(S.Ring.size(), 4u);
+  EXPECT_EQ(S.Ring.back(), "exit f = 0");
+}
+
+TEST(FlightRecorderTest, TailSurvivesTheCrash) {
+  // The recording shows the events leading up to the failure.
+  auto P = parseOk("letrec f = lambda n. {f(n)}: if n = 0 then hd [] else "
+                   "1 + f (n - 1) in f 3");
+  FlightRecorder Rec(3);
+  Cascade C;
+  C.use(Rec);
+  RunResult R = evaluate(C, P->root());
+  EXPECT_FALSE(R.Ok);
+  const auto &S = FlightRecorder::state(*R.FinalStates[0]);
+  ASSERT_EQ(S.Ring.size(), 3u);
+  EXPECT_EQ(S.Ring[0], "enter f (2)");
+  EXPECT_EQ(S.Ring[1], "enter f (1)");
+  EXPECT_EQ(S.Ring[2], "enter f (0)") << "the last event before the error";
+}
+
+//===----------------------------------------------------------------------===//
+// AllocProfiler
+//===----------------------------------------------------------------------===//
+
+TEST(AllocProfilerTest, MeasuresInclusiveAllocation) {
+  // `big` builds a 500-cell list; `small` allocates almost nothing.
+  auto P = parseOk(
+      "letrec build = lambda n. if n = 0 then [] else n : build (n - 1) in "
+      "letrec big = lambda u. {big}: build 500 in "
+      "letrec small = lambda u. {small}: u + 1 in "
+      "(if null (big 0) then 0 else 1) + small 0");
+  AllocProfiler M;
+  Cascade C;
+  C.use(M);
+  RunResult R = evaluate(C, P->root());
+  ASSERT_TRUE(R.Ok) << R.Error;
+  const auto &S = AllocProfiler::state(*R.FinalStates[0]);
+  const auto *Big = S.entry("big");
+  const auto *Small = S.entry("small");
+  ASSERT_NE(Big, nullptr);
+  ASSERT_NE(Small, nullptr);
+  EXPECT_GE(Big->TotalBytes, 500u * sizeof(Cell));
+  EXPECT_GT(Big->TotalBytes, 10 * Small->TotalBytes);
+}
+
+TEST(AllocProfilerTest, WorksOnTheBytecodeVM) {
+  auto Q = parseOk(
+      "letrec build = lambda n. if n = 0 then [] else n : build (n - 1) in "
+      "letrec big = lambda u. {big}: build 100 in null (big 0)");
+  AllocProfiler M;
+  Cascade C;
+  C.use(M);
+  RunResult R = evaluateCompiled(C, Q->root());
+  ASSERT_TRUE(R.Ok) << R.Error;
+  const auto *Big = AllocProfiler::state(*R.FinalStates[0]).entry("big");
+  ASSERT_NE(Big, nullptr);
+  EXPECT_GE(Big->TotalBytes, 100u * sizeof(Cell));
+}
+
+TEST(AllocProfilerTest, SoundnessAndDeterminism) {
+  auto P = parseOk("letrec f = lambda n. {f}: if n = 0 then [] else "
+                   "n : f (n - 1) in null (f 50)");
+  AllocProfiler M;
+  Cascade C;
+  C.use(M);
+  RunResult Std = evaluate(P->root());
+  RunResult R1 = evaluate(C, P->root());
+  RunResult R2 = evaluate(C, P->root());
+  EXPECT_TRUE(R1.sameOutcome(Std));
+  EXPECT_EQ(R1.FinalStates[0]->str(), R2.FinalStates[0]->str());
+}

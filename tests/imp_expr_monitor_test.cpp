@@ -1,0 +1,125 @@
+//===- tests/imp_expr_monitor_test.cpp - Cross-level monitoring ------------===//
+//
+// The imperative module with *both* derivations active: command-level
+// monitors (ImpCascade) and an L_lambda cascade over the annotations
+// inside the commands' expressions — the two monitoring semantics
+// composed across language levels.
+//
+//===----------------------------------------------------------------------===//
+
+#include "imp/ImpMachine.h"
+#include "imp/ImpMonitors.h"
+#include "imp/ImpParser.h"
+#include "monitors/Collecting.h"
+#include "monitors/Profiler.h"
+
+#include <gtest/gtest.h>
+
+using namespace monsem;
+
+namespace {
+
+struct ParsedImp {
+  ImpContext Ctx;
+  DiagnosticSink Diags;
+  const Cmd *C = nullptr;
+};
+
+std::unique_ptr<ParsedImp> parseImpOk(std::string_view Src) {
+  auto P = std::make_unique<ParsedImp>();
+  P->C = parseImpProgram(P->Ctx, Src, P->Diags);
+  EXPECT_NE(P->C, nullptr) << P->Diags.str();
+  return P;
+}
+
+} // namespace
+
+TEST(ImpExprMonitorTest, ExpressionAnnotationsFire) {
+  auto P = parseImpOk("n := 4; acc := 0; "
+                      "while ({cond}: (n > 0)) do "
+                      "  acc := acc + ({sq}: (n * n)); n := n - 1 "
+                      "end; print acc");
+  CallProfiler Prof; // An L_lambda monitor over the expressions.
+  Cascade ExprC;
+  ExprC.use(Prof);
+  ImpCascade NoCmd;
+  ImpRunResult R = runImp(NoCmd, ExprC, P->C);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Output, (std::vector<std::string>{"30"}));
+  ASSERT_EQ(R.FinalStates.size(), 1u);
+  const auto &S = CallProfiler::state(*R.FinalStates[0]);
+  EXPECT_EQ(S.count("cond"), 5u) << "condition tested 5 times";
+  EXPECT_EQ(S.count("sq"), 4u);
+}
+
+TEST(ImpExprMonitorTest, CollectingValuesInsideCommands) {
+  auto P = parseImpOk("k := 3; "
+                      "while k > 0 do x := {v}: (k % 2); k := k - 1 end");
+  CollectingMonitor Coll;
+  Cascade ExprC;
+  ExprC.use(Coll);
+  ImpCascade NoCmd;
+  ImpRunResult R = runImp(NoCmd, ExprC, P->C);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  const auto *Set = CollectingMonitor::state(*R.FinalStates[0]).setFor("v");
+  ASSERT_NE(Set, nullptr);
+  EXPECT_EQ(*Set, (std::set<std::string>{"0", "1"}));
+}
+
+TEST(ImpExprMonitorTest, BothLevelsSimultaneously) {
+  auto P = parseImpOk("n := 3; "
+                      "while n > 0 do "
+                      "  {body}: n := ({dec}: (n - 1)) "
+                      "end");
+  ImpStmtProfiler CmdProf;
+  ImpCascade CmdC;
+  CmdC.use(CmdProf);
+  CallProfiler ExprProf;
+  Cascade ExprC;
+  ExprC.use(ExprProf);
+  ImpRunResult R = runImp(CmdC, ExprC, P->C);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  ASSERT_EQ(R.FinalStates.size(), 2u);
+  EXPECT_EQ(ImpStmtProfiler::state(*R.FinalStates[0]).count("body"), 3u);
+  EXPECT_EQ(CallProfiler::state(*R.FinalStates[1]).count("dec"), 3u);
+}
+
+TEST(ImpExprMonitorTest, SoundnessAcrossLevels) {
+  auto P = parseImpOk("a := 10; "
+                      "while a > 0 do {b}: a := ({e}: (a - 3)) end; "
+                      "print a");
+  ImpRunResult Std = runImp(P->C);
+  ImpStmtProfiler CmdProf;
+  ImpCascade CmdC;
+  CmdC.use(CmdProf);
+  CallProfiler ExprProf;
+  Cascade ExprC;
+  ExprC.use(ExprProf);
+  ImpRunResult Mon = runImp(CmdC, ExprC, P->C);
+  ASSERT_TRUE(Mon.Ok) << Mon.Error;
+  EXPECT_EQ(Mon.Output, Std.Output);
+  EXPECT_EQ(Mon.Store, Std.Store);
+}
+
+TEST(ImpExprMonitorTest, AmbiguousExpressionCascadeRejected) {
+  auto P = parseImpOk("x := {v}: 1");
+  CallProfiler Prof;
+  CollectingMonitor Coll; // Both accept bare labels.
+  Cascade ExprC;
+  ExprC.use(Prof).use(Coll);
+  ImpCascade NoCmd;
+  ImpRunResult R = runImp(NoCmd, ExprC, P->C);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("two monitors"), std::string::npos);
+}
+
+TEST(ImpExprMonitorTest, ErrorsSkipPostProbe) {
+  auto P = parseImpOk("x := {v}: (1 / 0)");
+  CollectingMonitor Coll;
+  Cascade ExprC;
+  ExprC.use(Coll);
+  ImpCascade NoCmd;
+  ImpRunResult R = runImp(NoCmd, ExprC, P->C);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_EQ(CollectingMonitor::state(*R.FinalStates[0]).Sets.size(), 0u);
+}

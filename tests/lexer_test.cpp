@@ -1,0 +1,140 @@
+//===- tests/lexer_test.cpp - Lexer unit tests -----------------------------===//
+
+#include "syntax/Lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace monsem;
+
+namespace {
+
+std::vector<Token> lexAll(std::string_view Src, DiagnosticSink &Diags) {
+  Lexer L(Src, Diags);
+  std::vector<Token> Out;
+  while (true) {
+    Token T = L.next();
+    bool Eof = T.is(TokenKind::Eof);
+    Out.push_back(std::move(T));
+    if (Eof)
+      break;
+  }
+  return Out;
+}
+
+std::vector<TokenKind> kindsOf(std::string_view Src) {
+  DiagnosticSink D;
+  std::vector<TokenKind> Ks;
+  for (const Token &T : lexAll(Src, D))
+    Ks.push_back(T.Kind);
+  return Ks;
+}
+
+} // namespace
+
+TEST(LexerTest, Keywords) {
+  auto Ks = kindsOf("lambda if then else letrec let in true false and or");
+  std::vector<TokenKind> Want = {
+      TokenKind::KwLambda, TokenKind::KwIf,   TokenKind::KwThen,
+      TokenKind::KwElse,   TokenKind::KwLetrec, TokenKind::KwLet,
+      TokenKind::KwIn,     TokenKind::KwTrue, TokenKind::KwFalse,
+      TokenKind::KwAnd,    TokenKind::KwOr,   TokenKind::Eof};
+  EXPECT_EQ(Ks, Want);
+}
+
+TEST(LexerTest, OperatorsAndPunctuation) {
+  auto Ks = kindsOf("( ) [ ] { } , . : ; := = == <> < <= > >= + - * / %");
+  std::vector<TokenKind> Want = {
+      TokenKind::LParen,  TokenKind::RParen,   TokenKind::LBracket,
+      TokenKind::RBracket, TokenKind::LBrace,  TokenKind::RBrace,
+      TokenKind::Comma,   TokenKind::Dot,      TokenKind::Colon,
+      TokenKind::Semi,    TokenKind::Assign,   TokenKind::Eq,
+      TokenKind::Eq,      TokenKind::Ne,       TokenKind::Lt,
+      TokenKind::Le,      TokenKind::Gt,       TokenKind::Ge,
+      TokenKind::Plus,    TokenKind::Minus,    TokenKind::Star,
+      TokenKind::Slash,   TokenKind::Percent,  TokenKind::Eof};
+  EXPECT_EQ(Ks, Want);
+}
+
+TEST(LexerTest, IntegerLiterals) {
+  DiagnosticSink D;
+  auto Ts = lexAll("0 42 123456789", D);
+  ASSERT_EQ(Ts.size(), 4u);
+  EXPECT_EQ(Ts[0].IntValue, 0);
+  EXPECT_EQ(Ts[1].IntValue, 42);
+  EXPECT_EQ(Ts[2].IntValue, 123456789);
+  EXPECT_FALSE(D.hasErrors());
+}
+
+TEST(LexerTest, IntegerOverflowDiagnosed) {
+  DiagnosticSink D;
+  lexAll("99999999999999999999999999", D);
+  EXPECT_TRUE(D.hasErrors());
+}
+
+TEST(LexerTest, IdentifiersWithPrimesAndQuestionMarks) {
+  DiagnosticSink D;
+  auto Ts = lexAll("foo x' sorted? _tmp fac1", D);
+  ASSERT_EQ(Ts.size(), 6u);
+  EXPECT_EQ(Ts[0].Ident.str(), "foo");
+  EXPECT_EQ(Ts[1].Ident.str(), "x'");
+  EXPECT_EQ(Ts[2].Ident.str(), "sorted?");
+  EXPECT_EQ(Ts[3].Ident.str(), "_tmp");
+  EXPECT_EQ(Ts[4].Ident.str(), "fac1");
+}
+
+TEST(LexerTest, StringLiteralsWithEscapes) {
+  DiagnosticSink D;
+  auto Ts = lexAll("\"hello\" \"a\\nb\" \"q\\\"q\"", D);
+  ASSERT_GE(Ts.size(), 3u);
+  EXPECT_EQ(Ts[0].StrValue, "hello");
+  EXPECT_EQ(Ts[1].StrValue, "a\nb");
+  EXPECT_EQ(Ts[2].StrValue, "q\"q");
+  EXPECT_FALSE(D.hasErrors());
+}
+
+TEST(LexerTest, UnterminatedStringDiagnosed) {
+  DiagnosticSink D;
+  lexAll("\"oops", D);
+  EXPECT_TRUE(D.hasErrors());
+}
+
+TEST(LexerTest, CommentsAreSkipped) {
+  auto Ks = kindsOf("1 -- a comment + * letrec\n2");
+  std::vector<TokenKind> Want = {TokenKind::IntLit, TokenKind::IntLit,
+                                 TokenKind::Eof};
+  EXPECT_EQ(Ks, Want);
+}
+
+TEST(LexerTest, BackslashIsLambda) {
+  auto Ks = kindsOf("\\x. x");
+  std::vector<TokenKind> Want = {TokenKind::KwLambda, TokenKind::Ident,
+                                 TokenKind::Dot, TokenKind::Ident,
+                                 TokenKind::Eof};
+  EXPECT_EQ(Ks, Want);
+}
+
+TEST(LexerTest, SourceLocations) {
+  DiagnosticSink D;
+  auto Ts = lexAll("ab\n  cd", D);
+  ASSERT_GE(Ts.size(), 2u);
+  EXPECT_EQ(Ts[0].Loc.Line, 1u);
+  EXPECT_EQ(Ts[0].Loc.Col, 1u);
+  EXPECT_EQ(Ts[1].Loc.Line, 2u);
+  EXPECT_EQ(Ts[1].Loc.Col, 3u);
+}
+
+TEST(LexerTest, PeekDoesNotConsume) {
+  DiagnosticSink D;
+  Lexer L("1 2", D);
+  EXPECT_EQ(L.peek().IntValue, 1);
+  EXPECT_EQ(L.peek().IntValue, 1);
+  EXPECT_EQ(L.next().IntValue, 1);
+  EXPECT_EQ(L.next().IntValue, 2);
+  EXPECT_TRUE(L.next().is(TokenKind::Eof));
+}
+
+TEST(LexerTest, UnexpectedCharacterDiagnosed) {
+  DiagnosticSink D;
+  lexAll("1 @ 2", D);
+  EXPECT_TRUE(D.hasErrors());
+}

@@ -1,0 +1,266 @@
+//===- tests/monitor_framework_test.cpp - Framework unit tests -------------===//
+
+#include "interp/Eval.h"
+#include "monitor/Cascade.h"
+#include "monitors/Collecting.h"
+#include "monitors/Profiler.h"
+#include "monitors/Tracer.h"
+
+#include <gtest/gtest.h>
+
+using namespace monsem;
+
+namespace {
+
+Annotation bare(const char *Head) {
+  Annotation A;
+  A.Head = Symbol::intern(Head);
+  return A;
+}
+
+Annotation header(const char *Head, std::initializer_list<const char *> Ps) {
+  Annotation A;
+  A.Head = Symbol::intern(Head);
+  A.HasParams = true;
+  for (const char *P : Ps)
+    A.Params.push_back(Symbol::intern(P));
+  return A;
+}
+
+Annotation qualified(const char *Qual, const char *Head) {
+  Annotation A = bare(Head);
+  A.Qual = Symbol::intern(Qual);
+  return A;
+}
+
+/// A monitor that records every event as "<pre|post> head" lines; useful
+/// for asserting dispatch order.
+class RecordingState : public MonitorState {
+public:
+  std::vector<std::string> Events;
+  std::string str() const override {
+    std::string Out;
+    for (const auto &E : Events)
+      Out += E + ";";
+    return Out;
+  }
+};
+
+class RecordingMonitor : public Monitor {
+public:
+  explicit RecordingMonitor(std::string Name, bool AcceptAll = true)
+      : Name(std::move(Name)), AcceptAll(AcceptAll) {}
+  std::string_view name() const override { return Name; }
+  bool accepts(const Annotation &Ann) const override { return AcceptAll; }
+  std::unique_ptr<MonitorState> initialState() const override {
+    return std::make_unique<RecordingState>();
+  }
+  void pre(const MonitorEvent &Ev, MonitorState &S) const override {
+    static_cast<RecordingState &>(S).Events.push_back(
+        "pre " + std::string(Ev.Ann.Head.str()));
+  }
+  void post(const MonitorEvent &Ev, Value V, MonitorState &S) const override {
+    static_cast<RecordingState &>(S).Events.push_back(
+        "post " + std::string(Ev.Ann.Head.str()) + "=" +
+        toDisplayString(V));
+  }
+
+private:
+  std::string Name;
+  bool AcceptAll;
+};
+
+} // namespace
+
+TEST(EnvViewTest, LookupAndRender) {
+  Arena A;
+  EnvNode *E = extendEnv(A, nullptr, Symbol::intern("x"), Value::mkInt(3));
+  E = extendEnv(A, E, Symbol::intern("y"), Value::mkBool(true));
+  EnvView V(E);
+  EXPECT_EQ(V.lookup(Symbol::intern("x"))->asInt(), 3);
+  EXPECT_EQ(V.lookupStr(Symbol::intern("y")), "True");
+  EXPECT_EQ(V.lookupStr(Symbol::intern("zz")), "?");
+  auto Bs = V.bindings();
+  ASSERT_EQ(Bs.size(), 2u);
+  EXPECT_EQ(Bs[0].first.str(), "y") << "innermost first";
+}
+
+TEST(CascadeTest, QualifiedAnnotationsRouteByName) {
+  CallProfiler Prof;
+  Tracer Trc;
+  Cascade C = cascadeOf({&Prof, &Trc});
+  Annotation QP = qualified("profile", "fac");
+  Annotation QT = qualified("trace", "fac");
+  Annotation QX = qualified("nosuch", "fac");
+  EXPECT_EQ(C.resolve(QP), 0);
+  EXPECT_EQ(C.resolve(QT), 1);
+  EXPECT_EQ(C.resolve(QX), -1);
+}
+
+TEST(CascadeTest, ShapeDisjointMonitorsResolveUniquely) {
+  CallProfiler Prof; // Accepts bare labels.
+  Tracer Trc;        // Accepts function headers.
+  Cascade C = cascadeOf({&Prof, &Trc});
+  Annotation B = bare("fac");
+  Annotation H = header("fac", {"x"});
+  EXPECT_EQ(C.resolve(B), 0);
+  EXPECT_EQ(C.resolve(H), 1);
+}
+
+TEST(CascadeTest, AmbiguityIsDetected) {
+  CallProfiler Prof;
+  CollectingMonitor Coll; // Both accept bare labels.
+  Cascade C = cascadeOf({&Prof, &Coll});
+  DiagnosticSink D;
+  Annotation B = bare("x");
+  EXPECT_EQ(C.resolve(B, &D), -2);
+  EXPECT_TRUE(D.hasErrors());
+}
+
+TEST(CascadeTest, ValidateForProgram) {
+  auto P = ParsedProgram::parse("letrec f = lambda x. {f}: x in f 1");
+  ASSERT_TRUE(P->ok());
+  CallProfiler Prof;
+  CollectingMonitor Coll;
+  Cascade Bad = cascadeOf({&Prof, &Coll});
+  DiagnosticSink D;
+  EXPECT_FALSE(Bad.validateFor(P->root(), D));
+
+  // Qualified annotations fix the ambiguity.
+  auto Q =
+      ParsedProgram::parse("letrec f = lambda x. {profile:f}: x in f 1");
+  ASSERT_TRUE(Q->ok());
+  DiagnosticSink D2;
+  EXPECT_TRUE(Bad.validateFor(Q->root(), D2));
+}
+
+TEST(CascadeTest, EvaluateRejectsAmbiguousCascades) {
+  auto P = ParsedProgram::parse("letrec f = lambda x. {f}: x in f 1");
+  ASSERT_TRUE(P->ok());
+  CallProfiler Prof;
+  CollectingMonitor Coll;
+  Cascade Bad = cascadeOf({&Prof, &Coll});
+  RunResult R = evaluate(Bad, P->root());
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("claimed by two monitors"), std::string::npos);
+}
+
+TEST(RuntimeCascadeTest, DispatchesPreAndPostInOrder) {
+  auto P = ParsedProgram::parse("{a}: ({b}: 1) + ({c}: 2)");
+  ASSERT_TRUE(P->ok());
+  RecordingMonitor Rec("rec");
+  Cascade C;
+  C.use(Rec);
+  RunResult R = evaluate(C, P->root());
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.FinalStates[0]->str(),
+            "pre a;pre b;post b=1;pre c;post c=2;post a=3;");
+}
+
+TEST(RuntimeCascadeTest, NestedAnnotationsFireOutsideInThenInsideOut) {
+  auto P = ParsedProgram::parse("{outer}: {inner}: 5");
+  ASSERT_TRUE(P->ok());
+  RecordingMonitor Rec("rec");
+  Cascade C;
+  C.use(Rec);
+  RunResult R = evaluate(C, P->root());
+  ASSERT_TRUE(R.Ok);
+  EXPECT_EQ(R.FinalStates[0]->str(),
+            "pre outer;pre inner;post inner=5;post outer=5;");
+}
+
+TEST(RuntimeCascadeTest, UnclaimedAnnotationsAreIgnored) {
+  auto P = ParsedProgram::parse("{trace:zzz}: 7");
+  ASSERT_TRUE(P->ok());
+  CallProfiler Prof;
+  Cascade C;
+  C.use(Prof);
+  RunResult R = evaluate(C, P->root());
+  ASSERT_TRUE(R.Ok);
+  EXPECT_EQ(R.IntValue, 7);
+  EXPECT_EQ(CallProfiler::state(*R.FinalStates[0]).Counters.size(), 0u);
+}
+
+TEST(RuntimeCascadeTest, InnerStatesAreObservable) {
+  // Section 6: an outer monitor reads the state of an inner one. The
+  // "meta" monitor snapshots the profiler's state at each of its events.
+  class MetaState : public MonitorState {
+  public:
+    std::vector<std::string> Snapshots;
+    std::string str() const override {
+      return Snapshots.empty() ? "" : Snapshots.back();
+    }
+  };
+  class MetaMonitor : public Monitor {
+  public:
+    std::string_view name() const override { return "meta"; }
+    bool accepts(const Annotation &Ann) const override {
+      return Ann.Head.str() == "snap";
+    }
+    std::unique_ptr<MonitorState> initialState() const override {
+      return std::make_unique<MetaState>();
+    }
+    void pre(const MonitorEvent &Ev, MonitorState &S) const override {
+      ASSERT_EQ(Ev.Ctx.numInnerMonitors(), 1u);
+      static_cast<MetaState &>(S).Snapshots.push_back(
+          Ev.Ctx.innerState(0).str());
+    }
+    void post(const MonitorEvent &, Value, MonitorState &) const override {}
+  };
+
+  auto P = ParsedProgram::parse(
+      "letrec f = lambda x. {f}: x in {meta:snap}: (f 1 + f 2)");
+  ASSERT_TRUE(P->ok());
+  CallProfiler Prof;
+  MetaMonitor Meta;
+  Cascade C;
+  C.use(Prof).use(Meta); // Prof is inner, Meta outer.
+  RunResult R = evaluate(C, P->root());
+  ASSERT_TRUE(R.Ok) << R.Error;
+  const auto &MS = static_cast<const MetaState &>(*R.FinalStates[1]);
+  ASSERT_EQ(MS.Snapshots.size(), 1u);
+  EXPECT_EQ(MS.Snapshots[0], "[]") << "snapshot taken before any f call";
+  EXPECT_EQ(R.FinalStates[0]->str(), "[f -> 2]");
+}
+
+TEST(SessionApiTest, AmpersandComposition) {
+  auto P = ParsedProgram::parse(
+      "letrec mul = lambda x. lambda y. {mul(x, y)}: {mul}:(x*y) in "
+      "letrec fac = lambda x. {fac(x)}: {fac}: if (x=0) then 1 else "
+      "mul x (fac (x-1)) in fac 3");
+  ASSERT_TRUE(P->ok());
+  CallProfiler Prof;
+  Tracer Trc;
+  RunResult R = evaluate(Prof & Trc & kStrict, P->root());
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.IntValue, 6);
+  ASSERT_EQ(R.FinalStates.size(), 2u);
+  EXPECT_EQ(R.FinalStates[0]->str(), "[fac -> 4, mul -> 3]");
+
+  std::string Desc = describeStates((Prof & Trc).C, R);
+  EXPECT_NE(Desc.find("profile: [fac -> 4, mul -> 3]"), std::string::npos);
+}
+
+TEST(SessionApiTest, StrategySelection) {
+  auto P = ParsedProgram::parse("(lambda x. 42) (hd [])");
+  ASSERT_TRUE(P->ok());
+  CallProfiler Prof;
+  EXPECT_FALSE(evaluate(Prof & kStrict, P->root()).Ok);
+  EXPECT_EQ(evaluate(Prof & kByNeed, P->root()).IntValue, 42);
+  EXPECT_EQ(evaluate(Prof & kByName, P->root()).IntValue, 42);
+}
+
+TEST(CascadeTest, ReportUnclaimedAnnotations) {
+  auto P = ParsedProgram::parse(
+      "({profile:a}: 1) + ({typo:b}: 2) + ({c(x)}: 3)");
+  ASSERT_TRUE(P->ok());
+  CallProfiler Prof; // Claims {profile:...} and bare labels; not headers.
+  Cascade C;
+  C.use(Prof);
+  DiagnosticSink Diags;
+  unsigned N = C.reportUnclaimed(P->root(), Diags);
+  EXPECT_EQ(N, 2u) << Diags.str();
+  EXPECT_NE(Diags.str().find("{typo:b}"), std::string::npos);
+  EXPECT_NE(Diags.str().find("{c(x)}"), std::string::npos);
+  EXPECT_FALSE(Diags.hasErrors()) << "warnings, not errors";
+}

@@ -1,0 +1,195 @@
+//===- tests/paper_examples_test.cpp - Golden tests for Sections 5 & 8 -----===//
+//
+// Each test reproduces one worked example from the paper, with the paper's
+// expected monitor state as the golden value. See EXPERIMENTS.md (E1-E5).
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Eval.h"
+#include "monitors/Collecting.h"
+#include "monitors/Demon.h"
+#include "monitors/Profiler.h"
+#include "monitors/Tracer.h"
+
+#include <gtest/gtest.h>
+
+using namespace monsem;
+
+namespace {
+
+std::unique_ptr<ParsedProgram> parseOk(std::string_view Src) {
+  auto P = ParsedProgram::parse(Src);
+  EXPECT_TRUE(P->ok()) << P->diags().str();
+  return P;
+}
+
+} // namespace
+
+// E1 — Section 5, Fig. 4: the counting profiler on annotated factorial.
+// "The profiling information gathered by monitoring this program with the
+//  above monitor would be sigma = <1, 5>."
+TEST(PaperExamples, E1_CountingProfiler) {
+  auto P = parseOk("letrec fac = lambda x. if (x = 0) then {A}:1 "
+                   "else {B}:(x * fac (x - 1)) in fac 5");
+  CountingProfiler Count;
+  Cascade C;
+  C.use(Count);
+  RunResult R = evaluate(C, P->root());
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.IntValue, 120);
+  EXPECT_EQ(R.FinalStates[0]->str(), "<1, 5>");
+  const auto &S = CountingProfiler::state(*R.FinalStates[0]);
+  EXPECT_EQ(S.CountA, 1u);
+  EXPECT_EQ(S.CountB, 5u);
+}
+
+// E2 — Section 8, Fig. 6: the call profiler.
+// "The profiler semantics would provide the following information in the
+//  counter environment: [fac -> 4, mul -> 3]"
+TEST(PaperExamples, E2_CallProfiler) {
+  auto P = parseOk(
+      "letrec mul = lambda x. lambda y. {mul}:(x*y) in "
+      "letrec fac = lambda x. {fac}:if (x=0) then 1 else mul x (fac (x-1)) "
+      "in fac 3");
+  CallProfiler Prof;
+  Cascade C;
+  C.use(Prof);
+  RunResult R = evaluate(C, P->root());
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.IntValue, 6);
+  const auto &S = CallProfiler::state(*R.FinalStates[0]);
+  EXPECT_EQ(S.count("fac"), 4u);
+  EXPECT_EQ(S.count("mul"), 3u);
+  EXPECT_EQ(R.FinalStates[0]->str(), "[fac -> 4, mul -> 3]");
+}
+
+// E3 — Section 8, Fig. 7: the fancy tracer on fac 3.
+TEST(PaperExamples, E3_Tracer) {
+  auto P = parseOk(
+      "letrec mul = lambda x. lambda y. {mul(x, y)}:(x*y) in "
+      "letrec fac = lambda x. {fac(x)}:if (x=0) then 1 else "
+      "mul x (fac (x-1)) in fac 3");
+  Tracer Trc;
+  Cascade C;
+  C.use(Trc);
+  RunResult R = evaluate(C, P->root());
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.IntValue, 6);
+
+  const char *Want = "[FAC receives (3)]\n"
+                     "     [FAC receives (2)]\n"
+                     "          [FAC receives (1)]\n"
+                     "               [FAC receives (0)]\n"
+                     "               [FAC returns 1]\n"
+                     "               [MUL receives (1 1)]\n"
+                     "               [MUL returns 1]\n"
+                     "          [FAC returns 1]\n"
+                     "          [MUL receives (2 1)]\n"
+                     "          [MUL returns 2]\n"
+                     "     [FAC returns 2]\n"
+                     "     [MUL receives (3 2)]\n"
+                     "     [MUL returns 6]\n"
+                     "[FAC returns 6]\n";
+  EXPECT_EQ(Tracer::state(*R.FinalStates[0]).Chan.str(), Want);
+}
+
+// E4 — Section 8, Fig. 8: the unsorted-list demon.
+// "The demon returns the following information in its state:
+//  sigma = {l1, l3}"
+TEST(PaperExamples, E4_UnsortedListDemon) {
+  auto P = parseOk(
+      "letrec inclist = lambda l. lambda acc. if (l = []) then acc else "
+      "inclist (tl l) (((hd l) + 1) : acc) in "
+      "letrec l1 = {l1}:(inclist [1, 10, 100] []) in "
+      "letrec l2 = {l2}:(inclist l1 []) in "
+      "letrec l3 = {l3}:(inclist l2 []) in l3");
+  Demon D = Demon::unsortedLists();
+  Cascade C;
+  C.use(D);
+  RunResult R = evaluate(C, P->root());
+  ASSERT_TRUE(R.Ok) << R.Error;
+  const auto &S = Demon::state(*R.FinalStates[0]);
+  EXPECT_TRUE(S.fired("l1"));
+  EXPECT_FALSE(S.fired("l2"));
+  EXPECT_TRUE(S.fired("l3"));
+  EXPECT_EQ(R.FinalStates[0]->str(), "{l1, l3}");
+}
+
+// The intermediate values of E4, for the record: l1 = [101, 11, 2]
+// (unsorted), l2 = [3, 12, 102] (sorted), l3 = [103, 13, 4] (unsorted).
+TEST(PaperExamples, E4_IntermediateValues) {
+  auto P1 = parseOk(
+      "letrec inclist = lambda l. lambda acc. if (l = []) then acc else "
+      "inclist (tl l) (((hd l) + 1) : acc) in inclist [1, 10, 100] []");
+  EXPECT_EQ(evaluate(P1->root()).ValueText, "[101, 11, 2]");
+  auto P2 = parseOk(
+      "letrec inclist = lambda l. lambda acc. if (l = []) then acc else "
+      "inclist (tl l) (((hd l) + 1) : acc) in "
+      "inclist (inclist [1, 10, 100] []) []");
+  EXPECT_EQ(evaluate(P2->root()).ValueText, "[3, 12, 102]");
+}
+
+// E5 — Section 8, Fig. 9: the collecting monitor on fac 3.
+// "[test -> {True, False}, n -> {1, 2, 3}]" — sets render sorted here.
+TEST(PaperExamples, E5_CollectingMonitor) {
+  auto P = parseOk("letrec fac = lambda n. if {test}:(n = 0) then 1 else "
+                   "({n}: n) * fac (n - 1) in fac 3");
+  CollectingMonitor Coll;
+  Cascade C;
+  C.use(Coll);
+  RunResult R = evaluate(C, P->root());
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.IntValue, 6);
+  const auto &S = CollectingMonitor::state(*R.FinalStates[0]);
+  const auto *Test = S.setFor("test");
+  ASSERT_NE(Test, nullptr);
+  EXPECT_EQ(*Test, (std::set<std::string>{"False", "True"}));
+  const auto *N = S.setFor("n");
+  ASSERT_NE(N, nullptr);
+  EXPECT_EQ(*N, (std::set<std::string>{"1", "2", "3"}));
+  EXPECT_EQ(R.FinalStates[0]->str(),
+            "[n -> {1, 2, 3}, test -> {False, True}]");
+}
+
+// Section 3.1: the answer-algebra parameterization example.
+TEST(PaperExamples, StringAnswerAlgebra) {
+  auto P = parseOk("letrec fac = lambda x. if x = 0 then 1 else "
+                   "x * fac (x - 1) in fac 5");
+  RunOptions Opts;
+  Opts.Algebra = &StringAnswerAlgebra::instance();
+  EXPECT_EQ(evaluate(P->root(), Opts).ValueText, "The result is: 120");
+}
+
+// Soundness on the paper's own examples: the monitored answer equals the
+// standard answer, and equals the answer of the annotation-stripped
+// program (Theorem 7.7).
+TEST(PaperExamples, SoundnessOnPaperPrograms) {
+  const char *Sources[] = {
+      "letrec fac = lambda x. if (x = 0) then {A}:1 "
+      "else {B}:(x * fac (x - 1)) in fac 5",
+      "letrec mul = lambda x. lambda y. {mul(x, y)}:(x*y) in "
+      "letrec fac = lambda x. {fac(x)}:if (x=0) then 1 else "
+      "mul x (fac (x-1)) in fac 3",
+      "letrec fac = lambda n. if {test}:(n = 0) then 1 else "
+      "({n}: n) * fac (n - 1) in fac 3",
+  };
+  CountingProfiler Count;
+  CallProfiler Prof;
+  Tracer Trc;
+  CollectingMonitor Coll;
+  for (const char *Src : Sources) {
+    auto P = parseOk(Src);
+    RunResult Std = evaluate(P->root());
+    AstContext Stripped;
+    const Expr *Plain = stripAnnotations(Stripped, P->root());
+    EXPECT_EQ(evaluate(Plain).ValueText, Std.ValueText);
+    for (const Monitor *M :
+         {static_cast<const Monitor *>(&Count),
+          static_cast<const Monitor *>(&Trc)}) {
+      Cascade C;
+      C.use(*M);
+      RunResult Mon = evaluate(C, P->root());
+      EXPECT_TRUE(Mon.sameOutcome(Std)) << Src;
+    }
+  }
+}

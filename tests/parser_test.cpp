@@ -1,0 +1,226 @@
+//===- tests/parser_test.cpp - Parser unit tests ---------------------------===//
+
+#include "syntax/Parser.h"
+#include "syntax/Printer.h"
+
+#include <gtest/gtest.h>
+
+using namespace monsem;
+
+namespace {
+
+struct Parsed {
+  AstContext Ctx;
+  DiagnosticSink Diags;
+  const Expr *E = nullptr;
+};
+
+std::unique_ptr<Parsed> parse(std::string_view Src, ParseOptions Opts = {}) {
+  auto P = std::make_unique<Parsed>();
+  P->E = parseProgram(P->Ctx, Src, P->Diags, Opts);
+  return P;
+}
+
+std::string reprint(std::string_view Src) {
+  auto P = parse(Src);
+  EXPECT_NE(P->E, nullptr) << P->Diags.str();
+  return P->E ? printExpr(P->E) : "<parse error>";
+}
+
+} // namespace
+
+TEST(ParserTest, Atoms) {
+  EXPECT_EQ(reprint("42"), "42");
+  EXPECT_EQ(reprint("true"), "true");
+  EXPECT_EQ(reprint("false"), "false");
+  EXPECT_EQ(reprint("[]"), "[]");
+  EXPECT_EQ(reprint("x"), "x");
+  EXPECT_EQ(reprint("\"hi\\n\""), "\"hi\\n\"");
+}
+
+TEST(ParserTest, ApplicationIsLeftAssociative) {
+  auto P = parse("f x y");
+  const auto *Outer = dyn_cast<AppExpr>(P->E);
+  ASSERT_NE(Outer, nullptr);
+  const auto *Inner = dyn_cast<AppExpr>(Outer->Fn);
+  ASSERT_NE(Inner, nullptr);
+  EXPECT_EQ(cast<VarExpr>(Inner->Fn)->Name.str(), "f");
+}
+
+TEST(ParserTest, ArithmeticPrecedence) {
+  // 1 + 2 * 3 parses as 1 + (2 * 3).
+  auto P = parse("1 + 2 * 3");
+  const auto *Add = dyn_cast<Prim2Expr>(P->E);
+  ASSERT_NE(Add, nullptr);
+  EXPECT_EQ(Add->Op, Prim2Op::Add);
+  EXPECT_EQ(cast<Prim2Expr>(Add->Rhs)->Op, Prim2Op::Mul);
+}
+
+TEST(ParserTest, ApplicationBindsTighterThanArithmetic) {
+  // f 1 + 2 parses as (f 1) + 2.
+  auto P = parse("f 1 + 2");
+  const auto *Add = dyn_cast<Prim2Expr>(P->E);
+  ASSERT_NE(Add, nullptr);
+  EXPECT_EQ(Add->Lhs->kind(), ExprKind::App);
+}
+
+TEST(ParserTest, ConsIsRightAssociative) {
+  auto P = parse("1 : 2 : []");
+  const auto *C = dyn_cast<Prim2Expr>(P->E);
+  ASSERT_NE(C, nullptr);
+  EXPECT_EQ(C->Op, Prim2Op::Cons);
+  EXPECT_EQ(cast<Prim2Expr>(C->Rhs)->Op, Prim2Op::Cons);
+}
+
+TEST(ParserTest, ComparisonIsNonAssociative) {
+  auto P = parse("1 < 2 < 3");
+  EXPECT_EQ(P->E, nullptr) << "chained comparison should not parse";
+  EXPECT_TRUE(P->Diags.hasErrors());
+}
+
+TEST(ParserTest, LambdaSugarsToNesting) {
+  auto P = parse("lambda x y. x");
+  const auto *L1 = dyn_cast<LamExpr>(P->E);
+  ASSERT_NE(L1, nullptr);
+  const auto *L2 = dyn_cast<LamExpr>(L1->Body);
+  ASSERT_NE(L2, nullptr);
+  EXPECT_EQ(L2->Param.str(), "y");
+}
+
+TEST(ParserTest, LetDesugarsToApplication) {
+  auto P = parse("let x = 1 in x + 1");
+  const auto *App = dyn_cast<AppExpr>(P->E);
+  ASSERT_NE(App, nullptr);
+  EXPECT_EQ(App->Fn->kind(), ExprKind::Lam);
+}
+
+TEST(ParserTest, AndOrDesugarToConditionals) {
+  auto P = parse("true and false");
+  ASSERT_EQ(P->E->kind(), ExprKind::If);
+  auto Q = parse("true or false");
+  ASSERT_EQ(Q->E->kind(), ExprKind::If);
+}
+
+TEST(ParserTest, ListLiteralDesugarsToConsChain) {
+  auto P = parse("[1, 2]");
+  const auto *C = dyn_cast<Prim2Expr>(P->E);
+  ASSERT_NE(C, nullptr);
+  EXPECT_EQ(C->Op, Prim2Op::Cons);
+  const auto *C2 = dyn_cast<Prim2Expr>(C->Rhs);
+  ASSERT_NE(C2, nullptr);
+  EXPECT_EQ(cast<ConstExpr>(C2->Rhs)->Val.K, ConstVal::Kind::Nil);
+}
+
+TEST(ParserTest, LetrecAcceptsNonLambdaBindings) {
+  auto P = parse("letrec l1 = {l1}:(1 : []) in l1");
+  ASSERT_NE(P->E, nullptr) << P->Diags.str();
+  const auto *L = dyn_cast<LetrecExpr>(P->E);
+  ASSERT_NE(L, nullptr);
+  EXPECT_EQ(L->Bound->kind(), ExprKind::Annot);
+}
+
+TEST(ParserTest, AnnotationForms) {
+  // Bare label.
+  auto P1 = parse("{A}: 1");
+  const auto *A1 = dyn_cast<AnnotExpr>(P1->E);
+  ASSERT_NE(A1, nullptr);
+  EXPECT_EQ(A1->Ann->Head.str(), "A");
+  EXPECT_FALSE(A1->Ann->HasParams);
+  EXPECT_TRUE(A1->Ann->Qual.empty());
+
+  // Function header.
+  auto P2 = parse("{mul(x, y)}: x * y");
+  const auto *A2 = dyn_cast<AnnotExpr>(P2->E);
+  ASSERT_NE(A2, nullptr);
+  EXPECT_TRUE(A2->Ann->HasParams);
+  ASSERT_EQ(A2->Ann->Params.size(), 2u);
+  EXPECT_EQ(A2->Ann->Params[1].str(), "y");
+
+  // Qualified.
+  auto P3 = parse("{trace:fac(x)}: 1");
+  const auto *A3 = dyn_cast<AnnotExpr>(P3->E);
+  ASSERT_NE(A3, nullptr);
+  EXPECT_EQ(A3->Ann->Qual.str(), "trace");
+  EXPECT_EQ(A3->Ann->Head.str(), "fac");
+}
+
+TEST(ParserTest, AnnotationExtendsMaximallyRight) {
+  auto P = parse("{fac}: if x = 0 then 1 else 2");
+  const auto *A = dyn_cast<AnnotExpr>(P->E);
+  ASSERT_NE(A, nullptr);
+  EXPECT_EQ(A->Inner->kind(), ExprKind::If);
+}
+
+TEST(ParserTest, PrimResolutionSaturated) {
+  auto P = parse("hd [1]");
+  EXPECT_EQ(P->E->kind(), ExprKind::Prim1);
+  auto Q = parse("min 1 2");
+  EXPECT_EQ(Q->E->kind(), ExprKind::Prim2);
+}
+
+TEST(ParserTest, PrimResolutionRespectsShadowing) {
+  auto P = parse("lambda hd. hd [1]");
+  const auto *L = dyn_cast<LamExpr>(P->E);
+  ASSERT_NE(L, nullptr);
+  EXPECT_EQ(L->Body->kind(), ExprKind::App)
+      << "shadowed 'hd' must stay a variable application";
+}
+
+TEST(ParserTest, UnsaturatedPrimStaysVariable) {
+  auto P = parse("min 1");
+  EXPECT_EQ(P->E->kind(), ExprKind::App);
+  auto Q = parse("hd");
+  EXPECT_EQ(Q->E->kind(), ExprKind::Var);
+}
+
+TEST(ParserTest, PrimResolutionCanBeDisabled) {
+  ParseOptions Opts;
+  Opts.ResolvePrims = false;
+  auto P = parse("hd [1]", Opts);
+  EXPECT_EQ(P->E->kind(), ExprKind::App);
+}
+
+TEST(ParserTest, UnaryMinusFoldsLiterals) {
+  auto P = parse("-3");
+  const auto *C = dyn_cast<ConstExpr>(P->E);
+  ASSERT_NE(C, nullptr);
+  EXPECT_EQ(C->Val.Int, -3);
+}
+
+TEST(ParserTest, ErrorsAreReported) {
+  EXPECT_TRUE(parse("lambda . x")->Diags.hasErrors());
+  EXPECT_TRUE(parse("if 1 then 2")->Diags.hasErrors());
+  EXPECT_TRUE(parse("(1")->Diags.hasErrors());
+  EXPECT_TRUE(parse("letrec = 1 in 2")->Diags.hasErrors());
+  EXPECT_TRUE(parse("1 2 )")->Diags.hasErrors());
+  EXPECT_TRUE(parse("{}: 1")->Diags.hasErrors());
+}
+
+TEST(ParserTest, PaperFactorialParses) {
+  auto P = parse("letrec fac = lambda x. if x = 0 then {A}:1 "
+                 "else {B}:(x * fac (x - 1)) in fac 5");
+  ASSERT_NE(P->E, nullptr) << P->Diags.str();
+  const auto *L = dyn_cast<LetrecExpr>(P->E);
+  ASSERT_NE(L, nullptr);
+  EXPECT_EQ(L->Name.str(), "fac");
+}
+
+TEST(ParserTest, StructuralEqualityAndClone) {
+  auto P = parse("letrec f = lambda x. {f(x)}: x + 1 in f 3");
+  AstContext Other;
+  const Expr *Copy = cloneExpr(Other, P->E);
+  EXPECT_TRUE(exprEquals(P->E, Copy));
+  EXPECT_EQ(printExpr(P->E), printExpr(Copy));
+  EXPECT_EQ(exprSize(P->E), exprSize(Copy));
+}
+
+TEST(ParserTest, StripAnnotations) {
+  auto P = parse("letrec f = lambda x. {f(x)}: x + 1 in f 3");
+  AstContext Other;
+  const Expr *Stripped = stripAnnotations(Other, P->E);
+  std::vector<const Annotation *> Anns;
+  collectAnnotations(Stripped, Anns);
+  EXPECT_TRUE(Anns.empty());
+  auto Q = parse("letrec f = lambda x. x + 1 in f 3");
+  EXPECT_TRUE(exprEquals(Stripped, Q->E));
+}

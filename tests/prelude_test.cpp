@@ -1,0 +1,132 @@
+//===- tests/prelude_test.cpp - Standard-prelude tests ---------------------===//
+
+#include "compile/VM.h"
+#include "interp/Eval.h"
+#include "monitors/Profiler.h"
+#include "syntax/Annotator.h"
+#include "syntax/Prelude.h"
+
+#include <gtest/gtest.h>
+
+using namespace monsem;
+
+namespace {
+
+RunResult runP(std::string_view Src,
+               Strategy S = Strategy::Strict) {
+  auto P = ParsedProgram::parse(Src);
+  EXPECT_TRUE(P->ok()) << P->diags().str();
+  DiagnosticSink Diags;
+  const Expr *Wrapped = wrapWithPrelude(P->context(), P->root(), Diags);
+  EXPECT_NE(Wrapped, nullptr) << Diags.str();
+  RunOptions Opts;
+  Opts.Strat = S;
+  return evaluate(Wrapped, Opts);
+}
+
+std::string evalP(std::string_view Src) {
+  RunResult R = runP(Src);
+  EXPECT_TRUE(R.Ok) << R.Error << " for: " << Src;
+  return R.ValueText;
+}
+
+} // namespace
+
+TEST(PreludeTest, Basics) {
+  EXPECT_EQ(evalP("id 42"), "42");
+  EXPECT_EQ(evalP("compose (lambda x. x + 1) (lambda x. x * 2) 5"), "11");
+  EXPECT_EQ(evalP("flip (lambda a b. a - b) 3 10"), "7");
+}
+
+TEST(PreludeTest, ListBasics) {
+  EXPECT_EQ(evalP("length [4, 5, 6]"), "3");
+  EXPECT_EQ(evalP("length []"), "0");
+  EXPECT_EQ(evalP("append [1, 2] [3]"), "[1, 2, 3]");
+  EXPECT_EQ(evalP("reverse [1, 2, 3]"), "[3, 2, 1]");
+  EXPECT_EQ(evalP("nth 2 [5, 6, 7]"), "7");
+}
+
+TEST(PreludeTest, HigherOrder) {
+  EXPECT_EQ(evalP("map (lambda x. x * x) [1, 2, 3]"), "[1, 4, 9]");
+  EXPECT_EQ(evalP("filter (lambda x. x % 2 = 0) (range 1 10)"),
+            "[2, 4, 6, 8, 10]");
+  EXPECT_EQ(evalP("foldl (lambda a b. a - b) 100 [1, 2, 3]"), "94");
+  EXPECT_EQ(evalP("foldr (lambda a b. a : b) [] [1, 2]"), "[1, 2]");
+  EXPECT_EQ(evalP("zipwith (lambda a b. a * b) [1, 2, 3] [4, 5]"),
+            "[4, 10]");
+}
+
+TEST(PreludeTest, RangesTakesDrops) {
+  EXPECT_EQ(evalP("range 3 6"), "[3, 4, 5, 6]");
+  EXPECT_EQ(evalP("range 5 1"), "[]");
+  EXPECT_EQ(evalP("take 2 [1, 2, 3]"), "[1, 2]");
+  EXPECT_EQ(evalP("take 9 [1]"), "[1]");
+  EXPECT_EQ(evalP("drop 2 [1, 2, 3]"), "[3]");
+  EXPECT_EQ(evalP("drop 0 [1]"), "[1]");
+}
+
+TEST(PreludeTest, Reductions) {
+  EXPECT_EQ(evalP("sum (range 1 100)"), "5050");
+  EXPECT_EQ(evalP("product [1, 2, 3, 4]"), "24");
+  EXPECT_EQ(evalP("elem 3 [1, 2, 3]"), "True");
+  EXPECT_EQ(evalP("elem 9 [1, 2, 3]"), "False");
+  EXPECT_EQ(evalP("all (lambda x. x > 0) [1, 2]"), "True");
+  EXPECT_EQ(evalP("any (lambda x. x < 0) [1, 2]"), "False");
+}
+
+TEST(PreludeTest, Quicksort) {
+  const char *Qs =
+      "letrec qsort = lambda l. "
+      "  if l = [] then [] "
+      "  else append (qsort (filter (lambda x. x < hd l) (tl l))) "
+      "       (hd l : qsort (filter (lambda x. x >= hd l) (tl l))) "
+      "in qsort [5, 3, 9, 1, 7, 3]";
+  EXPECT_EQ(evalP(Qs), "[1, 3, 3, 5, 7, 9]");
+}
+
+TEST(PreludeTest, WorksUnderLazyStrategies) {
+  for (Strategy S : {Strategy::CallByName, Strategy::CallByNeed}) {
+    RunResult R = runP("sum (map (lambda x. x * 2) (range 1 10))", S);
+    ASSERT_TRUE(R.Ok) << strategyName(S) << ": " << R.Error;
+    EXPECT_EQ(R.ValueText, "110");
+  }
+}
+
+TEST(PreludeTest, CompilesToBytecode) {
+  auto P = ParsedProgram::parse("sum (range 1 50)");
+  ASSERT_TRUE(P->ok());
+  DiagnosticSink Diags;
+  const Expr *Wrapped = wrapWithPrelude(P->context(), P->root(), Diags);
+  ASSERT_NE(Wrapped, nullptr);
+  Cascade Empty;
+  RunResult R = evaluateCompiled(Empty, Wrapped);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.ValueText, "1275");
+}
+
+TEST(PreludeTest, PreludeFunctionsAreMonitorable) {
+  // The prelude is object-language code: profile its functions like any
+  // user code by annotating the wrapped program.
+  auto P = ParsedProgram::parse("sum (map (lambda x. x + 1) (range 1 5))");
+  ASSERT_TRUE(P->ok());
+  DiagnosticSink Diags;
+  const Expr *Wrapped = wrapWithPrelude(P->context(), P->root(), Diags);
+  ASSERT_NE(Wrapped, nullptr);
+  const Expr *Ann = annotateFunctionBodies(
+      P->context(), Wrapped,
+      {Symbol::intern("map"), Symbol::intern("foldl"),
+       Symbol::intern("range")});
+  CallProfiler Prof;
+  Cascade C;
+  C.use(Prof);
+  RunResult R = evaluate(C, Ann);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.IntValue, 20);
+  const auto &S = CallProfiler::state(*R.FinalStates[0]);
+  EXPECT_EQ(S.count("map"), 1u) << "map's outer lambda body runs once";
+  EXPECT_EQ(S.count("range"), 1u);
+}
+
+TEST(PreludeTest, UserBindingsShadowPrelude) {
+  EXPECT_EQ(evalP("let map = 7 in map"), "7");
+}

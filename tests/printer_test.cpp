@@ -1,0 +1,105 @@
+//===- tests/printer_test.cpp - Printer round-trip tests -------------------===//
+
+#include "syntax/Parser.h"
+#include "syntax/Printer.h"
+
+#include <gtest/gtest.h>
+
+using namespace monsem;
+
+namespace {
+
+const Expr *parseOk(AstContext &Ctx, std::string_view Src) {
+  DiagnosticSink D;
+  const Expr *E = parseProgram(Ctx, Src, D);
+  EXPECT_NE(E, nullptr) << "parse failed for: " << Src << "\n" << D.str();
+  return E;
+}
+
+/// parse(print(parse(Src))) must equal parse(Src).
+void roundTrip(std::string_view Src) {
+  AstContext C1, C2;
+  const Expr *E1 = parseOk(C1, Src);
+  if (!E1)
+    return;
+  std::string Printed = printExpr(E1);
+  DiagnosticSink D;
+  const Expr *E2 = parseProgram(C2, Printed, D);
+  ASSERT_NE(E2, nullptr) << "reparse failed for: " << Printed << "\n"
+                         << D.str();
+  EXPECT_TRUE(exprEquals(E1, E2))
+      << "round-trip mismatch:\n  source:  " << Src
+      << "\n  printed: " << Printed << "\n  reprint: " << printExpr(E2);
+}
+
+} // namespace
+
+TEST(PrinterTest, Constants) {
+  roundTrip("42");
+  roundTrip("-17");
+  roundTrip("true");
+  roundTrip("false");
+  roundTrip("[]");
+  roundTrip("\"a\\\"b\\n\"");
+}
+
+TEST(PrinterTest, OperatorsAndPrecedence) {
+  roundTrip("1 + 2 * 3");
+  roundTrip("(1 + 2) * 3");
+  roundTrip("1 - 2 - 3");
+  roundTrip("1 - (2 - 3)");
+  roundTrip("1 : 2 : []");
+  roundTrip("(1 : []) : []");
+  roundTrip("1 + 2 = 3");
+  roundTrip("1 < 2");
+  roundTrip("x % 2 = 0");
+  roundTrip("-x + 1");
+  roundTrip("-(x + 1)");
+}
+
+TEST(PrinterTest, ApplicationsAndFunctions) {
+  roundTrip("f x y");
+  roundTrip("f (g x)");
+  roundTrip("(lambda x. x) 5");
+  roundTrip("lambda x y. x + y");
+  roundTrip("f (lambda x. x)");
+  roundTrip("f (-3)");
+  roundTrip("hd [1, 2]");
+  roundTrip("min (f 1) 2");
+}
+
+TEST(PrinterTest, ControlForms) {
+  roundTrip("if x = 0 then 1 else 2");
+  roundTrip("1 + (if b then 1 else 2)");
+  roundTrip("letrec f = lambda x. f x in f 1");
+  roundTrip("letrec f = lambda x. f x in letrec g = lambda y. g y in f (g 1)");
+}
+
+TEST(PrinterTest, Annotations) {
+  roundTrip("{A}: 1");
+  roundTrip("{fac(x)}: if x = 0 then 1 else x * fac (x - 1)");
+  roundTrip("{trace:mul(x, y)}: x * y");
+  roundTrip("{outer}: {inner}: 1");
+  roundTrip("1 + ({A}: 2)");
+}
+
+TEST(PrinterTest, PaperPrograms) {
+  roundTrip("letrec mul = lambda x. lambda y. {mul(x, y)}:(x*y) in "
+            "letrec fac = lambda x. {fac(x)}:if (x=0) then 1 else "
+            "mul x (fac (x-1)) in fac 3");
+  roundTrip("letrec inclist = lambda l. lambda acc. if (l=[]) then acc "
+            "else inclist (tl l) (((hd l)+1):acc) in "
+            "letrec l1 = {l1}:(inclist [1,10,100] []) in l1");
+}
+
+TEST(PrinterTest, LambdaCoalescing) {
+  AstContext Ctx;
+  const Expr *E = parseOk(Ctx, "lambda x. lambda y. x");
+  EXPECT_EQ(printExpr(E), "lambda x y. x");
+}
+
+TEST(PrinterTest, ListsPrintAsConsChains) {
+  AstContext Ctx;
+  const Expr *E = parseOk(Ctx, "[1, 2, 3]");
+  EXPECT_EQ(printExpr(E), "1 : 2 : 3 : []");
+}

@@ -1,0 +1,154 @@
+//===- tests/programs_test.cpp - Sample-program corpus ---------------------===//
+//
+// Runs every shipped sample program (examples/programs) through all the
+// evaluators and checks they agree — an end-to-end differential test over
+// realistic programs rather than generated ones.
+//
+//===----------------------------------------------------------------------===//
+
+#include "compile/VM.h"
+#include "imp/ImpMachine.h"
+#include "imp/ImpParser.h"
+#include "interp/Direct.h"
+#include "interp/Eval.h"
+#include "monitors/Profiler.h"
+#include "pe/PartialEval.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+using namespace monsem;
+
+#ifndef MONSEM_SOURCE_DIR
+#error "MONSEM_SOURCE_DIR must be defined by the build"
+#endif
+
+namespace {
+
+std::string readFile(const std::string &Rel) {
+  std::string Path = std::string(MONSEM_SOURCE_DIR) + "/" + Rel;
+  std::ifstream In(Path);
+  EXPECT_TRUE(In.good()) << "cannot open " << Path;
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+struct Sample {
+  const char *File;
+  const char *Expected;
+};
+
+const Sample Samples[] = {
+    {"examples/programs/fac.lam", "3628800"},
+    {"examples/programs/fib.lam", "2584"},
+    {"examples/programs/sort.lam", "[1, 3, 5, 7, 9]"},
+    {"examples/programs/collect.lam", "120"},
+    {"examples/programs/church.lam", "12"},
+    {"examples/programs/ackermann.lam", "9"},
+    {"examples/programs/mergesort.lam", "[1, 2, 3, 4, 7, 8, 9]"},
+    {"examples/programs/primes.lam",
+     "[2, 3, 5, 7, 11, 13, 17, 19, 23, 29]"},
+};
+
+} // namespace
+
+class SampleProgramTest : public ::testing::TestWithParam<Sample> {};
+
+TEST_P(SampleProgramTest, AllEvaluatorsAgree) {
+  const Sample &S = GetParam();
+  auto P = ParsedProgram::parse(readFile(S.File));
+  ASSERT_TRUE(P->ok()) << P->diags().str();
+
+  // CEK, strict.
+  RunResult Strict = evaluate(P->root());
+  ASSERT_TRUE(Strict.Ok) << Strict.Error;
+  EXPECT_EQ(Strict.ValueText, S.Expected) << S.File;
+
+  // CEK, lazy strategies. Call-by-name re-evaluates thunks, which is
+  // legitimately exponential on some programs (mergesort's repeated list
+  // destructuring), so the lazy runs carry fuel and exhaustion skips the
+  // comparison rather than failing it.
+  for (Strategy St : {Strategy::CallByName, Strategy::CallByNeed}) {
+    RunOptions Opts;
+    Opts.Strat = St;
+    Opts.MaxSteps = 3000000;
+    RunResult R = evaluate(P->root(), Opts);
+    if (R.FuelExhausted)
+      continue;
+    ASSERT_TRUE(R.Ok) << S.File << " under " << strategyName(St) << ": "
+                      << R.Error;
+    EXPECT_EQ(R.ValueText, S.Expected);
+  }
+
+  // Bytecode VM.
+  Cascade Empty;
+  RunResult VM = evaluateCompiled(Empty, P->root());
+  ASSERT_TRUE(VM.Ok) << VM.Error;
+  EXPECT_EQ(VM.ValueText, S.Expected);
+
+  // Direct CPS reference (may exhaust its C-stack budget on big samples).
+  RunResult Direct = runDirect(P->root());
+  if (!Direct.FuelExhausted) {
+    ASSERT_TRUE(Direct.Ok) << Direct.Error;
+    EXPECT_EQ(Direct.ValueText, S.Expected);
+  }
+
+  // Partial evaluation: the residual computes the same answer.
+  AstContext Out;
+  PEResult PR = partialEvaluate(Out, P->root());
+  RunResult Res = evaluate(PR.Residual);
+  ASSERT_TRUE(Res.Ok) << S.File << ": " << Res.Error;
+  EXPECT_EQ(Res.ValueText, S.Expected);
+}
+
+TEST_P(SampleProgramTest, MonitoredRunsAgree) {
+  const Sample &S = GetParam();
+  auto P = ParsedProgram::parse(readFile(S.File));
+  ASSERT_TRUE(P->ok());
+  CallProfiler Prof;
+  Cascade C;
+  C.use(Prof);
+  RunResult Mon = evaluate(C, P->root());
+  ASSERT_TRUE(Mon.Ok) << Mon.Error;
+  EXPECT_EQ(Mon.ValueText, S.Expected);
+  RunResult VMMon = evaluateCompiled(C, P->root());
+  ASSERT_TRUE(VMMon.Ok) << VMMon.Error;
+  EXPECT_EQ(Mon.FinalStates[0]->str(), VMMon.FinalStates[0]->str());
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, SampleProgramTest,
+                         ::testing::ValuesIn(Samples),
+                         [](const auto &Info) {
+                           std::string Name = Info.param.File;
+                           size_t Slash = Name.rfind('/');
+                           Name = Name.substr(Slash + 1);
+                           for (char &C : Name)
+                             if (!isalnum(static_cast<unsigned char>(C)))
+                               C = '_';
+                           return Name;
+                         });
+
+TEST(ImpSampleTest, GcdProgram) {
+  ImpContext Ctx;
+  DiagnosticSink Diags;
+  const Cmd *Prog =
+      parseImpProgram(Ctx, readFile("examples/programs/gcd.imp"), Diags);
+  ASSERT_NE(Prog, nullptr) << Diags.str();
+  ImpRunResult R = runImp(Prog);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Output, (std::vector<std::string>{"21"}));
+}
+
+TEST(ImpSampleTest, SumSquaresProgram) {
+  ImpContext Ctx;
+  DiagnosticSink Diags;
+  const Cmd *Prog = parseImpProgram(
+      Ctx, readFile("examples/programs/sumsquares.imp"), Diags);
+  ASSERT_NE(Prog, nullptr) << Diags.str();
+  ImpRunResult R = runImp(Prog);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Output, (std::vector<std::string>{"385"}));
+}

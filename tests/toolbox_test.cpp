@@ -1,0 +1,226 @@
+//===- tests/toolbox_test.cpp - Monitor toolbox unit tests -----------------===//
+
+#include "interp/Eval.h"
+#include "monitors/Collecting.h"
+#include "monitors/Coverage.h"
+#include "monitors/Demon.h"
+#include "monitors/Profiler.h"
+#include "monitors/Stepper.h"
+#include "monitors/Tracer.h"
+#include "syntax/Annotator.h"
+
+#include <gtest/gtest.h>
+
+using namespace monsem;
+
+namespace {
+
+std::unique_ptr<ParsedProgram> parseOk(std::string_view Src) {
+  auto P = ParsedProgram::parse(Src);
+  EXPECT_TRUE(P->ok()) << P->diags().str();
+  return P;
+}
+
+RunResult runWith(const Monitor &M, const Expr *E) {
+  Cascade C;
+  C.use(M);
+  return evaluate(C, E);
+}
+
+Value listOf(Arena &A, std::initializer_list<int64_t> Xs) {
+  Value V = Value::mkNil();
+  std::vector<int64_t> R(Xs);
+  for (size_t I = R.size(); I-- > 0;)
+    V = Value::mkCell(A.create<Cell>(Value::mkInt(R[I]), V));
+  return V;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Profilers
+//===----------------------------------------------------------------------===//
+
+TEST(CountingProfilerTest, CustomLabels) {
+  auto P = parseOk("({yes}: 1) + ({no}: 2) + ({yes}: 3)");
+  CountingProfiler M("yes", "no");
+  RunResult R = runWith(M, P->root());
+  ASSERT_TRUE(R.Ok);
+  EXPECT_EQ(R.FinalStates[0]->str(), "<2, 1>");
+}
+
+TEST(CountingProfilerTest, IgnoresOtherLabels) {
+  auto P = parseOk("({A}: 1) + ({other}: 2)");
+  CountingProfiler M;
+  RunResult R = runWith(M, P->root());
+  EXPECT_EQ(CountingProfiler::state(*R.FinalStates[0]).CountA, 1u);
+  EXPECT_EQ(CountingProfiler::state(*R.FinalStates[0]).CountB, 0u);
+}
+
+TEST(CallProfilerTest, CountsOnlyEvaluations) {
+  // A function defined but never called has no counter entry (incCtr
+  // initializes on first use).
+  auto P = parseOk("letrec unused = lambda x. {unused}: x in "
+                   "letrec used = lambda x. {used}: x in used 1");
+  CallProfiler M;
+  RunResult R = runWith(M, P->root());
+  const auto &S = CallProfiler::state(*R.FinalStates[0]);
+  EXPECT_EQ(S.count("used"), 1u);
+  EXPECT_EQ(S.count("unused"), 0u);
+  EXPECT_EQ(S.Counters.count("unused"), 0u);
+}
+
+TEST(CallProfilerTest, WithAutomaticAnnotation) {
+  auto P = parseOk("letrec fib = lambda n. if n < 2 then n else "
+                   "fib (n - 1) + fib (n - 2) in fib 10");
+  const Expr *Ann = annotateFunctionBodies(P->context(), P->root(), {});
+  CallProfiler M;
+  RunResult R = runWith(M, Ann);
+  ASSERT_TRUE(R.Ok);
+  EXPECT_EQ(R.IntValue, 55);
+  // fib is called 177 times for fib(10).
+  EXPECT_EQ(CallProfiler::state(*R.FinalStates[0]).count("fib"), 177u);
+}
+
+//===----------------------------------------------------------------------===//
+// Tracer
+//===----------------------------------------------------------------------===//
+
+TEST(TracerTest, RendersListsAndBooleans) {
+  auto P = parseOk("letrec f = lambda l. {f(l)}: null l in f [1, 2]");
+  Tracer M;
+  RunResult R = runWith(M, P->root());
+  ASSERT_TRUE(R.Ok);
+  const auto &Lines = Tracer::state(*R.FinalStates[0]).Chan.lines();
+  ASSERT_EQ(Lines.size(), 2u);
+  EXPECT_EQ(Lines[0], "[F receives ([1, 2])]");
+  EXPECT_EQ(Lines[1], "[F returns False]");
+}
+
+TEST(TracerTest, UnboundParamRendersQuestionMark) {
+  auto P = parseOk("{f(zz)}: 1");
+  Tracer M;
+  RunResult R = runWith(M, P->root());
+  EXPECT_EQ(Tracer::state(*R.FinalStates[0]).Chan.lines()[0],
+            "[F receives (?)]");
+}
+
+TEST(TracerTest, LevelReturnsToZero) {
+  auto P = parseOk("letrec f = lambda n. {f(n)}: if n = 0 then 0 else "
+                   "f (n - 1) in f 5");
+  Tracer M;
+  RunResult R = runWith(M, P->root());
+  EXPECT_EQ(Tracer::state(*R.FinalStates[0]).Level, 0);
+  EXPECT_EQ(Tracer::state(*R.FinalStates[0]).Chan.numLines(), 12u);
+}
+
+//===----------------------------------------------------------------------===//
+// Demon
+//===----------------------------------------------------------------------===//
+
+TEST(DemonTest, SortedPredicate) {
+  Arena A;
+  EXPECT_TRUE(isSortedList(Value::mkNil()));
+  EXPECT_TRUE(isSortedList(listOf(A, {1})));
+  EXPECT_TRUE(isSortedList(listOf(A, {1, 1, 2, 9})));
+  EXPECT_FALSE(isSortedList(listOf(A, {2, 1})));
+  EXPECT_FALSE(isSortedList(listOf(A, {1, 5, 4})));
+  EXPECT_TRUE(isSortedList(Value::mkInt(3))) << "non-lists vacuously sorted";
+}
+
+TEST(DemonTest, CustomPredicate) {
+  // A demon that fires on negative results.
+  Demon Neg("negdemon", [](Value V) {
+    return V.is(ValueKind::Int) && V.asInt() < 0;
+  });
+  auto P = parseOk("({a}: (1 - 5)) + ({b}: 3)");
+  RunResult R = runWith(Neg, P->root());
+  ASSERT_TRUE(R.Ok);
+  EXPECT_EQ(R.FinalStates[0]->str(), "{a}");
+}
+
+TEST(DemonTest, FiresOncePerLabelEvenIfRepeated) {
+  Demon Neg("negdemon", [](Value V) {
+    return V.is(ValueKind::Int) && V.asInt() < 0;
+  });
+  auto P = parseOk("letrec f = lambda n. if n = 0 then 0 else "
+                   "({neg}: (0 - n)) + f (n - 1) in f 3");
+  RunResult R = runWith(Neg, P->root());
+  EXPECT_EQ(R.FinalStates[0]->str(), "{neg}");
+}
+
+//===----------------------------------------------------------------------===//
+// Collecting monitor
+//===----------------------------------------------------------------------===//
+
+TEST(CollectingTest, CollectsDistinctValues) {
+  auto P = parseOk("letrec f = lambda n. if n = 0 then 0 else "
+                   "({v}: n % 2) + f (n - 1) in f 6");
+  CollectingMonitor M;
+  RunResult R = runWith(M, P->root());
+  const auto *S = CollectingMonitor::state(*R.FinalStates[0]).setFor("v");
+  ASSERT_NE(S, nullptr);
+  EXPECT_EQ(*S, (std::set<std::string>{"0", "1"}));
+}
+
+TEST(CollectingTest, CollectsListsAndBooleans) {
+  auto P = parseOk("({l}: [1, 2]) = ({l}: [])");
+  CollectingMonitor M;
+  RunResult R = runWith(M, P->root());
+  const auto *S = CollectingMonitor::state(*R.FinalStates[0]).setFor("l");
+  ASSERT_NE(S, nullptr);
+  EXPECT_EQ(*S, (std::set<std::string>{"[]", "[1, 2]"}));
+}
+
+//===----------------------------------------------------------------------===//
+// Stepper
+//===----------------------------------------------------------------------===//
+
+TEST(StepperTest, LogsEnterAndExit) {
+  auto P = parseOk("{a}: ({b}: 1) + 2");
+  Stepper M;
+  RunResult R = runWith(M, P->root());
+  const auto &Lines = Stepper::state(*R.FinalStates[0]).Chan.lines();
+  ASSERT_EQ(Lines.size(), 4u);
+  EXPECT_EQ(Lines[0], "step 1: enter a");
+  EXPECT_EQ(Lines[1], "step 2: enter b");
+  EXPECT_EQ(Lines[2], "step 3: exit b = 1");
+  EXPECT_EQ(Lines[3], "step 4: exit a = 3");
+}
+
+TEST(StepperTest, PrintsExpressionsWhenAsked) {
+  auto P = parseOk("{a}: 1 + 2");
+  Stepper M(/*PrintExprs=*/true);
+  RunResult R = runWith(M, P->root());
+  EXPECT_NE(Stepper::state(*R.FinalStates[0]).Chan.lines()[0].find("1 + 2"),
+            std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Coverage monitor
+//===----------------------------------------------------------------------===//
+
+TEST(CoverageTest, ReportsHitPoints) {
+  auto P = parseOk("letrec f = lambda n. if n < 0 then f 1 else n in f 5");
+  unsigned NumLabels = 0;
+  const Expr *Lab =
+      labelProgramPoints(P->context(), P->root(), "p", Symbol(), &NumLabels);
+  ASSERT_EQ(NumLabels, 2u); // `f 1` (dead) and `f 5`.
+  CoverageMonitor M(NumLabels);
+  RunResult R = runWith(M, Lab);
+  ASSERT_TRUE(R.Ok);
+  const auto &S = CoverageMonitor::state(*R.FinalStates[0]);
+  EXPECT_EQ(S.Hit.size(), 1u) << "the n<0 branch never runs";
+  EXPECT_DOUBLE_EQ(S.ratio(), 0.5);
+  EXPECT_EQ(S.str(), "1/2 points hit (1 events)");
+}
+
+TEST(CoverageTest, CountsRepeatHits) {
+  auto P = parseOk("letrec f = lambda n. if n = 0 then 0 else "
+                   "{body}: f (n - 1) in f 4");
+  CoverageMonitor M;
+  RunResult R = runWith(M, P->root());
+  const auto &S = CoverageMonitor::state(*R.FinalStates[0]);
+  EXPECT_EQ(S.Hit.size(), 1u);
+  EXPECT_EQ(S.TotalHits, 4u);
+}

@@ -1,0 +1,528 @@
+//===- tools/monsem_cli.cpp - Command-line monitoring environment ----------===//
+//
+// The user-facing face of the library: run an L_lambda program (or, with
+// --imp, an imperative program) under any combination of monitors, in the
+// way Section 4.1 envisions — the environment inserts the annotations when
+// the user asks to trace or profile a function; hand-written annotations
+// in the source work too.
+//
+//   monsem examples/programs/fac.lam --trace --profile
+//   monsem examples/programs/fac.lam --pe --print-residual
+//   monsem examples/programs/gcd.imp --imp --imp-watch=a
+//   echo 'print 1+2' | monsem - --imp
+//
+//===----------------------------------------------------------------------===//
+
+#include "compile/Compiler.h"
+#include "compile/VM.h"
+#include "imp/ImpMachine.h"
+#include "imp/ImpMonitors.h"
+#include "imp/ImpParser.h"
+#include "interp/Eval.h"
+#include "monitors/AllocProfiler.h"
+#include "monitors/CallGraph.h"
+#include "monitors/Collecting.h"
+#include "monitors/CostProfiler.h"
+#include "monitors/Coverage.h"
+#include "monitors/Debugger.h"
+#include "monitors/Demon.h"
+#include "monitors/FlightRecorder.h"
+#include "monitors/Profiler.h"
+#include "monitors/Stepper.h"
+#include "monitors/Tracer.h"
+#include "pe/PartialEval.h"
+#include "support/StrUtils.h"
+#include "syntax/Prelude.h"
+#include "syntax/Annotator.h"
+#include "syntax/Printer.h"
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+using namespace monsem;
+
+namespace {
+
+struct Options {
+  std::string File;
+  bool Repl = false;
+  bool Imp = false;
+  bool Trace = false;
+  bool Profile = false;
+  bool Cost = false;
+  bool Alloc = false;
+  bool CallGraph = false;
+  bool Collect = false;
+  bool DemonSorted = false;
+  bool Step = false;
+  bool Record = false;
+  bool Coverage = false;
+  bool Debug = false;
+  bool UseVM = false;
+  bool PE = false;
+  bool Prelude = false;
+  bool PrintAst = false;
+  bool PrintResidual = false;
+  bool Disasm = false;
+  Strategy Strat = Strategy::Strict;
+  uint64_t MaxSteps = 0;
+  std::string ImpWatch;
+  std::vector<int64_t> ImpInput;
+  bool ImpProfile = false;
+  bool ImpTrace = false;
+  std::vector<std::string> Names; ///< Functions to annotate ("" = all).
+};
+
+int usage(const char *Argv0) {
+  std::cerr
+      << "usage: " << Argv0 << " <file | - | --repl> [options]\n"
+      << "  functional programs (default):\n"
+      << "    --trace[=f,g]      trace calls (auto-annotates functions)\n"
+      << "    --profile[=f,g]    count calls per function\n"
+      << "    --cost             inclusive step-cost profile per function\n"
+      << "    --alloc            inclusive allocation profile per function\n"
+      << "    --callgraph        dynamic call graph over functions\n"
+      << "    --collect          collecting monitor (source annotations)\n"
+      << "    --demon-sorted     unsorted-list demon (source annotations)\n"
+      << "    --step             log every monitored event\n"
+      << "    --record           flight recorder: keep the last 16 events\n"
+      << "    --coverage         label applications, report coverage\n"
+      << "    --debug            interactive dbx-style debugger on stdin\n"
+      << "    --prelude          wrap the program in the standard prelude\n"
+      << "    --strategy=strict|name|need\n"
+      << "    --vm               run compiled bytecode (strict only)\n"
+      << "    --pe               partially evaluate, then run the residual\n"
+      << "    --print-ast        show the (annotated) program\n"
+      << "    --print-residual   with --pe: show the residual program\n"
+      << "    --disasm           show compiled bytecode\n"
+      << "    --max-steps=N      fuel limit\n"
+      << "  imperative programs:\n"
+      << "    --imp              treat input as an imperative program\n"
+      << "    --imp-watch=x      watchpoint demon on variable x\n"
+      << "    --input=1,2,3      input stream consumed by 'read x'\n"
+      << "    --imp-profile      statement profiler\n"
+      << "    --imp-trace        command tracer\n";
+  return 2;
+}
+
+bool parseArgs(int Argc, char **Argv, Options &O) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string A = Argv[I];
+    auto Value = [&](std::string_view Prefix) -> std::optional<std::string> {
+      if (!startsWith(A, Prefix))
+        return std::nullopt;
+      return A.substr(Prefix.size());
+    };
+    if (!A.empty() && A[0] != '-' && O.File.empty()) {
+      O.File = A;
+    } else if (A == "-") {
+      O.File = "-";
+    } else if (A == "--repl") {
+      O.Repl = true;
+    } else if (A == "--imp") {
+      O.Imp = true;
+    } else if (A == "--trace" || startsWith(A, "--trace=")) {
+      O.Trace = true;
+      if (auto V = Value("--trace="))
+        for (const auto &N : splitString(*V, ','))
+          O.Names.push_back(N);
+    } else if (A == "--profile" || startsWith(A, "--profile=")) {
+      O.Profile = true;
+      if (auto V = Value("--profile="))
+        for (const auto &N : splitString(*V, ','))
+          O.Names.push_back(N);
+    } else if (A == "--cost") {
+      O.Cost = true;
+    } else if (A == "--alloc") {
+      O.Alloc = true;
+    } else if (A == "--callgraph") {
+      O.CallGraph = true;
+    } else if (A == "--collect") {
+      O.Collect = true;
+    } else if (A == "--demon-sorted") {
+      O.DemonSorted = true;
+    } else if (A == "--step") {
+      O.Step = true;
+    } else if (A == "--record") {
+      O.Record = true;
+    } else if (A == "--coverage") {
+      O.Coverage = true;
+    } else if (A == "--debug") {
+      O.Debug = true;
+    } else if (A == "--prelude") {
+      O.Prelude = true;
+    } else if (A == "--vm") {
+      O.UseVM = true;
+    } else if (A == "--pe") {
+      O.PE = true;
+    } else if (A == "--print-ast") {
+      O.PrintAst = true;
+    } else if (A == "--print-residual") {
+      O.PrintResidual = true;
+    } else if (A == "--disasm") {
+      O.Disasm = true;
+    } else if (auto V = Value("--strategy=")) {
+      if (*V == "strict")
+        O.Strat = Strategy::Strict;
+      else if (*V == "name")
+        O.Strat = Strategy::CallByName;
+      else if (*V == "need")
+        O.Strat = Strategy::CallByNeed;
+      else
+        return false;
+    } else if (auto V = Value("--max-steps=")) {
+      O.MaxSteps = std::stoull(*V);
+    } else if (auto V = Value("--imp-watch=")) {
+      O.ImpWatch = *V;
+    } else if (auto V = Value("--input=")) {
+      for (const auto &N : splitString(*V, ','))
+        if (!N.empty())
+          O.ImpInput.push_back(std::stoll(N));
+    } else if (A == "--imp-profile") {
+      O.ImpProfile = true;
+    } else if (A == "--imp-trace") {
+      O.ImpTrace = true;
+    } else {
+      return false;
+    }
+  }
+  return O.Repl || !O.File.empty();
+}
+
+std::optional<std::string> readInput(const std::string &File) {
+  if (File == "-") {
+    std::ostringstream SS;
+    SS << std::cin.rdbuf();
+    return SS.str();
+  }
+  std::ifstream In(File);
+  if (!In) {
+    std::cerr << "error: cannot open '" << File << "'\n";
+    return std::nullopt;
+  }
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+std::vector<Symbol> toSymbols(const std::vector<std::string> &Names) {
+  std::vector<Symbol> Out;
+  for (const std::string &N : Names)
+    if (!N.empty())
+      Out.push_back(Symbol::intern(N));
+  return Out;
+}
+
+int runImperative(const Options &O, const std::string &Source) {
+  ImpContext Ctx;
+  DiagnosticSink Diags;
+  const Cmd *Program = parseImpProgram(Ctx, Source, Diags);
+  if (!Program) {
+    std::cerr << Diags.str() << '\n';
+    return 1;
+  }
+  if (O.PrintAst)
+    std::cout << printCmd(Program) << '\n';
+
+  ImpStmtProfiler Prof;
+  ImpTracer Trc;
+  std::optional<ImpWatchMonitor> Watch;
+  ImpCascade C;
+  if (O.ImpProfile)
+    C.use(Prof);
+  if (O.ImpTrace)
+    C.use(Trc);
+  if (!O.ImpWatch.empty()) {
+    Watch.emplace(O.ImpWatch);
+    C.use(*Watch);
+  }
+
+  ImpRunOptions Opts;
+  Opts.MaxSteps = O.MaxSteps;
+  Opts.Input = O.ImpInput;
+  ImpRunResult R = runImp(C, Program, Opts);
+  if (R.FuelExhausted) {
+    std::cerr << "error: fuel exhausted after " << R.Steps << " steps\n";
+    return 1;
+  }
+  if (!R.Ok) {
+    std::cerr << "error: " << R.Error << '\n';
+    return 1;
+  }
+  for (const std::string &Line : R.Output)
+    std::cout << Line << '\n';
+  std::cout << "store:";
+  for (const auto &[Name, Val] : R.Store)
+    std::cout << ' ' << Name << " = " << Val << ';';
+  std::cout << '\n';
+  for (unsigned I = 0; I < C.size(); ++I)
+    std::cout << C.monitor(I).name() << ": " << R.FinalStates[I]->str()
+              << '\n';
+  return 0;
+}
+
+int runFunctional(const Options &O, const std::string &Source) {
+  auto P = ParsedProgram::parse(Source);
+  if (!P->ok()) {
+    std::cerr << P->diags().str() << '\n';
+    return 1;
+  }
+  const Expr *Program = P->root();
+  if (O.Prelude) {
+    DiagnosticSink PDiags;
+    Program = wrapWithPrelude(P->context(), Program, PDiags);
+    if (!Program) {
+      std::cerr << PDiags.str() << '\n';
+      return 1;
+    }
+  }
+  std::vector<Symbol> Names = toSymbols(O.Names);
+
+  // Auto-annotation, one qualifier per requested monitor (Section 4.1's
+  // environment-inserted annotations; qualifiers keep syntaxes disjoint).
+  auto Annotate = [&](const char *Qual, bool WithParams) {
+    AnnotateOptions AO;
+    AO.Qualifier = Symbol::intern(Qual);
+    AO.WithParams = WithParams;
+    Program = annotateFunctionBodies(P->context(), Program, Names, AO);
+  };
+  if (O.Trace)
+    Annotate("trace", /*WithParams=*/true);
+  if (O.Profile)
+    Annotate("profile", /*WithParams=*/false);
+  if (O.Cost)
+    Annotate("cost", /*WithParams=*/false);
+  if (O.Alloc)
+    Annotate("alloc", /*WithParams=*/false);
+  if (O.CallGraph)
+    Annotate("callgraph", /*WithParams=*/false);
+  if (O.Record)
+    Annotate("record", /*WithParams=*/true);
+  unsigned NumPoints = 0;
+  if (O.Coverage)
+    Program = labelProgramPoints(P->context(), Program, "p",
+                                 Symbol::intern("cover"), &NumPoints);
+
+  if (O.PrintAst)
+    std::cout << printExpr(Program) << '\n';
+
+  // Level 3: specialize first if asked.
+  AstContext PECtx;
+  if (O.PE) {
+    PEResult R = partialEvaluate(PECtx, Program);
+    if (O.PrintResidual)
+      std::cout << "residual: " << printExpr(R.Residual)
+                << (R.GaveUp ? "   (specializer gave up)" : "") << '\n';
+    Program = R.Residual;
+  }
+
+  // Assemble the cascade.
+  Tracer Trc(&std::cout);
+  CallProfiler Prof;
+  CostProfiler Cost;
+  AllocProfiler Alloc;
+  CallGraphMonitor Graph;
+  CollectingMonitor Coll;
+  Demon DemonM = Demon::unsortedLists();
+  Stepper Stp;
+  FlightRecorder Rec(16);
+  CoverageMonitor Cov(NumPoints);
+  Debugger Dbg(std::cin, std::cout);
+  Cascade C;
+  if (O.Trace)
+    C.use(Trc);
+  if (O.Profile)
+    C.use(Prof);
+  if (O.Cost)
+    C.use(Cost);
+  if (O.Alloc)
+    C.use(Alloc);
+  if (O.CallGraph)
+    C.use(Graph);
+  if (O.Collect)
+    C.use(Coll);
+  if (O.DemonSorted)
+    C.use(DemonM);
+  if (O.Step)
+    C.use(Stp);
+  if (O.Record)
+    C.use(Rec);
+  if (O.Coverage)
+    C.use(Cov);
+  if (O.Debug)
+    C.use(Dbg);
+
+  if (!C.empty()) {
+    DiagnosticSink LintDiags;
+    if (C.reportUnclaimed(Program, LintDiags))
+      std::cerr << LintDiags.str() << '\n';
+  }
+
+  RunOptions Opts;
+  Opts.Strat = O.Strat;
+  Opts.MaxSteps = O.MaxSteps;
+
+  RunResult R;
+  if (O.UseVM) {
+    if (O.Strat != Strategy::Strict) {
+      std::cerr << "error: --vm supports the strict strategy only\n";
+      return 2;
+    }
+    if (O.Disasm) {
+      DiagnosticSink Diags;
+      if (auto CP = compileProgram(Program, Diags))
+        std::cout << CP->disassemble();
+    }
+    R = evaluateCompiled(C, Program, Opts);
+  } else {
+    R = evaluate(C, Program, Opts);
+  }
+
+  if (R.FuelExhausted) {
+    std::cerr << "error: fuel exhausted after " << R.Steps << " steps\n";
+    return 1;
+  }
+  if (!R.Ok) {
+    std::cerr << "error: " << R.Error << '\n';
+    return 1;
+  }
+  std::cout << R.ValueText << '\n';
+  for (unsigned I = 0; I < C.size(); ++I) {
+    // The tracer already echoed its lines live.
+    if (&C.monitor(I) == &Trc)
+      continue;
+    std::cout << C.monitor(I).name() << ": " << R.FinalStates[I]->str()
+              << '\n';
+  }
+  return 0;
+}
+
+/// A line-based read-eval-monitor loop. `:let f = <expr>` accumulates a
+/// (possibly recursive) definition; other lines evaluate in the scope of
+/// everything defined so far, under the monitors toggled with `:monitor`.
+int runRepl(const Options &Base) {
+  std::vector<std::pair<std::string, std::string>> Defs; // name, source.
+  bool Trace = false, Profile = false;
+  Strategy Strat = Base.Strat;
+
+  std::cout << "monsem repl — :let f = <expr>, :monitor trace|profile|off,\n"
+            << ":strategy strict|name|need, :defs, :quit; anything else "
+               "evaluates.\n";
+  std::string Line;
+  while (std::cout << "monsem> " << std::flush,
+         std::getline(std::cin, Line)) {
+    std::string_view Trimmed = trimString(Line);
+    if (Trimmed.empty())
+      continue;
+    if (Trimmed == ":quit" || Trimmed == ":q")
+      break;
+    if (Trimmed == ":defs") {
+      for (const auto &[Name, Src] : Defs)
+        std::cout << "  " << Name << " = " << Src << '\n';
+      continue;
+    }
+    if (startsWith(Trimmed, ":strategy ")) {
+      std::string_view V = trimString(Trimmed.substr(10));
+      Strat = V == "name"   ? Strategy::CallByName
+              : V == "need" ? Strategy::CallByNeed
+                            : Strategy::Strict;
+      std::cout << "strategy: " << strategyName(Strat) << '\n';
+      continue;
+    }
+    if (startsWith(Trimmed, ":monitor ")) {
+      std::string_view V = trimString(Trimmed.substr(9));
+      if (V == "trace")
+        Trace = true;
+      else if (V == "profile")
+        Profile = true;
+      else if (V == "off")
+        Trace = Profile = false;
+      else
+        std::cout << "unknown monitor '" << V << "'\n";
+      std::cout << "monitors:" << (Trace ? " trace" : "")
+                << (Profile ? " profile" : "")
+                << (!Trace && !Profile ? " none" : "") << '\n';
+      continue;
+    }
+    if (startsWith(Trimmed, ":let ")) {
+      std::string_view Rest = trimString(Trimmed.substr(5));
+      size_t Eq = Rest.find('=');
+      if (Eq == std::string_view::npos) {
+        std::cout << "expected :let <name> = <expr>\n";
+        continue;
+      }
+      std::string Name(trimString(Rest.substr(0, Eq)));
+      std::string Body(trimString(Rest.substr(Eq + 1)));
+      // Validate the definition before accepting it.
+      std::string Probe;
+      for (const auto &[N, S] : Defs)
+        Probe += "letrec " + N + " = " + S + " in ";
+      Probe += "letrec " + Name + " = " + Body + " in 0";
+      auto P = ParsedProgram::parse(Probe);
+      if (!P->ok()) {
+        std::cout << P->diags().str() << '\n';
+        continue;
+      }
+      Defs.emplace_back(std::move(Name), std::move(Body));
+      continue;
+    }
+
+    // Evaluate an expression in the accumulated scope.
+    std::string Src;
+    for (const auto &[N, S] : Defs)
+      Src += "letrec " + N + " = " + S + " in ";
+    Src += std::string(Trimmed);
+    auto P = ParsedProgram::parse(Src);
+    if (!P->ok()) {
+      std::cout << P->diags().str() << '\n';
+      continue;
+    }
+    const Expr *Program = P->root();
+    Tracer Trc(&std::cout);
+    CallProfiler Prof;
+    Cascade C;
+    if (Trace) {
+      AnnotateOptions AO;
+      AO.Qualifier = Symbol::intern("trace");
+      AO.WithParams = true;
+      Program = annotateFunctionBodies(P->context(), Program, {}, AO);
+      C.use(Trc);
+    }
+    if (Profile) {
+      AnnotateOptions AO;
+      AO.Qualifier = Symbol::intern("profile");
+      Program = annotateFunctionBodies(P->context(), Program, {}, AO);
+      C.use(Prof);
+    }
+    RunOptions Opts;
+    Opts.Strat = Strat;
+    Opts.MaxSteps = Base.MaxSteps;
+    RunResult R = evaluate(C, Program, Opts);
+    if (R.FuelExhausted)
+      std::cout << "fuel exhausted after " << R.Steps << " steps\n";
+    else if (!R.Ok)
+      std::cout << "error: " << R.Error << '\n';
+    else {
+      std::cout << R.ValueText << '\n';
+      if (Profile)
+        std::cout << "profile: "
+                  << R.FinalStates[C.size() - 1]->str() << '\n';
+    }
+  }
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Options O;
+  if (!parseArgs(Argc, Argv, O))
+    return usage(Argv[0]);
+  if (O.Repl)
+    return runRepl(O);
+  std::optional<std::string> Source = readInput(O.File);
+  if (!Source)
+    return 1;
+  return O.Imp ? runImperative(O, *Source) : runFunctional(O, *Source);
+}
