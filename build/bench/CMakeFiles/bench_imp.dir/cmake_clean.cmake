@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_imp.dir/bench_imp.cpp.o"
+  "CMakeFiles/bench_imp.dir/bench_imp.cpp.o.d"
+  "bench_imp"
+  "bench_imp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_imp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_monitor_dispatch.dir/bench_monitor_dispatch.cpp.o"
+  "CMakeFiles/bench_monitor_dispatch.dir/bench_monitor_dispatch.cpp.o.d"
+  "bench_monitor_dispatch"
+  "bench_monitor_dispatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_monitor_dispatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

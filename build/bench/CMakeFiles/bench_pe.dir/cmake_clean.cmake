@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pe.dir/bench_pe.cpp.o"
+  "CMakeFiles/bench_pe.dir/bench_pe.cpp.o.d"
+  "bench_pe"
+  "bench_pe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

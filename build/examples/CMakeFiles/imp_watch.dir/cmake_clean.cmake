@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imp_watch.dir/imp_watch.cpp.o"
+  "CMakeFiles/imp_watch.dir/imp_watch.cpp.o.d"
+  "imp_watch"
+  "imp_watch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imp_watch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

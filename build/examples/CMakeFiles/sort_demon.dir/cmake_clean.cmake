@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sort_demon.dir/sort_demon.cpp.o"
+  "CMakeFiles/sort_demon.dir/sort_demon.cpp.o.d"
+  "sort_demon"
+  "sort_demon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sort_demon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

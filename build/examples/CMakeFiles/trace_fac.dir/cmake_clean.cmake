@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_fac.dir/trace_fac.cpp.o"
+  "CMakeFiles/trace_fac.dir/trace_fac.cpp.o.d"
+  "trace_fac"
+  "trace_fac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_fac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

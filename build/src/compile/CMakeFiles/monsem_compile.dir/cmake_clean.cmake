@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monsem_compile.dir/Compiler.cpp.o"
+  "CMakeFiles/monsem_compile.dir/Compiler.cpp.o.d"
+  "CMakeFiles/monsem_compile.dir/VM.cpp.o"
+  "CMakeFiles/monsem_compile.dir/VM.cpp.o.d"
+  "libmonsem_compile.a"
+  "libmonsem_compile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monsem_compile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

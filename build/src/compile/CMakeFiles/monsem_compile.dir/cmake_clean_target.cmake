@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmonsem_compile.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monsem_imp.dir/ImpAst.cpp.o"
+  "CMakeFiles/monsem_imp.dir/ImpAst.cpp.o.d"
+  "CMakeFiles/monsem_imp.dir/ImpMachine.cpp.o"
+  "CMakeFiles/monsem_imp.dir/ImpMachine.cpp.o.d"
+  "CMakeFiles/monsem_imp.dir/ImpMonitor.cpp.o"
+  "CMakeFiles/monsem_imp.dir/ImpMonitor.cpp.o.d"
+  "CMakeFiles/monsem_imp.dir/ImpParser.cpp.o"
+  "CMakeFiles/monsem_imp.dir/ImpParser.cpp.o.d"
+  "libmonsem_imp.a"
+  "libmonsem_imp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monsem_imp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

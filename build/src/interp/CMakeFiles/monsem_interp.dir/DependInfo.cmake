@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/interp/Direct.cpp" "src/interp/CMakeFiles/monsem_interp.dir/Direct.cpp.o" "gcc" "src/interp/CMakeFiles/monsem_interp.dir/Direct.cpp.o.d"
+  "/root/repo/src/interp/Eval.cpp" "src/interp/CMakeFiles/monsem_interp.dir/Eval.cpp.o" "gcc" "src/interp/CMakeFiles/monsem_interp.dir/Eval.cpp.o.d"
+  "/root/repo/src/interp/Machine.cpp" "src/interp/CMakeFiles/monsem_interp.dir/Machine.cpp.o" "gcc" "src/interp/CMakeFiles/monsem_interp.dir/Machine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/monitor/CMakeFiles/monsem_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/semantics/CMakeFiles/monsem_semantics.dir/DependInfo.cmake"
+  "/root/repo/build/src/syntax/CMakeFiles/monsem_syntax.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/monsem_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monsem_interp.dir/Direct.cpp.o"
+  "CMakeFiles/monsem_interp.dir/Direct.cpp.o.d"
+  "CMakeFiles/monsem_interp.dir/Eval.cpp.o"
+  "CMakeFiles/monsem_interp.dir/Eval.cpp.o.d"
+  "CMakeFiles/monsem_interp.dir/Machine.cpp.o"
+  "CMakeFiles/monsem_interp.dir/Machine.cpp.o.d"
+  "libmonsem_interp.a"
+  "libmonsem_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monsem_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monsem_monitor.dir/Cascade.cpp.o"
+  "CMakeFiles/monsem_monitor.dir/Cascade.cpp.o.d"
+  "libmonsem_monitor.a"
+  "libmonsem_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monsem_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monsem_toolbox.dir/Debugger.cpp.o"
+  "CMakeFiles/monsem_toolbox.dir/Debugger.cpp.o.d"
+  "CMakeFiles/monsem_toolbox.dir/Demon.cpp.o"
+  "CMakeFiles/monsem_toolbox.dir/Demon.cpp.o.d"
+  "CMakeFiles/monsem_toolbox.dir/Tracer.cpp.o"
+  "CMakeFiles/monsem_toolbox.dir/Tracer.cpp.o.d"
+  "libmonsem_toolbox.a"
+  "libmonsem_toolbox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monsem_toolbox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monsem_pe.dir/PartialEval.cpp.o"
+  "CMakeFiles/monsem_pe.dir/PartialEval.cpp.o.d"
+  "libmonsem_pe.a"
+  "libmonsem_pe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monsem_pe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

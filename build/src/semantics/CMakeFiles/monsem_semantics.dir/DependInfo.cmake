@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/semantics/Answer.cpp" "src/semantics/CMakeFiles/monsem_semantics.dir/Answer.cpp.o" "gcc" "src/semantics/CMakeFiles/monsem_semantics.dir/Answer.cpp.o.d"
+  "/root/repo/src/semantics/Primitives.cpp" "src/semantics/CMakeFiles/monsem_semantics.dir/Primitives.cpp.o" "gcc" "src/semantics/CMakeFiles/monsem_semantics.dir/Primitives.cpp.o.d"
+  "/root/repo/src/semantics/Value.cpp" "src/semantics/CMakeFiles/monsem_semantics.dir/Value.cpp.o" "gcc" "src/semantics/CMakeFiles/monsem_semantics.dir/Value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/syntax/CMakeFiles/monsem_syntax.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/monsem_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

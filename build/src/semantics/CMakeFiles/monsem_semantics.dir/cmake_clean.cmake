@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monsem_semantics.dir/Answer.cpp.o"
+  "CMakeFiles/monsem_semantics.dir/Answer.cpp.o.d"
+  "CMakeFiles/monsem_semantics.dir/Primitives.cpp.o"
+  "CMakeFiles/monsem_semantics.dir/Primitives.cpp.o.d"
+  "CMakeFiles/monsem_semantics.dir/Value.cpp.o"
+  "CMakeFiles/monsem_semantics.dir/Value.cpp.o.d"
+  "libmonsem_semantics.a"
+  "libmonsem_semantics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monsem_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

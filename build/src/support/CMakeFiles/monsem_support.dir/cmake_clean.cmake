@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monsem_support.dir/Arena.cpp.o"
+  "CMakeFiles/monsem_support.dir/Arena.cpp.o.d"
+  "CMakeFiles/monsem_support.dir/Diagnostics.cpp.o"
+  "CMakeFiles/monsem_support.dir/Diagnostics.cpp.o.d"
+  "CMakeFiles/monsem_support.dir/OutChan.cpp.o"
+  "CMakeFiles/monsem_support.dir/OutChan.cpp.o.d"
+  "CMakeFiles/monsem_support.dir/StrUtils.cpp.o"
+  "CMakeFiles/monsem_support.dir/StrUtils.cpp.o.d"
+  "CMakeFiles/monsem_support.dir/Symbol.cpp.o"
+  "CMakeFiles/monsem_support.dir/Symbol.cpp.o.d"
+  "libmonsem_support.a"
+  "libmonsem_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monsem_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/syntax/Annotator.cpp" "src/syntax/CMakeFiles/monsem_syntax.dir/Annotator.cpp.o" "gcc" "src/syntax/CMakeFiles/monsem_syntax.dir/Annotator.cpp.o.d"
+  "/root/repo/src/syntax/Ast.cpp" "src/syntax/CMakeFiles/monsem_syntax.dir/Ast.cpp.o" "gcc" "src/syntax/CMakeFiles/monsem_syntax.dir/Ast.cpp.o.d"
+  "/root/repo/src/syntax/Lexer.cpp" "src/syntax/CMakeFiles/monsem_syntax.dir/Lexer.cpp.o" "gcc" "src/syntax/CMakeFiles/monsem_syntax.dir/Lexer.cpp.o.d"
+  "/root/repo/src/syntax/Parser.cpp" "src/syntax/CMakeFiles/monsem_syntax.dir/Parser.cpp.o" "gcc" "src/syntax/CMakeFiles/monsem_syntax.dir/Parser.cpp.o.d"
+  "/root/repo/src/syntax/Prelude.cpp" "src/syntax/CMakeFiles/monsem_syntax.dir/Prelude.cpp.o" "gcc" "src/syntax/CMakeFiles/monsem_syntax.dir/Prelude.cpp.o.d"
+  "/root/repo/src/syntax/Printer.cpp" "src/syntax/CMakeFiles/monsem_syntax.dir/Printer.cpp.o" "gcc" "src/syntax/CMakeFiles/monsem_syntax.dir/Printer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/monsem_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

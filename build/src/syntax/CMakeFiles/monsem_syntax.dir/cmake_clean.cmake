@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monsem_syntax.dir/Annotator.cpp.o"
+  "CMakeFiles/monsem_syntax.dir/Annotator.cpp.o.d"
+  "CMakeFiles/monsem_syntax.dir/Ast.cpp.o"
+  "CMakeFiles/monsem_syntax.dir/Ast.cpp.o.d"
+  "CMakeFiles/monsem_syntax.dir/Lexer.cpp.o"
+  "CMakeFiles/monsem_syntax.dir/Lexer.cpp.o.d"
+  "CMakeFiles/monsem_syntax.dir/Parser.cpp.o"
+  "CMakeFiles/monsem_syntax.dir/Parser.cpp.o.d"
+  "CMakeFiles/monsem_syntax.dir/Prelude.cpp.o"
+  "CMakeFiles/monsem_syntax.dir/Prelude.cpp.o.d"
+  "CMakeFiles/monsem_syntax.dir/Printer.cpp.o"
+  "CMakeFiles/monsem_syntax.dir/Printer.cpp.o.d"
+  "libmonsem_syntax.a"
+  "libmonsem_syntax.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monsem_syntax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/direct_test.dir/direct_test.cpp.o"
+  "CMakeFiles/direct_test.dir/direct_test.cpp.o.d"
+  "direct_test"
+  "direct_test.pdb"
+  "direct_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/direct_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

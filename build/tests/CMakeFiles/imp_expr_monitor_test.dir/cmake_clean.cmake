@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imp_expr_monitor_test.dir/imp_expr_monitor_test.cpp.o"
+  "CMakeFiles/imp_expr_monitor_test.dir/imp_expr_monitor_test.cpp.o.d"
+  "imp_expr_monitor_test"
+  "imp_expr_monitor_test.pdb"
+  "imp_expr_monitor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imp_expr_monitor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imp_soundness_test.dir/imp_soundness_test.cpp.o"
+  "CMakeFiles/imp_soundness_test.dir/imp_soundness_test.cpp.o.d"
+  "imp_soundness_test"
+  "imp_soundness_test.pdb"
+  "imp_soundness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imp_soundness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

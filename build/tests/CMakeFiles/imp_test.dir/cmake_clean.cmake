@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imp_test.dir/imp_test.cpp.o"
+  "CMakeFiles/imp_test.dir/imp_test.cpp.o.d"
+  "imp_test"
+  "imp_test.pdb"
+  "imp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

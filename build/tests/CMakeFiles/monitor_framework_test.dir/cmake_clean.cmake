@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monitor_framework_test.dir/monitor_framework_test.cpp.o"
+  "CMakeFiles/monitor_framework_test.dir/monitor_framework_test.cpp.o.d"
+  "monitor_framework_test"
+  "monitor_framework_test.pdb"
+  "monitor_framework_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monitor_framework_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

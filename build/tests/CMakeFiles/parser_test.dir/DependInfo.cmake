@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/parser_test.cpp" "tests/CMakeFiles/parser_test.dir/parser_test.cpp.o" "gcc" "tests/CMakeFiles/parser_test.dir/parser_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/interp/CMakeFiles/monsem_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/monitors/CMakeFiles/monsem_toolbox.dir/DependInfo.cmake"
+  "/root/repo/build/src/compile/CMakeFiles/monsem_compile.dir/DependInfo.cmake"
+  "/root/repo/build/src/pe/CMakeFiles/monsem_pe.dir/DependInfo.cmake"
+  "/root/repo/build/src/imp/CMakeFiles/monsem_imp.dir/DependInfo.cmake"
+  "/root/repo/build/src/syntax/CMakeFiles/monsem_syntax.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/monsem_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/monitor/CMakeFiles/monsem_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/semantics/CMakeFiles/monsem_semantics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

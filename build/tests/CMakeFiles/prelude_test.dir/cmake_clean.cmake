@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prelude_test.dir/prelude_test.cpp.o"
+  "CMakeFiles/prelude_test.dir/prelude_test.cpp.o.d"
+  "prelude_test"
+  "prelude_test.pdb"
+  "prelude_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prelude_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

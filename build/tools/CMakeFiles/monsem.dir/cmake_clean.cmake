@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monsem.dir/monsem_cli.cpp.o"
+  "CMakeFiles/monsem.dir/monsem_cli.cpp.o.d"
+  "monsem"
+  "monsem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monsem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

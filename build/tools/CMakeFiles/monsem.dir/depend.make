@@ -1,0 +1,2 @@
+# Empty dependencies file for monsem.
+# This may be replaced when dependencies are built.
