@@ -81,6 +81,57 @@ inline void printRule(int Width = 78) {
   std::putchar('\n');
 }
 
+//===----------------------------------------------------------------------===//
+// Machine-readable results (JSON Lines)
+//===----------------------------------------------------------------------===//
+
+/// One benchmark measurement for the committed machine-readable record
+/// (BENCH_machines.json and friends): what ran, in which configuration,
+/// and what it cost.
+struct BenchRecord {
+  std::string Name;     ///< Workload, e.g. "fib 20".
+  std::string Variant;  ///< Machine configuration, e.g. "resolved".
+  std::string Strategy; ///< "strict" / "call-by-name" / "call-by-need".
+  double NsPerOp = 0;   ///< Median wall-clock nanoseconds per run.
+  uint64_t Steps = 0;   ///< Machine transitions in one run.
+  uint64_t ArenaBytes = 0; ///< Arena bytes one run allocates.
+};
+
+/// Appends records to a JSONL file, one JSON object per line. Fields are
+/// written verbatim — callers use plain ASCII names, so no escaping.
+class JsonlWriter {
+public:
+  explicit JsonlWriter(const std::string &Path)
+      : F(std::fopen(Path.c_str(), "w")) {
+    if (!F)
+      std::fprintf(stderr, "warning: cannot open %s for bench records\n",
+                   Path.c_str());
+  }
+  ~JsonlWriter() {
+    if (F)
+      std::fclose(F);
+  }
+  JsonlWriter(const JsonlWriter &) = delete;
+  JsonlWriter &operator=(const JsonlWriter &) = delete;
+
+  bool ok() const { return F != nullptr; }
+
+  void write(const BenchRecord &R) {
+    if (!F)
+      return;
+    std::fprintf(F,
+                 "{\"name\":\"%s\",\"variant\":\"%s\",\"strategy\":\"%s\","
+                 "\"ns_per_op\":%.1f,\"steps\":%llu,\"arena_bytes\":%llu}\n",
+                 R.Name.c_str(), R.Variant.c_str(), R.Strategy.c_str(),
+                 R.NsPerOp, static_cast<unsigned long long>(R.Steps),
+                 static_cast<unsigned long long>(R.ArenaBytes));
+    std::fflush(F);
+  }
+
+private:
+  std::FILE *F;
+};
+
 } // namespace monsem::bench
 
 #endif // MONSEM_BENCH_BENCHUTIL_H

@@ -6,15 +6,34 @@
 // VM (the compiled residual). Also: the three evaluation strategies
 // ("language modules") on the CEK machine.
 //
+// Ablation A5: level-2 specialization of the CEK machine. Each workload
+// runs under three configurations —
+//
+//   seed             named environment chain, no frame recycling (the
+//                    machine as originally shipped; the baseline)
+//   legacy+recycle   named chain + continuation-frame free list
+//   resolved         lexical addresses, flat frames, free list (default)
+//
+// and the monitored workloads repeat the seed/resolved comparison under a
+// tracer cascade, where probes read the environment *by name* through
+// EnvView. Every measurement is also emitted as a JSONL record
+// (--json=PATH, default BENCH_machines.json in the working directory);
+// --quick shrinks the workloads and skips the google-benchmark micros so
+// CI can smoke-test the runner.
+//
 //===----------------------------------------------------------------------===//
 
 #include "BenchUtil.h"
 
+#include "analysis/Resolver.h"
 #include "compile/Compiler.h"
 #include "compile/VM.h"
 #include "interp/Direct.h"
+#include "monitors/Tracer.h"
 
 #include <benchmark/benchmark.h>
+
+#include <cstring>
 
 using namespace monsem;
 using namespace monsem::bench;
@@ -35,6 +54,262 @@ const char *ListSrc =
     "letrec sum = lambda l. if l = [] then 0 else hd l + sum (tl l) in "
     "letrec go = lambda i. if i = 0 then 0 else "
     "sum (build 60) + go (i - 1) in go 200";
+
+//===----------------------------------------------------------------------===//
+// A5 — level-2 specialization (lexical addressing + frame recycling)
+//===----------------------------------------------------------------------===//
+
+/// One machine configuration under test.
+struct Variant {
+  const char *Name;
+  bool Lexical;
+  bool Recycle;
+};
+
+constexpr Variant kVariants[] = {
+    {"seed", false, false},
+    {"legacy+recycle", false, true},
+    {"resolved", true, true},
+};
+
+struct Workload {
+  const char *Name;
+  std::string Src;
+};
+
+std::vector<Workload> deepWorkloads(bool Quick) {
+  auto Fib = [](int N) {
+    return "letrec fib = lambda n. if n < 2 then n else "
+           "fib (n - 1) + fib (n - 2) in fib " +
+           std::to_string(N);
+  };
+  auto Tak = [](int X, int Y, int Z) {
+    return "letrec tak = lambda x y z. if y < x then "
+           "tak (tak (x - 1) y z) (tak (y - 1) z x) (tak (z - 1) x y) "
+           "else z in tak " +
+           std::to_string(X) + " " + std::to_string(Y) + " " +
+           std::to_string(Z);
+  };
+  auto Ack = [](int M, int N) {
+    return "letrec ack = lambda m n. if m = 0 then n + 1 else "
+           "if n = 0 then ack (m - 1) 1 else ack (m - 1) (ack m (n - 1)) "
+           "in ack " +
+           std::to_string(M) + " " + std::to_string(N);
+  };
+  auto Down = [](int N) {
+    return "letrec down = lambda n. if n = 0 then 0 else down (n - 1) in "
+           "down " +
+           std::to_string(N);
+  };
+  if (Quick)
+    return {{"fib 14", Fib(14)},
+            {"tak 12 8 4", Tak(12, 8, 4)},
+            {"ack 2 6", Ack(2, 6)},
+            {"down 20000", Down(20000)},
+            {"list sums", ListSrc}};
+  return {{"fib 20", Fib(20)},
+          {"tak 18 12 6", Tak(18, 12, 6)},
+          {"ack 3 5", Ack(3, 5)},
+          {"down 100000", Down(100000)},
+          {"list sums", ListSrc}};
+}
+
+struct Measurement {
+  double Ms = 0;
+  uint64_t Steps = 0;
+  uint64_t ArenaBytes = 0;
+};
+
+RunOptions optionsFor(const Variant &V, Strategy S = Strategy::Strict) {
+  RunOptions Opts;
+  Opts.Strat = S;
+  Opts.Lexical = V.Lexical;
+  Opts.RecycleFrames = V.Recycle;
+  return Opts;
+}
+
+/// Times one (workload, variant) cell with the strict standard semantics.
+/// Machines are constructed directly (not via evaluate) so the run's arena
+/// footprint is observable; the resolution is computed once outside the
+/// timed region, matching how evaluate() amortizes it across a session.
+Measurement measureStandard(const Expr *Prog, const Variant &V,
+                            const Resolution *Res, Strategy S, int Reps) {
+  RunOptions Opts = optionsFor(V, S);
+  Measurement M;
+  auto RunOnce = [&] {
+    if (V.Lexical) {
+      ResolvedMachine Mach(Prog, Opts, NoMonitorPolicy(), Res);
+      RunResult R = Mach.run();
+      M.Steps = R.Steps;
+      M.ArenaBytes = Mach.arenaBytes();
+    } else {
+      StandardMachine Mach(Prog, Opts);
+      RunResult R = Mach.run();
+      M.Steps = R.Steps;
+      M.ArenaBytes = Mach.arenaBytes();
+    }
+  };
+  M.Ms = medianMs(RunOnce, Reps);
+  return M;
+}
+
+/// Same, under a monitor cascade (fresh runtime states per run, like
+/// evaluate() would make).
+Measurement measureMonitored(const Expr *Prog, const Cascade &C,
+                             const Variant &V, const Resolution *Res,
+                             int Reps) {
+  RunOptions Opts = optionsFor(V);
+  Measurement M;
+  auto RunOnce = [&] {
+    RuntimeCascade RC(C);
+    DynamicMonitorPolicy Policy{&RC};
+    if (V.Lexical) {
+      ResolvedMonitoredMachine Mach(Prog, Opts, Policy, Res);
+      RunResult R = Mach.run();
+      M.Steps = R.Steps;
+      M.ArenaBytes = Mach.arenaBytes();
+    } else {
+      MonitoredMachine Mach(Prog, Opts, Policy);
+      RunResult R = Mach.run();
+      M.Steps = R.Steps;
+      M.ArenaBytes = Mach.arenaBytes();
+    }
+  };
+  M.Ms = medianMs(RunOnce, Reps);
+  return M;
+}
+
+const char *strategyLabel(Strategy S) { return strategyName(S); }
+
+void reportLexical(JsonlWriter &W, bool Quick) {
+  const int Reps = Quick ? 3 : 9;
+
+  std::printf("A5 — level-2 specialization (strict, no monitor)\n");
+  printRule();
+  std::printf("%-14s %10s %16s %10s %9s %14s\n", "workload", "seed ms",
+              "legacy+rec ms", "resolved", "speedup", "arena seed/res");
+  printRule();
+
+  for (const Workload &WL : deepWorkloads(Quick)) {
+    auto P = parseOrDie(WL.Src);
+    auto Res = resolveProgram(P->root());
+    if (!Res->ok()) {
+      std::fprintf(stderr, "resolver refused %s; skipping\n", WL.Name);
+      continue;
+    }
+
+    Measurement Cells[3];
+    for (int I = 0; I < 3; ++I) {
+      Cells[I] = measureStandard(P->root(), kVariants[I], Res.get(),
+                                 Strategy::Strict, Reps);
+      W.write({WL.Name, kVariants[I].Name, strategyLabel(Strategy::Strict),
+               Cells[I].Ms * 1e6, Cells[I].Steps, Cells[I].ArenaBytes});
+    }
+
+    // Interleaved ratio for the headline column: robust against clock
+    // drift across the row. medianRatio(Base, Other) = median(Other/Base),
+    // so Base = resolved makes the ratio "seed over resolved" = speedup.
+    double Speedup;
+    if (Quick) {
+      Speedup = Cells[0].Ms / Cells[2].Ms;
+    } else {
+      RunOptions SeedOpts = optionsFor(kVariants[0]);
+      RunOptions ResOpts = optionsFor(kVariants[2]);
+      Speedup = medianRatio(
+          [&] {
+            ResolvedMachine M(P->root(), ResOpts, NoMonitorPolicy(),
+                              Res.get());
+            M.run();
+          },
+          [&] {
+            StandardMachine M(P->root(), SeedOpts);
+            M.run();
+          });
+    }
+
+    std::printf("%-14s %10.3f %16.3f %10.3f %8.2fx %6.1f/%.1f MB\n",
+                WL.Name, Cells[0].Ms, Cells[1].Ms, Cells[2].Ms, Speedup,
+                Cells[0].ArenaBytes / 1048576.0,
+                Cells[2].ArenaBytes / 1048576.0);
+  }
+  printRule();
+  std::printf("seed = named env chain, no recycling; resolved = lexical "
+              "addresses + flat\nframes + continuation-frame free list "
+              "(the default configuration).\n\n");
+
+  // Strategies under both representations: laziness allocates thunks that
+  // close over the environment, so the flat-frame representation must not
+  // regress call-by-name/need either.
+  std::printf("A5b — strategies, seed vs resolved (fib %d)\n",
+              Quick ? 12 : 16);
+  printRule();
+  auto Mid = parseOrDie(
+      std::string("letrec fib = lambda n. if n < 2 then n else "
+                  "fib (n - 1) + fib (n - 2) in fib ") +
+      (Quick ? "12" : "16"));
+  auto MidRes = resolveProgram(Mid->root());
+  std::string MidName = Quick ? "fib 12" : "fib 16";
+  for (Strategy S :
+       {Strategy::Strict, Strategy::CallByName, Strategy::CallByNeed}) {
+    Measurement Seed = measureStandard(Mid->root(), kVariants[0],
+                                       MidRes.get(), S, Reps);
+    Measurement Rsv = measureStandard(Mid->root(), kVariants[2],
+                                      MidRes.get(), S, Reps);
+    W.write({MidName, kVariants[0].Name, strategyLabel(S), Seed.Ms * 1e6,
+             Seed.Steps, Seed.ArenaBytes});
+    W.write({MidName, kVariants[2].Name, strategyLabel(S), Rsv.Ms * 1e6,
+             Rsv.Steps, Rsv.ArenaBytes});
+    std::printf("%-14s seed %8.3f ms   resolved %8.3f ms   %.2fx\n",
+                strategyLabel(S), Seed.Ms, Rsv.Ms, Seed.Ms / Rsv.Ms);
+  }
+  printRule();
+  std::putchar('\n');
+
+  // Monitored runs: probes fire on every call and read bindings by name,
+  // so this is the adversarial case for flat frames (named lookup scans
+  // slots instead of chasing a chain). The bar is "no regression", not
+  // "speedup".
+  std::printf("A5c — monitored (tracer cascade), seed vs resolved\n");
+  printRule();
+  struct MonWorkload {
+    const char *Name;
+    std::string Src;
+  };
+  std::vector<MonWorkload> MonWLs = {
+      {Quick ? "fib 12 traced" : "fib 16 traced",
+       std::string("letrec fib = lambda n. {fib(n)}: if n < 2 then n else "
+                   "fib (n - 1) + fib (n - 2) in fib ") +
+           (Quick ? "12" : "16")},
+      {Quick ? "down 1000 traced" : "down 4000 traced",
+       std::string("letrec down = lambda n. {down(n)}: if n = 0 then 0 "
+                   "else down (n - 1) in down ") +
+           (Quick ? "1000" : "4000")},
+  };
+  Tracer Trace;
+  Cascade C = cascadeOf({&Trace});
+  for (const MonWorkload &WL : MonWLs) {
+    auto P = parseOrDie(WL.Src);
+    DiagnosticSink Diags;
+    if (!C.validateFor(P->root(), Diags)) {
+      std::fprintf(stderr, "cascade rejected %s:\n%s\n", WL.Name,
+                   Diags.str().c_str());
+      continue;
+    }
+    auto Res = resolveProgram(P->root());
+    Measurement Seed =
+        measureMonitored(P->root(), C, kVariants[0], Res.get(), Reps);
+    Measurement Rsv =
+        measureMonitored(P->root(), C, kVariants[2], Res.get(), Reps);
+    W.write({WL.Name, kVariants[0].Name, "strict+tracer", Seed.Ms * 1e6,
+             Seed.Steps, Seed.ArenaBytes});
+    W.write({WL.Name, kVariants[2].Name, "strict+tracer", Rsv.Ms * 1e6,
+             Rsv.Steps, Rsv.ArenaBytes});
+    std::printf("%-16s seed %8.3f ms   resolved %8.3f ms   %.2fx\n",
+                WL.Name, Seed.Ms, Rsv.Ms, Seed.Ms / Rsv.Ms);
+  }
+  printRule();
+  std::putchar('\n');
+}
 
 } // namespace
 
@@ -125,6 +400,24 @@ static void BM_Strategy(benchmark::State &State) {
 BENCHMARK(BM_Strategy)->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char **argv) {
+  bool Quick = false;
+  std::string JsonPath = "BENCH_machines.json";
+  // Strip our flags before handing argv to google-benchmark.
+  int Kept = 1;
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--quick") == 0)
+      Quick = true;
+    else if (std::strncmp(argv[I], "--json=", 7) == 0)
+      JsonPath = argv[I] + 7;
+    else
+      argv[Kept++] = argv[I];
+  }
+  argc = Kept;
+
+  JsonlWriter W(JsonPath);
+  reportLexical(W, Quick);
+  if (Quick)
+    return 0;
   reportTable();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -41,12 +41,11 @@ const char *annotatedSource() {
 struct InlineCountPolicy {
   static constexpr bool Enabled = true;
   uint64_t *Count = nullptr;
-  void pre(const Annotation &, const Expr &, const EnvNode *, uint64_t,
-           uint64_t) {
+  void pre(const Annotation &, const Expr &, EnvView, uint64_t, uint64_t) {
     ++*Count;
   }
-  void post(const Annotation &, const Expr &, const EnvNode *, Value,
-            uint64_t, uint64_t) {}
+  void post(const Annotation &, const Expr &, EnvView, Value, uint64_t,
+            uint64_t) {}
 };
 
 } // namespace

@@ -1,0 +1,172 @@
+//===- analysis/Resolver.cpp ----------------------------------------------===//
+
+#include "analysis/Resolver.h"
+
+#include "semantics/Primitives.h"
+
+#include <unordered_set>
+
+using namespace monsem;
+
+namespace monsem {
+
+/// The single-pass scope walk. One instance per resolveProgram call.
+class Resolver {
+public:
+  explicit Resolver(Resolution &R) : R(R) {}
+
+  void run(const Expr *Program) {
+    FrameShape *Root = R.newShape();
+    R.Root = Root;
+    // The root frame has no owner binding; letrec binders coalesced at the
+    // program's outermost level fill its slots (possibly none).
+    visit(Program, /*Level=*/0, Root, /*Coalesce=*/true);
+  }
+
+private:
+  /// One name in scope. FrameLevel/Slot locate its runtime storage;
+  /// BinderOrdinal is its position in the binder-counted de Bruijn
+  /// numbering the bytecode compiler uses.
+  struct ScopeEntry {
+    Symbol Name;
+    uint32_t FrameLevel;
+    uint32_t Slot;
+    uint32_t BinderOrdinal;
+  };
+
+  void visit(const Expr *E, uint32_t Level, FrameShape *Shape, bool Coalesce) {
+    if (!R.Ok)
+      return;
+    // Per-node annotations are only meaningful if each node is reachable
+    // exactly once. Shared subtrees (e.g. residual programs from the
+    // partial evaluator) make addresses ambiguous: refuse, callers fall
+    // back to the named chain.
+    if (!Visited.insert(E).second) {
+      R.Ok = false;
+      return;
+    }
+    switch (E->kind()) {
+    case ExprKind::Const:
+      return;
+    case ExprKind::Var:
+      resolveVar(cast<VarExpr>(E), Level);
+      return;
+    case ExprKind::Lam: {
+      const LamExpr *L = cast<LamExpr>(E);
+      FrameShape *S = R.newShape();
+      S->Slots.push_back(L->Param);
+      L->Shape = S;
+      // The body opens a fresh frame per application, so letrecs directly
+      // under it coalesce into *that* frame, never the enclosing one.
+      Scope.push_back({L->Param, Level + 1, 0, numBinders()});
+      visit(L->Body, Level + 1, S, /*Coalesce=*/true);
+      Scope.pop_back();
+      return;
+    }
+    case ExprKind::If: {
+      const IfExpr *I = cast<IfExpr>(E);
+      // Condition and the taken branch run exactly when the `if` does, in
+      // the same environment: coalescing passes through.
+      visit(I->Cond, Level, Shape, Coalesce);
+      visit(I->Then, Level, Shape, Coalesce);
+      visit(I->Else, Level, Shape, Coalesce);
+      return;
+    }
+    case ExprKind::App: {
+      const AppExpr *A = cast<AppExpr>(E);
+      // The operator is evaluated strictly under every strategy; the
+      // operand may become a thunk (call-by-name re-evaluates it), so a
+      // letrec inside it must keep allocating its own frame.
+      visit(A->Fn, Level, Shape, Coalesce);
+      visit(A->Arg, Level, Shape, /*Coalesce=*/false);
+      return;
+    }
+    case ExprKind::Letrec: {
+      const LetrecExpr *L = cast<LetrecExpr>(E);
+      if (Coalesce) {
+        // Member: claim the next slot of the enclosing frame. The binder
+        // scopes over both the bound expression and the body.
+        uint32_t Slot = Shape->numSlots();
+        Shape->Slots.push_back(L->Name);
+        L->Shape = nullptr;
+        L->SlotIndex = Slot;
+        Scope.push_back({L->Name, Level, Slot, numBinders()});
+        visit(L->Bound, Level, Shape, /*Coalesce=*/false);
+        visit(L->Body, Level, Shape, /*Coalesce=*/true);
+        Scope.pop_back();
+        return;
+      }
+      // Head: this letrec allocates a fresh frame (it may run many times
+      // per enclosing frame instance — e.g. inside a thunked operand).
+      FrameShape *S = R.newShape();
+      S->Slots.push_back(L->Name);
+      L->Shape = S;
+      L->SlotIndex = 0;
+      Scope.push_back({L->Name, Level + 1, 0, numBinders()});
+      visit(L->Bound, Level + 1, S, /*Coalesce=*/false);
+      visit(L->Body, Level + 1, S, /*Coalesce=*/true);
+      Scope.pop_back();
+      return;
+    }
+    case ExprKind::Prim1: {
+      const Prim1Expr *P = cast<Prim1Expr>(E);
+      // Primitive operands are strict under every strategy.
+      visit(P->Arg, Level, Shape, Coalesce);
+      return;
+    }
+    case ExprKind::Prim2: {
+      const Prim2Expr *P = cast<Prim2Expr>(E);
+      visit(P->Lhs, Level, Shape, Coalesce);
+      visit(P->Rhs, Level, Shape, Coalesce);
+      return;
+    }
+    case ExprKind::Annot: {
+      const AnnotExpr *A = cast<AnnotExpr>(E);
+      // Probes observe but never change the environment (Thm. 7.7).
+      visit(A->Inner, Level, Shape, Coalesce);
+      return;
+    }
+    }
+  }
+
+  void resolveVar(const VarExpr *V, uint32_t Level) {
+    for (size_t I = Scope.size(); I-- > 0;) {
+      const ScopeEntry &S = Scope[I];
+      if (S.Name != V->Name)
+        continue;
+      V->Addr = VarExpr::AddrKind::Local;
+      V->FrameDepth = Level - S.FrameLevel;
+      V->SlotIndex = S.Slot;
+      V->BinderDepth = numBinders() - 1 - S.BinderOrdinal;
+      return;
+    }
+    const std::vector<PrimBinding> &Prims = primBindings();
+    for (size_t I = 0; I < Prims.size(); ++I) {
+      if (Prims[I].Name != V->Name)
+        continue;
+      V->Addr = VarExpr::AddrKind::Global;
+      V->FrameDepth = 0;
+      V->SlotIndex = static_cast<uint32_t>(I);
+      V->BinderDepth = 0;
+      return;
+    }
+    V->Addr = VarExpr::AddrKind::Unbound;
+    V->FrameDepth = 0;
+    V->SlotIndex = 0;
+    V->BinderDepth = 0;
+  }
+
+  uint32_t numBinders() const { return static_cast<uint32_t>(Scope.size()); }
+
+  Resolution &R;
+  std::vector<ScopeEntry> Scope;
+  std::unordered_set<const Expr *> Visited;
+};
+
+} // namespace monsem
+
+std::unique_ptr<Resolution> monsem::resolveProgram(const Expr *Program) {
+  auto R = std::make_unique<Resolution>();
+  Resolver(*R).run(Program);
+  return R;
+}

@@ -2,6 +2,8 @@
 
 #include "compile/Compiler.h"
 
+#include "analysis/Resolver.h"
+#include "semantics/Primitives.h"
 #include "syntax/Parser.h"
 
 #include <optional>
@@ -19,6 +21,13 @@ public:
   }
 
   std::unique_ptr<CompiledProgram> run(const Expr *Program) {
+    // Reuse the resolver's binder numbering: its BinderDepth is exactly
+    // the VM's env-link distance (the compiler and the VM both push one
+    // env node per lambda parameter and per letrec binder, the latter in
+    // scope for bound expression and body alike). On shared-node programs
+    // the resolver refuses and the legacy scope scan below is used.
+    Res = resolveProgram(Program);
+    Resolved = Res->ok();
     Prog->Blocks.emplace_back();
     Prog->Blocks[0].Name = "<main>";
     compileInto(0, Program);
@@ -32,7 +41,9 @@ private:
   DiagnosticSink &Diags;
   CompileOptions Opts;
   std::unique_ptr<CompiledProgram> Prog;
-  std::vector<Symbol> Scope; ///< Compile-time environment shape.
+  std::unique_ptr<Resolution> Res;
+  bool Resolved = false;
+  std::vector<Symbol> Scope; ///< Legacy compile-time environment shape.
   bool Failed = false;
 
   void emit(uint32_t Block, Op Code, uint32_t A = 0) {
@@ -97,7 +108,27 @@ private:
       return;
     }
     case ExprKind::Var: {
-      Symbol Name = cast<VarExpr>(E)->Name;
+      const auto *V = cast<VarExpr>(E);
+      Symbol Name = V->Name;
+      if (Resolved) {
+        switch (V->Addr) {
+        case VarExpr::AddrKind::Local:
+          emit(Block, Op::Var, V->BinderDepth);
+          return;
+        case VarExpr::AddrKind::Global:
+          // The resolver's global slot indexes primBindings directly.
+          emit(Block, Op::Const,
+               addConst(primBindings()[V->SlotIndex].Val));
+          return;
+        case VarExpr::AddrKind::Unbound:
+        case VarExpr::AddrKind::Unresolved:
+          Diags.error(E->loc(), "unbound variable '" +
+                                    std::string(Name.str()) + "'");
+          Failed = true;
+          return;
+        }
+        return;
+      }
       if (auto Depth = depthOf(Name)) {
         emit(Block, Op::Var, *Depth);
         return;

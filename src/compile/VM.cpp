@@ -202,13 +202,14 @@ RunResult VM::run() {
     case Op::MonPre:
       if (Hooks) {
         const ProbeSite &S = P.Probes[I.A];
-        Hooks->pre(*S.Ann, *S.Inner, Env, Steps, A.bytesAllocated());
+        Hooks->pre(*S.Ann, *S.Inner, EnvView(Env), Steps,
+                   A.bytesAllocated());
       }
       break;
     case Op::MonPost:
       if (Hooks) {
         const ProbeSite &S = P.Probes[I.A];
-        Hooks->post(*S.Ann, *S.Inner, Env, Stack.back(), Steps,
+        Hooks->post(*S.Ann, *S.Inner, EnvView(Env), Stack.back(), Steps,
                     A.bytesAllocated());
       }
       break;

@@ -132,10 +132,11 @@ public:
       const auto *N = cast<AnnotExpr>(E);
       if (!Hooks)
         return eval(N->Inner, Env, Depth + 1);
-      Hooks->pre(*N->Ann, *N->Inner, Env, Steps, A.bytesAllocated());
+      Hooks->pre(*N->Ann, *N->Inner, EnvView(Env), Steps,
+                 A.bytesAllocated());
       Value V = eval(N->Inner, Env, Depth + 1);
       if (!Failed)
-        Hooks->post(*N->Ann, *N->Inner, Env, V, Steps,
+        Hooks->post(*N->Ann, *N->Inner, EnvView(Env), V, Steps,
                     A.bytesAllocated());
       return V;
     }

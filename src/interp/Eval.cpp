@@ -12,6 +12,16 @@ std::unique_ptr<ParsedProgram> ParsedProgram::parse(std::string_view Source,
 }
 
 RunResult monsem::evaluate(const Expr *Program, RunOptions Opts) {
+  if (Opts.Lexical) {
+    // Level-2 specialization: resolve once, then run on flat frames. The
+    // resolver refuses shared-node programs (!ok), in which case the named
+    // chain remains the semantics of record.
+    std::unique_ptr<Resolution> Res = resolveProgram(Program);
+    if (Res->ok()) {
+      ResolvedMachine M(Program, Opts, NoMonitorPolicy(), Res.get());
+      return M.run();
+    }
+  }
   StandardMachine M(Program, Opts);
   return M.run();
 }
@@ -31,6 +41,15 @@ RunResult monsem::evaluate(const Cascade &C, const Expr *Program,
 
   RuntimeCascade RC(C);
   DynamicMonitorPolicy Policy{&RC};
+  if (Opts.Lexical) {
+    std::unique_ptr<Resolution> Res = resolveProgram(Program);
+    if (Res->ok()) {
+      ResolvedMonitoredMachine M(Program, Opts, Policy, Res.get());
+      RunResult R = M.run();
+      R.FinalStates = RC.takeStates();
+      return R;
+    }
+  }
   MonitoredMachine M(Program, Opts, Policy);
   RunResult R = M.run();
   R.FinalStates = RC.takeStates();

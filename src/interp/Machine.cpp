@@ -16,7 +16,9 @@ const char *strategyName(Strategy S) {
   return "?";
 }
 
-template class MachineT<NoMonitorPolicy>;
-template class MachineT<DynamicMonitorPolicy>;
+template class MachineT<NoMonitorPolicy, false>;
+template class MachineT<DynamicMonitorPolicy, false>;
+template class MachineT<NoMonitorPolicy, true>;
+template class MachineT<DynamicMonitorPolicy, true>;
 
 } // namespace monsem

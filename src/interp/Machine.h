@@ -16,14 +16,29 @@
 /// monitoring disabled the clause reduces to evaluating e — the oblivious
 /// functional G_obl of Definition 7.1.
 ///
-/// The machine is a template over a monitor *policy*, which realizes the
-/// paper's first level of specialization (Section 9.1): instantiating the
-/// machine with a concrete, statically known monitor removes the
-/// interpretive overhead of monitor dispatch, exactly as specializing the
-/// parameterized interpreter with respect to a monitor specification does.
-/// `NoMonitorPolicy` (standard semantics) and `DynamicMonitorPolicy`
-/// (cascade chosen at run time) are provided; benchmarks instantiate
-/// further policies.
+/// The machine is a template over two specialization points (Section 9.1):
+///
+///  * a monitor *policy* (level 1): instantiating the machine with a
+///    concrete, statically known monitor removes the interpretive overhead
+///    of monitor dispatch, exactly as specializing the parameterized
+///    interpreter with respect to a monitor specification does.
+///    `NoMonitorPolicy` (standard semantics) and `DynamicMonitorPolicy`
+///    (cascade chosen at run time) are provided; benchmarks instantiate
+///    further policies.
+///
+///  * the environment representation (level 2, program-dependent): with
+///    `Lexical = true` the machine runs a program annotated by the resolver
+///    (analysis/Resolver.h) on flat, array-backed environment frames —
+///    variable references index frames directly instead of scanning a
+///    named chain, and coalesced letrec binders write slots of the current
+///    frame instead of allocating. Monitors still see named bindings
+///    through EnvView, so Thm. 7.7 soundness is representation-invariant.
+///
+/// Both machines recycle popped continuation frames through a free list
+/// (frames are strictly LIFO — the language has no first-class
+/// continuations — so a popped frame can never be referenced again); the
+/// hot loop then touches a handful of cache lines instead of streaming
+/// through the arena.
 ///
 /// Three evaluation strategies (Section 9.2's "language modules"): strict,
 /// call-by-name, and call-by-need.
@@ -33,6 +48,7 @@
 #ifndef MONSEM_INTERP_MACHINE_H
 #define MONSEM_INTERP_MACHINE_H
 
+#include "analysis/Resolver.h"
 #include "monitor/Hooks.h"
 #include "semantics/Answer.h"
 #include "semantics/Primitives.h"
@@ -43,6 +59,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 namespace monsem {
@@ -57,6 +74,12 @@ struct RunOptions {
   uint64_t MaxSteps = 0;
   /// The answer algebra phi used by the initial continuation (Section 3.1).
   const AnswerAlgebra *Algebra = &StdAnswerAlgebra::instance();
+  /// Use the lexically-addressed machine when the program resolves (driver
+  /// flag, consumed by evaluate(); the machine template ignores it).
+  bool Lexical = true;
+  /// Recycle popped continuation frames through the free list. Off gives
+  /// the allocation behavior of the unoptimized machine (benchmarks).
+  bool RecycleFrames = true;
 };
 
 /// The final answer: the paper's <alpha, sigma'> pair. `ValueText` is
@@ -89,22 +112,21 @@ struct RunResult {
 /// Standard semantics: annotations are skipped (G_obl of Definition 7.1).
 struct NoMonitorPolicy {
   static constexpr bool Enabled = false;
-  void pre(const Annotation &, const Expr &, const EnvNode *, uint64_t,
-           uint64_t) {}
-  void post(const Annotation &, const Expr &, const EnvNode *, Value,
-            uint64_t, uint64_t) {}
+  void pre(const Annotation &, const Expr &, EnvView, uint64_t, uint64_t) {}
+  void post(const Annotation &, const Expr &, EnvView, Value, uint64_t,
+            uint64_t) {}
 };
 
 /// Monitoring semantics with the cascade chosen at run time.
 struct DynamicMonitorPolicy {
   static constexpr bool Enabled = true;
   MonitorHooks *Hooks = nullptr;
-  void pre(const Annotation &Ann, const Expr &E, const EnvNode *Env,
-           uint64_t Step, uint64_t Bytes) {
+  void pre(const Annotation &Ann, const Expr &E, EnvView Env, uint64_t Step,
+           uint64_t Bytes) {
     Hooks->pre(Ann, E, Env, Step, Bytes);
   }
-  void post(const Annotation &Ann, const Expr &E, const EnvNode *Env,
-            Value V, uint64_t Step, uint64_t Bytes) {
+  void post(const Annotation &Ann, const Expr &E, EnvView Env, Value V,
+            uint64_t Step, uint64_t Bytes) {
     Hooks->post(Ann, E, Env, V, Step, Bytes);
   }
 };
@@ -115,10 +137,11 @@ struct DynamicMonitorPolicy {
 
 namespace detail {
 
-/// A defunctionalized continuation frame. One allocation per pending
-/// sub-evaluation; frames are immutable once pushed (except for nothing —
-/// patching happens in EnvNodes/Thunks, never frames).
-struct Frame {
+/// A defunctionalized continuation frame, parameterized over the
+/// environment representation. One allocation per pending sub-evaluation
+/// (amortized away by the free list); frames are immutable once pushed —
+/// patching happens in environments/Thunks, never frames.
+template <typename EnvT> struct FrameT {
   enum class Kind : uint8_t {
     Halt,
     EvalFn,     ///< Operand evaluated; evaluate the operator (paper order).
@@ -133,25 +156,37 @@ struct Frame {
   };
 
   Kind K;
-  uint8_t Op = 0;             ///< Prim1Op/Prim2Op for primitive frames.
-  const Expr *E1 = nullptr;   ///< Pending expression (EvalFn/Branch/...).
-  const Expr *E2 = nullptr;   ///< Else branch (Branch).
-  EnvNode *Env = nullptr;     ///< Environment for the pending evaluation.
-  Value V;                    ///< Stored intermediate value.
+  uint8_t Op = 0;           ///< Prim1Op/Prim2Op for primitive frames.
+  uint32_t Idx = 0;         ///< LetrecBind slot index (lexical machine).
+  const Expr *E1 = nullptr; ///< Pending expression (EvalFn/Branch/...).
+  const Expr *E2 = nullptr; ///< Else branch (Branch).
+  EnvT *Env = nullptr; ///< Environment for the pending evaluation; also the
+                       ///< knot-tying target of LetrecBind (the EnvNode to
+                       ///< patch, or the EnvFrame whose slot Idx to write).
+  Value V;             ///< Stored intermediate value.
   const Annotation *Ann = nullptr; ///< MonPost.
-  EnvNode *BindNode = nullptr;     ///< LetrecBind: the node to patch.
   Thunk *Th = nullptr;             ///< UpdateThunk.
-  Frame *Next = nullptr;
+  FrameT *Next = nullptr;
 };
+
+/// Legacy name for the named-chain frame (diagnostics, tests).
+using Frame = FrameT<EnvNode>;
 
 } // namespace detail
 
 /// One program execution. Owns the run's arena; `run()` drives the
 /// transition loop to a final answer.
-template <typename Policy> class MachineT {
+///
+/// With `Lexical = true` the program must have been annotated by a
+/// successful resolveProgram whose Resolution is passed in and outlives
+/// the machine.
+template <typename Policy, bool Lexical = false> class MachineT {
 public:
-  MachineT(const Expr *Program, RunOptions Opts, Policy P = Policy())
-      : Program(Program), Opts(Opts), Pol(P) {}
+  using EnvT = std::conditional_t<Lexical, EnvFrame, EnvNode>;
+
+  MachineT(const Expr *Program, RunOptions Opts, Policy P = Policy(),
+           const Resolution *Res = nullptr)
+      : Program(Program), Opts(Opts), Pol(P), Res(Res) {}
 
   RunResult run();
 
@@ -159,14 +194,31 @@ public:
   size_t arenaBytes() const { return A.bytesAllocated(); }
 
 private:
-  using Frame = detail::Frame;
-  using FK = detail::Frame::Kind;
+  using Frame = detail::FrameT<EnvT>;
+  using FK = typename Frame::Kind;
 
   Frame *mkFrame(FK K, Frame *Next) {
-    Frame *F = A.create<Frame>();
+    Frame *F = FreeList;
+    if (F)
+      FreeList = F->Next;
+    else
+      F = A.create<Frame>();
     F->K = K;
     F->Next = Next;
     return F;
+  }
+
+  /// Returns a popped frame to the free list. Sound because continuation
+  /// frames are strictly LIFO: nothing else ever holds a frame pointer
+  /// (thunks and closures capture environments, not continuations), so a
+  /// frame that has been returned through cannot be reached again. Every
+  /// creation site initializes all the fields its kind reads, so recycled
+  /// frames are not cleared.
+  void recycle(Frame *F) {
+    if (!Opts.RecycleFrames)
+      return;
+    F->Next = FreeList;
+    FreeList = F;
   }
 
   void fail(std::string Msg) {
@@ -176,7 +228,7 @@ private:
 
   /// Transition: evaluate \p E in \p Env with continuation \p K.
   /// Sets Mode to Return when a value is produced immediately.
-  void doEval(const Expr *E, EnvNode *Env, Frame *K);
+  void doEval(const Expr *E, EnvT *Env, Frame *K);
 
   /// Transition: process exactly one frame of the continuation for the
   /// returned value \p V. Never recurses; chained pass-through frames
@@ -199,35 +251,50 @@ private:
   /// Forces \p V (a thunk) and delivers the result to \p K.
   void force(Value V, Frame *K);
 
+  /// The environment a suspension or closure captured.
+  EnvT *envOf(const Thunk *T) {
+    if constexpr (Lexical)
+      return T->FEnv;
+    else
+      return T->Env;
+  }
+
   const Expr *Program;
   RunOptions Opts;
   Policy Pol;
+  const Resolution *Res;
   Arena A;
 
   // Trampoline state.
   enum class Mode : uint8_t { Eval, Return, Done } M = Mode::Eval;
   const Expr *CurExpr = nullptr;
-  EnvNode *CurEnv = nullptr;
+  EnvT *CurEnv = nullptr;
   Value CurVal;
   Frame *CurKont = nullptr;
+  Frame *FreeList = nullptr;
+  EnvFrame *PrimF = nullptr; ///< The initial frame (lexical Global slots).
 
   uint64_t Steps = 0;
   bool Failed = false;
   std::string Error;
 };
 
-extern template class MachineT<NoMonitorPolicy>;
-extern template class MachineT<DynamicMonitorPolicy>;
+extern template class MachineT<NoMonitorPolicy, false>;
+extern template class MachineT<DynamicMonitorPolicy, false>;
+extern template class MachineT<NoMonitorPolicy, true>;
+extern template class MachineT<DynamicMonitorPolicy, true>;
 
-using StandardMachine = MachineT<NoMonitorPolicy>;
-using MonitoredMachine = MachineT<DynamicMonitorPolicy>;
+using StandardMachine = MachineT<NoMonitorPolicy, false>;
+using MonitoredMachine = MachineT<DynamicMonitorPolicy, false>;
+using ResolvedMachine = MachineT<NoMonitorPolicy, true>;
+using ResolvedMonitoredMachine = MachineT<DynamicMonitorPolicy, true>;
 
 //===----------------------------------------------------------------------===//
 // Template implementation
 //===----------------------------------------------------------------------===//
 
-template <typename Policy>
-void MachineT<Policy>::doEval(const Expr *E, EnvNode *Env, Frame *K) {
+template <typename Policy, bool Lexical>
+void MachineT<Policy, Lexical>::doEval(const Expr *E, EnvT *Env, Frame *K) {
   switch (E->kind()) {
   case ExprKind::Const: {
     const ConstVal &C = cast<ConstExpr>(E)->Val;
@@ -249,13 +316,37 @@ void MachineT<Policy>::doEval(const Expr *E, EnvNode *Env, Frame *K) {
   }
   case ExprKind::Var: {
     const auto *V = cast<VarExpr>(E);
-    EnvNode *N = lookupEnv(Env, V->Name);
-    if (!N) {
-      fail("unbound variable '" + std::string(V->Name.str()) + "' at " +
-           E->loc().str());
-      return;
+    Value Val;
+    if constexpr (Lexical) {
+      switch (V->Addr) {
+      case VarExpr::AddrKind::Local: {
+        EnvFrame *F = Env;
+        for (uint32_t D = V->FrameDepth; D; --D)
+          F = F->Parent;
+        Val = F->slots()[V->SlotIndex];
+        break;
+      }
+      case VarExpr::AddrKind::Global:
+        setReturn(PrimF->slots()[V->SlotIndex], K);
+        return;
+      case VarExpr::AddrKind::Unbound:
+        fail("unbound variable '" + std::string(V->Name.str()) + "' at " +
+             E->loc().str());
+        return;
+      case VarExpr::AddrKind::Unresolved:
+        fail("internal error: unresolved variable '" +
+             std::string(V->Name.str()) + "' in lexical machine");
+        return;
+      }
+    } else {
+      EnvNode *N = lookupEnv(Env, V->Name);
+      if (!N) {
+        fail("unbound variable '" + std::string(V->Name.str()) + "' at " +
+             E->loc().str());
+        return;
+      }
+      Val = N->Val;
     }
-    Value Val = N->Val;
     if (Val.is(ValueKind::Unit)) {
       fail("letrec variable '" + std::string(V->Name.str()) +
            "' referenced before initialization");
@@ -270,7 +361,11 @@ void MachineT<Policy>::doEval(const Expr *E, EnvNode *Env, Frame *K) {
   }
   case ExprKind::Lam: {
     const auto *L = cast<LamExpr>(E);
-    Closure *C = A.create<Closure>(L->Param, L->Body, Env);
+    Closure *C;
+    if constexpr (Lexical)
+      C = A.create<Closure>(L->Param, L->Body, nullptr, Env, L->Shape);
+    else
+      C = A.create<Closure>(L->Param, L->Body, Env);
     setReturn(Value::mkClosure(C), K);
     return;
   }
@@ -300,7 +395,12 @@ void MachineT<Policy>::doEval(const Expr *E, EnvNode *Env, Frame *K) {
       return;
     }
     // Lazy strategies: suspend the operand, evaluate the operator.
-    Thunk *T = A.create<Thunk>(App->Arg, Env, Thunk::State::Unforced, Value());
+    Thunk *T;
+    if constexpr (Lexical)
+      T = A.create<Thunk>(App->Arg, nullptr, Thunk::State::Unforced, Value(),
+                          Env);
+    else
+      T = A.create<Thunk>(App->Arg, Env, Thunk::State::Unforced, Value());
     Frame *F = mkFrame(FK::Apply, K);
     F->V = Value::mkThunk(T);
     M = Mode::Eval;
@@ -311,14 +411,37 @@ void MachineT<Policy>::doEval(const Expr *E, EnvNode *Env, Frame *K) {
   }
   case ExprKind::Letrec: {
     const auto *L = cast<LetrecExpr>(E);
-    EnvNode *Node = extendEnv(A, Env, L->Name, Value::mkUnit());
+    EnvT *Node;
+    uint32_t Slot;
+    if constexpr (Lexical) {
+      if (L->Shape) {
+        // Frame head: a fresh frame whose slot 0 is the binder.
+        Node = allocFrame(A, L->Shape, Env);
+        Slot = 0;
+      } else {
+        // Coalesced member: reuse the current frame; the resolver
+        // guarantees this letrec runs at most once per frame instance, so
+        // the preallocated slot is still Unit ("not yet initialized").
+        Node = Env;
+        Slot = L->SlotIndex;
+      }
+    } else {
+      Node = extendEnv(A, Env, L->Name, Value::mkUnit());
+      Slot = 0;
+    }
     if (Opts.Strat != Strategy::Strict) {
       // Lazy letrec: bind the name to a thunk of the bound expression in
       // the extended environment; self-reference cycles are caught as
       // black holes under call-by-need.
-      Thunk *T =
-          A.create<Thunk>(L->Bound, Node, Thunk::State::Unforced, Value());
-      Node->Val = Value::mkThunk(T);
+      Thunk *T;
+      if constexpr (Lexical) {
+        T = A.create<Thunk>(L->Bound, nullptr, Thunk::State::Unforced,
+                            Value(), Node);
+        Node->slots()[Slot] = Value::mkThunk(T);
+      } else {
+        T = A.create<Thunk>(L->Bound, Node, Thunk::State::Unforced, Value());
+        Node->Val = Value::mkThunk(T);
+      }
       M = Mode::Eval;
       CurExpr = L->Body;
       CurEnv = Node;
@@ -326,7 +449,8 @@ void MachineT<Policy>::doEval(const Expr *E, EnvNode *Env, Frame *K) {
       return;
     }
     Frame *F = mkFrame(FK::LetrecBind, K);
-    F->BindNode = Node;
+    F->Env = Node;
+    F->Idx = Slot;
     F->E1 = L->Body;
     M = Mode::Eval;
     CurExpr = L->Bound;
@@ -360,7 +484,7 @@ void MachineT<Policy>::doEval(const Expr *E, EnvNode *Env, Frame *K) {
     const auto *N = cast<AnnotExpr>(E);
     if constexpr (Policy::Enabled) {
       // Definition 4.2: (Vbar [s'] a* kpost) . updPre
-      Pol.pre(*N->Ann, *N->Inner, Env, Steps, A.bytesAllocated());
+      Pol.pre(*N->Ann, *N->Inner, EnvView(Env), Steps, A.bytesAllocated());
       Frame *F = mkFrame(FK::MonPost, K);
       F->Ann = N->Ann;
       F->E1 = N->Inner;
@@ -381,8 +505,8 @@ void MachineT<Policy>::doEval(const Expr *E, EnvNode *Env, Frame *K) {
   }
 }
 
-template <typename Policy>
-void MachineT<Policy>::force(Value V, Frame *K) {
+template <typename Policy, bool Lexical>
+void MachineT<Policy, Lexical>::force(Value V, Frame *K) {
   Thunk *T = V.asThunk();
   switch (T->St) {
   case Thunk::State::Forced:
@@ -402,16 +526,20 @@ void MachineT<Policy>::force(Value V, Frame *K) {
   }
   M = Mode::Eval;
   CurExpr = T->E;
-  CurEnv = T->Env;
+  CurEnv = envOf(T);
   CurKont = K;
 }
 
-template <typename Policy>
-void MachineT<Policy>::applyFunction(Value Fn, Value Arg, Frame *K) {
+template <typename Policy, bool Lexical>
+void MachineT<Policy, Lexical>::applyFunction(Value Fn, Value Arg, Frame *K) {
   switch (Fn.kind()) {
   case ValueKind::Closure: {
     Closure *C = Fn.asClosure();
-    EnvNode *Env = extendEnv(A, C->Env, C->Param, Arg);
+    EnvT *Env;
+    if constexpr (Lexical)
+      Env = allocFrame(A, C->Shape, C->FEnv, Arg);
+    else
+      Env = extendEnv(A, C->Env, C->Param, Arg);
     M = Mode::Eval;
     CurExpr = C->Body;
     CurEnv = Env;
@@ -470,8 +598,11 @@ void MachineT<Policy>::applyFunction(Value Fn, Value Arg, Frame *K) {
   }
 }
 
-template <typename Policy>
-void MachineT<Policy>::doReturn(Value V, Frame *K) {
+template <typename Policy, bool Lexical>
+void MachineT<Policy, Lexical>::doReturn(Value V, Frame *K) {
+  // Each case reads the frame's fields into locals, recycles the frame,
+  // and only then continues — the recycled slot is usually reused by the
+  // very next mkFrame, so the continuation's hot end stays in cache.
   switch (K->K) {
   case FK::Halt:
     M = Mode::Done;
@@ -479,93 +610,139 @@ void MachineT<Policy>::doReturn(Value V, Frame *K) {
     return;
   case FK::EvalFn: {
     // V is the operand value; evaluate the operator next.
-    Frame *F = mkFrame(FK::Apply, K->Next);
+    const Expr *Fn = K->E1;
+    EnvT *Env = K->Env;
+    Frame *Next = K->Next;
+    recycle(K);
+    Frame *F = mkFrame(FK::Apply, Next);
     F->V = V;
     M = Mode::Eval;
-    CurExpr = K->E1;
-    CurEnv = K->Env;
+    CurExpr = Fn;
+    CurEnv = Env;
     CurKont = F;
     return;
   }
-  case FK::Apply:
+  case FK::Apply: {
     // V is the operator; the stored value is the operand.
-    applyFunction(V, K->V, K->Next);
+    Value Arg = K->V;
+    Frame *Next = K->Next;
+    recycle(K);
+    applyFunction(V, Arg, Next);
     return;
+  }
   case FK::Branch: {
     if (!V.is(ValueKind::Bool)) {
       fail("conditional scrutinee must be a boolean, found " +
            toDisplayString(V));
       return;
     }
+    const Expr *Taken = V.asBool() ? K->E1 : K->E2;
+    EnvT *Env = K->Env;
+    Frame *Next = K->Next;
+    recycle(K);
     M = Mode::Eval;
-    CurExpr = V.asBool() ? K->E1 : K->E2;
-    CurEnv = K->Env;
-    CurKont = K->Next;
+    CurExpr = Taken;
+    CurEnv = Env;
+    CurKont = Next;
     return;
   }
   case FK::LetrecBind: {
-    K->BindNode->Val = V;
+    EnvT *Env = K->Env;
+    uint32_t Idx = K->Idx;
+    const Expr *Body = K->E1;
+    Frame *Next = K->Next;
+    recycle(K);
+    if constexpr (Lexical)
+      Env->slots()[Idx] = V;
+    else
+      Env->Val = V;
     M = Mode::Eval;
-    CurExpr = K->E1;
-    CurEnv = K->BindNode;
-    CurKont = K->Next;
+    CurExpr = Body;
+    CurEnv = Env;
+    CurKont = Next;
     return;
   }
   case FK::Prim2Rhs: {
-    if (!K->E1) {
+    uint8_t Op = K->Op;
+    const Expr *Rhs = K->E1;
+    EnvT *Env = K->Env;
+    Frame *Next = K->Next;
+    recycle(K);
+    if (!Rhs) {
       // Forced first operand of a higher-order prim2 application.
-      PrimPartial *PP =
-          A.create<PrimPartial>(static_cast<Prim2Op>(K->Op), V);
-      setReturn(Value::mkPrim2Partial(PP), K->Next);
+      PrimPartial *PP = A.create<PrimPartial>(static_cast<Prim2Op>(Op), V);
+      setReturn(Value::mkPrim2Partial(PP), Next);
       return;
     }
-    Frame *F = mkFrame(FK::Prim2Apply, K->Next);
-    F->Op = K->Op;
+    Frame *F = mkFrame(FK::Prim2Apply, Next);
+    F->Op = Op;
     F->V = V;
     M = Mode::Eval;
-    CurExpr = K->E1;
-    CurEnv = K->Env;
+    CurExpr = Rhs;
+    CurEnv = Env;
     CurKont = F;
     return;
   }
   case FK::Prim2Apply: {
-    PrimResult R = applyPrim2(static_cast<Prim2Op>(K->Op), K->V, V, A);
+    uint8_t Op = K->Op;
+    Value Lhs = K->V;
+    Frame *Next = K->Next;
+    recycle(K);
+    PrimResult R = applyPrim2(static_cast<Prim2Op>(Op), Lhs, V, A);
     if (!R.Ok) {
       fail(std::move(R.Error));
       return;
     }
-    setReturn(R.Val, K->Next);
+    setReturn(R.Val, Next);
     return;
   }
   case FK::Prim1Apply: {
-    PrimResult R = applyPrim1(static_cast<Prim1Op>(K->Op), V, A);
+    uint8_t Op = K->Op;
+    Frame *Next = K->Next;
+    recycle(K);
+    PrimResult R = applyPrim1(static_cast<Prim1Op>(Op), V, A);
     if (!R.Ok) {
       fail(std::move(R.Error));
       return;
     }
-    setReturn(R.Val, K->Next);
+    setReturn(R.Val, Next);
     return;
   }
   case FK::MonPost: {
     if constexpr (Policy::Enabled)
-      Pol.post(*K->Ann, *K->E1, K->Env, V, Steps, A.bytesAllocated());
-    setReturn(V, K->Next);
+      Pol.post(*K->Ann, *K->E1, EnvView(K->Env), V, Steps,
+               A.bytesAllocated());
+    Frame *Next = K->Next;
+    recycle(K);
+    setReturn(V, Next);
     return;
   }
   case FK::UpdateThunk: {
-    K->Th->St = Thunk::State::Forced;
-    K->Th->Memo = V;
-    setReturn(V, K->Next);
+    Thunk *T = K->Th;
+    Frame *Next = K->Next;
+    recycle(K);
+    T->St = Thunk::State::Forced;
+    T->Memo = V;
+    setReturn(V, Next);
     return;
   }
   }
 }
 
-template <typename Policy> RunResult MachineT<Policy>::run() {
+template <typename Policy, bool Lexical>
+RunResult MachineT<Policy, Lexical>::run() {
   RunResult R;
   Frame *Halt = mkFrame(FK::Halt, nullptr);
   CurExpr = Program;
-  CurEnv = initialEnv(A);
+  if constexpr (Lexical) {
+    // The frame chain bottoms out at the initial frame so monitors see the
+    // primitive bindings through EnvView, matching the named chain. The
+    // machine itself addresses PrimF directly (AddrKind::Global).
+    PrimF = initialFrame(A);
+    CurEnv = allocFrame(A, Res->rootShape(), PrimF);
+  } else {
+    CurEnv = initialEnv(A);
+  }
   CurKont = Halt;
   M = Mode::Eval;
 

@@ -82,25 +82,24 @@ int RuntimeCascade::resolveCached(const Annotation &Ann) {
   return Idx;
 }
 
-void RuntimeCascade::pre(const Annotation &Ann, const Expr &E,
-                         const EnvNode *Env, uint64_t StepIndex,
-                         uint64_t AllocatedBytes) {
+void RuntimeCascade::pre(const Annotation &Ann, const Expr &E, EnvView Env,
+                         uint64_t StepIndex, uint64_t AllocatedBytes) {
   int Idx = resolveCached(Ann);
   if (Idx < 0)
     return;
   InnerView View(*this, static_cast<unsigned>(Idx));
-  MonitorEvent Ev{Ann, E, EnvView(Env), StepIndex, AllocatedBytes, View};
+  MonitorEvent Ev{Ann, E, Env, StepIndex, AllocatedBytes, View};
   C.monitor(Idx).pre(Ev, *States[Idx]);
 }
 
-void RuntimeCascade::post(const Annotation &Ann, const Expr &E,
-                          const EnvNode *Env, Value Result,
-                          uint64_t StepIndex, uint64_t AllocatedBytes) {
+void RuntimeCascade::post(const Annotation &Ann, const Expr &E, EnvView Env,
+                          Value Result, uint64_t StepIndex,
+                          uint64_t AllocatedBytes) {
   int Idx = resolveCached(Ann);
   if (Idx < 0)
     return;
   InnerView View(*this, static_cast<unsigned>(Idx));
-  MonitorEvent Ev{Ann, E, EnvView(Env), StepIndex, AllocatedBytes, View};
+  MonitorEvent Ev{Ann, E, Env, StepIndex, AllocatedBytes, View};
   C.monitor(Idx).post(Ev, Result, *States[Idx]);
 }
 

@@ -75,9 +75,9 @@ class RuntimeCascade : public MonitorHooks {
 public:
   explicit RuntimeCascade(const Cascade &C);
 
-  void pre(const Annotation &Ann, const Expr &E, const EnvNode *Env,
+  void pre(const Annotation &Ann, const Expr &E, EnvView Env,
            uint64_t StepIndex, uint64_t AllocatedBytes) override;
-  void post(const Annotation &Ann, const Expr &E, const EnvNode *Env,
+  void post(const Annotation &Ann, const Expr &E, EnvView Env,
             Value Result, uint64_t StepIndex,
             uint64_t AllocatedBytes) override;
 

@@ -26,13 +26,15 @@ public:
   virtual ~MonitorHooks() = default;
 
   /// updPre = M_pre mu sbar' a* : MS -> MS, applied to the current state.
-  /// \p AllocatedBytes is the run's cumulative arena allocation at probe
-  /// time (enables allocation-profiling monitors).
-  virtual void pre(const Annotation &Ann, const Expr &E, const EnvNode *Env,
+  /// \p Env is a read-only view of whichever environment representation
+  /// the evaluator uses (named chain or flat frames). \p AllocatedBytes is
+  /// the run's cumulative arena allocation at probe time (enables
+  /// allocation-profiling monitors).
+  virtual void pre(const Annotation &Ann, const Expr &E, EnvView Env,
                    uint64_t StepIndex, uint64_t AllocatedBytes) = 0;
 
   /// updPost = M_post mu sbar' a* iota* : MS -> MS.
-  virtual void post(const Annotation &Ann, const Expr &E, const EnvNode *Env,
+  virtual void post(const Annotation &Ann, const Expr &E, EnvView Env,
                     Value Result, uint64_t StepIndex,
                     uint64_t AllocatedBytes) = 0;
 };

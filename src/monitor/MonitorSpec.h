@@ -53,11 +53,19 @@ public:
 /// L_lambda, the environment rho) that a monitoring function receives.
 class EnvView {
 public:
-  explicit EnvView(const EnvNode *Env) : Env(Env) {}
+  explicit EnvView(const EnvNode *Env) : Node(Env) {}
+  explicit EnvView(const EnvFrame *Env) : Frame(Env) {}
 
-  /// rho(x): innermost binding of \p Name, if any.
+  /// rho(x): innermost binding of \p Name, if any. On the flat-frame
+  /// representation, Unit slots (letrec members whose binder has not run
+  /// yet) are treated as absent.
   std::optional<Value> lookup(Symbol Name) const {
-    for (const EnvNode *N = Env; N; N = N->Parent)
+    if (Frame) {
+      if (const Value *V = lookupFrame(Frame, Name))
+        return *V;
+      return std::nullopt;
+    }
+    for (const EnvNode *N = Node; N; N = N->Parent)
       if (N->Name == Name)
         return N->Val;
     return std::nullopt;
@@ -74,13 +82,23 @@ public:
   /// Shadowed duplicates are included (callers can filter).
   std::vector<std::pair<Symbol, Value>> bindings(size_t Limit = 32) const {
     std::vector<std::pair<Symbol, Value>> Out;
-    for (const EnvNode *N = Env; N && Out.size() < Limit; N = N->Parent)
+    if (Frame) {
+      for (const EnvFrame *F = Frame; F && Out.size() < Limit;
+           F = F->Parent)
+        for (uint32_t I = F->Shape->numSlots();
+             I-- > 0 && Out.size() < Limit;)
+          if (!F->slots()[I].is(ValueKind::Unit))
+            Out.emplace_back(F->Shape->slotName(I), F->slots()[I]);
+      return Out;
+    }
+    for (const EnvNode *N = Node; N && Out.size() < Limit; N = N->Parent)
       Out.emplace_back(N->Name, N->Val);
     return Out;
   }
 
 private:
-  const EnvNode *Env;
+  const EnvNode *Node = nullptr;
+  const EnvFrame *Frame = nullptr;
 };
 
 /// What a monitoring function may observe about the rest of the cascade:

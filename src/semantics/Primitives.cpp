@@ -157,24 +157,52 @@ PrimResult monsem::applyPrim2(Prim2Op Op, Value L, Value R, Arena &A) {
   return PrimResult::err("unknown binary primitive");
 }
 
+const std::vector<PrimBinding> &monsem::primBindings() {
+  static const std::vector<PrimBinding> Bindings = [] {
+    std::vector<PrimBinding> B;
+    auto Bind1 = [&](const char *Name, Prim1Op Op) {
+      B.push_back({Symbol::intern(Name), Value::mkPrim1(Op)});
+    };
+    auto Bind2 = [&](const char *Name, Prim2Op Op) {
+      B.push_back({Symbol::intern(Name), Value::mkPrim2(Op)});
+    };
+    Bind1("hd", Prim1Op::Hd);
+    Bind1("tl", Prim1Op::Tl);
+    Bind1("null", Prim1Op::Null);
+    Bind1("not", Prim1Op::Not);
+    Bind1("abs", Prim1Op::Abs);
+    Bind1("int?", Prim1Op::IsInt);
+    Bind1("bool?", Prim1Op::IsBool);
+    Bind1("pair?", Prim1Op::IsPair);
+    Bind1("fun?", Prim1Op::IsFun);
+    Bind2("min", Prim2Op::Min);
+    Bind2("max", Prim2Op::Max);
+    return B;
+  }();
+  return Bindings;
+}
+
+const FrameShape *monsem::primFrameShape() {
+  static const FrameShape Shape = [] {
+    FrameShape S;
+    for (const PrimBinding &B : primBindings())
+      S.Slots.push_back(B.Name);
+    return S;
+  }();
+  return &Shape;
+}
+
 EnvNode *monsem::initialEnv(Arena &A) {
   EnvNode *Env = nullptr;
-  auto Bind1 = [&](const char *Name, Prim1Op Op) {
-    Env = extendEnv(A, Env, Symbol::intern(Name), Value::mkPrim1(Op));
-  };
-  auto Bind2 = [&](const char *Name, Prim2Op Op) {
-    Env = extendEnv(A, Env, Symbol::intern(Name), Value::mkPrim2(Op));
-  };
-  Bind1("hd", Prim1Op::Hd);
-  Bind1("tl", Prim1Op::Tl);
-  Bind1("null", Prim1Op::Null);
-  Bind1("not", Prim1Op::Not);
-  Bind1("abs", Prim1Op::Abs);
-  Bind1("int?", Prim1Op::IsInt);
-  Bind1("bool?", Prim1Op::IsBool);
-  Bind1("pair?", Prim1Op::IsPair);
-  Bind1("fun?", Prim1Op::IsFun);
-  Bind2("min", Prim2Op::Min);
-  Bind2("max", Prim2Op::Max);
+  for (const PrimBinding &B : primBindings())
+    Env = extendEnv(A, Env, B.Name, B.Val);
   return Env;
+}
+
+EnvFrame *monsem::initialFrame(Arena &A) {
+  const std::vector<PrimBinding> &Bs = primBindings();
+  EnvFrame *F = allocFrame(A, primFrameShape(), nullptr);
+  for (size_t I = 0; I < Bs.size(); ++I)
+    F->slots()[I] = Bs[I].Val;
+  return F;
 }

@@ -42,10 +42,29 @@ PrimResult applyPrim1(Prim1Op Op, Value V, Arena &A);
 /// Applies a binary primitive.
 PrimResult applyPrim2(Prim2Op Op, Value L, Value R, Arena &A);
 
+/// One binding of the initial environment: a primitive name and its
+/// first-class function value.
+struct PrimBinding {
+  Symbol Name;
+  Value Val;
+};
+
+/// The initial-environment bindings in slot order — the single source of
+/// truth shared by initialEnv (named chain), initialFrame (flat frame) and
+/// the resolver (static addresses into the global frame).
+const std::vector<PrimBinding> &primBindings();
+
+/// The frame shape of the initial environment (slot i names
+/// primBindings()[i]).
+const FrameShape *primFrameShape();
+
 /// Builds the initial environment binding every primitive name (`hd`,
 /// `min`, ...) to its first-class function value, so unsaturated or
 /// shadow-escaping uses still work.
 EnvNode *initialEnv(Arena &A);
+
+/// Flat-frame counterpart of initialEnv: one frame of primFrameShape().
+EnvFrame *initialFrame(Arena &A);
 
 } // namespace monsem
 

@@ -35,14 +35,26 @@ class Value;
 /// letrec knot and once per thunk update.
 struct EnvNode;
 
+/// A flat, array-backed environment frame used by the lexically-addressed
+/// CEK machine (see analysis/Resolver.h). The frame header is followed
+/// in-place by Shape->numSlots() Values; a variable resolved to address
+/// (depth, index) walks `depth` Parent links and indexes slot `index`,
+/// with no name comparison. Slot names live in the (static) FrameShape so
+/// monitors can still look bindings up by name through EnvView.
+struct EnvFrame;
+
 /// A cons cell.
 struct Cell;
 
-/// A user-defined function value: `lambda Param. Body` closed over Env.
+/// A user-defined function value: `lambda Param. Body` closed over Env
+/// (named chain) or FEnv + Shape (flat frames). A given run uses exactly
+/// one of the two environment representations.
 struct Closure {
   Symbol Param;
   const Expr *Body;
-  EnvNode *Env;
+  EnvNode *Env = nullptr;
+  EnvFrame *FEnv = nullptr;
+  const FrameShape *Shape = nullptr; ///< Frame the application allocates.
 };
 
 /// A suspended computation (lazy strategies only); defined after Value.
@@ -211,12 +223,26 @@ struct EnvNode {
   EnvNode *Parent;
 };
 
+struct EnvFrame {
+  const FrameShape *Shape;
+  EnvFrame *Parent;
+
+  Value *slots() { return reinterpret_cast<Value *>(this + 1); }
+  const Value *slots() const {
+    return reinterpret_cast<const Value *>(this + 1);
+  }
+};
+static_assert(alignof(EnvFrame) % alignof(Value) == 0 &&
+                  sizeof(EnvFrame) % alignof(Value) == 0,
+              "slot array is stored in-place after the frame header");
+
 struct Thunk {
   enum class State : uint8_t { Unforced, Forcing, Forced };
   const Expr *E;
   EnvNode *Env;
   State St;
   Value Memo; ///< Meaningful only when St == Forced.
+  EnvFrame *FEnv = nullptr; ///< Flat-frame counterpart of Env.
 };
 
 //===----------------------------------------------------------------------===//
@@ -232,6 +258,35 @@ inline EnvNode *lookupEnv(EnvNode *Env, Symbol Name) {
   for (EnvNode *N = Env; N; N = N->Parent)
     if (N->Name == Name)
       return N;
+  return nullptr;
+}
+
+/// Allocates a frame of \p Shape with slot 0 = \p Slot0 and every other
+/// slot Unit (the letrec "not yet initialized" placeholder).
+inline EnvFrame *allocFrame(Arena &A, const FrameShape *Shape,
+                            EnvFrame *Parent, Value Slot0 = Value()) {
+  uint32_t N = Shape->numSlots();
+  void *Mem = A.allocate(sizeof(EnvFrame) + N * sizeof(Value),
+                         alignof(EnvFrame));
+  EnvFrame *F = new (Mem) EnvFrame{Shape, Parent};
+  Value *S = F->slots();
+  if (N)
+    new (S) Value(Slot0);
+  for (uint32_t I = 1; I < N; ++I)
+    new (S + I) Value();
+  return F;
+}
+
+/// Innermost non-Unit binding of \p Name in a flat-frame chain, or null.
+/// Within a frame, higher slot indices were bound later, so they are
+/// scanned first; Unit slots (letrec members whose binder has not run yet)
+/// are treated as absent.
+inline const Value *lookupFrame(const EnvFrame *Env, Symbol Name) {
+  for (const EnvFrame *F = Env; F; F = F->Parent)
+    for (uint32_t I = F->Shape->numSlots(); I-- > 0;)
+      if (F->Shape->slotName(I) == Name &&
+          !F->slots()[I].is(ValueKind::Unit))
+        return &F->slots()[I];
   return nullptr;
 }
 

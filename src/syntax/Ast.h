@@ -101,6 +101,23 @@ const char *prim2Name(Prim2Op Op);
 bool isInfix(Prim2Op Op);
 
 //===----------------------------------------------------------------------===//
+// Static resolution annotations (analysis/Resolver.h)
+//===----------------------------------------------------------------------===//
+
+/// The shape of one flat, array-backed environment frame as computed by the
+/// resolver: the slot names, in slot order. Slot 0 is the frame owner's own
+/// binding (lambda parameter or letrec-head name); later slots belong to
+/// letrec binders the resolver coalesced into the same frame. Shapes are
+/// owned by the Resolution object that created them; AST nodes hold
+/// non-owning pointers.
+struct FrameShape {
+  std::vector<Symbol> Slots;
+
+  uint32_t numSlots() const { return static_cast<uint32_t>(Slots.size()); }
+  Symbol slotName(uint32_t I) const { return Slots[I]; }
+};
+
+//===----------------------------------------------------------------------===//
 // Annotations (Section 4.1)
 //===----------------------------------------------------------------------===//
 
@@ -168,6 +185,25 @@ public:
 class VarExpr : public Expr {
 public:
   Symbol Name;
+
+  /// Where the resolver (analysis/Resolver.h) located this variable.
+  enum class AddrKind : uint8_t {
+    Unresolved, ///< Resolver has not run; evaluators use the named chain.
+    Local,      ///< User binding: FrameDepth frames up, slot SlotIndex.
+    Global,     ///< Initial-environment primitive: slot SlotIndex there.
+    Unbound     ///< Statically unbound; evaluation fails when reached.
+  };
+  /// Resolution annotations. Mutable: they are a cache derived purely from
+  /// the tree's shape, (re)computed by each resolveProgram run. Valid only
+  /// while the owning Resolution is alive and only for trees (the resolver
+  /// refuses DAGs, where a node's address would be ambiguous).
+  mutable AddrKind Addr = AddrKind::Unresolved;
+  mutable uint32_t FrameDepth = 0; ///< Frames to walk (Local).
+  mutable uint32_t SlotIndex = 0;  ///< Slot within that frame.
+  /// Classic de Bruijn distance counted in *binders* (not frames) — the
+  /// compile-time environment shape the bytecode compiler uses.
+  mutable uint32_t BinderDepth = 0;
+
   VarExpr(Symbol Name, SourceLoc Loc) : Expr(ExprKind::Var, Loc), Name(Name) {}
   static bool classof(const Expr *E) { return E->kind() == ExprKind::Var; }
 };
@@ -176,6 +212,10 @@ class LamExpr : public Expr {
 public:
   Symbol Param;
   const Expr *Body;
+  /// Shape of the flat frame each application of this lambda allocates:
+  /// slot 0 is Param, later slots are coalesced letrec binders from the
+  /// body. Filled by the resolver; null until it runs.
+  mutable const FrameShape *Shape = nullptr;
   LamExpr(Symbol Param, const Expr *Body, SourceLoc Loc)
       : Expr(ExprKind::Lam, Loc), Param(Param), Body(Body) {}
   static bool classof(const Expr *E) { return E->kind() == ExprKind::Lam; }
@@ -205,6 +245,13 @@ class LetrecExpr : public Expr {
 public:
   Symbol Name;
   const Expr *Bound, *Body;
+  /// Resolver annotations. A letrec is either a *frame head* (Shape
+  /// non-null: evaluating it allocates a fresh frame whose slot 0 is Name)
+  /// or a *member* (Shape null, SlotIndex > 0 possible: it writes its
+  /// binding into slot SlotIndex of the frame already current, which the
+  /// enclosing head preallocated). Null/0 until the resolver runs.
+  mutable const FrameShape *Shape = nullptr;
+  mutable uint32_t SlotIndex = 0;
   LetrecExpr(Symbol Name, const Expr *Bound, const Expr *Body, SourceLoc Loc)
       : Expr(ExprKind::Letrec, Loc), Name(Name), Bound(Bound), Body(Body) {}
   static bool classof(const Expr *E) { return E->kind() == ExprKind::Letrec; }

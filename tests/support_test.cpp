@@ -76,6 +76,30 @@ TEST(ArenaTest, ResetReleasesEverything) {
   EXPECT_EQ(A.bytesAllocated(), 0u);
 }
 
+TEST(ArenaTest, ResetRetainsAndReusesFirstChunk) {
+  Arena A;
+  void *First = A.allocate(64, 8);
+  A.reset();
+  // The retained first chunk is rewound, so the next allocation lands at
+  // its start again.
+  EXPECT_EQ(A.allocate(64, 8), First);
+  EXPECT_EQ(A.bytesAllocated(), 64u);
+}
+
+TEST(ArenaTest, ResetAfterGrowthKeepsOnlyFirstChunk) {
+  Arena A;
+  void *First = A.allocate(64, 8);
+  for (int I = 0; I < 100; ++I)
+    A.allocate(4096, 16); // Forces additional chunks.
+  A.reset();
+  EXPECT_EQ(A.bytesAllocated(), 0u);
+  EXPECT_EQ(A.allocate(64, 8), First);
+  // A reset-and-refill cycle still works past the first chunk.
+  for (int I = 0; I < 100; ++I)
+    A.allocate(4096, 16);
+  EXPECT_GT(A.bytesAllocated(), 100u * 4096u);
+}
+
 TEST(DiagnosticsTest, CollectsAndRenders) {
   DiagnosticSink D;
   EXPECT_FALSE(D.hasErrors());
