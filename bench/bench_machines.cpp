@@ -33,6 +33,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
 #include <cstring>
 
 using namespace monsem;
@@ -311,6 +312,46 @@ void reportLexical(JsonlWriter &W, bool Quick) {
   std::putchar('\n');
 }
 
+//===----------------------------------------------------------------------===//
+// Governor overhead
+//===----------------------------------------------------------------------===//
+
+/// The resource governor's fast path is one compare per machine step; its
+/// slow path (deadline clock read, memory/depth checks) runs every
+/// CheckInterval steps. This section measures an armed governor — every
+/// limit set, all far too high to trip — against the unarmed default on
+/// the same workloads, interleaved. Returns the median armed/unarmed
+/// ratio across workloads so CI can assert a bound on it.
+double reportGovernor(JsonlWriter &W, bool Quick) {
+  std::printf("governor — armed (untripped limits) vs unarmed\n");
+  printRule();
+
+  RunOptions Armed;
+  Armed.Limits.MaxSteps = UINT64_MAX / 2;
+  Armed.Limits.DeadlineMs = 3600 * 1000;
+  Armed.Limits.MaxArenaBytes = UINT64_MAX / 2;
+  Armed.Limits.MaxDepth = UINT64_MAX / 2;
+
+  std::vector<double> Ratios;
+  for (const Workload &WL : deepWorkloads(Quick)) {
+    auto P = parseOrDie(WL.Src);
+    RunOptions Plain;
+    double Ratio = medianRatio(
+        [&] { evaluate(P->root(), Plain); },
+        [&] { evaluate(P->root(), Armed); }, Quick ? 9 : 11);
+    Ratios.push_back(Ratio);
+    RunResult R = evaluate(P->root(), Armed);
+    W.write({WL.Name, "governor-armed", "strict",
+             /*NsPerOp=*/0, R.Steps, 0});
+    std::printf("%-14s armed/unarmed %.4fx\n", WL.Name, Ratio);
+  }
+  printRule();
+  std::sort(Ratios.begin(), Ratios.end());
+  double Median = Ratios.empty() ? 1.0 : Ratios[Ratios.size() / 2];
+  std::printf("median governor overhead: %+.2f%%\n\n", (Median - 1) * 100);
+  return Median;
+}
+
 } // namespace
 
 static void reportTable() {
@@ -401,6 +442,7 @@ BENCHMARK(BM_Strategy)->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char **argv) {
   bool Quick = false;
+  double MaxGovernorPct = -1; // <0: report only, no assertion.
   std::string JsonPath = "BENCH_machines.json";
   // Strip our flags before handing argv to google-benchmark.
   int Kept = 1;
@@ -409,6 +451,8 @@ int main(int argc, char **argv) {
       Quick = true;
     else if (std::strncmp(argv[I], "--json=", 7) == 0)
       JsonPath = argv[I] + 7;
+    else if (std::strncmp(argv[I], "--assert-governor-overhead=", 27) == 0)
+      MaxGovernorPct = std::atof(argv[I] + 27);
     else
       argv[Kept++] = argv[I];
   }
@@ -416,6 +460,13 @@ int main(int argc, char **argv) {
 
   JsonlWriter W(JsonPath);
   reportLexical(W, Quick);
+  double GovMedian = reportGovernor(W, Quick);
+  if (MaxGovernorPct >= 0 && GovMedian > 1.0 + MaxGovernorPct / 100.0) {
+    std::fprintf(stderr,
+                 "FAIL: governor overhead %.2f%% exceeds the %.2f%% bound\n",
+                 (GovMedian - 1) * 100, MaxGovernorPct);
+    return 1;
+  }
   if (Quick)
     return 0;
   reportTable();

@@ -106,16 +106,22 @@ private:
 
 RunResult VM::run() {
   RunResult R;
+  Governor Gov(Opts.Limits, Opts.MaxSteps);
+  A.setByteLimit(Gov.arenaByteCap());
   // Sentinel frame: a tail call at the top level of the entry block
   // returns straight to the entry's Halt instruction.
   Frames.push_back(CallFrame{
       0, static_cast<uint32_t>(P.Blocks[0].Code.size() - 1), nullptr});
+  try {
   while (!Failed) {
     ++Steps;
-    if (Opts.MaxSteps && Steps > Opts.MaxSteps) {
-      R.FuelExhausted = true;
-      R.Steps = Steps;
-      return R;
+    if (Steps >= Gov.nextPause()) {
+      Outcome O = Gov.pause(Steps, A.bytesAllocated(), Frames.size());
+      if (O != Outcome::Ok) {
+        R.setOutcome(O);
+        R.Steps = Steps;
+        return R;
+      }
     }
     const Instr &I = P.Blocks[Block].Code[PC++];
     switch (I.Code) {
@@ -214,7 +220,7 @@ RunResult VM::run() {
       }
       break;
     case Op::Halt: {
-      R.Ok = true;
+      R.setOutcome(Outcome::Ok);
       R.Steps = Steps;
       Value V = Stack.back();
       R.ValueText = Opts.Algebra->render(V);
@@ -226,7 +232,15 @@ RunResult VM::run() {
     }
     }
   }
-  R.Ok = false;
+  } catch (const MonitorAbort &E) {
+    // A monitor under FaultPolicy::Abort faulted at a MonPre/MonPost probe.
+    fail(E.what());
+  } catch (const ArenaLimitExceeded &) {
+    R.setOutcome(Outcome::MemoryExceeded);
+    R.Steps = Steps;
+    return R;
+  }
+  R.setOutcome(Outcome::Error);
   R.Error = std::move(Error);
   R.Steps = Steps;
   return R;
@@ -258,8 +272,9 @@ RunResult monsem::evaluateCompiled(const Cascade &C, const Expr *Program,
   }
   if (C.empty())
     return runCompiled(*CP, nullptr, Opts);
-  RuntimeCascade RC(C);
+  RuntimeCascade RC(C, Opts.MonitorFaultPolicy, Opts.MonitorRetryBudget);
   RunResult R = runCompiled(*CP, &RC, Opts);
   R.FinalStates = RC.takeStates();
+  R.MonitorFaults = RC.takeFaults();
   return R;
 }

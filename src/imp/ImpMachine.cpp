@@ -16,9 +16,10 @@ namespace {
 /// machine's arena so store cells stay valid across commands.
 class ExprEval {
 public:
-  ExprEval(Arena &A, const ImpStore &Store, ImpRunOptions Opts,
-           uint64_t &Steps, MonitorHooks *Hooks)
-      : A(A), Store(Store), Opts(Opts), Steps(Steps), Hooks(Hooks) {}
+  ExprEval(Arena &A, const ImpStore &Store, const ImpRunOptions &Opts,
+           uint64_t &Steps, MonitorHooks *Hooks, Governor &Gov)
+      : A(A), Store(Store), Opts(Opts), Steps(Steps), Hooks(Hooks),
+        Gov(Gov) {}
 
   bool failed() const { return Failed; }
   const std::string &error() const { return Error; }
@@ -27,10 +28,16 @@ public:
     if (Failed)
       return Value();
     ++Steps;
-    if (Opts.MaxSteps && Steps > Opts.MaxSteps) {
-      Exhausted = true;
-      Failed = true;
-      return Value();
+    if (Steps >= Gov.nextPause()) {
+      // The governor is shared with the command loop, so fuel, deadline
+      // and the rest are charged uniformly across both levels; Depth here
+      // is the expression recursion depth.
+      Outcome O = Gov.pause(Steps, A.bytesAllocated(), Depth);
+      if (O != Outcome::Ok) {
+        Stop = O;
+        Failed = true;
+        return Value();
+      }
     }
     if (Depth > Opts.MaxExprDepth)
       return fail("expression recursion too deep");
@@ -144,7 +151,7 @@ public:
     return Value();
   }
 
-  bool Exhausted = false;
+  Outcome Stop = Outcome::Ok; ///< Governance stop reason, if any.
 
 private:
   Value apply(Value Fn, Value Arg, unsigned Depth) {
@@ -186,9 +193,10 @@ private:
 
   Arena &A;
   const ImpStore &Store;
-  ImpRunOptions Opts;
+  const ImpRunOptions &Opts;
   uint64_t &Steps;
   MonitorHooks *Hooks;
+  Governor &Gov;
   bool Failed = false;
   std::string Error;
 };
@@ -202,35 +210,50 @@ public:
 
   ImpRunResult run() {
     ImpRunResult R;
-    Work.push_back(Item{Item::Kind::Run, Program, nullptr});
-    while (!Work.empty()) {
-      ++Steps;
-      if (Opts.MaxSteps && Steps > Opts.MaxSteps) {
-        R.FuelExhausted = true;
-        R.Steps = Steps;
-        return R;
+    Governor Gov(Opts.Limits, Opts.MaxSteps);
+    A.setByteLimit(Gov.arenaByteCap());
+    GovPtr = &Gov;
+    try {
+      Work.push_back(Item{Item::Kind::Run, Program, nullptr});
+      while (!Work.empty()) {
+        ++Steps;
+        if (Steps >= Gov.nextPause()) {
+          Outcome O = Gov.pause(Steps, A.bytesAllocated(), Work.size());
+          if (O != Outcome::Ok) {
+            R.setOutcome(O);
+            R.Steps = Steps;
+            return R;
+          }
+        }
+        Item It = Work.back();
+        Work.pop_back();
+        if (It.K == Item::Kind::Post) {
+          if (Hooks)
+            Hooks->post(*cast<AnnotCmd>(It.C)->Ann,
+                        *cast<AnnotCmd>(It.C)->Inner, Store, Steps);
+          continue;
+        }
+        if (!step(It.C))
+          break;
       }
-      Item It = Work.back();
-      Work.pop_back();
-      if (It.K == Item::Kind::Post) {
-        if (Hooks)
-          Hooks->post(*cast<AnnotCmd>(It.C)->Ann,
-                      *cast<AnnotCmd>(It.C)->Inner, Store, Steps);
-        continue;
-      }
-      if (!step(It.C))
-        break;
+    } catch (const MonitorAbort &E) {
+      fail(E.what());
+    } catch (const ArenaLimitExceeded &) {
+      R.setOutcome(Outcome::MemoryExceeded);
+      R.Steps = Steps;
+      return R;
     }
     R.Steps = Steps;
-    if (Exhausted) {
-      R.FuelExhausted = true;
+    if (Stop != Outcome::Ok) {
+      R.setOutcome(Stop);
       return R;
     }
     if (Failed) {
+      R.setOutcome(Outcome::Error);
       R.Error = std::move(Error);
       return R;
     }
-    R.Ok = true;
+    R.setOutcome(Outcome::Ok);
     R.Output = std::move(Output);
     for (const auto &[Name, Val] : Store)
       R.Store.emplace(std::string(Name.str()), toDisplayString(Val));
@@ -252,7 +275,7 @@ private:
     case CmdKind::Assign: {
       const auto *A2 = cast<AssignCmd>(C);
       Value V = evalExpr(A2->Value);
-      if (Failed || Exhausted)
+      if (Failed || Stop != Outcome::Ok)
         return false;
       Store[A2->Var] = V;
       return true;
@@ -266,7 +289,7 @@ private:
     case CmdKind::If: {
       const auto *I = cast<IfCmd>(C);
       Value V = evalExpr(I->Cond);
-      if (Failed || Exhausted)
+      if (Failed || Stop != Outcome::Ok)
         return false;
       if (!V.is(ValueKind::Bool)) {
         fail("conditional scrutinee must be a boolean, found " +
@@ -280,7 +303,7 @@ private:
     case CmdKind::While: {
       const auto *W = cast<WhileCmd>(C);
       Value V = evalExpr(W->Cond);
-      if (Failed || Exhausted)
+      if (Failed || Stop != Outcome::Ok)
         return false;
       if (!V.is(ValueKind::Bool)) {
         fail("loop condition must be a boolean, found " +
@@ -296,7 +319,7 @@ private:
     case CmdKind::Print: {
       const auto *P = cast<PrintCmd>(C);
       Value V = evalExpr(P->Value);
-      if (Failed || Exhausted)
+      if (Failed || Stop != Outcome::Ok)
         return false;
       Output.push_back(toDisplayString(V));
       return true;
@@ -324,10 +347,10 @@ private:
   }
 
   Value evalExpr(const Expr *E) {
-    ExprEval Ev(A, Store, Opts, Steps, ExprHooks);
+    ExprEval Ev(A, Store, Opts, Steps, ExprHooks, *GovPtr);
     Value V = Ev.eval(E, nullptr, 0);
-    if (Ev.Exhausted) {
-      Exhausted = true;
+    if (Ev.Stop != Outcome::Ok) {
+      Stop = Ev.Stop;
       return Value();
     }
     if (Ev.failed()) {
@@ -349,13 +372,14 @@ private:
   MonitorHooks *ExprHooks;
   ImpRunOptions Opts;
   Arena A;
+  Governor *GovPtr = nullptr; ///< Valid for the duration of run().
   ImpStore Store;
   std::vector<Item> Work;
   std::vector<std::string> Output;
   size_t InputPos = 0;
   uint64_t Steps = 0;
   bool Failed = false;
-  bool Exhausted = false;
+  Outcome Stop = Outcome::Ok; ///< Governance stop raised in evalExpr.
   std::string Error;
 };
 
@@ -433,17 +457,22 @@ ImpRunResult monsem::runImp(const ImpCascade &C, const Cascade &ExprC,
 
   std::optional<ImpRuntimeCascade> RC;
   if (!C.empty())
-    RC.emplace(C);
+    RC.emplace(C, Opts.MonitorFaultPolicy, Opts.MonitorRetryBudget);
   std::optional<RuntimeCascade> ERC;
   if (!ExprC.empty())
-    ERC.emplace(ExprC);
+    ERC.emplace(ExprC, Opts.MonitorFaultPolicy, Opts.MonitorRetryBudget);
 
   ImpMachine M(Program, RC ? &*RC : nullptr, ERC ? &*ERC : nullptr, Opts);
   ImpRunResult R = M.run();
-  if (RC)
+  if (RC) {
     R.FinalStates = RC->takeStates();
-  if (ERC)
+    R.MonitorFaults = RC->takeFaults();
+  }
+  if (ERC) {
     for (auto &S : ERC->takeStates())
       R.FinalStates.push_back(std::move(S));
+    for (auto &F : ERC->takeFaults())
+      R.MonitorFaults.push_back(std::move(F));
+  }
   return R;
 }

@@ -23,6 +23,7 @@
 
 #include "imp/ImpMonitor.h"
 #include "monitor/Cascade.h"
+#include "support/Governor.h"
 
 #include <map>
 #include <string>
@@ -35,9 +36,20 @@ struct ImpRunOptions {
   unsigned MaxExprDepth = 8000; ///< C-stack guard for expression recursion.
   /// The program's input stream, consumed by `read x` (integers).
   std::vector<int64_t> Input;
+  /// Resource budget beyond fuel (deadline, arena cap, depth bound,
+  /// cancellation). Limits.MaxSteps supersedes MaxSteps above when nonzero;
+  /// Limits.MaxDepth bounds both the command work stack and expression
+  /// recursion depth.
+  ResourceLimits Limits;
+  /// Run-wide default for what happens when a monitor hook throws.
+  FaultPolicy MonitorFaultPolicy = FaultPolicy::Quarantine;
+  unsigned MonitorRetryBudget = 3;
 };
 
 struct ImpRunResult {
+  /// How the run ended; `Ok`/`FuelExhausted` are mirrors kept for older
+  /// callers — always set St through setOutcome().
+  Outcome St = Outcome::Error;
   bool Ok = false;
   bool FuelExhausted = false;
   std::string Error;
@@ -45,14 +57,25 @@ struct ImpRunResult {
   std::vector<std::string> Output;              ///< print lines, in order.
   std::map<std::string, std::string> Store;     ///< Final store, rendered.
   std::vector<std::unique_ptr<MonitorState>> FinalStates;
+  /// Faults the monitor fault boundary recorded (command-level cascade
+  /// first, then the expression cascade).
+  std::vector<MonitorFault> MonitorFaults;
+
+  void setOutcome(Outcome O) {
+    St = O;
+    Ok = O == Outcome::Ok;
+    FuelExhausted = O == Outcome::FuelExhausted;
+  }
+
+  bool stoppedByGovernor() const { return isGovernanceStop(St); }
 
   bool sameOutcome(const ImpRunResult &O) const {
-    if (FuelExhausted || O.FuelExhausted)
-      return FuelExhausted == O.FuelExhausted;
-    if (Ok != O.Ok)
+    if (St != O.St)
       return false;
-    if (!Ok)
+    if (St == Outcome::Error)
       return Error == O.Error;
+    if (St != Outcome::Ok)
+      return true; // Same governance stop.
     return Output == O.Output && Store == O.Store;
   }
 };

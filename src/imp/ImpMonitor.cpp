@@ -54,9 +54,16 @@ bool ImpCascade::validateFor(const Cmd *Program, DiagnosticSink &Diags) const {
   return Ok;
 }
 
-ImpRuntimeCascade::ImpRuntimeCascade(const ImpCascade &C) : C(C) {
+ImpRuntimeCascade::ImpRuntimeCascade(const ImpCascade &C,
+                                     FaultPolicy DefaultPolicy,
+                                     unsigned RetryBudget)
+    : C(C) {
   for (unsigned I = 0; I < C.size(); ++I)
     States.push_back(C.monitor(I).initialState());
+  Iso.configure(C.size(), DefaultPolicy, RetryBudget);
+  for (unsigned I = 0; I < C.size(); ++I)
+    if (auto P = C.faultPolicy(I))
+      Iso.setPolicy(I, *P);
 }
 
 int ImpRuntimeCascade::resolveCached(const Annotation &Ann) {
@@ -76,7 +83,9 @@ void ImpRuntimeCascade::pre(const Annotation &Ann, const Cmd &Cm,
   if (Idx < 0)
     return;
   ImpMonitorEvent Ev{Ann, Cm, ImpStoreView(S), Step};
-  C.monitor(Idx).pre(Ev, *States[Idx]);
+  Iso.guard(static_cast<unsigned>(Idx), C.monitor(Idx).name(), Ann.text(),
+            /*InPost=*/false, Step,
+            [&] { C.monitor(Idx).pre(Ev, *States[Idx]); });
 }
 
 void ImpRuntimeCascade::post(const Annotation &Ann, const Cmd &Cm,
@@ -85,7 +94,9 @@ void ImpRuntimeCascade::post(const Annotation &Ann, const Cmd &Cm,
   if (Idx < 0)
     return;
   ImpMonitorEvent Ev{Ann, Cm, ImpStoreView(S), Step};
-  C.monitor(Idx).post(Ev, *States[Idx]);
+  Iso.guard(static_cast<unsigned>(Idx), C.monitor(Idx).name(), Ann.text(),
+            /*InPost=*/true, Step,
+            [&] { C.monitor(Idx).post(Ev, *States[Idx]); });
 }
 
 std::vector<std::unique_ptr<MonitorState>> ImpRuntimeCascade::takeStates() {

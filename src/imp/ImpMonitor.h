@@ -22,6 +22,7 @@
 #define MONSEM_IMP_IMPMONITOR_H
 
 #include "imp/ImpAst.h"
+#include "monitor/FaultIsolation.h"
 #include "monitor/MonitorSpec.h" // MonitorState
 #include "semantics/Value.h"
 #include "support/Diagnostics.h"
@@ -87,23 +88,40 @@ class ImpCascade {
 public:
   ImpCascade &use(const ImpMonitor &M) {
     Monitors.push_back(&M);
+    Policies.push_back(std::nullopt);
+    return *this;
+  }
+  /// Same, with a per-monitor fault policy overriding the run-wide default
+  /// (ImpRunOptions::MonitorFaultPolicy).
+  ImpCascade &use(const ImpMonitor &M, FaultPolicy P) {
+    Monitors.push_back(&M);
+    Policies.push_back(P);
     return *this;
   }
   unsigned size() const { return static_cast<unsigned>(Monitors.size()); }
   bool empty() const { return Monitors.empty(); }
   const ImpMonitor &monitor(unsigned I) const { return *Monitors[I]; }
+  std::optional<FaultPolicy> faultPolicy(unsigned I) const {
+    return I < Policies.size() ? Policies[I] : std::nullopt;
+  }
 
   int resolve(const Annotation &Ann, DiagnosticSink *Diags = nullptr) const;
   bool validateFor(const Cmd *Program, DiagnosticSink &Diags) const;
 
 private:
   std::vector<const ImpMonitor *> Monitors;
+  std::vector<std::optional<FaultPolicy>> Policies;
 };
 
 /// Per-run states plus probe dispatch.
 class ImpRuntimeCascade {
 public:
-  explicit ImpRuntimeCascade(const ImpCascade &C);
+  /// Hooks run inside a fault boundary with \p DefaultPolicy /
+  /// \p RetryBudget (see FaultIsolation.h); per-monitor overrides come
+  /// from ImpCascade::use(M, Policy).
+  explicit ImpRuntimeCascade(const ImpCascade &C,
+                             FaultPolicy DefaultPolicy = FaultPolicy::Quarantine,
+                             unsigned RetryBudget = 3);
 
   void pre(const Annotation &Ann, const Cmd &C, const ImpStore &S,
            uint64_t Step);
@@ -111,6 +129,8 @@ public:
             uint64_t Step);
 
   std::vector<std::unique_ptr<MonitorState>> takeStates();
+  std::vector<MonitorFault> takeFaults() { return Iso.takeFaults(); }
+  const FaultIsolator &isolator() const { return Iso; }
 
 private:
   int resolveCached(const Annotation &Ann);
@@ -118,6 +138,7 @@ private:
   const ImpCascade &C;
   std::vector<std::unique_ptr<MonitorState>> States;
   std::unordered_map<const Annotation *, int> Cache;
+  FaultIsolator Iso;
 };
 
 } // namespace monsem

@@ -5,11 +5,18 @@
 using namespace monsem;
 
 DirectValuation monsem::fixpoint(DirectFunctional G) {
+  // The recursive references inside the knot are non-owning: if Self held
+  // the shared_ptr, `*Hole = G(Self)` would store Self inside Hole and
+  // the reference cycle would never be collected. Only the returned
+  // valuation owns Hole, so destroying it frees the whole structure.
   auto Hole = std::make_shared<DirectValuation>();
-  DirectValuation Self = [Hole](const Expr *E, EnvNode *Env,
-                                const DirectKont &K) { (*Hole)(E, Env, K); };
+  DirectValuation *Raw = Hole.get();
+  DirectValuation Self = [Raw](const Expr *E, EnvNode *Env,
+                               const DirectKont &K) { (*Raw)(E, Env, K); };
   *Hole = G(Self);
-  return Self;
+  return [Hole, Self](const Expr *E, EnvNode *Env, const DirectKont &K) {
+    Self(E, Env, K);
+  };
 }
 
 namespace {
@@ -62,7 +69,7 @@ void applyDirect(DirectContext &Ctx, const DirectValuation &Self, Value Fn,
 DirectFunctional monsem::standardFunctional(DirectContext &Ctx) {
   return [&Ctx](const DirectValuation &Self) -> DirectValuation {
     return [&Ctx, Self](const Expr *E, EnvNode *Env, const DirectKont &K) {
-      if (Ctx.Failed || Ctx.Exhausted || !Ctx.charge())
+      if (Ctx.stopped() || !Ctx.charge())
         return;
       switch (E->kind()) {
       case ExprKind::Const: {
@@ -176,15 +183,17 @@ DirectFunctional monsem::standardFunctional(DirectContext &Ctx) {
 DirectFunctional monsem::deriveMonitoring(DirectFunctional G, const Monitor &M,
                                           MonitorState &State,
                                           const MonitorContext &MCtx,
-                                          DirectContext &Ctx) {
-  return [G, &M, &State, &MCtx, &Ctx](const DirectValuation &Self)
-             -> DirectValuation {
+                                          DirectContext &Ctx,
+                                          FaultIsolator *Iso,
+                                          unsigned MonitorIdx) {
+  return [G, &M, &State, &MCtx, &Ctx, Iso, MonitorIdx](
+             const DirectValuation &Self) -> DirectValuation {
     // Gbar Vbar: for non-annotated syntax, inherit G's equations (with the
     // *derived* fixpoint Vbar as the recursive valuation).
     DirectValuation Inherited = G(Self);
-    return [&M, &State, &MCtx, &Ctx, Inherited, Self](
+    return [&M, &State, &MCtx, &Ctx, Iso, MonitorIdx, Inherited, Self](
                const Expr *E, EnvNode *Env, const DirectKont &K) {
-      if (Ctx.Failed || Ctx.Exhausted)
+      if (Ctx.stopped())
         return;
       if (const auto *N = dyn_cast<AnnotExpr>(E)) {
         const Annotation &Ann = *N->Ann;
@@ -193,14 +202,23 @@ DirectFunctional monsem::deriveMonitoring(DirectFunctional G, const Monitor &M,
           // (Vbar [sbar'] a* kpost) . updPre   (Definition 4.2)
           MonitorEvent Pre{Ann,      *N->Inner, EnvView(Env),
                            Ctx.Calls, Ctx.A.bytesAllocated(), MCtx};
-          M.pre(Pre, State);
+          if (Iso)
+            Iso->guard(MonitorIdx, M.name(), Ann.text(), /*InPost=*/false,
+                       Ctx.Calls, [&] { M.pre(Pre, State); });
+          else
+            M.pre(Pre, State);
           const Expr *Inner = N->Inner;
-          DirectKont KPost = [&M, &State, &MCtx, &Ctx, N, Inner, Env,
-                              K](Value V) {
+          DirectKont KPost = [&M, &State, &MCtx, &Ctx, Iso, MonitorIdx, N,
+                              Inner, Env, K](Value V) {
             // kpost = { \iota*. (k iota*) . updPost }
             MonitorEvent Post{*N->Ann,   *Inner, EnvView(Env), Ctx.Calls,
                               Ctx.A.bytesAllocated(), MCtx};
-            M.post(Post, V, State);
+            if (Iso)
+              Iso->guard(MonitorIdx, M.name(), N->Ann->text(),
+                         /*InPost=*/true, Ctx.Calls,
+                         [&] { M.post(Post, V, State); });
+            else
+              M.post(Post, V, State);
             K(V);
           };
           Self(Inner, Env, KPost);
@@ -234,17 +252,32 @@ private:
 
 RunResult monsem::runDirect(const Expr *Program, const Cascade *C,
                             uint64_t CallBudget) {
-  DirectContext Ctx;
-  Ctx.CallBudget = CallBudget;
+  DirectOptions Opts;
+  Opts.CallBudget = CallBudget;
+  return runDirect(Program, C, Opts);
+}
 
+RunResult monsem::runDirect(const Expr *Program, const Cascade *C,
+                            const DirectOptions &Opts) {
+  DirectContext Ctx;
+  Ctx.CallBudget = Opts.CallBudget;
+  Governor Gov(Opts.Limits);
+  Ctx.Gov = Opts.Limits.any() ? &Gov : nullptr;
+  Ctx.A.setByteLimit(Gov.arenaByteCap());
+
+  FaultIsolator Iso;
   std::vector<std::unique_ptr<MonitorState>> States;
   std::vector<std::unique_ptr<PrefixContext>> MCtxs;
   DirectFunctional G = standardFunctional(Ctx);
   if (C) {
+    Iso.configure(C->size(), Opts.MonitorFaultPolicy, Opts.MonitorRetryBudget);
     for (unsigned I = 0; I < C->size(); ++I) {
       States.push_back(C->monitor(I).initialState());
       MCtxs.push_back(std::make_unique<PrefixContext>(States, I));
-      G = deriveMonitoring(G, C->monitor(I), *States[I], *MCtxs[I], Ctx);
+      if (auto P = C->faultPolicy(I))
+        Iso.setPolicy(I, *P);
+      G = deriveMonitoring(G, C->monitor(I), *States[I], *MCtxs[I], Ctx,
+                           &Iso, I);
     }
   }
 
@@ -253,27 +286,37 @@ RunResult monsem::runDirect(const Expr *Program, const Cascade *C,
     Ctx.Result = Val;
     Ctx.HasResult = true;
   };
-  V(Program, initialEnv(Ctx.A), KInit);
+  try {
+    V(Program, initialEnv(Ctx.A), KInit);
+  } catch (const MonitorAbort &E) {
+    Ctx.Failed = true;
+    Ctx.Error = E.what();
+  } catch (const ArenaLimitExceeded &) {
+    Ctx.Stop = Outcome::MemoryExceeded;
+  }
 
   RunResult R;
   R.Steps = Ctx.Calls;
+  R.FinalStates = std::move(States);
+  R.MonitorFaults = Iso.takeFaults();
+  if (Ctx.Stop != Outcome::Ok) {
+    R.setOutcome(Ctx.Stop);
+    return R;
+  }
   if (Ctx.Exhausted) {
-    R.FuelExhausted = true;
-    R.FinalStates = std::move(States);
+    R.setOutcome(Outcome::FuelExhausted);
     return R;
   }
   if (Ctx.Failed || !Ctx.HasResult) {
-    R.Ok = false;
+    R.setOutcome(Outcome::Error);
     R.Error = Ctx.Failed ? Ctx.Error : "no result produced";
-    R.FinalStates = std::move(States);
     return R;
   }
-  R.Ok = true;
+  R.setOutcome(Outcome::Ok);
   R.ValueText = StdAnswerAlgebra::instance().render(Ctx.Result);
   if (Ctx.Result.is(ValueKind::Int))
     R.IntValue = Ctx.Result.asInt();
   if (Ctx.Result.is(ValueKind::Bool))
     R.BoolValue = Ctx.Result.asBool();
-  R.FinalStates = std::move(States);
   return R;
 }

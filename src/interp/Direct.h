@@ -46,30 +46,48 @@ struct DirectContext {
   Arena A;
   /// Aborts runaway CPS recursion. Every valuation call nests on the C
   /// stack until the final continuation fires, so the budget bounds the
-  /// peak C-stack depth as well as the work.
+  /// peak C-stack depth as well as the work — it doubles as this
+  /// evaluator's depth bound (ResourceLimits::MaxDepth has no separate
+  /// meaning here).
   uint64_t CallBudget = 15000;
+  /// Optional resource governor (deadline, arena cap, cancellation);
+  /// checked from charge(), one compare per valuation call.
+  Governor *Gov = nullptr;
 
   // Run state.
   uint64_t Calls = 0;
   bool Failed = false;
   bool Exhausted = false;
+  Outcome Stop = Outcome::Ok; ///< Governance stop reason, if any.
   std::string Error;
   Value Result;
   bool HasResult = false;
 
+  /// True once any stop condition fired; valuations and continuations
+  /// unwind without further work.
+  bool stopped() const { return Failed || Exhausted || Stop != Outcome::Ok; }
+
   void fail(std::string Msg) {
-    if (Failed || Exhausted)
+    if (stopped())
       return;
     Failed = true;
     Error = std::move(Msg);
   }
 
-  /// Charges one valuation call; false when out of budget.
+  /// Charges one valuation call; false when out of budget or stopped by
+  /// the governor.
   bool charge() {
     ++Calls;
     if (CallBudget && Calls > CallBudget) {
       Exhausted = true;
       return false;
+    }
+    if (Gov && Calls >= Gov->nextPause()) {
+      Outcome O = Gov->pause(Calls, A.bytesAllocated(), /*Depth=*/0);
+      if (O != Outcome::Ok) {
+        Stop = O;
+        return false;
+      }
     }
     return true;
   }
@@ -98,14 +116,33 @@ DirectFunctional standardFunctional(DirectContext &Ctx);
 /// handles annotations accepted by \p M (updPre / kappa_post with updPost)
 /// and inherits \p G's behavior everywhere else. Wrapping an already
 /// derived functional yields the doubly-derived semantics of Fig. 5.
+///
+/// When \p Iso is given, updPre/updPost run inside its fault boundary as
+/// monitor \p MonitorIdx (see FaultIsolation.h); without it a throwing
+/// hook propagates.
 DirectFunctional deriveMonitoring(DirectFunctional G, const Monitor &M,
                                   MonitorState &State,
-                                  const MonitorContext &MCtx, DirectContext &Ctx);
+                                  const MonitorContext &MCtx,
+                                  DirectContext &Ctx,
+                                  FaultIsolator *Iso = nullptr,
+                                  unsigned MonitorIdx = 0);
+
+/// Everything runDirect needs beyond the program and cascade.
+struct DirectOptions {
+  uint64_t CallBudget = 15000;
+  ResourceLimits Limits;
+  FaultPolicy MonitorFaultPolicy = FaultPolicy::Quarantine;
+  unsigned MonitorRetryBudget = 3;
+};
 
 /// Convenience: derives a full cascade (innermost first) and runs
 /// \p Program to a RunResult comparable with the CEK machine's.
 RunResult runDirect(const Expr *Program, const Cascade *C = nullptr,
                     uint64_t CallBudget = 15000);
+
+/// Same, with a full resource budget and monitor fault policy.
+RunResult runDirect(const Expr *Program, const Cascade *C,
+                    const DirectOptions &Opts);
 
 } // namespace monsem
 

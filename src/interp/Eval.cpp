@@ -34,12 +34,12 @@ RunResult monsem::evaluate(const Cascade &C, const Expr *Program,
   DiagnosticSink Diags;
   if (!C.validateFor(Program, Diags)) {
     RunResult R;
-    R.Ok = false;
+    R.setOutcome(Outcome::Error);
     R.Error = Diags.str();
     return R;
   }
 
-  RuntimeCascade RC(C);
+  RuntimeCascade RC(C, Opts.MonitorFaultPolicy, Opts.MonitorRetryBudget);
   DynamicMonitorPolicy Policy{&RC};
   if (Opts.Lexical) {
     std::unique_ptr<Resolution> Res = resolveProgram(Program);
@@ -47,12 +47,14 @@ RunResult monsem::evaluate(const Cascade &C, const Expr *Program,
       ResolvedMonitoredMachine M(Program, Opts, Policy, Res.get());
       RunResult R = M.run();
       R.FinalStates = RC.takeStates();
+      R.MonitorFaults = RC.takeFaults();
       return R;
     }
   }
   MonitoredMachine M(Program, Opts, Policy);
   RunResult R = M.run();
   R.FinalStates = RC.takeStates();
+  R.MonitorFaults = RC.takeFaults();
   return R;
 }
 

@@ -49,8 +49,10 @@
 #define MONSEM_INTERP_MACHINE_H
 
 #include "analysis/Resolver.h"
+#include "monitor/FaultIsolation.h"
 #include "monitor/Hooks.h"
 #include "semantics/Answer.h"
+#include "support/Governor.h"
 #include "semantics/Primitives.h"
 #include "semantics/Value.h"
 #include "syntax/Ast.h"
@@ -80,12 +82,25 @@ struct RunOptions {
   /// Recycle popped continuation frames through the free list. Off gives
   /// the allocation behavior of the unoptimized machine (benchmarks).
   bool RecycleFrames = true;
+  /// Resource budget beyond fuel: deadline, arena cap, depth bound,
+  /// cooperative cancellation. Limits.MaxSteps supersedes MaxSteps above
+  /// when nonzero.
+  ResourceLimits Limits;
+  /// Run-wide default for what happens when a monitor hook throws;
+  /// per-monitor overrides come from Cascade::use(M, Policy).
+  FaultPolicy MonitorFaultPolicy = FaultPolicy::Quarantine;
+  /// Faults tolerated per monitor under RetryThenQuarantine.
+  unsigned MonitorRetryBudget = 3;
 };
 
 /// The final answer: the paper's <alpha, sigma'> pair. `ValueText` is
 /// phi(alpha); typed accessors are provided for test convenience. Monitor
 /// states are attached by the driver (see Eval.h), not by the machine.
 struct RunResult {
+  /// How the run ended; the single source of truth. `Ok` and
+  /// `FuelExhausted` below are mirrors kept for the (many) callers that
+  /// predate the Outcome enum — always set St through setOutcome().
+  Outcome St = Outcome::Error;
   bool Ok = false;
   bool FuelExhausted = false;
   std::string Error;
@@ -94,14 +109,29 @@ struct RunResult {
   std::optional<bool> BoolValue;
   uint64_t Steps = 0;
   std::vector<std::unique_ptr<MonitorState>> FinalStates;
+  /// Faults the monitor fault boundary recorded (see FaultIsolation.h).
+  /// Non-empty MonitorFaults with St == Ok means quarantine kept the run
+  /// alive; the FinalStates of quarantined monitors are partial.
+  std::vector<MonitorFault> MonitorFaults;
+
+  void setOutcome(Outcome O) {
+    St = O;
+    Ok = O == Outcome::Ok;
+    FuelExhausted = O == Outcome::FuelExhausted;
+  }
+
+  /// True when the governor (not the program) stopped the run.
+  bool stoppedByGovernor() const { return isGovernanceStop(St); }
 
   /// True when two runs produced the same observable outcome.
   bool sameOutcome(const RunResult &O) const {
-    if (FuelExhausted || O.FuelExhausted)
-      return FuelExhausted == O.FuelExhausted;
-    if (Ok != O.Ok)
+    if (St != O.St)
       return false;
-    return Ok ? ValueText == O.ValueText : Error == O.Error;
+    if (St == Outcome::Ok)
+      return ValueText == O.ValueText;
+    if (St == Outcome::Error)
+      return Error == O.Error;
+    return true; // Same governance stop.
   }
 };
 
@@ -198,6 +228,7 @@ private:
   using FK = typename Frame::Kind;
 
   Frame *mkFrame(FK K, Frame *Next) {
+    ++KontDepth;
     Frame *F = FreeList;
     if (F)
       FreeList = F->Next;
@@ -215,6 +246,8 @@ private:
   /// creation site initializes all the fields its kind reads, so recycled
   /// frames are not cleared.
   void recycle(Frame *F) {
+    --KontDepth; // Frames are popped exactly once; the depth bound
+                 // (ResourceLimits::MaxDepth) reads this counter.
     if (!Opts.RecycleFrames)
       return;
     F->Next = FreeList;
@@ -275,6 +308,7 @@ private:
   EnvFrame *PrimF = nullptr; ///< The initial frame (lexical Global slots).
 
   uint64_t Steps = 0;
+  uint64_t KontDepth = 0; ///< Live continuation frames (depth bound).
   bool Failed = false;
   std::string Error;
 };
@@ -732,40 +766,57 @@ void MachineT<Policy, Lexical>::doReturn(Value V, Frame *K) {
 template <typename Policy, bool Lexical>
 RunResult MachineT<Policy, Lexical>::run() {
   RunResult R;
-  Frame *Halt = mkFrame(FK::Halt, nullptr);
-  CurExpr = Program;
-  if constexpr (Lexical) {
-    // The frame chain bottoms out at the initial frame so monitors see the
-    // primitive bindings through EnvView, matching the named chain. The
-    // machine itself addresses PrimF directly (AddrKind::Global).
-    PrimF = initialFrame(A);
-    CurEnv = allocFrame(A, Res->rootShape(), PrimF);
-  } else {
-    CurEnv = initialEnv(A);
-  }
-  CurKont = Halt;
-  M = Mode::Eval;
-
-  while (M != Mode::Done && !Failed) {
-    ++Steps;
-    if (Opts.MaxSteps && Steps > Opts.MaxSteps) {
-      R.FuelExhausted = true;
-      R.Steps = Steps;
-      return R;
+  Governor Gov(Opts.Limits, Opts.MaxSteps);
+  A.setByteLimit(Gov.arenaByteCap());
+  try {
+    Frame *Halt = mkFrame(FK::Halt, nullptr);
+    CurExpr = Program;
+    if constexpr (Lexical) {
+      // The frame chain bottoms out at the initial frame so monitors see
+      // the primitive bindings through EnvView, matching the named chain.
+      // The machine itself addresses PrimF directly (AddrKind::Global).
+      PrimF = initialFrame(A);
+      CurEnv = allocFrame(A, Res->rootShape(), PrimF);
+    } else {
+      CurEnv = initialEnv(A);
     }
-    if (M == Mode::Eval)
-      doEval(CurExpr, CurEnv, CurKont);
-    else
-      doReturn(CurVal, CurKont);
+    CurKont = Halt;
+    M = Mode::Eval;
+
+    while (M != Mode::Done && !Failed) {
+      ++Steps;
+      if (Steps >= Gov.nextPause()) {
+        Outcome O = Gov.pause(Steps, A.bytesAllocated(), KontDepth);
+        if (O != Outcome::Ok) {
+          R.setOutcome(O);
+          R.Steps = Steps;
+          return R;
+        }
+      }
+      if (M == Mode::Eval)
+        doEval(CurExpr, CurEnv, CurKont);
+      else
+        doReturn(CurVal, CurKont);
+    }
+  } catch (const MonitorAbort &E) {
+    // A monitor under FaultPolicy::Abort faulted: the run's answer is an
+    // error, not a crash.
+    Failed = true;
+    Error = E.what();
+  } catch (const ArenaLimitExceeded &) {
+    // A single step blew past the arena cap between checkpoints.
+    R.setOutcome(Outcome::MemoryExceeded);
+    R.Steps = Steps;
+    return R;
   }
 
   R.Steps = Steps;
   if (Failed) {
-    R.Ok = false;
+    R.setOutcome(Outcome::Error);
     R.Error = std::move(Error);
     return R;
   }
-  R.Ok = true;
+  R.setOutcome(Outcome::Ok);
   // kappa_init = \v. phi v (Section 3.1).
   R.ValueText = Opts.Algebra->render(CurVal);
   if (CurVal.is(ValueKind::Int))

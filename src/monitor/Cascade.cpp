@@ -66,9 +66,15 @@ Cascade monsem::cascadeOf(std::initializer_list<const Monitor *> Ms) {
   return C;
 }
 
-RuntimeCascade::RuntimeCascade(const Cascade &C) : C(C) {
+RuntimeCascade::RuntimeCascade(const Cascade &C, FaultPolicy DefaultPolicy,
+                               unsigned RetryBudget)
+    : C(C) {
   for (unsigned I = 0; I < C.size(); ++I)
     States.push_back(C.monitor(I).initialState());
+  Iso.configure(C.size(), DefaultPolicy, RetryBudget);
+  for (unsigned I = 0; I < C.size(); ++I)
+    if (auto P = C.faultPolicy(I))
+      Iso.setPolicy(I, *P);
 }
 
 int RuntimeCascade::resolveCached(const Annotation &Ann) {
@@ -89,7 +95,9 @@ void RuntimeCascade::pre(const Annotation &Ann, const Expr &E, EnvView Env,
     return;
   InnerView View(*this, static_cast<unsigned>(Idx));
   MonitorEvent Ev{Ann, E, Env, StepIndex, AllocatedBytes, View};
-  C.monitor(Idx).pre(Ev, *States[Idx]);
+  Iso.guard(static_cast<unsigned>(Idx), C.monitor(Idx).name(), Ann.text(),
+            /*InPost=*/false, StepIndex,
+            [&] { C.monitor(Idx).pre(Ev, *States[Idx]); });
 }
 
 void RuntimeCascade::post(const Annotation &Ann, const Expr &E, EnvView Env,
@@ -100,7 +108,9 @@ void RuntimeCascade::post(const Annotation &Ann, const Expr &E, EnvView Env,
     return;
   InnerView View(*this, static_cast<unsigned>(Idx));
   MonitorEvent Ev{Ann, E, Env, StepIndex, AllocatedBytes, View};
-  C.monitor(Idx).post(Ev, Result, *States[Idx]);
+  Iso.guard(static_cast<unsigned>(Idx), C.monitor(Idx).name(), Ann.text(),
+            /*InPost=*/true, StepIndex,
+            [&] { C.monitor(Idx).post(Ev, Result, *States[Idx]); });
 }
 
 std::vector<std::unique_ptr<MonitorState>> RuntimeCascade::takeStates() {

@@ -21,11 +21,13 @@
 #ifndef MONSEM_MONITOR_CASCADE_H
 #define MONSEM_MONITOR_CASCADE_H
 
+#include "monitor/FaultIsolation.h"
 #include "monitor/Hooks.h"
 #include "monitor/MonitorSpec.h"
 #include "support/Diagnostics.h"
 
 #include <memory>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -40,12 +42,26 @@ public:
   /// (the paper's `profile & debug` composition operator).
   Cascade &use(const Monitor &M) {
     Monitors.push_back(&M);
+    Policies.push_back(std::nullopt);
+    return *this;
+  }
+
+  /// Same, with a per-monitor fault policy overriding the run-wide default
+  /// (RunOptions::MonitorFaultPolicy).
+  Cascade &use(const Monitor &M, FaultPolicy P) {
+    Monitors.push_back(&M);
+    Policies.push_back(P);
     return *this;
   }
 
   unsigned size() const { return static_cast<unsigned>(Monitors.size()); }
   bool empty() const { return Monitors.empty(); }
   const Monitor &monitor(unsigned Idx) const { return *Monitors[Idx]; }
+
+  /// The per-monitor fault-policy override, if one was given at use().
+  std::optional<FaultPolicy> faultPolicy(unsigned Idx) const {
+    return Idx < Policies.size() ? Policies[Idx] : std::nullopt;
+  }
 
   /// Resolves \p Ann to the index of the unique monitor that claims it, or
   /// -1 if none does. Ambiguity (more than one claimant for an unqualified
@@ -64,6 +80,7 @@ public:
 
 private:
   std::vector<const Monitor *> Monitors;
+  std::vector<std::optional<FaultPolicy>> Policies;
 };
 
 /// Convenience composition: `cascadeOf({&profiler, &tracer})`.
@@ -73,7 +90,12 @@ Cascade cascadeOf(std::initializer_list<const Monitor *> Ms);
 /// and the dispatch of probes to the claiming monitor.
 class RuntimeCascade : public MonitorHooks {
 public:
-  explicit RuntimeCascade(const Cascade &C);
+  /// \p DefaultPolicy/\p RetryBudget configure the fault boundary every
+  /// hook invocation runs inside (see FaultIsolation.h); per-monitor
+  /// overrides come from Cascade::use(M, Policy).
+  explicit RuntimeCascade(const Cascade &C,
+                          FaultPolicy DefaultPolicy = FaultPolicy::Quarantine,
+                          unsigned RetryBudget = 3);
 
   void pre(const Annotation &Ann, const Expr &E, EnvView Env,
            uint64_t StepIndex, uint64_t AllocatedBytes) override;
@@ -84,6 +106,10 @@ public:
   /// Final monitor states, transferred to the caller (paper: the sigma'
   /// component of the <alpha, sigma'> answer pair).
   std::vector<std::unique_ptr<MonitorState>> takeStates();
+
+  /// Faults recorded by the fault boundary, transferred to the caller.
+  std::vector<MonitorFault> takeFaults() { return Iso.takeFaults(); }
+  const FaultIsolator &isolator() const { return Iso; }
 
   /// Read access while the run is in progress (tests, debugger).
   const MonitorState &state(unsigned Idx) const { return *States[Idx]; }
@@ -110,6 +136,7 @@ private:
   const Cascade &C;
   std::vector<std::unique_ptr<MonitorState>> States;
   std::unordered_map<const Annotation *, int> ResolutionCache;
+  FaultIsolator Iso;
 };
 
 } // namespace monsem

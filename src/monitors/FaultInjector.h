@@ -1,0 +1,139 @@
+//===- monitors/FaultInjector.h - Misbehaving-monitor wrapper ---*- C++ -*-===//
+///
+/// \file
+/// A monitor wrapper that makes any inner monitor misbehave on purpose:
+/// at a seeded probability per probe it throws, burns wall-clock time, or
+/// over-allocates from its own ballast. It exists to exercise the fault
+/// boundary (monitor/FaultIsolation.h) and the resource governor — the
+/// differential soundness tests run a cascade containing an injector and
+/// check that the program's answer is still the standard answer.
+///
+/// Determinism: all randomness comes from a splitmix64 stream seeded in
+/// Config and stored in the *state* (the shared Monitor object stays
+/// immutable and reusable across runs, like every other spec). Probe
+/// events the injector lets through are forwarded to the inner monitor
+/// unchanged, so on a fault-free run (Rate = 0) the final state is
+/// byte-identical to the inner monitor's own.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MONSEM_MONITORS_FAULTINJECTOR_H
+#define MONSEM_MONITORS_FAULTINJECTOR_H
+
+#include "monitor/MonitorSpec.h"
+
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+namespace monsem {
+
+/// The exception a Throw-mode injector raises out of its hooks.
+class InjectedFault : public std::runtime_error {
+public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Wraps an inner Monitor and injects faults into its probes.
+class FaultInjector : public Monitor {
+public:
+  enum class Mode : uint8_t {
+    Throw,   ///< Raise InjectedFault from the hook.
+    Sleep,   ///< Burn SleepMicros of wall-clock time (deadline tests).
+    Allocate ///< Grow state-owned ballast by AllocBytes (memory tests).
+  };
+
+  struct Config {
+    Mode M = Mode::Throw;
+    /// Faults per 1000 probes; 1000 = every probe.
+    unsigned PerMille = 1000;
+    uint64_t Seed = 0x9e3779b97f4a7c15ull;
+    unsigned SleepMicros = 2000;     ///< Sleep mode.
+    size_t AllocBytes = 1 << 16;     ///< Allocate mode: per fault.
+    size_t MaxAllocTotal = 1 << 26;  ///< Allocate mode: ballast cap.
+    bool InPre = true;               ///< Inject in pre probes.
+    bool InPost = true;              ///< Inject in post probes.
+  };
+
+  FaultInjector(const Monitor &Inner, Config C) : Inner(Inner), C(C) {}
+
+  std::string_view name() const override { return Inner.name(); }
+  bool accepts(const Annotation &Ann) const override {
+    return Inner.accepts(Ann);
+  }
+
+  std::unique_ptr<MonitorState> initialState() const override {
+    return std::make_unique<InjectorState>(Inner.initialState(), C.Seed);
+  }
+
+  void pre(const MonitorEvent &Ev, MonitorState &State) const override {
+    auto &S = static_cast<InjectorState &>(State);
+    if (C.InPre)
+      maybeFault(S, "pre");
+    Inner.pre(Ev, *S.InnerState);
+  }
+
+  void post(const MonitorEvent &Ev, Value Result,
+            MonitorState &State) const override {
+    auto &S = static_cast<InjectorState &>(State);
+    if (C.InPost)
+      maybeFault(S, "post");
+    Inner.post(Ev, Result, *S.InnerState);
+  }
+
+  /// Wrapper state: the inner monitor's state plus the RNG stream and the
+  /// Allocate-mode ballast. str() delegates so a clean run is rendered
+  /// identically to the inner monitor alone.
+  struct InjectorState : MonitorState {
+    InjectorState(std::unique_ptr<MonitorState> Inner, uint64_t Seed)
+        : InnerState(std::move(Inner)), Rng(Seed) {}
+    std::string str() const override { return InnerState->str(); }
+
+    std::unique_ptr<MonitorState> InnerState;
+    uint64_t Rng;
+    uint64_t Probes = 0;
+    uint64_t Injected = 0;
+    std::vector<std::unique_ptr<char[]>> Ballast;
+    size_t BallastBytes = 0;
+  };
+
+private:
+  static uint64_t splitmix64(uint64_t &X) {
+    X += 0x9e3779b97f4a7c15ull;
+    uint64_t Z = X;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+    return Z ^ (Z >> 31);
+  }
+
+  void maybeFault(InjectorState &S, const char *Side) const {
+    ++S.Probes;
+    if (C.PerMille < 1000 && splitmix64(S.Rng) % 1000 >= C.PerMille)
+      return;
+    ++S.Injected;
+    switch (C.M) {
+    case Mode::Throw:
+      throw InjectedFault(std::string("injected fault in ") + Side +
+                          " (probe " + std::to_string(S.Probes) + ")");
+    case Mode::Sleep:
+      std::this_thread::sleep_for(std::chrono::microseconds(C.SleepMicros));
+      return;
+    case Mode::Allocate:
+      if (S.BallastBytes >= C.MaxAllocTotal)
+        return;
+      S.Ballast.push_back(std::make_unique<char[]>(C.AllocBytes));
+      // Touch the pages so the allocation is real, not lazily mapped.
+      for (size_t I = 0; I < C.AllocBytes; I += 4096)
+        S.Ballast.back()[I] = static_cast<char>(I);
+      S.BallastBytes += C.AllocBytes;
+      return;
+    }
+  }
+
+  const Monitor &Inner;
+  Config C;
+};
+
+} // namespace monsem
+
+#endif // MONSEM_MONITORS_FAULTINJECTOR_H

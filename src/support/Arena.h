@@ -22,6 +22,18 @@
 
 namespace monsem {
 
+/// Thrown when an allocation would push the arena past its configured byte
+/// cap (Arena::setByteLimit). A typed, recoverable signal: evaluators catch
+/// it at the run loop and report Outcome::MemoryExceeded instead of letting
+/// a raw std::bad_alloc (or the OOM killer) take the process down
+/// mid-step.
+class ArenaLimitExceeded : public std::bad_alloc {
+public:
+  const char *what() const noexcept override {
+    return "arena byte cap exceeded";
+  }
+};
+
 /// Chunked bump allocator; see file comment.
 class Arena {
 public:
@@ -29,12 +41,19 @@ public:
   Arena(const Arena &) = delete;
   Arena &operator=(const Arena &) = delete;
 
-  /// Allocates \p Size bytes aligned to \p Align.
+  /// Allocates \p Size bytes aligned to \p Align. Throws
+  /// ArenaLimitExceeded when a byte cap is set and satisfying the request
+  /// would map a chunk past it; the cap is checked before the chunk is
+  /// mapped, so an oversized request fails without first committing
+  /// memory.
   void *allocate(size_t Size, size_t Align) {
     uintptr_t P = reinterpret_cast<uintptr_t>(Cur);
     uintptr_t Aligned = (P + Align - 1) & ~(uintptr_t)(Align - 1);
-    if (Aligned + Size > reinterpret_cast<uintptr_t>(End)) {
-      grow(Size + Align);
+    // Subtraction form: Aligned + Size cannot be compared directly because
+    // a huge Size (e.g. a runaway string concat) would wrap the sum.
+    if (Aligned > reinterpret_cast<uintptr_t>(End) ||
+        Size > reinterpret_cast<uintptr_t>(End) - Aligned) {
+      grow(Size, Align);
       return allocate(Size, Align);
     }
     Cur = reinterpret_cast<char *>(Aligned + Size);
@@ -53,6 +72,15 @@ public:
   /// Total payload bytes handed out (diagnostic counter).
   size_t bytesAllocated() const { return BytesAllocated; }
 
+  /// Caps mapped chunk bytes at \p Limit (0 = uncapped). Exceeding the
+  /// cap makes allocate() throw ArenaLimitExceeded — a soft failure the
+  /// evaluators translate into Outcome::MemoryExceeded. Enforcement is at
+  /// chunk granularity so the bump fast path stays branch-free; the
+  /// resource governor additionally polls bytesAllocated() at its
+  /// checkpoints for a payload-exact stop.
+  void setByteLimit(size_t Limit) { ByteLimit = Limit; }
+  size_t byteLimit() const { return ByteLimit; }
+
   /// Invalidates every pointer previously returned and rewinds the arena.
   /// The first chunk is retained and reused, so a reset-and-refill cycle
   /// (e.g. a benchmark running one program per iteration) stops paying one
@@ -62,18 +90,37 @@ public:
       Chunks.resize(1);
       Cur = Chunks.front().Data.get();
       End = Cur + Chunks.front().Size;
+      MappedBytes = Chunks.front().Size;
     } else {
       Cur = End = nullptr;
+      MappedBytes = 0;
     }
     BytesAllocated = 0;
   }
 
 private:
-  void grow(size_t AtLeast) {
-    size_t Size = Chunks.empty() ? 16 * 1024 : Chunks.back().Size * 2;
+  void grow(size_t NeedSize, size_t NeedAlign) {
+    // Overflow-checked sizing: the request must fit with worst-case
+    // alignment padding, and chunk doubling must saturate rather than
+    // wrap. A request too large to pad safely is unsatisfiable.
+    if (NeedSize > SIZE_MAX - NeedAlign)
+      throw std::bad_alloc();
+    size_t AtLeast = NeedSize + NeedAlign;
+    size_t Size = 16 * 1024;
+    if (!Chunks.empty()) {
+      size_t Prev = Chunks.back().Size;
+      Size = Prev > SIZE_MAX / 2 ? SIZE_MAX : Prev * 2;
+    }
     if (Size < AtLeast)
       Size = AtLeast;
+    // The byte cap is enforced here rather than per allocation: growth is
+    // rare, so the cost is off the bump fast path, and nothing has been
+    // mapped yet when the throw happens (subtraction form avoids wrap).
+    if (ByteLimit &&
+        (MappedBytes >= ByteLimit || Size > ByteLimit - MappedBytes))
+      throw ArenaLimitExceeded();
     Chunks.push_back(Chunk{std::make_unique<char[]>(Size), Size});
+    MappedBytes += Size;
     Cur = Chunks.back().Data.get();
     End = Cur + Size;
   }
@@ -87,6 +134,8 @@ private:
   char *Cur = nullptr;
   char *End = nullptr;
   size_t BytesAllocated = 0;
+  size_t MappedBytes = 0;
+  size_t ByteLimit = 0;
 };
 
 } // namespace monsem

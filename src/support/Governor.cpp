@@ -1,0 +1,27 @@
+//===- support/Governor.cpp ------------------------------------------------===//
+
+#include "support/Governor.h"
+
+namespace monsem {
+
+const char *outcomeName(Outcome O) {
+  switch (O) {
+  case Outcome::Ok:
+    return "ok";
+  case Outcome::Error:
+    return "error";
+  case Outcome::FuelExhausted:
+    return "fuel-exhausted";
+  case Outcome::Deadline:
+    return "deadline";
+  case Outcome::MemoryExceeded:
+    return "memory-exceeded";
+  case Outcome::DepthExceeded:
+    return "depth-exceeded";
+  case Outcome::Cancelled:
+    return "cancelled";
+  }
+  return "?";
+}
+
+} // namespace monsem

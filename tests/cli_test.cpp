@@ -118,7 +118,7 @@ TEST(CliTest, MaxStepsFuel) {
       std::string("printf 'letrec loop = lambda x. loop x in loop 1' | ") +
       MONSEM_CLI_PATH + " - --max-steps=100");
   EXPECT_NE(R.ExitCode, 0);
-  EXPECT_NE(R.Output.find("fuel exhausted"), std::string::npos) << R.Output;
+  EXPECT_NE(R.Output.find("fuel-exhausted"), std::string::npos) << R.Output;
 }
 
 TEST(CliTest, ParseErrorsExitNonzero) {

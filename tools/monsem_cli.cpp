@@ -26,6 +26,7 @@
 #include "monitors/Coverage.h"
 #include "monitors/Debugger.h"
 #include "monitors/Demon.h"
+#include "monitors/FaultInjector.h"
 #include "monitors/FlightRecorder.h"
 #include "monitors/Profiler.h"
 #include "monitors/Stepper.h"
@@ -36,6 +37,8 @@
 #include "syntax/Annotator.h"
 #include "syntax/Printer.h"
 
+#include <atomic>
+#include <csignal>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -43,6 +46,13 @@
 using namespace monsem;
 
 namespace {
+
+/// Set by the SIGINT handler; every run loop polls it through the
+/// governor's cancellation hook, so ^C ends the run with partial monitor
+/// states instead of killing the process.
+std::atomic<bool> GCancel{false};
+
+void onInterrupt(int) { GCancel.store(true, std::memory_order_relaxed); }
 
 struct Options {
   std::string File;
@@ -67,6 +77,11 @@ struct Options {
   bool Disasm = false;
   Strategy Strat = Strategy::Strict;
   uint64_t MaxSteps = 0;
+  uint64_t DeadlineMs = 0;
+  uint64_t MaxBytes = 0;
+  uint64_t MaxDepth = 0;
+  FaultPolicy FaultPol = FaultPolicy::Quarantine;
+  std::string Inject; ///< "", "throw", "sleep", or "alloc".
   std::string ImpWatch;
   std::vector<int64_t> ImpInput;
   bool ImpProfile = false;
@@ -97,6 +112,14 @@ int usage(const char *Argv0) {
       << "    --print-residual   with --pe: show the residual program\n"
       << "    --disasm           show compiled bytecode\n"
       << "    --max-steps=N      fuel limit\n"
+      << "  resource governance (both program kinds):\n"
+      << "    --deadline-ms=N    wall-clock budget for the run\n"
+      << "    --max-bytes=N      arena byte cap\n"
+      << "    --max-depth=N      continuation / recursion depth bound\n"
+      << "    --monitor-fault-policy=quarantine|abort|retry\n"
+      << "    --inject=throw|sleep|alloc\n"
+      << "                       wrap --profile's monitor in a fault "
+         "injector\n"
       << "  imperative programs:\n"
       << "    --imp              treat input as an imperative program\n"
       << "    --imp-watch=x      watchpoint demon on variable x\n"
@@ -173,6 +196,19 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
         return false;
     } else if (auto V = Value("--max-steps=")) {
       O.MaxSteps = std::stoull(*V);
+    } else if (auto V = Value("--deadline-ms=")) {
+      O.DeadlineMs = std::stoull(*V);
+    } else if (auto V = Value("--max-bytes=")) {
+      O.MaxBytes = std::stoull(*V);
+    } else if (auto V = Value("--max-depth=")) {
+      O.MaxDepth = std::stoull(*V);
+    } else if (auto V = Value("--monitor-fault-policy=")) {
+      if (!parseFaultPolicy(*V, O.FaultPol))
+        return false;
+    } else if (auto V = Value("--inject=")) {
+      if (*V != "throw" && *V != "sleep" && *V != "alloc")
+        return false;
+      O.Inject = *V;
     } else if (auto V = Value("--imp-watch=")) {
       O.ImpWatch = *V;
     } else if (auto V = Value("--input=")) {
@@ -214,6 +250,29 @@ std::vector<Symbol> toSymbols(const std::vector<std::string> &Names) {
   return Out;
 }
 
+ResourceLimits limitsFor(const Options &O) {
+  ResourceLimits L;
+  L.DeadlineMs = O.DeadlineMs;
+  L.MaxArenaBytes = O.MaxBytes;
+  L.MaxDepth = O.MaxDepth;
+  L.CancelFlag = &GCancel;
+  return L;
+}
+
+void printFaults(const std::vector<MonitorFault> &Faults) {
+  for (const MonitorFault &F : Faults)
+    std::cerr << "monitor fault: " << F.str() << '\n';
+}
+
+FaultInjector::Config injectorConfig(const std::string &Mode) {
+  FaultInjector::Config Cfg;
+  Cfg.M = Mode == "sleep"   ? FaultInjector::Mode::Sleep
+          : Mode == "alloc" ? FaultInjector::Mode::Allocate
+                            : FaultInjector::Mode::Throw;
+  Cfg.PerMille = 200;
+  return Cfg;
+}
+
 int runImperative(const Options &O, const std::string &Source) {
   ImpContext Ctx;
   DiagnosticSink Diags;
@@ -240,10 +299,17 @@ int runImperative(const Options &O, const std::string &Source) {
 
   ImpRunOptions Opts;
   Opts.MaxSteps = O.MaxSteps;
+  Opts.Limits = limitsFor(O);
+  Opts.MonitorFaultPolicy = O.FaultPol;
   Opts.Input = O.ImpInput;
   ImpRunResult R = runImp(C, Program, Opts);
-  if (R.FuelExhausted) {
-    std::cerr << "error: fuel exhausted after " << R.Steps << " steps\n";
+  printFaults(R.MonitorFaults);
+  if (R.stoppedByGovernor()) {
+    std::cerr << "stopped: " << outcomeName(R.St) << " after " << R.Steps
+              << " steps\n";
+    for (unsigned I = 0; I < C.size() && I < R.FinalStates.size(); ++I)
+      std::cerr << C.monitor(I).name() << " (partial): "
+                << R.FinalStates[I]->str() << '\n';
     return 1;
   }
   if (!R.Ok) {
@@ -320,6 +386,9 @@ int runFunctional(const Options &O, const std::string &Source) {
   // Assemble the cascade.
   Tracer Trc(&std::cout);
   CallProfiler Prof;
+  std::optional<FaultInjector> Inj;
+  if (!O.Inject.empty())
+    Inj.emplace(Prof, injectorConfig(O.Inject));
   CostProfiler Cost;
   AllocProfiler Alloc;
   CallGraphMonitor Graph;
@@ -333,7 +402,7 @@ int runFunctional(const Options &O, const std::string &Source) {
   if (O.Trace)
     C.use(Trc);
   if (O.Profile)
-    C.use(Prof);
+    C.use(Inj ? static_cast<const Monitor &>(*Inj) : Prof);
   if (O.Cost)
     C.use(Cost);
   if (O.Alloc)
@@ -362,6 +431,8 @@ int runFunctional(const Options &O, const std::string &Source) {
   RunOptions Opts;
   Opts.Strat = O.Strat;
   Opts.MaxSteps = O.MaxSteps;
+  Opts.Limits = limitsFor(O);
+  Opts.MonitorFaultPolicy = O.FaultPol;
 
   RunResult R;
   if (O.UseVM) {
@@ -379,8 +450,16 @@ int runFunctional(const Options &O, const std::string &Source) {
     R = evaluate(C, Program, Opts);
   }
 
-  if (R.FuelExhausted) {
-    std::cerr << "error: fuel exhausted after " << R.Steps << " steps\n";
+  printFaults(R.MonitorFaults);
+  if (R.stoppedByGovernor()) {
+    std::cerr << "stopped: " << outcomeName(R.St) << " after " << R.Steps
+              << " steps\n";
+    for (unsigned I = 0; I < C.size() && I < R.FinalStates.size(); ++I) {
+      if (&C.monitor(I) == &Trc)
+        continue;
+      std::cerr << C.monitor(I).name() << " (partial): "
+                << R.FinalStates[I]->str() << '\n';
+    }
     return 1;
   }
   if (!R.Ok) {
@@ -498,9 +577,12 @@ int runRepl(const Options &Base) {
     RunOptions Opts;
     Opts.Strat = Strat;
     Opts.MaxSteps = Base.MaxSteps;
+    Opts.Limits = limitsFor(Base);
+    GCancel.store(false); // A ^C from a previous evaluation is spent.
     RunResult R = evaluate(C, Program, Opts);
-    if (R.FuelExhausted)
-      std::cout << "fuel exhausted after " << R.Steps << " steps\n";
+    if (R.stoppedByGovernor())
+      std::cout << "stopped: " << outcomeName(R.St) << " after " << R.Steps
+                << " steps\n";
     else if (!R.Ok)
       std::cout << "error: " << R.Error << '\n';
     else {
@@ -519,6 +601,7 @@ int main(int Argc, char **Argv) {
   Options O;
   if (!parseArgs(Argc, Argv, O))
     return usage(Argv[0]);
+  std::signal(SIGINT, onInterrupt);
   if (O.Repl)
     return runRepl(O);
   std::optional<std::string> Source = readInput(O.File);
