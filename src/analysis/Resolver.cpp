@@ -13,7 +13,12 @@ namespace monsem {
 /// The single-pass scope walk. One instance per resolveProgram call.
 class Resolver {
 public:
-  explicit Resolver(Resolution &R) : R(R) {}
+  explicit Resolver(Resolution &R) : R(R) {
+    // Reserve shape id 0 for the shared primitives frame, which sits at
+    // the root of every run-time frame chain but is not produced by this
+    // pass (its own Id defaults to 0).
+    R.Table.push_back(primFrameShape());
+  }
 
   void run(const Expr *Program) {
     FrameShape *Root = R.newShape();

@@ -70,14 +70,24 @@ public:
   /// Total number of frame shapes (diagnostics/tests).
   size_t numShapes() const { return Shapes.size(); }
 
+  /// Shape-id decode table for run-time frames: entry `S->Id` is `S`.
+  /// Entry 0 is the shared primitives-frame shape (seeded by the
+  /// resolver); machines hand this to EnvView so monitors can map a
+  /// frame's packed shape id back to its slot names.
+  const FrameShape *const *shapeTable() const { return Table.data(); }
+
 private:
   friend class Resolver;
   FrameShape *newShape() {
     Shapes.emplace_back();
-    return &Shapes.back();
+    FrameShape *S = &Shapes.back();
+    S->Id = static_cast<uint32_t>(Table.size());
+    Table.push_back(S);
+    return S;
   }
 
   std::deque<FrameShape> Shapes;
+  std::vector<const FrameShape *> Table;
   const FrameShape *Root = nullptr;
   bool Ok = true;
 };

@@ -76,6 +76,9 @@ struct CompiledProgram {
   /// Constant pool. String constants reference the AstContext that owns the
   /// source AST, which must outlive the compiled program.
   std::vector<Value> ConstPool;
+  /// Backing store for constants that do not fit a Value immediate (int64s
+  /// outside the 48-bit inline range). Lives as long as the program.
+  Arena ConstArena;
   std::vector<Symbol> Names;     ///< Binder names for PushRecEnv.
   std::vector<ProbeSite> Probes;
   bool Instrumented = false;

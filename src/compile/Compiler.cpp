@@ -92,7 +92,7 @@ private:
       Value V;
       switch (C.K) {
       case ConstVal::Kind::Int:
-        V = Value::mkInt(C.Int);
+        V = Value::mkInt(C.Int, Prog->ConstArena);
         break;
       case ConstVal::Kind::Bool:
         V = Value::mkBool(C.Bool);

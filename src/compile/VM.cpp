@@ -132,7 +132,7 @@ RunResult VM::run() {
       EnvNode *N = Env;
       for (uint32_t D = I.A; D; --D)
         N = N->Parent;
-      if (N->Val.is(ValueKind::Unit)) {
+      if (N->Val.isUnit()) {
         fail("letrec variable '" + std::string(N->Name.str()) +
              "' referenced before initialization");
         break;

@@ -46,7 +46,7 @@ public:
       const ConstVal &C = cast<ConstExpr>(E)->Val;
       switch (C.K) {
       case ConstVal::Kind::Int:
-        return Value::mkInt(C.Int);
+        return Value::mkInt(C.Int, A);
       case ConstVal::Kind::Bool:
         return Value::mkBool(C.Bool);
       case ConstVal::Kind::Str:
@@ -60,7 +60,7 @@ public:
       Symbol Name = cast<VarExpr>(E)->Name;
       for (EnvNode *N = Env; N; N = N->Parent)
         if (N->Name == Name) {
-          if (N->Val.is(ValueKind::Unit))
+          if (N->Val.isUnit())
             return fail("letrec variable '" + std::string(Name.str()) +
                         "' referenced before initialization");
           return N->Val;
@@ -77,7 +77,7 @@ public:
     }
     case ExprKind::Lam: {
       const auto *L = cast<LamExpr>(E);
-      return Value::mkClosure(A.create<Closure>(L->Param, L->Body, Env));
+      return Value::mkClosure(A.create<Closure>(L, Env));
     }
     case ExprKind::If: {
       const auto *I = cast<IfExpr>(E);
@@ -158,8 +158,8 @@ private:
     switch (Fn.kind()) {
     case ValueKind::Closure: {
       Closure *C = Fn.asClosure();
-      EnvNode *Env = extendEnv(A, C->Env, C->Param, Arg);
-      return eval(C->Body, Env, Depth + 1);
+      EnvNode *Env = extendEnv(A, C->Env, C->L->Param, Arg);
+      return eval(C->L->Body, Env, Depth + 1);
     }
     case ValueKind::Prim1: {
       PrimResult R = applyPrim1(Fn.asPrim1(), Arg, A);
@@ -330,7 +330,7 @@ private:
         fail("read: input stream exhausted");
         return false;
       }
-      Store[Rd->Var] = Value::mkInt(Opts.Input[InputPos++]);
+      Store[Rd->Var] = Value::mkInt(Opts.Input[InputPos++], A);
       return true;
     }
     case CmdKind::Annot: {

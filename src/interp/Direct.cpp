@@ -29,8 +29,8 @@ void applyDirect(DirectContext &Ctx, const DirectValuation &Self, Value Fn,
   switch (Fn.kind()) {
   case ValueKind::Closure: {
     Closure *C = Fn.asClosure();
-    EnvNode *Env = extendEnv(Ctx.A, C->Env, C->Param, Arg);
-    Self(C->Body, Env, K);
+    EnvNode *Env = extendEnv(Ctx.A, C->Env, C->L->Param, Arg);
+    Self(C->L->Body, Env, K);
     return;
   }
   case ValueKind::Prim1: {
@@ -76,7 +76,7 @@ DirectFunctional monsem::standardFunctional(DirectContext &Ctx) {
         const ConstVal &C = cast<ConstExpr>(E)->Val;
         switch (C.K) {
         case ConstVal::Kind::Int:
-          K(Value::mkInt(C.Int));
+          K(Value::mkInt(C.Int, Ctx.A));
           return;
         case ConstVal::Kind::Bool:
           K(Value::mkBool(C.Bool));
@@ -98,7 +98,7 @@ DirectFunctional monsem::standardFunctional(DirectContext &Ctx) {
                    "' at " + E->loc().str());
           return;
         }
-        if (N->Val.is(ValueKind::Unit)) {
+        if (N->Val.isUnit()) {
           Ctx.fail("letrec variable '" + std::string(V->Name.str()) +
                    "' referenced before initialization");
           return;
@@ -108,7 +108,7 @@ DirectFunctional monsem::standardFunctional(DirectContext &Ctx) {
       }
       case ExprKind::Lam: {
         const auto *L = cast<LamExpr>(E);
-        Closure *C = Ctx.A.create<Closure>(L->Param, L->Body, Env);
+        Closure *C = Ctx.A.create<Closure>(L, Env);
         K(Value::mkClosure(C));
         return;
       }

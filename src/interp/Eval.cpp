@@ -2,6 +2,9 @@
 
 #include "interp/Eval.h"
 
+#include "compile/VM.h"
+#include "interp/Direct.h"
+
 using namespace monsem;
 
 std::unique_ptr<ParsedProgram> ParsedProgram::parse(std::string_view Source,
@@ -58,11 +61,52 @@ RunResult monsem::evaluate(const Cascade &C, const Expr *Program,
   return R;
 }
 
+static RunResult errorResult(std::string Msg) {
+  RunResult R;
+  R.setOutcome(Outcome::Error);
+  R.Error = std::move(Msg);
+  return R;
+}
+
 RunResult monsem::evaluate(const EvalMode &Mode, const Expr *Program) {
-  RunOptions Opts;
-  Opts.Strat = Mode.Strat;
-  Opts.MaxSteps = Mode.MaxSteps;
-  return evaluate(Mode.C, Program, Opts);
+  RunOptions Opts = Mode.runOptions();
+  switch (Mode.B) {
+  case Backend::CEK:
+    return evaluate(Mode.C, Program, Opts);
+
+  case Backend::VM:
+    if (Opts.Strat != Strategy::Strict)
+      return errorResult("the VM backend is strict-only; drop kVM or the "
+                         "lazy strategy tag");
+    // evaluateCompiled validates disjointness itself.
+    return evaluateCompiled(Mode.C, Program, Opts);
+
+  case Backend::Direct: {
+    if (Opts.Strat != Strategy::Strict)
+      return errorResult("the Direct backend is strict-only; drop kDirect "
+                         "or the lazy strategy tag");
+    // runDirect assumes a validated cascade; validate here like the other
+    // backends do.
+    if (!Mode.C.empty()) {
+      DiagnosticSink Diags;
+      if (!Mode.C.validateFor(Program, Diags))
+        return errorResult(Diags.str());
+    }
+    DirectOptions D;
+    // The direct interpreter's call budget doubles as its fuel and depth
+    // bound; the deprecated EvalMode::MaxSteps forwards into it so legacy
+    // fuel keeps its meaning on every backend.
+    if (Mode.Limits.MaxSteps)
+      D.CallBudget = Mode.Limits.MaxSteps;
+    else if (Mode.MaxSteps)
+      D.CallBudget = Mode.MaxSteps;
+    D.Limits = Mode.Limits;
+    D.MonitorFaultPolicy = Mode.MonitorFaultPolicy;
+    D.MonitorRetryBudget = Mode.MonitorRetryBudget;
+    return runDirect(Program, Mode.C.empty() ? nullptr : &Mode.C, D);
+  }
+  }
+  return errorResult("unknown backend");
 }
 
 std::string monsem::describeStates(const Cascade &C, const RunResult &R) {

@@ -12,8 +12,18 @@
 ///   RunResult R = evaluate(profiler & debugger & kStrict, P.root());
 ///
 /// `&` composes monitor specifications into a cascade (Section 6) and may
-/// also select the evaluation strategy ("language module"). Plain
-/// `evaluate(expr)` runs the standard semantics.
+/// also select the evaluation strategy ("language module"), a resource
+/// budget, a monitor fault policy, and the execution backend — each of
+/// which composes like a strategy does:
+///
+///   evaluate(profiler & kStrict & deadlineMs(50) & kVM, P.root());
+///   evaluate(tracer & maxSteps(100'000) & onMonitorFault(FaultPolicy::Abort),
+///            P.root());
+///
+/// Every combination funnels into the one evaluate(EvalMode, Expr*) entry,
+/// which assembles a single RunOptions (EvalMode::runOptions()) and routes
+/// to the CEK machine, the bytecode VM, or the direct CPS interpreter.
+/// Plain `evaluate(expr)` runs the standard semantics.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -24,6 +34,7 @@
 #include "monitor/Cascade.h"
 #include "syntax/Parser.h"
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -52,14 +63,6 @@ private:
   const Expr *Root = nullptr;
 };
 
-/// A cascade plus an evaluation strategy: the argument of the paper's
-/// `evaluate (profile & debug & strict) prog`.
-struct EvalMode {
-  Cascade C;
-  Strategy Strat = Strategy::Strict;
-  uint64_t MaxSteps = 0;
-};
-
 /// Strategy selectors composable with `&`.
 struct StrategyTag {
   Strategy S;
@@ -68,23 +71,147 @@ inline constexpr StrategyTag kStrict{Strategy::Strict};
 inline constexpr StrategyTag kByName{Strategy::CallByName};
 inline constexpr StrategyTag kByNeed{Strategy::CallByNeed};
 
-inline EvalMode operator&(const Monitor &A, const Monitor &B) {
-  EvalMode M;
-  M.C.use(A).use(B);
-  return M;
+/// Which evaluator executes the program.
+enum class Backend : uint8_t {
+  CEK,    ///< The production CEK machine (all three strategies).
+  VM,     ///< Compile to bytecode, run on the VM (strict only).
+  Direct, ///< The definitional CPS interpreter (strict only).
+};
+
+/// Backend selectors composable with `&`.
+struct BackendTag {
+  Backend B;
+};
+inline constexpr BackendTag kCEK{Backend::CEK};
+inline constexpr BackendTag kVM{Backend::VM};
+inline constexpr BackendTag kDirect{Backend::Direct};
+
+/// A resource-limit fragment composable with `&`. Fragments merge
+/// field-wise (nonzero wins), so `deadlineMs(50) & maxDepth(10'000)` arms
+/// both limits.
+struct LimitsTag {
+  ResourceLimits L;
+};
+inline LimitsTag maxSteps(uint64_t N) {
+  LimitsTag T;
+  T.L.MaxSteps = N;
+  return T;
 }
-inline EvalMode operator&(const Monitor &A, StrategyTag T) {
-  EvalMode M;
-  M.C.use(A);
-  M.Strat = T.S;
-  return M;
+inline LimitsTag deadlineMs(uint64_t Ms) {
+  LimitsTag T;
+  T.L.DeadlineMs = Ms;
+  return T;
 }
+inline LimitsTag maxArenaBytes(uint64_t Bytes) {
+  LimitsTag T;
+  T.L.MaxArenaBytes = Bytes;
+  return T;
+}
+inline LimitsTag maxDepth(uint64_t Depth) {
+  LimitsTag T;
+  T.L.MaxDepth = Depth;
+  return T;
+}
+/// \p Flag must outlive the run (see ResourceLimits::CancelFlag).
+inline LimitsTag cancelOn(std::atomic<bool> &Flag) {
+  LimitsTag T;
+  T.L.CancelFlag = &Flag;
+  return T;
+}
+
+/// A monitor fault policy composable with `&` (run-wide default; per-
+/// monitor overrides still come from Cascade::use(M, Policy)).
+struct FaultPolicyTag {
+  FaultPolicy P;
+  unsigned RetryBudget;
+};
+inline FaultPolicyTag onMonitorFault(FaultPolicy P,
+                                     unsigned RetryBudget = 3) {
+  return FaultPolicyTag{P, RetryBudget};
+}
+
+/// The argument of the paper's `evaluate (profile & debug & strict) prog`,
+/// extended: a cascade plus everything else a run is configured with — the
+/// strategy, the resource budget, the monitor fault policy, and the
+/// backend. Built up by `&` from monitors and the tags above; every
+/// ingredient is optional and later occurrences win.
+struct EvalMode {
+  Cascade C;
+  Strategy Strat = Strategy::Strict;
+  /// Deprecated legacy fuel field, superseded by Limits.MaxSteps (use the
+  /// maxSteps(...) tag). Kept as a forwarding alias: when Limits.MaxSteps
+  /// is unset, this value reaches the governor unchanged.
+  uint64_t MaxSteps = 0;
+  ResourceLimits Limits;
+  Backend B = Backend::CEK;
+  FaultPolicy MonitorFaultPolicy = FaultPolicy::Quarantine;
+  unsigned MonitorRetryBudget = 3;
+
+  EvalMode() = default;
+  // Implicit conversions so any single ingredient is already a mode and
+  // `&` chains can start from anything: evaluate(kVM, p),
+  // evaluate(profiler & deadlineMs(50), p), ...
+  EvalMode(const Monitor &M) { C.use(M); }
+  EvalMode(StrategyTag T) : Strat(T.S) {}
+  EvalMode(BackendTag T) : B(T.B) {}
+  EvalMode(LimitsTag T) : Limits(T.L) {}
+  EvalMode(FaultPolicyTag T)
+      : MonitorFaultPolicy(T.P), MonitorRetryBudget(T.RetryBudget) {}
+
+  /// The one place an EvalMode becomes a RunOptions. The CLI and the
+  /// embedded API both funnel through here, so flags and `&` chains cannot
+  /// skew.
+  RunOptions runOptions() const {
+    RunOptions O;
+    O.Strat = Strat;
+    O.MaxSteps = MaxSteps; // Legacy fuel; Limits.MaxSteps supersedes it.
+    O.Limits = Limits;
+    O.MonitorFaultPolicy = MonitorFaultPolicy;
+    O.MonitorRetryBudget = MonitorRetryBudget;
+    return O;
+  }
+};
+
+namespace detail {
+/// Field-wise merge: nonzero/non-null fields of \p From win.
+inline void mergeLimits(ResourceLimits &Into, const ResourceLimits &From) {
+  if (From.MaxSteps)
+    Into.MaxSteps = From.MaxSteps;
+  if (From.DeadlineMs)
+    Into.DeadlineMs = From.DeadlineMs;
+  if (From.MaxArenaBytes)
+    Into.MaxArenaBytes = From.MaxArenaBytes;
+  if (From.MaxDepth)
+    Into.MaxDepth = From.MaxDepth;
+  if (From.CheckInterval)
+    Into.CheckInterval = From.CheckInterval;
+  if (From.CancelFlag)
+    Into.CancelFlag = From.CancelFlag;
+}
+} // namespace detail
+
+// `&` composition. The left operand may be anything EvalMode implicitly
+// converts from, so chains can start with a monitor, a strategy, a limit,
+// a fault policy, or a backend.
 inline EvalMode operator&(EvalMode M, const Monitor &B) {
   M.C.use(B);
   return M;
 }
 inline EvalMode operator&(EvalMode M, StrategyTag T) {
   M.Strat = T.S;
+  return M;
+}
+inline EvalMode operator&(EvalMode M, BackendTag T) {
+  M.B = T.B;
+  return M;
+}
+inline EvalMode operator&(EvalMode M, LimitsTag T) {
+  detail::mergeLimits(M.Limits, T.L);
+  return M;
+}
+inline EvalMode operator&(EvalMode M, FaultPolicyTag T) {
+  M.MonitorFaultPolicy = T.P;
+  M.MonitorRetryBudget = T.RetryBudget;
   return M;
 }
 
@@ -97,7 +224,12 @@ RunResult evaluate(const Expr *Program, RunOptions Opts = {});
 RunResult evaluate(const Cascade &C, const Expr *Program,
                    RunOptions Opts = {});
 
-/// The Section 9.2 spelling.
+/// The Section 9.2 spelling: the unified entry. Assembles RunOptions via
+/// EvalMode::runOptions() and routes to the selected backend — the CEK
+/// machine (MachineT::run), the bytecode compiler + VM (runCompiled), or
+/// the direct CPS interpreter (runDirect). The VM and Direct backends are
+/// strict-only; selecting them with a lazy strategy yields an error result
+/// without running.
 RunResult evaluate(const EvalMode &Mode, const Expr *Program);
 
 /// Renders final monitor states like the paper does, one per line:

@@ -292,6 +292,15 @@ private:
       return T->Env;
   }
 
+  /// Monitor-facing view of \p Env. Flat frames carry shape ids, so the
+  /// view needs the Resolution's decode table to answer named lookups.
+  EnvView envView(EnvT *Env) const {
+    if constexpr (Lexical)
+      return EnvView(Env, Res->shapeTable());
+    else
+      return EnvView(Env);
+  }
+
   const Expr *Program;
   RunOptions Opts;
   Policy Pol;
@@ -334,7 +343,7 @@ void MachineT<Policy, Lexical>::doEval(const Expr *E, EnvT *Env, Frame *K) {
     const ConstVal &C = cast<ConstExpr>(E)->Val;
     switch (C.K) {
     case ConstVal::Kind::Int:
-      setReturn(Value::mkInt(C.Int), K);
+      setReturn(Value::mkInt(C.Int, A), K);
       return;
     case ConstVal::Kind::Bool:
       setReturn(Value::mkBool(C.Bool), K);
@@ -356,7 +365,7 @@ void MachineT<Policy, Lexical>::doEval(const Expr *E, EnvT *Env, Frame *K) {
       case VarExpr::AddrKind::Local: {
         EnvFrame *F = Env;
         for (uint32_t D = V->FrameDepth; D; --D)
-          F = F->Parent;
+          F = F->parent();
         Val = F->slots()[V->SlotIndex];
         break;
       }
@@ -381,7 +390,7 @@ void MachineT<Policy, Lexical>::doEval(const Expr *E, EnvT *Env, Frame *K) {
       }
       Val = N->Val;
     }
-    if (Val.is(ValueKind::Unit)) {
+    if (Val.isUnit()) {
       fail("letrec variable '" + std::string(V->Name.str()) +
            "' referenced before initialization");
       return;
@@ -395,11 +404,7 @@ void MachineT<Policy, Lexical>::doEval(const Expr *E, EnvT *Env, Frame *K) {
   }
   case ExprKind::Lam: {
     const auto *L = cast<LamExpr>(E);
-    Closure *C;
-    if constexpr (Lexical)
-      C = A.create<Closure>(L->Param, L->Body, nullptr, Env, L->Shape);
-    else
-      C = A.create<Closure>(L->Param, L->Body, Env);
+    Closure *C = A.create<Closure>(L, Env);
     setReturn(Value::mkClosure(C), K);
     return;
   }
@@ -518,7 +523,7 @@ void MachineT<Policy, Lexical>::doEval(const Expr *E, EnvT *Env, Frame *K) {
     const auto *N = cast<AnnotExpr>(E);
     if constexpr (Policy::Enabled) {
       // Definition 4.2: (Vbar [s'] a* kpost) . updPre
-      Pol.pre(*N->Ann, *N->Inner, EnvView(Env), Steps, A.bytesAllocated());
+      Pol.pre(*N->Ann, *N->Inner, envView(Env), Steps, A.bytesAllocated());
       Frame *F = mkFrame(FK::MonPost, K);
       F->Ann = N->Ann;
       F->E1 = N->Inner;
@@ -571,11 +576,11 @@ void MachineT<Policy, Lexical>::applyFunction(Value Fn, Value Arg, Frame *K) {
     Closure *C = Fn.asClosure();
     EnvT *Env;
     if constexpr (Lexical)
-      Env = allocFrame(A, C->Shape, C->FEnv, Arg);
+      Env = allocFrame(A, C->L->Shape, C->FEnv, Arg);
     else
-      Env = extendEnv(A, C->Env, C->Param, Arg);
+      Env = extendEnv(A, C->Env, C->L->Param, Arg);
     M = Mode::Eval;
-    CurExpr = C->Body;
+    CurExpr = C->L->Body;
     CurEnv = Env;
     CurKont = K;
     return;
@@ -744,7 +749,7 @@ void MachineT<Policy, Lexical>::doReturn(Value V, Frame *K) {
   }
   case FK::MonPost: {
     if constexpr (Policy::Enabled)
-      Pol.post(*K->Ann, *K->E1, EnvView(K->Env), V, Steps,
+      Pol.post(*K->Ann, *K->E1, envView(K->Env), V, Steps,
                A.bytesAllocated());
     Frame *Next = K->Next;
     recycle(K);

@@ -54,14 +54,17 @@ public:
 class EnvView {
 public:
   explicit EnvView(const EnvNode *Env) : Node(Env) {}
-  explicit EnvView(const EnvFrame *Env) : Frame(Env) {}
+  /// Flat-frame view; \p Table is the resolving Resolution's shape table
+  /// (frames store shape ids, not shape pointers).
+  EnvView(const EnvFrame *Env, FrameShapeTable Table)
+      : Frame(Env), Table(Table) {}
 
   /// rho(x): innermost binding of \p Name, if any. On the flat-frame
   /// representation, Unit slots (letrec members whose binder has not run
   /// yet) are treated as absent.
   std::optional<Value> lookup(Symbol Name) const {
     if (Frame) {
-      if (const Value *V = lookupFrame(Frame, Name))
+      if (const Value *V = lookupFrame(Frame, Name, Table))
         return *V;
       return std::nullopt;
     }
@@ -84,11 +87,12 @@ public:
     std::vector<std::pair<Symbol, Value>> Out;
     if (Frame) {
       for (const EnvFrame *F = Frame; F && Out.size() < Limit;
-           F = F->Parent)
-        for (uint32_t I = F->Shape->numSlots();
-             I-- > 0 && Out.size() < Limit;)
-          if (!F->slots()[I].is(ValueKind::Unit))
-            Out.emplace_back(F->Shape->slotName(I), F->slots()[I]);
+           F = F->parent()) {
+        const FrameShape *S = frameShape(F, Table);
+        for (uint32_t I = S->numSlots(); I-- > 0 && Out.size() < Limit;)
+          if (!F->slots()[I].isUnit())
+            Out.emplace_back(S->slotName(I), F->slots()[I]);
+      }
       return Out;
     }
     for (const EnvNode *N = Node; N && Out.size() < Limit; N = N->Parent)
@@ -99,6 +103,7 @@ public:
 private:
   const EnvNode *Node = nullptr;
   const EnvFrame *Frame = nullptr;
+  FrameShapeTable Table = nullptr;
 };
 
 /// What a monitoring function may observe about the rest of the cascade:

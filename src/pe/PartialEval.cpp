@@ -308,7 +308,7 @@ private:
       const ConstVal &C = cast<ConstExpr>(E)->Val;
       switch (C.K) {
       case ConstVal::Kind::Int:
-        return PEVal::ground(Value::mkInt(C.Int));
+        return PEVal::ground(Value::mkInt(C.Int, A));
       case ConstVal::Kind::Bool:
         return PEVal::ground(Value::mkBool(C.Bool));
       case ConstVal::Kind::Nil:

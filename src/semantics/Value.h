@@ -10,7 +10,42 @@
 /// Function values are closures; primitives are also first-class function
 /// values (bare or partially applied). Thunks appear only under the lazy
 /// evaluation strategies. All heap cells are arena-allocated and trivially
-/// destructible; a Value is a two-word tagged handle passed by value.
+/// destructible.
+///
+/// A Value is a single 8-byte tagged word passed by value — the
+/// representation the machine copies into every environment slot, cons
+/// cell, and continuation frame. Arena allocations are at least 8-aligned,
+/// so the low three bits of any payload pointer are free to carry the tag;
+/// small values are immediates:
+///
+///     bits  63..16            15..8      7..3      2..0
+///          +-----------------+----------+---------+-------+
+///   Int    | 48-bit payload  |    0     | imm=Int | tag=0 |  (inline)
+///   Bool   |        0        | 0/1      | imm=Bool| tag=0 |
+///   Prim   |        0        | opcode   | imm=Prim| tag=0 |
+///   Nil    |        0        |    0     | imm=Nil | tag=0 |
+///   Unit   |        0        |    0     |    0    |   0   |  (all zero)
+///          +-----------------+----------+---------+-------+
+///   ptr    |          pointer, low 3 bits zero    | tag!=0|
+///          +--------------------------------------+-------+
+///
+/// Integers in [-2^47, 2^47) are stored inline, sign-extended on decode
+/// (`(int64_t)bits >> 16`); anything wider is boxed as an arena int64
+/// behind its own pointer tag, so the full int64 range is preserved —
+/// `Value::mkInt(v, arena)` picks the representation, and `asInt()` makes
+/// the choice unobservable. Unit (the letrec "not yet initialized"
+/// placeholder) is the all-zero word, so a zero-filled frame is a frame of
+/// placeholders.
+///
+/// The encoding is invisible outside this file: every consumer goes
+/// through the mk*/as*/kind()/is() accessors, which is also why monitors
+/// can never observe it (they receive Values, not bits). The flat
+/// environment frame header is packed the same way (parent pointer plus
+/// shape id in one word — see EnvFrame), and closures carry two words (the
+/// defining LamExpr and the captured environment). Configuring with
+/// -DMONSEM_VALUE_BOXED=ON restores the legacy representations — two-word
+/// tagged Value struct, two-pointer frame header — for differential
+/// testing; the accessor API is identical in both builds.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -46,15 +81,22 @@ struct EnvFrame;
 /// A cons cell.
 struct Cell;
 
-/// A user-defined function value: `lambda Param. Body` closed over Env
-/// (named chain) or FEnv + Shape (flat frames). A given run uses exactly
-/// one of the two environment representations.
+/// A user-defined function value: the defining `lambda` closed over its
+/// environment. Param, body, and the frame shape an application allocates
+/// all live on the LamExpr (the resolver annotates Shape there), so the
+/// closure carries only the lambda and the captured environment — and a
+/// given run uses exactly one environment representation, so the two
+/// pointers share a slot. Two words total; closures are the second-highest
+/// volume allocation after frames (one per curried application step).
 struct Closure {
-  Symbol Param;
-  const Expr *Body;
-  EnvNode *Env = nullptr;
-  EnvFrame *FEnv = nullptr;
-  const FrameShape *Shape = nullptr; ///< Frame the application allocates.
+  const LamExpr *L;
+  union {
+    EnvNode *Env;   ///< Named-chain runs.
+    EnvFrame *FEnv; ///< Flat-frame (lexical) runs.
+  };
+
+  Closure(const LamExpr *L, EnvNode *Env) : L(L), Env(Env) {}
+  Closure(const LamExpr *L, EnvFrame *FEnv) : L(L), FEnv(FEnv) {}
 };
 
 /// A suspended computation (lazy strategies only); defined after Value.
@@ -82,6 +124,220 @@ enum class ValueKind : uint8_t {
   CompiledClosure, ///< Bytecode closure (compile/VM.h).
 };
 
+#ifndef MONSEM_VALUE_BOXED
+
+class Value {
+public:
+  constexpr Value() : B(0) {}
+
+  static constexpr Value mkUnit() { return Value(); }
+
+  /// Inline-only constructor: \p V must be in the 48-bit immediate range
+  /// (asserted). Run-time value producers that can see arbitrary int64s —
+  /// primitive arithmetic, constant loading — use the arena overload below,
+  /// which falls back to a boxed int64.
+  static Value mkInt(int64_t V) {
+    assert(fitsInline(V) &&
+           "int outside the 48-bit inline range needs mkInt(V, Arena)");
+    return fromBits(encodeInt(V));
+  }
+  /// Full-range constructor: inline when \p V fits 48 bits, otherwise a
+  /// boxed int64 allocated in \p A. The choice is unobservable through the
+  /// accessors (kind() is Int and asInt() returns \p V either way).
+  static Value mkInt(int64_t V, Arena &A) {
+    if (fitsInline(V))
+      return fromBits(encodeInt(V));
+    return fromPtr(TagBoxedInt, A.create<int64_t>(V));
+  }
+  static constexpr Value mkBool(bool V) {
+    return fromBits((ImmBool << kImmShift) |
+                    (static_cast<uint64_t>(V) << kPayloadShift));
+  }
+  static Value mkStr(const std::string *S) { return fromPtr(TagStr, S); }
+  static constexpr Value mkNil() { return fromBits(ImmNil << kImmShift); }
+  static Value mkCell(Cell *C) { return fromPtr(TagCell, C); }
+  static Value mkClosure(Closure *C) { return fromPtr(TagClosure, C); }
+  static constexpr Value mkPrim1(Prim1Op Op) {
+    return fromBits((ImmPrim1 << kImmShift) |
+                    (static_cast<uint64_t>(Op) << kPayloadShift));
+  }
+  static constexpr Value mkPrim2(Prim2Op Op) {
+    return fromBits((ImmPrim2 << kImmShift) |
+                    (static_cast<uint64_t>(Op) << kPayloadShift));
+  }
+  static Value mkPrim2Partial(PrimPartial *PP) {
+    return fromPtr(TagPrimPartial, PP);
+  }
+  static Value mkThunk(Thunk *T) { return fromPtr(TagThunk, T); }
+  static Value mkCompiledClosure(VMClosure *C) {
+    return fromPtr(TagVMClosure, C);
+  }
+
+  ValueKind kind() const {
+    switch (B & TagMask) {
+    case TagImm:
+      switch ((B >> kImmShift) & 7) {
+      case ImmUnit:
+        return ValueKind::Unit;
+      case ImmInt:
+        return ValueKind::Int;
+      case ImmBool:
+        return ValueKind::Bool;
+      case ImmNil:
+        return ValueKind::Nil;
+      case ImmPrim1:
+        return ValueKind::Prim1;
+      default:
+        return ValueKind::Prim2;
+      }
+    case TagCell:
+      return ValueKind::Cell;
+    case TagClosure:
+      return ValueKind::Closure;
+    case TagThunk:
+      return ValueKind::Thunk;
+    case TagPrimPartial:
+      return ValueKind::Prim2Partial;
+    case TagVMClosure:
+      return ValueKind::CompiledClosure;
+    case TagStr:
+      return ValueKind::Str;
+    default: // TagBoxedInt — representation detail; the kind is Int.
+      return ValueKind::Int;
+    }
+  }
+  bool is(ValueKind Kind) const { return kind() == Kind; }
+
+  /// The Unit-placeholder tag predicate (see allocFrame): true exactly for
+  /// the all-zero word. Cheaper than kind() on the slot-scanning paths.
+  constexpr bool isUnit() const { return B == 0; }
+
+  int64_t asInt() const {
+    assert(kind() == ValueKind::Int);
+    if ((B & TagMask) == TagImm)
+      return static_cast<int64_t>(B) >> kPayloadShift16;
+    return *static_cast<const int64_t *>(ptr());
+  }
+  bool asBool() const {
+    assert(kind() == ValueKind::Bool);
+    return (B >> kPayloadShift) & 1;
+  }
+  const std::string &asStr() const {
+    assert(kind() == ValueKind::Str);
+    return *static_cast<const std::string *>(ptr());
+  }
+  Cell *asCell() const {
+    assert(kind() == ValueKind::Cell);
+    return static_cast<Cell *>(ptr());
+  }
+  Closure *asClosure() const {
+    assert(kind() == ValueKind::Closure);
+    return static_cast<Closure *>(ptr());
+  }
+  Prim1Op asPrim1() const {
+    assert(kind() == ValueKind::Prim1);
+    return static_cast<Prim1Op>((B >> kPayloadShift) & 0xFF);
+  }
+  Prim2Op asPrim2() const {
+    assert(kind() == ValueKind::Prim2);
+    return static_cast<Prim2Op>((B >> kPayloadShift) & 0xFF);
+  }
+  PrimPartial *asPrim2Partial() const {
+    assert(kind() == ValueKind::Prim2Partial);
+    return static_cast<PrimPartial *>(ptr());
+  }
+  Thunk *asThunk() const {
+    assert(kind() == ValueKind::Thunk);
+    return static_cast<Thunk *>(ptr());
+  }
+  VMClosure *asCompiledClosure() const {
+    assert(kind() == ValueKind::CompiledClosure);
+    return static_cast<VMClosure *>(ptr());
+  }
+
+  /// True for closures and (partial) primitives — the paper's Fun domain.
+  bool isFunction() const {
+    switch (B & TagMask) {
+    case TagClosure:
+    case TagPrimPartial:
+    case TagVMClosure:
+      return true;
+    case TagImm: {
+      uint64_t Imm = (B >> kImmShift) & 7;
+      return Imm == ImmPrim1 || Imm == ImmPrim2;
+    }
+    default:
+      return false;
+    }
+  }
+
+  /// True when \p V survives the 48-bit inline encoding round trip.
+  static constexpr bool fitsInline(int64_t V) {
+    return V == static_cast<int64_t>(static_cast<uint64_t>(V)
+                                     << kPayloadShift16) >>
+                    kPayloadShift16;
+  }
+
+private:
+  // Low-3-bit tags. Tag 0 is the immediate space; every nonzero tag is a
+  // pointer whose payload is `B & ~TagMask` (arena objects and std::string
+  // are all at least 8-aligned, asserted in fromPtr).
+  enum : uint64_t {
+    TagMask = 7,
+    TagImm = 0,
+    TagCell = 1,
+    TagClosure = 2,
+    TagThunk = 3,
+    TagPrimPartial = 4,
+    TagVMClosure = 5,
+    TagStr = 6,
+    TagBoxedInt = 7, ///< Arena int64 outside the inline range.
+  };
+  // Immediate sub-kinds, bits [5:3]. ImmUnit is 0 so Unit is the all-zero
+  // word (the letrec-placeholder convention allocFrame relies on).
+  enum : uint64_t {
+    ImmUnit = 0,
+    ImmInt = 1,
+    ImmBool = 2,
+    ImmNil = 3,
+    ImmPrim1 = 4,
+    ImmPrim2 = 5,
+  };
+  static constexpr unsigned kImmShift = 3;    ///< Sub-kind bits [5:3].
+  static constexpr unsigned kPayloadShift = 8;  ///< Bool/opcode payload.
+  static constexpr int kPayloadShift16 = 16;    ///< Inline-int payload.
+
+  static constexpr uint64_t encodeInt(int64_t V) {
+    return (static_cast<uint64_t>(V) << kPayloadShift16) |
+           (ImmInt << kImmShift);
+  }
+  static constexpr Value fromBits(uint64_t Bits) {
+    Value R;
+    R.B = Bits;
+    return R;
+  }
+  static Value fromPtr(uint64_t Tag, const void *P) {
+    uintptr_t U = reinterpret_cast<uintptr_t>(P);
+    assert((U & TagMask) == 0 && "tagged pointers must be 8-aligned");
+    Value R;
+    R.B = U | Tag;
+    return R;
+  }
+  void *ptr() const {
+    return reinterpret_cast<void *>(static_cast<uintptr_t>(B & ~TagMask));
+  }
+
+  uint64_t B;
+};
+
+static_assert(sizeof(Value) == 8,
+              "the tagged Value must be a single machine word");
+
+#else // MONSEM_VALUE_BOXED
+
+/// The legacy two-word representation (ValueKind byte + 8-byte union,
+/// padded to 16 bytes), kept buildable behind -DMONSEM_VALUE_BOXED=ON for
+/// differential testing against the tagged word above. Same accessor API.
 class Value {
 public:
   Value() : K(ValueKind::Unit) { P.Int = 0; }
@@ -92,6 +348,9 @@ public:
     R.P.Int = V;
     return R;
   }
+  /// Arena overload for API parity with the tagged build; the boxed
+  /// representation holds any int64 inline, so the arena is unused.
+  static Value mkInt(int64_t V, Arena &) { return mkInt(V); }
   static Value mkBool(bool V) {
     Value R(ValueKind::Bool);
     R.P.B = V;
@@ -141,6 +400,11 @@ public:
 
   ValueKind kind() const { return K; }
   bool is(ValueKind Kind) const { return K == Kind; }
+  bool isUnit() const { return K == ValueKind::Unit; }
+
+  /// Everything fits the boxed union; mirrors the tagged predicate so
+  /// representation-sensitive tests compile in both builds.
+  static constexpr bool fitsInline(int64_t) { return true; }
 
   int64_t asInt() const {
     assert(K == ValueKind::Int);
@@ -207,6 +471,8 @@ private:
   } P;
 };
 
+#endif // MONSEM_VALUE_BOXED
+
 struct Cell {
   Value Head;
   Value Tail;
@@ -224,14 +490,62 @@ struct EnvNode {
 };
 
 struct EnvFrame {
+#ifndef MONSEM_VALUE_BOXED
+  /// Packed header, one word: the parent pointer in the low 47 bits
+  /// (x86-64/AArch64 user addresses; asserted on construction) and the
+  /// frame shape's per-resolution id in the high 17. The hot path — the
+  /// lexical Var transition — only ever decodes the parent; the shape is
+  /// needed solely by the monitors' named-lookup paths, which carry the
+  /// owning Resolution's shape table (see frameShape below).
+  uint64_t Bits;
+
+  static constexpr uint64_t kParentMask = (uint64_t(1) << 47) - 1;
+
+  EnvFrame(const FrameShape *Shape, EnvFrame *Parent);
+  EnvFrame *parent() const {
+    return reinterpret_cast<EnvFrame *>(Bits & kParentMask);
+  }
+  uint32_t shapeId() const { return static_cast<uint32_t>(Bits >> 47); }
+#else
   const FrameShape *Shape;
   EnvFrame *Parent;
+
+  EnvFrame(const FrameShape *Shape, EnvFrame *Parent)
+      : Shape(Shape), Parent(Parent) {}
+  EnvFrame *parent() const { return Parent; }
+#endif
 
   Value *slots() { return reinterpret_cast<Value *>(this + 1); }
   const Value *slots() const {
     return reinterpret_cast<const Value *>(this + 1);
   }
 };
+
+#ifndef MONSEM_VALUE_BOXED
+inline EnvFrame::EnvFrame(const FrameShape *Shape, EnvFrame *Parent) {
+  uintptr_t P = reinterpret_cast<uintptr_t>(Parent);
+  assert((P & ~kParentMask) == 0 && "parent pointer exceeds 47 bits");
+  assert(Shape->Id < (uint32_t(1) << 17) && "frame shape id exceeds 17 bits");
+  Bits = (uint64_t(Shape->Id) << 47) | P;
+}
+#endif
+
+/// A shape-id decode table: entry i is the FrameShape with Id == i. The
+/// Resolution that resolved the running program owns it (entry 0 is always
+/// the shared primitives-frame shape); named-chain paths pass nullptr.
+using FrameShapeTable = const FrameShape *const *;
+
+/// The shape of \p F. The tagged build stores only the shape id in the
+/// frame header; the boxed build keeps the direct pointer and ignores
+/// \p Table.
+inline const FrameShape *frameShape(const EnvFrame *F, FrameShapeTable T) {
+#ifndef MONSEM_VALUE_BOXED
+  return T[F->shapeId()];
+#else
+  (void)T;
+  return F->Shape;
+#endif
+}
 static_assert(alignof(EnvFrame) % alignof(Value) == 0 &&
                   sizeof(EnvFrame) % alignof(Value) == 0,
               "slot array is stored in-place after the frame header");
@@ -262,9 +576,14 @@ inline EnvNode *lookupEnv(EnvNode *Env, Symbol Name) {
 }
 
 /// Allocates a frame of \p Shape with slot 0 = \p Slot0 and every other
-/// slot Unit (the letrec "not yet initialized" placeholder).
+/// slot Unit. This is the single home of the Unit-placeholder convention:
+/// a default-constructed Value *is* the "letrec member not yet initialized"
+/// marker, and slot scanners (lookupFrame, EnvView) test for it with the
+/// isUnit() tag predicate rather than re-deriving the convention.
 inline EnvFrame *allocFrame(Arena &A, const FrameShape *Shape,
                             EnvFrame *Parent, Value Slot0 = Value()) {
+  assert(Value().isUnit() &&
+         "default Value must be the Unit placeholder slots are seeded with");
   uint32_t N = Shape->numSlots();
   void *Mem = A.allocate(sizeof(EnvFrame) + N * sizeof(Value),
                          alignof(EnvFrame));
@@ -279,14 +598,18 @@ inline EnvFrame *allocFrame(Arena &A, const FrameShape *Shape,
 
 /// Innermost non-Unit binding of \p Name in a flat-frame chain, or null.
 /// Within a frame, higher slot indices were bound later, so they are
-/// scanned first; Unit slots (letrec members whose binder has not run yet)
-/// are treated as absent.
-inline const Value *lookupFrame(const EnvFrame *Env, Symbol Name) {
-  for (const EnvFrame *F = Env; F; F = F->Parent)
-    for (uint32_t I = F->Shape->numSlots(); I-- > 0;)
-      if (F->Shape->slotName(I) == Name &&
-          !F->slots()[I].is(ValueKind::Unit))
+/// scanned first; Unit slots (letrec members whose binder has not run yet,
+/// identified by the isUnit() tag predicate) are treated as absent.
+/// \p Table is the owning Resolution's shape table (frames store shape
+/// ids, not pointers; see EnvFrame).
+inline const Value *lookupFrame(const EnvFrame *Env, Symbol Name,
+                                FrameShapeTable Table) {
+  for (const EnvFrame *F = Env; F; F = F->parent()) {
+    const FrameShape *S = frameShape(F, Table);
+    for (uint32_t I = S->numSlots(); I-- > 0;)
+      if (S->slotName(I) == Name && !F->slots()[I].isUnit())
         return &F->slots()[I];
+  }
   return nullptr;
 }
 

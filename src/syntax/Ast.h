@@ -112,6 +112,10 @@ bool isInfix(Prim2Op Op);
 /// non-owning pointers.
 struct FrameShape {
   std::vector<Symbol> Slots;
+  /// Index into the owning Resolution's shape table. Run-time frames store
+  /// this id (packed next to the parent pointer) instead of a shape
+  /// pointer; id 0 is reserved for the shared primitives-frame shape.
+  uint32_t Id = 0;
 
   uint32_t numSlots() const { return static_cast<uint32_t>(Slots.size()); }
   Symbol slotName(uint32_t I) const { return Slots[I]; }

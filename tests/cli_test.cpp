@@ -121,6 +121,16 @@ TEST(CliTest, MaxStepsFuel) {
   EXPECT_NE(R.Output.find("fuel-exhausted"), std::string::npos) << R.Output;
 }
 
+TEST(CliTest, VmHonorsGovernorFlags) {
+  // Flags and backend selection funnel through the same EvalMode, so the
+  // fuel limit must bite on the VM exactly as it does on the CEK machine.
+  CliResult R = runShell(
+      std::string("printf 'letrec loop = lambda x. loop x in loop 1' | ") +
+      MONSEM_CLI_PATH + " - --vm --max-steps=100");
+  EXPECT_NE(R.ExitCode, 0);
+  EXPECT_NE(R.Output.find("fuel-exhausted"), std::string::npos) << R.Output;
+}
+
 TEST(CliTest, ParseErrorsExitNonzero) {
   CliResult R = runShell(std::string("printf 'lambda . oops' | ") +
                          MONSEM_CLI_PATH + " -");

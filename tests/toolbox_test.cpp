@@ -22,9 +22,8 @@ std::unique_ptr<ParsedProgram> parseOk(std::string_view Src) {
 }
 
 RunResult runWith(const Monitor &M, const Expr *E) {
-  Cascade C;
-  C.use(M);
-  return evaluate(C, E);
+  // A single monitor is already an EvalMode; exercise the unified entry.
+  return evaluate(EvalMode(M), E);
 }
 
 Value listOf(Arena &A, std::initializer_list<int64_t> Xs) {

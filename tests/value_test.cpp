@@ -53,7 +53,8 @@ TEST(ValueTest, EqualityDeep) {
 
 TEST(ValueTest, EqualityOnFunctionsIsUndefined) {
   Arena A;
-  Closure *C = A.create<Closure>(Symbol::intern("x"), nullptr, nullptr);
+  Closure *C =
+      A.create<Closure>(nullptr, static_cast<EnvNode *>(nullptr));
   bool Ok = true;
   valueEquals(Value::mkClosure(C), Value::mkClosure(C), Ok);
   EXPECT_FALSE(Ok);

@@ -250,13 +250,28 @@ std::vector<Symbol> toSymbols(const std::vector<std::string> &Names) {
   return Out;
 }
 
+/// The single place CLI flags become an EvalMode — the same `&` chain an
+/// embedded user would write, so the two construction paths cannot skew.
+/// Monitors are composed onto the returned mode by the caller.
+EvalMode modeFor(const Options &O) {
+  EvalMode M = StrategyTag{O.Strat} & cancelOn(GCancel) &
+               onMonitorFault(O.FaultPol);
+  if (O.MaxSteps)
+    M = M & maxSteps(O.MaxSteps);
+  if (O.DeadlineMs)
+    M = M & deadlineMs(O.DeadlineMs);
+  if (O.MaxBytes)
+    M = M & maxArenaBytes(O.MaxBytes);
+  if (O.MaxDepth)
+    M = M & maxDepth(O.MaxDepth);
+  if (O.UseVM)
+    M = M & kVM;
+  return M;
+}
+
+/// Imp runs use the same limits via the mode's RunOptions.
 ResourceLimits limitsFor(const Options &O) {
-  ResourceLimits L;
-  L.DeadlineMs = O.DeadlineMs;
-  L.MaxArenaBytes = O.MaxBytes;
-  L.MaxDepth = O.MaxDepth;
-  L.CancelFlag = &GCancel;
-  return L;
+  return modeFor(O).Limits;
 }
 
 void printFaults(const std::vector<MonitorFault> &Faults) {
@@ -383,7 +398,10 @@ int runFunctional(const Options &O, const std::string &Source) {
     Program = R.Residual;
   }
 
-  // Assemble the cascade.
+  // Assemble the mode: flags first (modeFor), then the cascade, all in
+  // one EvalMode routed through the unified evaluate() entry.
+  EvalMode Mode = modeFor(O);
+  Cascade &C = Mode.C;
   Tracer Trc(&std::cout);
   CallProfiler Prof;
   std::optional<FaultInjector> Inj;
@@ -398,7 +416,6 @@ int runFunctional(const Options &O, const std::string &Source) {
   FlightRecorder Rec(16);
   CoverageMonitor Cov(NumPoints);
   Debugger Dbg(std::cin, std::cout);
-  Cascade C;
   if (O.Trace)
     C.use(Trc);
   if (O.Profile)
@@ -428,13 +445,6 @@ int runFunctional(const Options &O, const std::string &Source) {
       std::cerr << LintDiags.str() << '\n';
   }
 
-  RunOptions Opts;
-  Opts.Strat = O.Strat;
-  Opts.MaxSteps = O.MaxSteps;
-  Opts.Limits = limitsFor(O);
-  Opts.MonitorFaultPolicy = O.FaultPol;
-
-  RunResult R;
   if (O.UseVM) {
     if (O.Strat != Strategy::Strict) {
       std::cerr << "error: --vm supports the strict strategy only\n";
@@ -445,10 +455,8 @@ int runFunctional(const Options &O, const std::string &Source) {
       if (auto CP = compileProgram(Program, Diags))
         std::cout << CP->disassemble();
     }
-    R = evaluateCompiled(C, Program, Opts);
-  } else {
-    R = evaluate(C, Program, Opts);
   }
+  RunResult R = evaluate(Mode, Program);
 
   printFaults(R.MonitorFaults);
   if (R.stoppedByGovernor()) {
@@ -560,7 +568,12 @@ int runRepl(const Options &Base) {
     const Expr *Program = P->root();
     Tracer Trc(&std::cout);
     CallProfiler Prof;
-    Cascade C;
+    // Same single assembly point as the batch path; only the strategy is
+    // REPL-local state.
+    Options ReplOpts = Base;
+    ReplOpts.Strat = Strat;
+    EvalMode Mode = modeFor(ReplOpts);
+    Cascade &C = Mode.C;
     if (Trace) {
       AnnotateOptions AO;
       AO.Qualifier = Symbol::intern("trace");
@@ -574,12 +587,8 @@ int runRepl(const Options &Base) {
       Program = annotateFunctionBodies(P->context(), Program, {}, AO);
       C.use(Prof);
     }
-    RunOptions Opts;
-    Opts.Strat = Strat;
-    Opts.MaxSteps = Base.MaxSteps;
-    Opts.Limits = limitsFor(Base);
     GCancel.store(false); // A ^C from a previous evaluation is spent.
-    RunResult R = evaluate(C, Program, Opts);
+    RunResult R = evaluate(Mode, Program);
     if (R.stoppedByGovernor())
       std::cout << "stopped: " << outcomeName(R.St) << " after " << R.Steps
                 << " steps\n";
