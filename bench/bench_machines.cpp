@@ -65,6 +65,10 @@ struct Variant {
   const char *Name;
   bool Lexical;
   bool Recycle;
+  /// Self-tail-call frame reuse. Off for the historical variants so their
+  /// rows stay comparable with earlier committed runs; the dedicated
+  /// `tail-reuse` rows turn it on.
+  bool Reuse = false;
 };
 
 // The Value representation is a compile-time axis (CMake option
@@ -138,6 +142,7 @@ RunOptions optionsFor(const Variant &V, Strategy S = Strategy::Strict) {
   Opts.Strat = S;
   Opts.Lexical = V.Lexical;
   Opts.RecycleFrames = V.Recycle;
+  Opts.ReuseTailFrames = V.Reuse;
   return Opts;
 }
 
@@ -333,6 +338,142 @@ void reportLexical(JsonlWriter &W, bool Quick) {
 }
 
 //===----------------------------------------------------------------------===//
+// A6 — self-tail-call frame reuse (CEK) and VM dispatch/fusion
+//===----------------------------------------------------------------------===//
+
+/// CEK machine with and without self-tail-call frame reuse. The win is
+/// concentrated in loop-shaped workloads (`down N` never grows the arena
+/// once reuse is on); call-tree workloads mostly measure "no regression".
+void reportTailReuse(JsonlWriter &W, bool Quick) {
+  const int Reps = Quick ? 3 : 9;
+  Variant Reuse = kVariants[2];
+  Reuse.Name = "tail-reuse";
+  Reuse.Reuse = true;
+
+  std::printf("A6a — CEK self-tail-call frame reuse (strict, no monitor)\n");
+  printRule();
+  for (const Workload &WL : deepWorkloads(Quick)) {
+    auto P = parseOrDie(WL.Src);
+    auto Res = resolveProgram(P->root());
+    if (!Res->ok())
+      continue;
+    Measurement Base = measureStandard(P->root(), kVariants[2], Res.get(),
+                                       Strategy::Strict, Reps);
+    Measurement On =
+        measureStandard(P->root(), Reuse, Res.get(), Strategy::Strict, Reps);
+    if (On.Steps != Base.Steps) {
+      std::fprintf(stderr, "FAIL: tail-reuse changed step count on %s\n",
+                   WL.Name);
+      std::exit(1);
+    }
+    W.write({WL.Name, Reuse.Name, strategyLabel(Strategy::Strict),
+             On.Ms * 1e6, On.Steps, On.ArenaBytes});
+    std::printf("%-14s resolved %8.3f ms   reuse %8.3f ms   %.2fx   "
+                "arena %.2f -> %.2f MB\n",
+                WL.Name, Base.Ms, On.Ms, Base.Ms / On.Ms,
+                Base.ArenaBytes / 1048576.0, On.ArenaBytes / 1048576.0);
+  }
+  printRule();
+  std::putchar('\n');
+}
+
+/// Bytecode VM: switch vs. token-threaded dispatch, unfused vs. fused
+/// superinstructions (+ frame reuse). Every variant must agree with the
+/// unfused switch baseline on answer AND step count — Cost accounting
+/// makes fused programs report source-machine steps — before its timing
+/// is recorded. Returns the interleaved fused-pipeline speedup on the fib
+/// workload so CI can assert a floor on it.
+double reportVM(JsonlWriter &W, bool Quick) {
+  struct VMVariant {
+    const char *Name;
+    bool Fuse;
+    bool Threaded;
+    bool Reuse;
+  };
+  std::vector<VMVariant> Variants = {{"vm-switch", false, false, false}};
+  if (vmThreadedDispatchAvailable())
+    Variants.push_back({"vm-threaded", false, true, false});
+  Variants.push_back({"vm-fused", true, true, true});
+
+  std::printf("A6b — VM dispatch & superinstruction fusion\n");
+  printRule();
+  std::printf("%-14s %12s %12s %12s %9s\n", "workload", "switch ms",
+              "threaded ms", "fused ms", "speedup");
+  printRule();
+
+  double FibSpeedup = 0;
+  bool First = true;
+  for (const Workload &WL : deepWorkloads(Quick)) {
+    auto P = parseOrDie(WL.Src);
+    DiagnosticSink Diags;
+    CompileOptions RawCO;
+    RawCO.Fuse = false;
+    auto Raw = compileProgram(P->root(), Diags, RawCO);
+    auto Fused = compileProgram(P->root(), Diags);
+    if (!Raw || !Fused) {
+      std::fprintf(stderr, "compile failed for %s\n", WL.Name);
+      std::exit(1);
+    }
+
+    RunOptions RefOpts;
+    RefOpts.VMThreaded = false;
+    RefOpts.ReuseTailFrames = false;
+    RunResult Ref = runCompiled(*Raw, nullptr, RefOpts);
+
+    double Cells[3] = {0, 0, 0};
+    size_t Cell = 0;
+    for (const VMVariant &V : Variants) {
+      const CompiledProgram &Prog = V.Fuse ? *Fused : *Raw;
+      RunOptions Opts;
+      Opts.VMThreaded = V.Threaded;
+      Opts.ReuseTailFrames = V.Reuse;
+      RunResult R = runCompiled(Prog, nullptr, Opts);
+      if (R.Ok != Ref.Ok || R.ValueText != Ref.ValueText ||
+          R.Steps != Ref.Steps) {
+        std::fprintf(stderr,
+                     "FAIL: %s disagrees with the baseline on %s "
+                     "(%s/%s, %llu vs %llu steps)\n",
+                     V.Name, WL.Name, R.ValueText.c_str(),
+                     Ref.ValueText.c_str(),
+                     static_cast<unsigned long long>(R.Steps),
+                     static_cast<unsigned long long>(Ref.Steps));
+        std::exit(1);
+      }
+      double Ms =
+          medianMs([&] { runCompiled(Prog, nullptr, Opts); }, Quick ? 3 : 9);
+      W.write({WL.Name, V.Name, "strict", Ms * 1e6, R.Steps, R.ArenaBytes});
+      Cells[Cell++] = Ms;
+    }
+
+    // Interleaved ratio, robust against clock drift: median of
+    // (switch-baseline time / fused-pipeline time).
+    RunOptions FusedOpts;
+    FusedOpts.VMThreaded = true;
+    FusedOpts.ReuseTailFrames = true;
+    double Speedup = medianRatio(
+        [&] { runCompiled(*Fused, nullptr, FusedOpts); },
+        [&] { runCompiled(*Raw, nullptr, RefOpts); }, Quick ? 9 : 11);
+    if (First) {
+      FibSpeedup = Speedup;
+      First = false;
+    }
+    if (Variants.size() == 3)
+      std::printf("%-14s %12.3f %12.3f %12.3f %8.2fx\n", WL.Name, Cells[0],
+                  Cells[1], Cells[2], Speedup);
+    else
+      std::printf("%-14s %12.3f %12s %12.3f %8.2fx\n", WL.Name, Cells[0],
+                  "-", Cells[1], Speedup);
+  }
+  printRule();
+  std::printf("vm-switch = unfused portable switch loop; vm-threaded = "
+              "unfused computed-goto;\nvm-fused = superinstructions + "
+              "threaded dispatch + tail-call frame reuse.\nIdentical step "
+              "counts everywhere: fused instructions advance the counter "
+              "by their\nsource-step Cost.\n\n");
+  return FibSpeedup;
+}
+
+//===----------------------------------------------------------------------===//
 // Governor overhead
 //===----------------------------------------------------------------------===//
 
@@ -462,7 +603,8 @@ BENCHMARK(BM_Strategy)->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char **argv) {
   bool Quick = false;
-  double MaxGovernorPct = -1; // <0: report only, no assertion.
+  double MaxGovernorPct = -1;    // <0: report only, no assertion.
+  double MinFusionSpeedup = -1;  // <0: report only, no assertion.
   std::string JsonPath = "BENCH_machines.json";
   // Strip our flags before handing argv to google-benchmark.
   int Kept = 1;
@@ -473,6 +615,8 @@ int main(int argc, char **argv) {
       JsonPath = argv[I] + 7;
     else if (std::strncmp(argv[I], "--assert-governor-overhead=", 27) == 0)
       MaxGovernorPct = std::atof(argv[I] + 27);
+    else if (std::strncmp(argv[I], "--assert-vm-fusion-speedup=", 27) == 0)
+      MinFusionSpeedup = std::atof(argv[I] + 27);
     else
       argv[Kept++] = argv[I];
   }
@@ -480,11 +624,19 @@ int main(int argc, char **argv) {
 
   JsonlWriter W(JsonPath);
   reportLexical(W, Quick);
+  reportTailReuse(W, Quick);
+  double FusionSpeedup = reportVM(W, Quick);
   double GovMedian = reportGovernor(W, Quick);
   if (MaxGovernorPct >= 0 && GovMedian > 1.0 + MaxGovernorPct / 100.0) {
     std::fprintf(stderr,
                  "FAIL: governor overhead %.2f%% exceeds the %.2f%% bound\n",
                  (GovMedian - 1) * 100, MaxGovernorPct);
+    return 1;
+  }
+  if (MinFusionSpeedup >= 0 && FusionSpeedup < MinFusionSpeedup) {
+    std::fprintf(stderr,
+                 "FAIL: vm-fused speedup %.2fx below the %.2fx floor\n",
+                 FusionSpeedup, MinFusionSpeedup);
     return 1;
   }
   if (Quick)

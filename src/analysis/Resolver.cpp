@@ -25,7 +25,7 @@ public:
     R.Root = Root;
     // The root frame has no owner binding; letrec binders coalesced at the
     // program's outermost level fill its slots (possibly none).
-    visit(Program, /*Level=*/0, Root, /*Coalesce=*/true);
+    visit(Program, /*Level=*/0, Root, /*Coalesce=*/true, /*Tail=*/true);
   }
 
 private:
@@ -39,7 +39,13 @@ private:
     uint32_t BinderOrdinal;
   };
 
-  void visit(const Expr *E, uint32_t Level, FrameShape *Shape, bool Coalesce) {
+  /// \p Tail: E is in tail position of the enclosing lambda body — its
+  /// value is the body's value with nothing of this activation pending,
+  /// and (because frame heads only occur in non-tail positions) the
+  /// run-time environment at E is exactly the activation frame. Recorded
+  /// on applications (AppExpr::TailPos) for self-tail-call frame reuse.
+  void visit(const Expr *E, uint32_t Level, FrameShape *Shape, bool Coalesce,
+             bool Tail) {
     if (!R.Ok)
       return;
     // Per-node annotations are only meaningful if each node is reachable
@@ -61,29 +67,40 @@ private:
       FrameShape *S = R.newShape();
       S->Slots.push_back(L->Param);
       L->Shape = S;
+      // A lambda anywhere inside an enclosing lambda's body can capture
+      // that body's activation frame — none of the enclosing frames may
+      // be reused after this point.
+      for (auto &Entry : LamStack)
+        Entry.second = false;
+      LamStack.push_back({L, true});
       // The body opens a fresh frame per application, so letrecs directly
       // under it coalesce into *that* frame, never the enclosing one.
       Scope.push_back({L->Param, Level + 1, 0, numBinders()});
-      visit(L->Body, Level + 1, S, /*Coalesce=*/true);
+      visit(L->Body, Level + 1, S, /*Coalesce=*/true, /*Tail=*/true);
       Scope.pop_back();
+      L->FrameReusable = LamStack.back().second;
+      LamStack.pop_back();
       return;
     }
     case ExprKind::If: {
       const IfExpr *I = cast<IfExpr>(E);
       // Condition and the taken branch run exactly when the `if` does, in
-      // the same environment: coalescing passes through.
-      visit(I->Cond, Level, Shape, Coalesce);
-      visit(I->Then, Level, Shape, Coalesce);
-      visit(I->Else, Level, Shape, Coalesce);
+      // the same environment: coalescing passes through. Only the taken
+      // branch is in tail position; the condition has a pending Branch
+      // frame.
+      visit(I->Cond, Level, Shape, Coalesce, /*Tail=*/false);
+      visit(I->Then, Level, Shape, Coalesce, Tail);
+      visit(I->Else, Level, Shape, Coalesce, Tail);
       return;
     }
     case ExprKind::App: {
       const AppExpr *A = cast<AppExpr>(E);
+      A->TailPos = Tail;
       // The operator is evaluated strictly under every strategy; the
       // operand may become a thunk (call-by-name re-evaluates it), so a
       // letrec inside it must keep allocating its own frame.
-      visit(A->Fn, Level, Shape, Coalesce);
-      visit(A->Arg, Level, Shape, /*Coalesce=*/false);
+      visit(A->Fn, Level, Shape, Coalesce, /*Tail=*/false);
+      visit(A->Arg, Level, Shape, /*Coalesce=*/false, /*Tail=*/false);
       return;
     }
     case ExprKind::Letrec: {
@@ -96,39 +113,47 @@ private:
         L->Shape = nullptr;
         L->SlotIndex = Slot;
         Scope.push_back({L->Name, Level, Slot, numBinders()});
-        visit(L->Bound, Level, Shape, /*Coalesce=*/false);
-        visit(L->Body, Level, Shape, /*Coalesce=*/true);
+        visit(L->Bound, Level, Shape, /*Coalesce=*/false, /*Tail=*/false);
+        visit(L->Body, Level, Shape, /*Coalesce=*/true, Tail);
         Scope.pop_back();
         return;
       }
       // Head: this letrec allocates a fresh frame (it may run many times
       // per enclosing frame instance — e.g. inside a thunked operand).
+      // Its body runs in that fresh frame, not the lambda's activation
+      // frame, so nothing under it is in tail position.
       FrameShape *S = R.newShape();
       S->Slots.push_back(L->Name);
       L->Shape = S;
       L->SlotIndex = 0;
       Scope.push_back({L->Name, Level + 1, 0, numBinders()});
-      visit(L->Bound, Level + 1, S, /*Coalesce=*/false);
-      visit(L->Body, Level + 1, S, /*Coalesce=*/true);
+      visit(L->Bound, Level + 1, S, /*Coalesce=*/false, /*Tail=*/false);
+      visit(L->Body, Level + 1, S, /*Coalesce=*/true, /*Tail=*/false);
       Scope.pop_back();
       return;
     }
     case ExprKind::Prim1: {
       const Prim1Expr *P = cast<Prim1Expr>(E);
       // Primitive operands are strict under every strategy.
-      visit(P->Arg, Level, Shape, Coalesce);
+      visit(P->Arg, Level, Shape, Coalesce, /*Tail=*/false);
       return;
     }
     case ExprKind::Prim2: {
       const Prim2Expr *P = cast<Prim2Expr>(E);
-      visit(P->Lhs, Level, Shape, Coalesce);
-      visit(P->Rhs, Level, Shape, Coalesce);
+      visit(P->Lhs, Level, Shape, Coalesce, /*Tail=*/false);
+      visit(P->Rhs, Level, Shape, Coalesce, /*Tail=*/false);
       return;
     }
     case ExprKind::Annot: {
       const AnnotExpr *A = cast<AnnotExpr>(E);
-      // Probes observe but never change the environment (Thm. 7.7).
-      visit(A->Inner, Level, Shape, Coalesce);
+      // Probes observe but never change the environment (Thm. 7.7) — but
+      // they *do* observe it: a pending MonPost frame holds the current
+      // env at the annotated expression, so no enclosing activation frame
+      // may be reused (monitored sites keep paper-exact allocation), and
+      // the inner expression is not in tail position.
+      for (auto &Entry : LamStack)
+        Entry.second = false;
+      visit(A->Inner, Level, Shape, Coalesce, /*Tail=*/false);
       return;
     }
     }
@@ -165,6 +190,9 @@ private:
 
   Resolution &R;
   std::vector<ScopeEntry> Scope;
+  /// Lambdas currently being visited, each with a still-reusable flag any
+  /// inner lambda or annotation clears (see LamExpr::FrameReusable).
+  std::vector<std::pair<const LamExpr *, bool>> LamStack;
   std::unordered_set<const Expr *> Visited;
 };
 

@@ -50,18 +50,71 @@ enum class Op : uint8_t {
   MonPre,      ///< monitoring probe updPre for Annots[A]
   MonPost,     ///< monitoring probe updPost for Annots[A] (peeks the top)
   Halt,        ///< stop; top of stack is the answer
+
+  // Fused superinstructions. Each replaces the adjacent pair (or triple)
+  // named in its comment; the peephole pass (`fuseSuperinstructions`)
+  // produces them, the compiler never emits them directly. Every fused
+  // instruction performs its constituents' checks in the original order,
+  // so error messages and failure points are bit-identical to the unfused
+  // program. None of them may span a MonPre/MonPost probe: the fusion
+  // pass has no rule mentioning probes, so annotated sites keep the
+  // paper-exact instruction sequence (Definition 7.1 obliviousness).
+  VarVar,        ///< Var A; Var B — push env[A] then env[B]
+  VarPrim2,      ///< Var A; Prim2 — pop lhs; push prim2<B.op>(lhs, env[A])
+  ConstPrim2,    ///< Const A; Prim2 — pop lhs; push prim2<B.op>(lhs, pool[A])
+  VarConstPrim2, ///< Var B.depth; Const A; Prim2 — push prim2<B.op>(env[B.depth], pool[A])
+  VarVarPrim2,   ///< Var B.depth; Var A; Prim2 — push prim2<B.op>(env[B.depth], env[A])
+  Prim2JumpIfFalse, ///< Prim2 B.op; JumpIfFalse A — pop rhs, lhs; branch on the result
+  VarCall,       ///< Var A; Call — fn = env[A], arg = pop; invoke
+  VarTailCall,   ///< Var A; TailCall — fn = env[A], arg = pop; tail-invoke
 };
 
+/// Number of opcodes, fused included. Dispatch tables and the
+/// disassembler's switches static_assert against this so a new opcode
+/// cannot be added without updating every consumer.
+inline constexpr unsigned kNumOps = static_cast<unsigned>(Op::VarTailCall) + 1;
+
+/// One instruction. Still a single 8-byte word after fusion support:
+///  - `Cost` is the number of *source-machine steps* this instruction
+///    represents (1 for core ops, the sum of its constituents for fused
+///    ops). The VM advances its step counter by Cost, so monitored step
+///    counts, governor fuel accounting, and bench step-parity assertions
+///    are identical fused vs. unfused at every instruction boundary.
+///  - `B` is the secondary operand of fused instructions: the packed
+///    prim2 op (low byte) and variable depth (high byte) for the
+///    *Prim2 family, or the second variable depth for VarVar.
 struct Instr {
   Op Code;
+  uint8_t Cost = 1;
+  uint16_t B = 0;
   uint32_t A = 0;
 };
+static_assert(sizeof(Instr) == 8, "Instr must stay one machine word");
+
+/// Operand packing for the fused *Prim2 instructions: prim2 opcode in the
+/// low byte of B, variable depth in the high byte.
+inline constexpr uint32_t kMaxPackedDepth = 0xFF;
+/// VarVar packs its second depth into B whole.
+inline constexpr uint32_t kMaxSecondaryVar = 0xFFFF;
+
+inline uint16_t packOpDepth(uint8_t PrimOp, uint32_t Depth) {
+  return static_cast<uint16_t>(PrimOp | (Depth << 8));
+}
+inline uint8_t unpackPrimOp(uint16_t B) { return static_cast<uint8_t>(B); }
+inline uint32_t unpackDepth(uint16_t B) { return B >> 8; }
 
 /// One compiled lambda (or the program entry).
 struct CodeBlock {
   Symbol Param;             ///< Binder for Call (empty for the entry block).
   std::vector<Instr> Code;
   std::string Name;         ///< Best-effort name for disassembly.
+  /// True when a self-tail-call into this block may overwrite the caller's
+  /// environment node in place: the block contains no MkClosure (nothing
+  /// can capture the entry node mid-iteration) and no MonPre/MonPost
+  /// (annotated blocks keep paper-exact allocation so probe-observed
+  /// environments are never mutated retroactively). Computed by
+  /// `markReusableFrames` after fusion.
+  bool ReusableFrame = false;
 };
 
 /// A monitoring probe site: the annotation and the annotated expression

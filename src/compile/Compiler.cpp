@@ -6,6 +6,7 @@
 #include "semantics/Primitives.h"
 #include "syntax/Parser.h"
 
+#include <cstdlib>
 #include <optional>
 #include <vector>
 
@@ -34,6 +35,9 @@ public:
     if (Failed)
       return nullptr;
     emit(0, Op::Halt);
+    if (Opts.Fuse)
+      fuseSuperinstructions(*Prog);
+    markReusableFrames(*Prog);
     return std::move(Prog);
   }
 
@@ -47,7 +51,10 @@ private:
   bool Failed = false;
 
   void emit(uint32_t Block, Op Code, uint32_t A = 0) {
-    Prog->Blocks[Block].Code.push_back(Instr{Code, A});
+    Instr I;
+    I.Code = Code;
+    I.A = A;
+    Prog->Blocks[Block].Code.push_back(I);
   }
   size_t here(uint32_t Block) const {
     return Prog->Blocks[Block].Code.size();
@@ -227,7 +234,141 @@ private:
   }
 };
 
+//===----------------------------------------------------------------------===//
+// Superinstruction fusion
+//===----------------------------------------------------------------------===//
+
+bool isJump(Op O) {
+  return O == Op::Jump || O == Op::JumpIfFalse || O == Op::Prim2JumpIfFalse;
+}
+
+/// One left-to-right fusion scan over \p Code. \p TryFuse maps an adjacent
+/// pair to its fused form (or nullopt). A pair is skipped when its second
+/// member is a branch target — fusing it would make the jump land in the
+/// middle of a superinstruction — or when the summed Cost would overflow
+/// the step counter's per-instruction byte. Jump operands are remapped to
+/// the post-fusion indices afterward. Returns the number of pairs fused.
+template <typename FuseFn>
+size_t fusePhase(std::vector<Instr> &Code, FuseFn TryFuse) {
+  // Branch targets always point at an instruction (every patched operand
+  // is filled by a later emit before the block's closing Ret/Halt), but
+  // size n+1 tolerates an end-of-block target anyway.
+  std::vector<bool> Target(Code.size() + 1, false);
+  for (const Instr &I : Code)
+    if (isJump(I.Code))
+      Target[I.A] = true;
+  std::vector<Instr> Out;
+  Out.reserve(Code.size());
+  std::vector<uint32_t> Map(Code.size() + 1);
+  size_t Fused = 0;
+  for (size_t I = 0; I < Code.size(); ++I) {
+    Map[I] = static_cast<uint32_t>(Out.size());
+    if (I + 1 < Code.size() && !Target[I + 1] &&
+        Code[I].Cost + Code[I + 1].Cost <= 0xFF) {
+      if (std::optional<Instr> F = TryFuse(Code[I], Code[I + 1])) {
+        F->Cost = static_cast<uint8_t>(Code[I].Cost + Code[I + 1].Cost);
+        Map[I + 1] = static_cast<uint32_t>(Out.size());
+        Out.push_back(*F);
+        ++I;
+        ++Fused;
+        continue;
+      }
+    }
+    Out.push_back(Code[I]);
+  }
+  Map[Code.size()] = static_cast<uint32_t>(Out.size());
+  for (Instr &I : Out)
+    if (isJump(I.Code))
+      I.A = Map[I.A];
+  Code = std::move(Out);
+  return Fused;
+}
+
+std::optional<Instr> mkFused(Op Code, uint32_t A, uint16_t B = 0) {
+  Instr F;
+  F.Code = Code;
+  F.A = A;
+  F.B = B;
+  return F;
+}
+
 } // namespace
+
+size_t monsem::fuseSuperinstructions(CompiledProgram &P) {
+  size_t Total = 0;
+  for (CodeBlock &B : P.Blocks) {
+    std::vector<Instr> &C = B.Code;
+    // Phase order matters: the producer+Prim2 phases run first so the
+    // triple forms (Var;Const;Prim2 / Var;Var;Prim2) are reachable as
+    // Var + {Const,Var}Prim2, which a single greedy pair scan would miss.
+    // No rule matches MonPre/MonPost, so probes break every window.
+    //
+    // Phase 0: {Var,Const} + Prim2.
+    Total += fusePhase(C, [](const Instr &X,
+                             const Instr &Y) -> std::optional<Instr> {
+      if (Y.Code != Op::Prim2 || Y.A > 0xFF)
+        return std::nullopt;
+      uint16_t OpB = packOpDepth(static_cast<uint8_t>(Y.A), 0);
+      if (X.Code == Op::Var)
+        return mkFused(Op::VarPrim2, X.A, OpB);
+      if (X.Code == Op::Const)
+        return mkFused(Op::ConstPrim2, X.A, OpB);
+      return std::nullopt;
+    });
+    // Phase 1: Var + {Const,Var}Prim2 — the lhs variable folds into the
+    // depth byte when it fits and the slot is still free.
+    Total += fusePhase(C, [](const Instr &X,
+                             const Instr &Y) -> std::optional<Instr> {
+      if (X.Code != Op::Var || X.A > kMaxPackedDepth)
+        return std::nullopt;
+      if (Y.Code == Op::ConstPrim2 && unpackDepth(Y.B) == 0)
+        return mkFused(Op::VarConstPrim2, Y.A,
+                       packOpDepth(unpackPrimOp(Y.B), X.A));
+      if (Y.Code == Op::VarPrim2 && unpackDepth(Y.B) == 0)
+        return mkFused(Op::VarVarPrim2, Y.A,
+                       packOpDepth(unpackPrimOp(Y.B), X.A));
+      return std::nullopt;
+    });
+    // Phase 2: Prim2 + JumpIfFalse (test-and-branch).
+    Total += fusePhase(C, [](const Instr &X,
+                             const Instr &Y) -> std::optional<Instr> {
+      if (X.Code == Op::Prim2 && X.A <= 0xFF && Y.Code == Op::JumpIfFalse)
+        return mkFused(Op::Prim2JumpIfFalse, Y.A,
+                       packOpDepth(static_cast<uint8_t>(X.A), 0));
+      return std::nullopt;
+    });
+    // Phase 3: Var + {Tail}Call (calling a letrec binding).
+    Total += fusePhase(C, [](const Instr &X,
+                             const Instr &Y) -> std::optional<Instr> {
+      if (X.Code != Op::Var)
+        return std::nullopt;
+      if (Y.Code == Op::Call)
+        return mkFused(Op::VarCall, X.A);
+      if (Y.Code == Op::TailCall)
+        return mkFused(Op::VarTailCall, X.A);
+      return std::nullopt;
+    });
+    // Phase 4: Var + Var (whatever pairs survive the earlier phases).
+    Total += fusePhase(C, [](const Instr &X,
+                             const Instr &Y) -> std::optional<Instr> {
+      if (X.Code == Op::Var && Y.Code == Op::Var && Y.A <= kMaxSecondaryVar)
+        return mkFused(Op::VarVar, X.A, static_cast<uint16_t>(Y.A));
+      return std::nullopt;
+    });
+  }
+  return Total;
+}
+
+void monsem::markReusableFrames(CompiledProgram &P) {
+  for (CodeBlock &B : P.Blocks) {
+    bool Reusable = true;
+    for (const Instr &I : B.Code)
+      if (I.Code == Op::MkClosure || I.Code == Op::MonPre ||
+          I.Code == Op::MonPost)
+        Reusable = false;
+    B.ReusableFrame = Reusable;
+  }
+}
 
 std::unique_ptr<CompiledProgram> monsem::compileProgram(const Expr *Program,
                                                         DiagnosticSink &Diags,
@@ -236,6 +377,11 @@ std::unique_ptr<CompiledProgram> monsem::compileProgram(const Expr *Program,
 }
 
 std::string CompiledProgram::disassemble() const {
+  // Both switches below are exhaustive over Op with no default, so -Wswitch
+  // flags any opcode added without a disassembly; the trailing abort makes
+  // a corrupted opcode loud rather than silently printing "?".
+  static_assert(kNumOps == 24,
+                "new opcode: update disassemble()'s two switches");
   auto OpName = [](Op O) -> const char * {
     switch (O) {
     case Op::Const:
@@ -270,28 +416,58 @@ std::string CompiledProgram::disassemble() const {
       return "monpost";
     case Op::Halt:
       return "halt";
+    case Op::VarVar:
+      return "varvar";
+    case Op::VarPrim2:
+      return "varprim2";
+    case Op::ConstPrim2:
+      return "constprim2";
+    case Op::VarConstPrim2:
+      return "varconstprim2";
+    case Op::VarVarPrim2:
+      return "varvarprim2";
+    case Op::Prim2JumpIfFalse:
+      return "prim2jfalse";
+    case Op::VarCall:
+      return "varcall";
+    case Op::VarTailCall:
+      return "vartailcall";
     }
-    return "?";
+    std::abort();
+  };
+  auto P2 = [](uint32_t Raw) {
+    return std::string(prim2Name(static_cast<Prim2Op>(Raw)));
   };
   std::string Out;
   for (size_t B = 0; B < Blocks.size(); ++B) {
     Out += "block " + std::to_string(B) + " (" + Blocks[B].Name + "):\n";
     const auto &Code = Blocks[B].Code;
     for (size_t I = 0; I < Code.size(); ++I) {
-      Out += "  " + std::to_string(I) + ": " + OpName(Code[I].Code);
-      switch (Code[I].Code) {
+      const Instr &In = Code[I];
+      Out += "  " + std::to_string(I) + ": " + OpName(In.Code);
+      switch (In.Code) {
       case Op::Prim1:
-        Out += std::string(" ") + prim1Name(static_cast<Prim1Op>(Code[I].A));
+        Out += std::string(" ") + prim1Name(static_cast<Prim1Op>(In.A));
         break;
       case Op::Prim2:
-        Out += std::string(" ") + prim2Name(static_cast<Prim2Op>(Code[I].A));
+        Out += " " + P2(In.A);
         break;
       case Op::MonPre:
       case Op::MonPost:
-        Out += " " + Probes[Code[I].A].Ann->text();
+        Out += " " + Probes[In.A].Ann->text();
         break;
       case Op::Const:
-        Out += " " + toDisplayString(ConstPool[Code[I].A]);
+        Out += " " + toDisplayString(ConstPool[In.A]);
+        break;
+      case Op::Var:
+      case Op::MkClosure:
+      case Op::Jump:
+      case Op::JumpIfFalse:
+      case Op::PushRecEnv:
+      case Op::PopEnv:
+      case Op::VarCall:
+      case Op::VarTailCall:
+        Out += " " + std::to_string(In.A);
         break;
       case Op::Ret:
       case Op::Halt:
@@ -299,8 +475,26 @@ std::string CompiledProgram::disassemble() const {
       case Op::TailCall:
       case Op::PatchRec:
         break;
-      default:
-        Out += " " + std::to_string(Code[I].A);
+      case Op::VarVar:
+        Out += " " + std::to_string(In.A) + " " + std::to_string(In.B);
+        break;
+      case Op::VarPrim2:
+        Out += " " + std::to_string(In.A) + " " + P2(unpackPrimOp(In.B));
+        break;
+      case Op::ConstPrim2:
+        Out += " " + toDisplayString(ConstPool[In.A]) + " " +
+               P2(unpackPrimOp(In.B));
+        break;
+      case Op::VarConstPrim2:
+        Out += " " + std::to_string(unpackDepth(In.B)) + " " +
+               toDisplayString(ConstPool[In.A]) + " " + P2(unpackPrimOp(In.B));
+        break;
+      case Op::VarVarPrim2:
+        Out += " " + std::to_string(unpackDepth(In.B)) + " " +
+               std::to_string(In.A) + " " + P2(unpackPrimOp(In.B));
+        break;
+      case Op::Prim2JumpIfFalse:
+        Out += " " + P2(unpackPrimOp(In.B)) + " -> " + std::to_string(In.A);
         break;
       }
       Out += '\n';

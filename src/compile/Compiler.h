@@ -23,6 +23,8 @@ struct CompileOptions {
   bool Instrument = true;
   /// Emit TailCall for calls in tail position.
   bool TailCalls = true;
+  /// Run the peephole superinstruction fusion pass after emission.
+  bool Fuse = true;
 };
 
 /// Compiles \p Program. Returns nullptr (with diagnostics) for programs
@@ -30,6 +32,18 @@ struct CompileOptions {
 std::unique_ptr<CompiledProgram> compileProgram(const Expr *Program,
                                                 DiagnosticSink &Diags,
                                                 CompileOptions Opts = {});
+
+/// Peephole pass: rewrites hot adjacent instruction pairs into the fused
+/// superinstructions of Bytecode.h. Jump-target aware (never fuses a pair
+/// whose second instruction is a branch target) and probe-transparent (no
+/// rule matches MonPre/MonPost, so probes break every fusion window).
+/// Returns the number of pairs fused. Exposed for tests; compileProgram
+/// runs it when CompileOptions::Fuse is set.
+size_t fuseSuperinstructions(CompiledProgram &P);
+
+/// Computes CodeBlock::ReusableFrame for every block (no MkClosure, no
+/// probes). Run after fusion by compileProgram; exposed for tests.
+void markReusableFrames(CompiledProgram &P);
 
 } // namespace monsem
 

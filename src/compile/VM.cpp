@@ -7,6 +7,18 @@
 
 using namespace monsem;
 
+/// Computed-goto dispatch is a GNU extension; the build opts in with
+/// -DMONSEM_VM_THREADED (default ON in CMake) and the compiler must
+/// support it. Otherwise only the portable switch loop is compiled and
+/// RunOptions::VMThreaded is ignored.
+#if defined(MONSEM_VM_THREADED) && (defined(__GNUC__) || defined(__clang__))
+#define MONSEM_VM_HAS_CGOTO 1
+#else
+#define MONSEM_VM_HAS_CGOTO 0
+#endif
+
+bool monsem::vmThreadedDispatchAvailable() { return MONSEM_VM_HAS_CGOTO; }
+
 namespace {
 
 struct CallFrame {
@@ -37,6 +49,11 @@ private:
   bool Failed = false;
   std::string Error;
 
+  RunResult runSwitch(Governor &Gov);
+#if MONSEM_VM_HAS_CGOTO
+  RunResult runThreaded(Governor &Gov);
+#endif
+
   void fail(std::string Msg) {
     Failed = true;
     Error = std::move(Msg);
@@ -48,12 +65,49 @@ private:
     return V;
   }
 
+  /// The environment value at link depth \p D. Fails (returning Unit) on
+  /// a letrec binding read before its PatchRec — the Var instruction's
+  /// error, shared by every fused form.
+  Value envAt(uint32_t D) {
+    EnvNode *N = Env;
+    for (; D; --D)
+      N = N->Parent;
+    if (N->Val.isUnit()) {
+      fail("letrec variable '" + std::string(N->Name.str()) +
+           "' referenced before initialization");
+      return Value();
+    }
+    return N->Val;
+  }
+
+  /// Applies \p Op2 and pushes the result (or fails).
+  void prim2Push(Prim2Op Op2, Value Lhs, Value Rhs) {
+    PrimResult PR = applyPrim2(Op2, Lhs, Rhs, A);
+    if (!PR.Ok)
+      return fail(std::move(PR.Error));
+    Stack.push_back(PR.Val);
+  }
+
   /// Applies \p Fn to \p Arg. Compiled closures enter a new (or, for tail
   /// calls, the current) frame; primitives apply immediately.
   void apply(Value Fn, Value Arg, bool Tail) {
     switch (Fn.kind()) {
     case ValueKind::CompiledClosure: {
       VMClosure *C = Fn.asCompiledClosure();
+      // Self-tail-call frame reuse: when a block tail-calls a closure over
+      // its *own* block and the current env node sits directly on the
+      // closure's env (the plain `f x` recursion shape), the callee's
+      // frame is behaviorally identical to ours — overwrite the binding in
+      // place instead of allocating. ReusableFrame guarantees the block
+      // creates no closures (nothing can capture this node mid-iteration)
+      // and contains no probes; the Parent check excludes live letrec
+      // extensions (PushRecEnv without PopEnv) and curried shapes.
+      if (Tail && Opts.ReuseTailFrames && C->Block == Block && Env &&
+          Env->Parent == C->Env && P.Blocks[Block].ReusableFrame) {
+        Env->Val = Arg;
+        PC = 0;
+        return;
+      }
       if (!Tail)
         Frames.push_back(CallFrame{Block, PC, Env});
       Block = C->Block;
@@ -102,10 +156,106 @@ private:
     PC = F.PC;
     Env = F.Env;
   }
+
+  RunResult haltResult() {
+    RunResult R;
+    R.setOutcome(Outcome::Ok);
+    R.Steps = Steps;
+    R.ArenaBytes = A.bytesAllocated();
+    Value V = Stack.back();
+    R.ValueText = Opts.Algebra->render(V);
+    if (V.is(ValueKind::Int))
+      R.IntValue = V.asInt();
+    if (V.is(ValueKind::Bool))
+      R.BoolValue = V.asBool();
+    return R;
+  }
+
+  RunResult stopResult(Outcome O) {
+    RunResult R;
+    R.setOutcome(O);
+    R.Steps = Steps;
+    R.ArenaBytes = A.bytesAllocated();
+    return R;
+  }
+
+  RunResult errorResult() {
+    RunResult R;
+    R.setOutcome(Outcome::Error);
+    R.Error = std::move(Error);
+    R.Steps = Steps;
+    R.ArenaBytes = A.bytesAllocated();
+    return R;
+  }
 };
 
+/// Portable dispatch loop. `Steps` advances by the instruction's Cost (its
+/// source-step count), so fused programs report identical step counts to
+/// unfused ones at every instruction boundary.
+RunResult VM::runSwitch(Governor &Gov) {
+  while (true) {
+    const Instr &I = P.Blocks[Block].Code[PC++];
+    Steps += I.Cost;
+    if (Steps >= Gov.nextPause()) {
+      Outcome O = Gov.pause(Steps, A.bytesAllocated(), Frames.size());
+      if (O != Outcome::Ok)
+        return stopResult(O);
+    }
+    switch (I.Code) {
+#define VM_CASE(Name) case Op::Name:
+#define VM_NEXT() break
+#include "compile/VMDispatch.inc"
+#undef VM_CASE
+#undef VM_NEXT
+    }
+    if (Failed)
+      return errorResult();
+  }
+}
+
+#if MONSEM_VM_HAS_CGOTO
+/// Token-threaded dispatch: each handler jumps straight to the next
+/// opcode's handler through a label table, so the branch predictor sees
+/// one indirect branch per handler (correlated with opcode pairs) instead
+/// of the switch loop's single shared branch.
+RunResult VM::runThreaded(Governor &Gov) {
+  static const void *Tbl[] = {
+      &&L_Const,      &&L_Var,           &&L_MkClosure,
+      &&L_Jump,       &&L_JumpIfFalse,   &&L_Call,
+      &&L_TailCall,   &&L_Ret,           &&L_Prim1,
+      &&L_Prim2,      &&L_PushRecEnv,    &&L_PatchRec,
+      &&L_PopEnv,     &&L_MonPre,        &&L_MonPost,
+      &&L_Halt,       &&L_VarVar,        &&L_VarPrim2,
+      &&L_ConstPrim2, &&L_VarConstPrim2, &&L_VarVarPrim2,
+      &&L_Prim2JumpIfFalse, &&L_VarCall, &&L_VarTailCall,
+  };
+  static_assert(sizeof(Tbl) / sizeof(Tbl[0]) == kNumOps,
+                "label table must cover every opcode in enum order");
+  // Declared before the first goto target so no jump skips initialization.
+  Instr I;
+Dispatch:
+  I = P.Blocks[Block].Code[PC++];
+  Steps += I.Cost;
+  if (Steps >= Gov.nextPause()) {
+    Outcome O = Gov.pause(Steps, A.bytesAllocated(), Frames.size());
+    if (O != Outcome::Ok)
+      return stopResult(O);
+  }
+  goto *Tbl[static_cast<unsigned>(I.Code)];
+#define VM_CASE(Name) L_##Name:
+#define VM_NEXT()                                                              \
+  do {                                                                         \
+    if (Failed)                                                                \
+      return errorResult();                                                    \
+    goto Dispatch;                                                             \
+  } while (0)
+#include "compile/VMDispatch.inc"
+#undef VM_CASE
+#undef VM_NEXT
+}
+#endif // MONSEM_VM_HAS_CGOTO
+
 RunResult VM::run() {
-  RunResult R;
   Governor Gov(Opts.Limits, Opts.MaxSteps);
   A.setByteLimit(Gov.arenaByteCap());
   // Sentinel frame: a tail call at the top level of the entry block
@@ -113,137 +263,18 @@ RunResult VM::run() {
   Frames.push_back(CallFrame{
       0, static_cast<uint32_t>(P.Blocks[0].Code.size() - 1), nullptr});
   try {
-  while (!Failed) {
-    ++Steps;
-    if (Steps >= Gov.nextPause()) {
-      Outcome O = Gov.pause(Steps, A.bytesAllocated(), Frames.size());
-      if (O != Outcome::Ok) {
-        R.setOutcome(O);
-        R.Steps = Steps;
-        return R;
-      }
-    }
-    const Instr &I = P.Blocks[Block].Code[PC++];
-    switch (I.Code) {
-    case Op::Const:
-      Stack.push_back(P.ConstPool[I.A]);
-      break;
-    case Op::Var: {
-      EnvNode *N = Env;
-      for (uint32_t D = I.A; D; --D)
-        N = N->Parent;
-      if (N->Val.isUnit()) {
-        fail("letrec variable '" + std::string(N->Name.str()) +
-             "' referenced before initialization");
-        break;
-      }
-      Stack.push_back(N->Val);
-      break;
-    }
-    case Op::MkClosure: {
-      VMClosure *C = A.create<VMClosure>(I.A, Env);
-      Stack.push_back(Value::mkCompiledClosure(C));
-      break;
-    }
-    case Op::Jump:
-      PC = I.A;
-      break;
-    case Op::JumpIfFalse: {
-      Value V = pop();
-      if (!V.is(ValueKind::Bool)) {
-        fail("conditional scrutinee must be a boolean, found " +
-             toDisplayString(V));
-        break;
-      }
-      if (!V.asBool())
-        PC = I.A;
-      break;
-    }
-    case Op::Call: {
-      Value Fn = pop();
-      Value Arg = pop();
-      apply(Fn, Arg, /*Tail=*/false);
-      break;
-    }
-    case Op::TailCall: {
-      Value Fn = pop();
-      Value Arg = pop();
-      apply(Fn, Arg, /*Tail=*/true);
-      break;
-    }
-    case Op::Ret:
-      doRet();
-      break;
-    case Op::Prim1: {
-      Value V = pop();
-      PrimResult PR = applyPrim1(static_cast<Prim1Op>(I.A), V, A);
-      if (!PR.Ok) {
-        fail(std::move(PR.Error));
-        break;
-      }
-      Stack.push_back(PR.Val);
-      break;
-    }
-    case Op::Prim2: {
-      Value Rhs = pop();
-      Value Lhs = pop();
-      PrimResult PR = applyPrim2(static_cast<Prim2Op>(I.A), Lhs, Rhs, A);
-      if (!PR.Ok) {
-        fail(std::move(PR.Error));
-        break;
-      }
-      Stack.push_back(PR.Val);
-      break;
-    }
-    case Op::PushRecEnv:
-      Env = extendEnv(A, Env, P.Names[I.A], Value::mkUnit());
-      break;
-    case Op::PatchRec:
-      Env->Val = pop();
-      break;
-    case Op::PopEnv:
-      for (uint32_t D = I.A; D; --D)
-        Env = Env->Parent;
-      break;
-    case Op::MonPre:
-      if (Hooks) {
-        const ProbeSite &S = P.Probes[I.A];
-        Hooks->pre(*S.Ann, *S.Inner, EnvView(Env), Steps,
-                   A.bytesAllocated());
-      }
-      break;
-    case Op::MonPost:
-      if (Hooks) {
-        const ProbeSite &S = P.Probes[I.A];
-        Hooks->post(*S.Ann, *S.Inner, EnvView(Env), Stack.back(), Steps,
-                    A.bytesAllocated());
-      }
-      break;
-    case Op::Halt: {
-      R.setOutcome(Outcome::Ok);
-      R.Steps = Steps;
-      Value V = Stack.back();
-      R.ValueText = Opts.Algebra->render(V);
-      if (V.is(ValueKind::Int))
-        R.IntValue = V.asInt();
-      if (V.is(ValueKind::Bool))
-        R.BoolValue = V.asBool();
-      return R;
-    }
-    }
-  }
+#if MONSEM_VM_HAS_CGOTO
+    if (Opts.VMThreaded)
+      return runThreaded(Gov);
+#endif
+    return runSwitch(Gov);
   } catch (const MonitorAbort &E) {
     // A monitor under FaultPolicy::Abort faulted at a MonPre/MonPost probe.
     fail(E.what());
   } catch (const ArenaLimitExceeded &) {
-    R.setOutcome(Outcome::MemoryExceeded);
-    R.Steps = Steps;
-    return R;
+    return stopResult(Outcome::MemoryExceeded);
   }
-  R.setOutcome(Outcome::Error);
-  R.Error = std::move(Error);
-  R.Steps = Steps;
-  return R;
+  return errorResult();
 }
 
 } // namespace

@@ -91,6 +91,14 @@ struct RunOptions {
   FaultPolicy MonitorFaultPolicy = FaultPolicy::Quarantine;
   /// Faults tolerated per monitor under RetryThenQuarantine.
   unsigned MonitorRetryBudget = 3;
+  /// Reuse the caller's environment frame on self-tail-calls (lexical CEK
+  /// machine and VM): `down 100000`-style loops run in O(1) arena bytes.
+  /// Answers and step counts are unchanged; only arena accounting differs.
+  bool ReuseTailFrames = true;
+  /// Use token-threaded (computed-goto) dispatch in the VM when the build
+  /// supports it (see vmThreadedDispatchAvailable()); off selects the
+  /// portable switch loop. Benchmarks compare the two.
+  bool VMThreaded = true;
 };
 
 /// The final answer: the paper's <alpha, sigma'> pair. `ValueText` is
@@ -108,6 +116,11 @@ struct RunResult {
   std::optional<int64_t> IntValue;
   std::optional<bool> BoolValue;
   uint64_t Steps = 0;
+  /// Arena bytes the run allocated. Informational (benchmarks, the
+  /// tail-reuse O(1) assertions); ignored by sameOutcome because it is a
+  /// property of the representation and optimization level, not of the
+  /// semantics.
+  uint64_t ArenaBytes = 0;
   std::vector<std::unique_ptr<MonitorState>> FinalStates;
   /// Faults the monitor fault boundary recorded (see FaultIsolation.h).
   /// Non-empty MonitorFaults with St == Ok means quarantine kept the run
@@ -187,7 +200,9 @@ template <typename EnvT> struct FrameT {
 
   Kind K;
   uint8_t Op = 0;           ///< Prim1Op/Prim2Op for primitive frames.
-  uint32_t Idx = 0;         ///< LetrecBind slot index (lexical machine).
+  uint32_t Idx = 0;         ///< LetrecBind slot index (lexical machine);
+                            ///< tail-position flag for EvalFn/Apply (the
+                            ///< application site's AppExpr::TailPos).
   const Expr *E1 = nullptr; ///< Pending expression (EvalFn/Branch/...).
   const Expr *E2 = nullptr; ///< Else branch (Branch).
   EnvT *Env = nullptr; ///< Environment for the pending evaluation; also the
@@ -278,8 +293,12 @@ private:
 
   /// Applies function value \p Fn to argument \p Arg with continuation
   /// \p K. Handles closures, primitives and partial primitives; forces
-  /// thunk arguments of primitives.
-  void applyFunction(Value Fn, Value Arg, Frame *K);
+  /// thunk arguments of primitives. \p CallerEnv is the application
+  /// site's environment and \p Tail its AppExpr::TailPos flag — together
+  /// with the dynamic shape/parent check they enable self-tail-call
+  /// frame reuse on the lexical machine.
+  void applyFunction(Value Fn, Value Arg, Frame *K, EnvT *CallerEnv = nullptr,
+                     bool Tail = false);
 
   /// Forces \p V (a thunk) and delivers the result to \p K.
   void force(Value V, Frame *K);
@@ -427,6 +446,7 @@ void MachineT<Policy, Lexical>::doEval(const Expr *E, EnvT *Env, Frame *K) {
       Frame *F = mkFrame(FK::EvalFn, K);
       F->E1 = App->Fn;
       F->Env = Env;
+      F->Idx = App->TailPos; // Threaded through to applyFunction's reuse check.
       M = Mode::Eval;
       CurExpr = App->Arg;
       CurEnv = Env;
@@ -442,6 +462,8 @@ void MachineT<Policy, Lexical>::doEval(const Expr *E, EnvT *Env, Frame *K) {
       T = A.create<Thunk>(App->Arg, Env, Thunk::State::Unforced, Value());
     Frame *F = mkFrame(FK::Apply, K);
     F->V = Value::mkThunk(T);
+    F->Env = Env;
+    F->Idx = 0; // Tail reuse is strict-only (thunks capture environments).
     M = Mode::Eval;
     CurExpr = App->Fn;
     CurEnv = Env;
@@ -570,15 +592,40 @@ void MachineT<Policy, Lexical>::force(Value V, Frame *K) {
 }
 
 template <typename Policy, bool Lexical>
-void MachineT<Policy, Lexical>::applyFunction(Value Fn, Value Arg, Frame *K) {
+void MachineT<Policy, Lexical>::applyFunction(Value Fn, Value Arg, Frame *K,
+                                              EnvT *CallerEnv, bool Tail) {
   switch (Fn.kind()) {
   case ValueKind::Closure: {
     Closure *C = Fn.asClosure();
     EnvT *Env;
-    if constexpr (Lexical)
-      Env = allocFrame(A, C->L->Shape, C->FEnv, Arg);
-    else
+    if constexpr (Lexical) {
+      const LamExpr *L = C->L;
+      // Self-tail-call frame reuse: the application sits in tail position
+      // of a lambda body whose activation frame is CallerEnv (TailPos
+      // guarantees no head letrec intervened), the callee is a closure
+      // over the *same* lambda (shapes are unique per lambda) with the
+      // same parent chain, and the body creates no closures or probes
+      // (FrameReusable) — so the fresh frame the callee would allocate is
+      // indistinguishable from CallerEnv with its slots reset. Strict
+      // only: lazy strategies capture environments in thunks.
+      if (Tail && CallerEnv && L->FrameReusable && Opts.ReuseTailFrames &&
+          Opts.Strat == Strategy::Strict &&
+          CallerEnv->parent() == C->FEnv &&
+          frameShape(CallerEnv, Res->shapeTable()) == L->Shape) {
+        Value *S = CallerEnv->slots();
+        uint32_t N = L->Shape->numSlots();
+        S[0] = Arg;
+        // Coalesced letrec member slots must read as "not yet
+        // initialized" on frame entry, exactly as a fresh frame would.
+        for (uint32_t J = 1; J < N; ++J)
+          S[J] = Value();
+        Env = CallerEnv;
+      } else {
+        Env = allocFrame(A, L->Shape, C->FEnv, Arg);
+      }
+    } else {
       Env = extendEnv(A, C->Env, C->L->Param, Arg);
+    }
     M = Mode::Eval;
     CurExpr = C->L->Body;
     CurEnv = Env;
@@ -651,10 +698,13 @@ void MachineT<Policy, Lexical>::doReturn(Value V, Frame *K) {
     // V is the operand value; evaluate the operator next.
     const Expr *Fn = K->E1;
     EnvT *Env = K->Env;
+    uint32_t Tail = K->Idx;
     Frame *Next = K->Next;
     recycle(K);
     Frame *F = mkFrame(FK::Apply, Next);
     F->V = V;
+    F->Env = Env; // The application site's env, for the tail-reuse check.
+    F->Idx = Tail;
     M = Mode::Eval;
     CurExpr = Fn;
     CurEnv = Env;
@@ -664,9 +714,11 @@ void MachineT<Policy, Lexical>::doReturn(Value V, Frame *K) {
   case FK::Apply: {
     // V is the operator; the stored value is the operand.
     Value Arg = K->V;
+    EnvT *CallerEnv = K->Env;
+    bool Tail = K->Idx != 0;
     Frame *Next = K->Next;
     recycle(K);
-    applyFunction(V, Arg, Next);
+    applyFunction(V, Arg, Next, CallerEnv, Tail);
     return;
   }
   case FK::Branch: {
@@ -795,6 +847,7 @@ RunResult MachineT<Policy, Lexical>::run() {
         if (O != Outcome::Ok) {
           R.setOutcome(O);
           R.Steps = Steps;
+          R.ArenaBytes = A.bytesAllocated();
           return R;
         }
       }
@@ -812,10 +865,12 @@ RunResult MachineT<Policy, Lexical>::run() {
     // A single step blew past the arena cap between checkpoints.
     R.setOutcome(Outcome::MemoryExceeded);
     R.Steps = Steps;
+    R.ArenaBytes = A.bytesAllocated();
     return R;
   }
 
   R.Steps = Steps;
+  R.ArenaBytes = A.bytesAllocated();
   if (Failed) {
     R.setOutcome(Outcome::Error);
     R.Error = std::move(Error);

@@ -220,6 +220,12 @@ public:
   /// slot 0 is Param, later slots are coalesced letrec binders from the
   /// body. Filled by the resolver; null until it runs.
   mutable const FrameShape *Shape = nullptr;
+  /// True when the body contains no lambda and no annotation anywhere in
+  /// its subtree, so nothing evaluated in an activation of this lambda
+  /// can capture or observe the activation frame beyond the activation
+  /// itself — a self-tail-call may then overwrite the frame in place.
+  /// Filled by the resolver.
+  mutable bool FrameReusable = false;
   LamExpr(Symbol Param, const Expr *Body, SourceLoc Loc)
       : Expr(ExprKind::Lam, Loc), Param(Param), Body(Body) {}
   static bool classof(const Expr *E) { return E->kind() == ExprKind::Lam; }
@@ -236,6 +242,12 @@ public:
 class AppExpr : public Expr {
 public:
   const Expr *Fn, *Arg;
+  /// True when this application is in tail position of the enclosing
+  /// lambda body (through `if` branches and coalesced letrec bodies, never
+  /// under operands, bound expressions or annotations) — at evaluation
+  /// time the current environment is then exactly that lambda's activation
+  /// frame. Filled by the resolver; gates self-tail-call frame reuse.
+  mutable bool TailPos = false;
   AppExpr(const Expr *Fn, const Expr *Arg, SourceLoc Loc)
       : Expr(ExprKind::App, Loc), Fn(Fn), Arg(Arg) {}
   static bool classof(const Expr *E) { return E->kind() == ExprKind::App; }

@@ -143,7 +143,17 @@ TEST(CompilerTest, DisassemblyIsStable) {
   EXPECT_NE(Dis.find("block 0 (<main>)"), std::string::npos);
   EXPECT_NE(Dis.find("block 1 (lambda x)"), std::string::npos);
   EXPECT_NE(Dis.find("tailcall"), std::string::npos);
-  EXPECT_NE(Dis.find("prim2 +"), std::string::npos);
+  // The lambda body `x + 1` fuses Var;Const;Prim2 into one instruction.
+  EXPECT_NE(Dis.find("varconstprim2 0 1 +"), std::string::npos);
+
+  // With fusion off, the unfused sequence disassembles as before.
+  CompileOptions CO;
+  CO.Fuse = false;
+  auto Raw = compileProgram(P->root(), D, CO);
+  ASSERT_NE(Raw, nullptr);
+  std::string RawDis = Raw->disassemble();
+  EXPECT_NE(RawDis.find("prim2 +"), std::string::npos);
+  EXPECT_EQ(RawDis.find("varconstprim2"), std::string::npos);
 }
 
 TEST(CompilerTest, VMIsFasterInStepsThanInterpreter) {

@@ -111,8 +111,29 @@ TEST(GovernorTest, ArenaCapSurfacesAsMemoryExceeded) {
   auto P = parseOk(LoopSrc);
   RunOptions Opts;
   Opts.Limits.MaxArenaBytes = 1 << 15;
+  // With tail-call frame reuse the loop runs in O(1) arena and would never
+  // hit the cap; this test is about the cap, so allocate per iteration.
+  Opts.ReuseTailFrames = false;
   RunResult R = evaluate(P->root(), Opts);
   EXPECT_EQ(R.St, Outcome::MemoryExceeded);
+}
+
+TEST(GovernorTest, TailFrameReuseKeepsSelfLoopsInConstantArena) {
+  // The same divergent loop that exhausts a 32 KiB arena cap in a few
+  // thousand iterations without reuse runs 200k steps inside it with
+  // reuse: the self-tail-call overwrites the caller's frame in place.
+  auto P = parseOk(LoopSrc);
+  RunOptions Opts;
+  Opts.Limits.MaxSteps = 200000;
+  Opts.Limits.MaxArenaBytes = 1 << 15;
+  RunResult R = evaluate(P->root(), Opts);
+  EXPECT_EQ(R.St, Outcome::FuelExhausted) << outcomeName(R.St);
+  EXPECT_LT(R.ArenaBytes, uint64_t(1) << 15);
+
+  Cascade Empty;
+  RunResult V = evaluateCompiled(Empty, P->root(), Opts);
+  EXPECT_EQ(V.St, Outcome::FuelExhausted) << outcomeName(V.St);
+  EXPECT_LT(V.ArenaBytes, uint64_t(1) << 15);
 }
 
 TEST(GovernorTest, DepthBoundSurfacesAsDepthExceeded) {
@@ -150,6 +171,7 @@ TEST(GovernorTest, GovernanceStopsCompareEqualOnlyByKind) {
   Fuel.Limits.MaxSteps = 1000;
   RunOptions Mem;
   Mem.Limits.MaxArenaBytes = 1 << 14;
+  Mem.ReuseTailFrames = false; // The loop must actually reach the cap.
   RunResult A = evaluate(P->root(), Fuel);
   RunResult B = evaluate(P->root(), Mem);
   ASSERT_EQ(A.St, Outcome::FuelExhausted);
@@ -176,6 +198,7 @@ TEST(GovernorTest, VMHonorsFuelMemoryAndDepth) {
 
   RunOptions Mem;
   Mem.Limits.MaxArenaBytes = 1 << 15;
+  Mem.ReuseTailFrames = false; // The loop must actually reach the cap.
   RunResult RM = evaluateCompiled(Empty, Loop->root(), Mem);
   EXPECT_EQ(RM.St, Outcome::MemoryExceeded);
 
