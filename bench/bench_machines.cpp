@@ -513,6 +513,46 @@ double reportGovernor(JsonlWriter &W, bool Quick) {
   return Median;
 }
 
+//===----------------------------------------------------------------------===//
+// Checkpoint overhead
+//===----------------------------------------------------------------------===//
+
+/// Cost of arming periodic checkpointing (journaling off): the per-step
+/// path gains one decrement in the governor, and every CheckpointEveryNSteps
+/// transitions the live machine state is serialized into a discarded
+/// Checkpoint. Interleaved against the plain run on the same workloads;
+/// returns the median armed/plain ratio so CI can assert a bound
+/// (--assert-checkpoint-overhead=PCT).
+double reportCheckpoint(JsonlWriter &W, bool Quick) {
+  std::printf("checkpoint — periodic (every 64k steps, discarded) vs off\n");
+  printRule();
+
+  RunOptions Armed;
+  Armed.CheckpointEveryNSteps = 65536;
+  Armed.CheckpointSink = [](const Checkpoint &CK) {
+    benchmark::DoNotOptimize(CK.bytes().data());
+  };
+
+  std::vector<double> Ratios;
+  for (const Workload &WL : deepWorkloads(Quick)) {
+    auto P = parseOrDie(WL.Src);
+    RunOptions Plain;
+    double Ratio = medianRatio(
+        [&] { evaluate(P->root(), Plain); },
+        [&] { evaluate(P->root(), Armed); }, Quick ? 9 : 11);
+    Ratios.push_back(Ratio);
+    RunResult R = evaluate(P->root(), Armed);
+    W.write({WL.Name, "checkpoint-armed", "strict",
+             /*NsPerOp=*/0, R.Steps, 0});
+    std::printf("%-14s armed/off %.4fx\n", WL.Name, Ratio);
+  }
+  printRule();
+  std::sort(Ratios.begin(), Ratios.end());
+  double Median = Ratios.empty() ? 1.0 : Ratios[Ratios.size() / 2];
+  std::printf("median checkpoint overhead: %+.2f%%\n\n", (Median - 1) * 100);
+  return Median;
+}
+
 } // namespace
 
 static void reportTable() {
@@ -605,6 +645,7 @@ int main(int argc, char **argv) {
   bool Quick = false;
   double MaxGovernorPct = -1;    // <0: report only, no assertion.
   double MinFusionSpeedup = -1;  // <0: report only, no assertion.
+  double MaxCheckpointPct = -1;  // <0: report only, no assertion.
   std::string JsonPath = "BENCH_machines.json";
   // Strip our flags before handing argv to google-benchmark.
   int Kept = 1;
@@ -617,6 +658,8 @@ int main(int argc, char **argv) {
       MaxGovernorPct = std::atof(argv[I] + 27);
     else if (std::strncmp(argv[I], "--assert-vm-fusion-speedup=", 27) == 0)
       MinFusionSpeedup = std::atof(argv[I] + 27);
+    else if (std::strncmp(argv[I], "--assert-checkpoint-overhead=", 29) == 0)
+      MaxCheckpointPct = std::atof(argv[I] + 29);
     else
       argv[Kept++] = argv[I];
   }
@@ -627,6 +670,13 @@ int main(int argc, char **argv) {
   reportTailReuse(W, Quick);
   double FusionSpeedup = reportVM(W, Quick);
   double GovMedian = reportGovernor(W, Quick);
+  double CkMedian = reportCheckpoint(W, Quick);
+  if (MaxCheckpointPct >= 0 && CkMedian > 1.0 + MaxCheckpointPct / 100.0) {
+    std::fprintf(
+        stderr, "FAIL: checkpoint overhead %.2f%% exceeds the %.2f%% bound\n",
+        (CkMedian - 1) * 100, MaxCheckpointPct);
+    return 1;
+  }
   if (MaxGovernorPct >= 0 && GovMedian > 1.0 + MaxGovernorPct / 100.0) {
     std::fprintf(stderr,
                  "FAIL: governor overhead %.2f%% exceeds the %.2f%% bound\n",

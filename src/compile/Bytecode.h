@@ -147,10 +147,8 @@ struct CompiledProgram {
   std::string disassemble() const;
 };
 
-struct VMClosure {
-  uint32_t Block;
-  EnvNode *Env;
-};
+// VMClosure (the bytecode closure these programs allocate) is defined in
+// semantics/Value.h alongside the other heap object layouts.
 
 } // namespace monsem
 

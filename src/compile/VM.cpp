@@ -4,6 +4,10 @@
 
 #include "compile/Compiler.h"
 #include "semantics/Primitives.h"
+#include "semantics/ValueGraph.h"
+#include "support/Checkpoint.h"
+
+#include <deque>
 
 using namespace monsem;
 
@@ -49,10 +53,160 @@ private:
   bool Failed = false;
   std::string Error;
 
+  // Checkpoint/resume support.
+  uint64_t StepBase = 0; ///< Steps completed before this process (resume).
+  uint64_t Fp = 0;
+  bool FpComputed = false;
+  /// Storage for strings revived from a checkpoint; Str values on the
+  /// stack/heap point into it, so it lives as long as the VM.
+  std::deque<std::string> RevivedStrings;
+
   RunResult runSwitch(Governor &Gov);
 #if MONSEM_VM_HAS_CGOTO
   RunResult runThreaded(Governor &Gov);
 #endif
+
+  /// Structural fingerprint of the compiled program: a hash of the
+  /// disassembly, which is pointer-free (block indices, opcode names,
+  /// rendered constants, annotation text) and thus stable across
+  /// processes. Resume refuses a mismatched program.
+  uint64_t fingerprint() {
+    if (!FpComputed) {
+      Fp = fnv1aHash(P.disassemble());
+      FpComputed = true;
+    }
+    return Fp;
+  }
+
+  /// Serializes the full VM state at an instruction boundary. \p I is the
+  /// fetched-but-unexecuted instruction: PC already advanced past it and
+  /// Steps already includes its Cost, so the checkpoint rolls both back
+  /// and a resumed run re-executes it. Fused superinstructions are never
+  /// in flight at a boundary, so step counts stay identical to an
+  /// uninterrupted (or unfused) run.
+  Checkpoint makeCheckpoint(const Instr &I) {
+    CheckpointHeader H;
+    H.Backend = CheckpointBackend::VM;
+    H.Strategy = static_cast<uint8_t>(Strategy::Strict);
+    H.Lexical = false;
+    H.Monitored = Hooks != nullptr;
+#ifdef MONSEM_VALUE_BOXED
+    H.BoxedValues = true;
+#endif
+    H.ProgramFingerprint = fingerprint();
+    H.SavedSteps = Steps - I.Cost;
+    Serializer S = Checkpoint::begin(H);
+    if (Hooks)
+      Hooks->saveMonitorSection(S);
+    else
+      S.writeU32(0);
+    // The VM heap never references syntax (closures hold block indices),
+    // so the writer needs no ExprTable or shape table.
+    ValueGraphWriter W(nullptr, nullptr, false);
+    Serializer &RS = W.roots();
+    RS.writeU32(Block);
+    RS.writeU32(PC - 1); // The instruction that did not execute.
+    W.writeEnvNodeRef(Env);
+    RS.writeU32(static_cast<uint32_t>(Stack.size()));
+    for (Value V : Stack)
+      W.writeValue(V);
+    RS.writeU32(static_cast<uint32_t>(Frames.size()));
+    for (const CallFrame &F : Frames) {
+      RS.writeU32(F.Block);
+      RS.writeU32(F.PC);
+      W.writeEnvNodeRef(F.Env);
+    }
+    if (!W.ok())
+      return Checkpoint();
+    W.finish(S);
+    return Checkpoint::seal(std::move(S));
+  }
+
+  void emitCheckpoint(const Instr &I) {
+    if (!Opts.CheckpointSink)
+      return;
+    Checkpoint CK = makeCheckpoint(I);
+    if (CK.valid())
+      Opts.CheckpointSink(CK);
+  }
+
+  bool validCodeRef(uint32_t B, uint32_t Pc) const {
+    return B < P.Blocks.size() && Pc < P.Blocks[B].Code.size();
+  }
+
+  bool restoreCheckpoint(const Checkpoint &CK, std::string &Err) {
+    const CheckpointHeader &H = CK.header();
+    if (H.Backend != CheckpointBackend::VM) {
+      Err = "checkpoint was taken by the CEK machine, not the VM";
+      return false;
+    }
+    if (H.Monitored != (Hooks != nullptr)) {
+      Err = H.Monitored
+                ? "checkpoint was taken by a monitored run; attach the "
+                  "same cascade to resume"
+                : "checkpoint was taken by an unmonitored run";
+      return false;
+    }
+    if (H.ProgramFingerprint != fingerprint()) {
+      Err = "checkpoint was taken for a different program (fingerprint "
+            "mismatch)";
+      return false;
+    }
+    Deserializer D = CK.payload();
+    if (Hooks)
+      Hooks->loadMonitorSection(D);
+    else if (D.readU32() != 0)
+      D.fail("checkpoint has monitor states but this run is unmonitored");
+    if (!D.ok()) {
+      Err = D.error();
+      return false;
+    }
+    ValueGraphReader Rd(D, A, nullptr, nullptr, 0);
+    if (!Rd.readObjects()) {
+      Err = D.error();
+      return false;
+    }
+    Block = D.readU32();
+    PC = D.readU32();
+    if (D.ok() && !validCodeRef(Block, PC)) {
+      Err = "corrupt checkpoint: program counter out of range";
+      return false;
+    }
+    Env = Rd.readEnvNodeRef();
+    uint32_t NS = D.readU32();
+    if (!D.ok() || NS > (1u << 28)) {
+      Err = D.ok() ? "corrupt checkpoint: bad stack length" : D.error();
+      return false;
+    }
+    Stack.reserve(NS);
+    for (uint32_t I = 0; I < NS && D.ok(); ++I)
+      Stack.push_back(Rd.readValue());
+    uint32_t NF = D.readU32();
+    if (!D.ok() || NF == 0 || NF > (1u << 28)) {
+      Err = D.ok() ? "corrupt checkpoint: bad call-frame count (the "
+                     "sentinel frame must be present)"
+                   : D.error();
+      return false;
+    }
+    Frames.reserve(NF);
+    for (uint32_t I = 0; I < NF && D.ok(); ++I) {
+      CallFrame F;
+      F.Block = D.readU32();
+      F.PC = D.readU32();
+      F.Env = Rd.readEnvNodeRef();
+      if (D.ok() && !validCodeRef(F.Block, F.PC)) {
+        Err = "corrupt checkpoint: call frame return address out of range";
+        return false;
+      }
+      Frames.push_back(F);
+    }
+    RevivedStrings = Rd.takeStrings();
+    if (!D.ok()) {
+      Err = D.error();
+      return false;
+    }
+    return true;
+  }
 
   void fail(std::string Msg) {
     Failed = true;
@@ -198,8 +352,13 @@ RunResult VM::runSwitch(Governor &Gov) {
     Steps += I.Cost;
     if (Steps >= Gov.nextPause()) {
       Outcome O = Gov.pause(Steps, A.bytesAllocated(), Frames.size());
-      if (O != Outcome::Ok)
+      if (O != Outcome::Ok) {
+        if (Opts.CheckpointOnStop)
+          emitCheckpoint(I);
         return stopResult(O);
+      }
+      if (Gov.takeCheckpointDue())
+        emitCheckpoint(I);
     }
     switch (I.Code) {
 #define VM_CASE(Name) case Op::Name:
@@ -238,8 +397,13 @@ Dispatch:
   Steps += I.Cost;
   if (Steps >= Gov.nextPause()) {
     Outcome O = Gov.pause(Steps, A.bytesAllocated(), Frames.size());
-    if (O != Outcome::Ok)
+    if (O != Outcome::Ok) {
+      if (Opts.CheckpointOnStop)
+        emitCheckpoint(I);
       return stopResult(O);
+    }
+    if (Gov.takeCheckpointDue())
+      emitCheckpoint(I);
   }
   goto *Tbl[static_cast<unsigned>(I.Code)];
 #define VM_CASE(Name) L_##Name:
@@ -256,12 +420,27 @@ Dispatch:
 #endif // MONSEM_VM_HAS_CGOTO
 
 RunResult VM::run() {
-  Governor Gov(Opts.Limits, Opts.MaxSteps);
+  if (Opts.ResumeFrom) {
+    std::string Err;
+    if (!restoreCheckpoint(*Opts.ResumeFrom, Err)) {
+      RunResult R;
+      R.setOutcome(Outcome::Error);
+      R.Error = "cannot resume from checkpoint: " + Err;
+      return R;
+    }
+    // Continue the cumulative step counter; fuel and checkpoint
+    // boundaries measure steps since the resume point (fresh budget).
+    StepBase = Steps = Opts.ResumeFrom->header().SavedSteps;
+  }
+  Governor Gov(Opts.Limits, Opts.MaxSteps, StepBase,
+               Opts.CheckpointSink ? Opts.CheckpointEveryNSteps : 0);
   A.setByteLimit(Gov.arenaByteCap());
-  // Sentinel frame: a tail call at the top level of the entry block
-  // returns straight to the entry's Halt instruction.
-  Frames.push_back(CallFrame{
-      0, static_cast<uint32_t>(P.Blocks[0].Code.size() - 1), nullptr});
+  if (!Opts.ResumeFrom) {
+    // Sentinel frame: a tail call at the top level of the entry block
+    // returns straight to the entry's Halt instruction.
+    Frames.push_back(CallFrame{
+        0, static_cast<uint32_t>(P.Blocks[0].Code.size() - 1), nullptr});
+  }
   try {
 #if MONSEM_VM_HAS_CGOTO
     if (Opts.VMThreaded)
@@ -287,6 +466,7 @@ RunResult monsem::runCompiled(const CompiledProgram &Program,
 
 RunResult monsem::evaluateCompiled(const Cascade &C, const Expr *Program,
                                    RunOptions Opts) {
+  armJournalCheckpointSink(Opts);
   DiagnosticSink Diags;
   if (!C.empty() && !C.validateFor(Program, Diags)) {
     RunResult R;
@@ -304,7 +484,13 @@ RunResult monsem::evaluateCompiled(const Cascade &C, const Expr *Program,
   if (C.empty())
     return runCompiled(*CP, nullptr, Opts);
   RuntimeCascade RC(C, Opts.MonitorFaultPolicy, Opts.MonitorRetryBudget);
-  RunResult R = runCompiled(*CP, &RC, Opts);
+  std::unique_ptr<JournalingHooks> JH;
+  MonitorHooks *Hooks = &RC;
+  if (Opts.RunJournal) {
+    JH = std::make_unique<JournalingHooks>(RC, *Opts.RunJournal);
+    Hooks = JH.get();
+  }
+  RunResult R = runCompiled(*CP, Hooks, Opts);
   R.FinalStates = RC.takeStates();
   R.MonitorFaults = RC.takeFaults();
   return R;

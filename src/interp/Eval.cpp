@@ -15,6 +15,13 @@ std::unique_ptr<ParsedProgram> ParsedProgram::parse(std::string_view Source,
 }
 
 RunResult monsem::evaluate(const Expr *Program, RunOptions Opts) {
+  armJournalCheckpointSink(Opts);
+  // On resume the machine choice (flat frames vs. named chain) must match
+  // the one the checkpoint was written under; adopt it from the header so
+  // a default-configured resume always pairs up. Program identity is still
+  // guarded by the fingerprint check inside restoreCheckpoint().
+  if (Opts.ResumeFrom && Opts.ResumeFrom->valid())
+    Opts.Lexical = Opts.ResumeFrom->header().Lexical;
   if (Opts.Lexical) {
     // Level-2 specialization: resolve once, then run on flat frames. The
     // resolver refuses shared-node programs (!ok), in which case the named
@@ -33,6 +40,9 @@ RunResult monsem::evaluate(const Cascade &C, const Expr *Program,
                            RunOptions Opts) {
   if (C.empty())
     return evaluate(Program, Opts);
+  armJournalCheckpointSink(Opts);
+  if (Opts.ResumeFrom && Opts.ResumeFrom->valid())
+    Opts.Lexical = Opts.ResumeFrom->header().Lexical;
 
   DiagnosticSink Diags;
   if (!C.validateFor(Program, Diags)) {
@@ -43,7 +53,13 @@ RunResult monsem::evaluate(const Cascade &C, const Expr *Program,
   }
 
   RuntimeCascade RC(C, Opts.MonitorFaultPolicy, Opts.MonitorRetryBudget);
-  DynamicMonitorPolicy Policy{&RC};
+  std::unique_ptr<JournalingHooks> JH;
+  MonitorHooks *Hooks = &RC;
+  if (Opts.RunJournal) {
+    JH = std::make_unique<JournalingHooks>(RC, *Opts.RunJournal);
+    Hooks = JH.get();
+  }
+  DynamicMonitorPolicy Policy{Hooks};
   if (Opts.Lexical) {
     std::unique_ptr<Resolution> Res = resolveProgram(Program);
     if (Res->ok()) {
@@ -85,6 +101,9 @@ RunResult monsem::evaluate(const EvalMode &Mode, const Expr *Program) {
     if (Opts.Strat != Strategy::Strict)
       return errorResult("the Direct backend is strict-only; drop kDirect "
                          "or the lazy strategy tag");
+    if (Opts.ResumeFrom)
+      return errorResult("checkpoint/resume requires the CEK or VM backend; "
+                         "drop kDirect");
     // runDirect assumes a validated cascade; validate here like the other
     // backends do.
     if (!Mode.C.empty()) {

@@ -119,6 +119,47 @@ inline LimitsTag cancelOn(std::atomic<bool> &Flag) {
   return T;
 }
 
+/// Resume selector composable with `&`: the run continues from \p CK
+/// instead of starting fresh (CEK and VM backends only). The checkpoint
+/// must outlive the evaluate() call.
+struct ResumeTag {
+  const Checkpoint *CK;
+};
+inline ResumeTag resumeFrom(const Checkpoint &CK) { return ResumeTag{&CK}; }
+
+/// A checkpoint-capture fragment composable with `&`. Fragments merge
+/// field-wise like limits do, so
+/// `checkpointInto(sink) & checkpointEveryNSteps(1 << 16)` arms both the
+/// stop-boundary checkpoint and the periodic schedule.
+struct CheckpointTag {
+  std::function<void(const Checkpoint &)> Sink;
+  bool OnStop = false;
+  uint64_t EveryNSteps = 0;
+};
+/// Deliver checkpoints to \p Sink; also arms the final checkpoint emitted
+/// when the governor stops the run (fuel, deadline, memory, cancellation).
+inline CheckpointTag
+checkpointInto(std::function<void(const Checkpoint &)> Sink) {
+  CheckpointTag T;
+  T.Sink = std::move(Sink);
+  T.OnStop = true;
+  return T;
+}
+/// Emit a periodic checkpoint every \p N steps (needs a sink to go to).
+inline CheckpointTag checkpointEveryNSteps(uint64_t N) {
+  CheckpointTag T;
+  T.EveryNSteps = N;
+  return T;
+}
+
+/// Journal selector composable with `&`: every probe event is appended to
+/// \p J (crash-safe, flushed per record) before the monitors see it. The
+/// journal must outlive the run.
+struct JournalTag {
+  Journal *J;
+};
+inline JournalTag journalInto(Journal &J) { return JournalTag{&J}; }
+
 /// A monitor fault policy composable with `&` (run-wide default; per-
 /// monitor overrides still come from Cascade::use(M, Policy)).
 struct FaultPolicyTag {
@@ -146,6 +187,11 @@ struct EvalMode {
   Backend B = Backend::CEK;
   FaultPolicy MonitorFaultPolicy = FaultPolicy::Quarantine;
   unsigned MonitorRetryBudget = 3;
+  const Checkpoint *ResumeFrom = nullptr;
+  std::function<void(const Checkpoint &)> CheckpointSink;
+  bool CheckpointOnStop = false;
+  uint64_t CheckpointEveryNSteps = 0;
+  Journal *RunJournal = nullptr;
 
   EvalMode() = default;
   // Implicit conversions so any single ingredient is already a mode and
@@ -157,6 +203,11 @@ struct EvalMode {
   EvalMode(LimitsTag T) : Limits(T.L) {}
   EvalMode(FaultPolicyTag T)
       : MonitorFaultPolicy(T.P), MonitorRetryBudget(T.RetryBudget) {}
+  EvalMode(ResumeTag T) : ResumeFrom(T.CK) {}
+  EvalMode(CheckpointTag T)
+      : CheckpointSink(std::move(T.Sink)), CheckpointOnStop(T.OnStop),
+        CheckpointEveryNSteps(T.EveryNSteps) {}
+  EvalMode(JournalTag T) : RunJournal(T.J) {}
 
   /// The one place an EvalMode becomes a RunOptions. The CLI and the
   /// embedded API both funnel through here, so flags and `&` chains cannot
@@ -168,6 +219,11 @@ struct EvalMode {
     O.Limits = Limits;
     O.MonitorFaultPolicy = MonitorFaultPolicy;
     O.MonitorRetryBudget = MonitorRetryBudget;
+    O.ResumeFrom = ResumeFrom;
+    O.CheckpointSink = CheckpointSink;
+    O.CheckpointOnStop = CheckpointOnStop;
+    O.CheckpointEveryNSteps = CheckpointEveryNSteps;
+    O.RunJournal = RunJournal;
     return O;
   }
 };
@@ -212,6 +268,22 @@ inline EvalMode operator&(EvalMode M, LimitsTag T) {
 inline EvalMode operator&(EvalMode M, FaultPolicyTag T) {
   M.MonitorFaultPolicy = T.P;
   M.MonitorRetryBudget = T.RetryBudget;
+  return M;
+}
+inline EvalMode operator&(EvalMode M, ResumeTag T) {
+  M.ResumeFrom = T.CK;
+  return M;
+}
+inline EvalMode operator&(EvalMode M, CheckpointTag T) {
+  if (T.Sink)
+    M.CheckpointSink = std::move(T.Sink);
+  M.CheckpointOnStop = M.CheckpointOnStop || T.OnStop;
+  if (T.EveryNSteps)
+    M.CheckpointEveryNSteps = T.EveryNSteps;
+  return M;
+}
+inline EvalMode operator&(EvalMode M, JournalTag T) {
+  M.RunJournal = T.J;
   return M;
 }
 

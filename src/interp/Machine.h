@@ -52,16 +52,21 @@
 #include "monitor/FaultIsolation.h"
 #include "monitor/Hooks.h"
 #include "semantics/Answer.h"
+#include "semantics/ValueGraph.h"
+#include "support/Checkpoint.h"
 #include "support/Governor.h"
 #include "semantics/Primitives.h"
 #include "semantics/Value.h"
 #include "syntax/Ast.h"
 
 #include <cstdint>
+#include <deque>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
 #include <type_traits>
+#include <unordered_map>
 #include <vector>
 
 namespace monsem {
@@ -99,7 +104,46 @@ struct RunOptions {
   /// supports it (see vmThreadedDispatchAvailable()); off selects the
   /// portable switch loop. Benchmarks compare the two.
   bool VMThreaded = true;
+  /// Resume from this checkpoint instead of starting fresh. The checkpoint
+  /// must match the run's configuration (backend, strategy, environment
+  /// representation, monitored-ness, program fingerprint); a mismatch
+  /// yields an error result without running. The pointee must outlive the
+  /// run. The resumed run continues the cumulative step counter but gets a
+  /// fresh budget (fuel/checkpoint boundaries measure steps since resume).
+  const Checkpoint *ResumeFrom = nullptr;
+  /// Where emitted checkpoints go (a file, a journal, a test buffer).
+  /// Null disables all checkpoint capture.
+  std::function<void(const Checkpoint &)> CheckpointSink;
+  /// Emit a final checkpoint when the governor stops the run (fuel,
+  /// deadline, memory, depth, cancellation) so it can be resumed.
+  bool CheckpointOnStop = false;
+  /// Emit a periodic checkpoint every N steps (0 = off). Folded into the
+  /// governor's pause schedule, so the hot loop stays one compare per step.
+  uint64_t CheckpointEveryNSteps = 0;
+  /// Append every probe event to this crash-safe journal (the driver wraps
+  /// the run's hooks in JournalingHooks). Null disables journaling. The
+  /// pointee must outlive the run.
+  Journal *RunJournal = nullptr;
 };
+
+/// When \p O has a journal armed, rewrite its CheckpointSink so every
+/// emitted checkpoint is appended to the journal first (each append is
+/// flushed, so the checkpoint is durable even if the original sink never
+/// persists it), then forwarded to the original sink if there was one.
+/// Installing a sink also arms the periodic-checkpoint schedule, so
+/// journaled runs get durable checkpoints by default. Drivers call this
+/// once per run, before handing the options to a machine.
+inline void armJournalCheckpointSink(RunOptions &O) {
+  if (!O.RunJournal)
+    return;
+  Journal *J = O.RunJournal;
+  O.CheckpointSink = [J, User = std::move(O.CheckpointSink)](
+                         const Checkpoint &CK) {
+    J->appendCheckpoint(CK.bytes());
+    if (User)
+      User(CK);
+  };
+}
 
 /// The final answer: the paper's <alpha, sigma'> pair. `ValueText` is
 /// phi(alpha); typed accessors are provided for test convenience. Monitor
@@ -320,6 +364,80 @@ private:
       return EnvView(Env);
   }
 
+  //===--------------------------------------------------------------------===//
+  // Checkpoint/resume
+  //===--------------------------------------------------------------------===//
+
+  /// Pre-order index of the program plus derived maps (annotation -> owning
+  /// AnnotExpr id, structural fingerprint). Built lazily: only
+  /// checkpoint-armed or resumed runs pay for it.
+  const ExprTable *exprTable() {
+    if (!Exprs) {
+      Exprs = std::make_unique<ExprTable>(Program);
+      for (uint32_t I = 1; I <= Exprs->size(); ++I) {
+        const Expr *E = Exprs->exprAt(I);
+        if (E && E->kind() == ExprKind::Annot)
+          AnnotIds.emplace(cast<AnnotExpr>(E)->Ann, I);
+      }
+      Fingerprint = exprFingerprint(Program);
+    }
+    return Exprs.get();
+  }
+  uint64_t fingerprint() {
+    exprTable();
+    return Fingerprint;
+  }
+  uint32_t annotIdOf(const Annotation *Ann) const {
+    if (!Ann)
+      return 0;
+    auto It = AnnotIds.find(Ann);
+    return It == AnnotIds.end() ? 0 : It->second;
+  }
+
+  FrameShapeTable shapesOrNull() const {
+    return Res ? Res->shapeTable() : nullptr;
+  }
+  uint32_t numShapesOrZero() const {
+    // The decode table has one extra entry: id 0 is the shared
+    // primitives-frame shape, seeded ahead of the resolver's own shapes.
+    return Res ? static_cast<uint32_t>(Res->numShapes()) + 1 : 0;
+  }
+
+  void writeEnvRef(ValueGraphWriter &W, EnvT *Env) const {
+    if constexpr (Lexical)
+      W.writeEnvFrameRef(Env);
+    else
+      W.writeEnvNodeRef(Env);
+  }
+  EnvT *readEnvRef(ValueGraphReader &Rd) const {
+    if constexpr (Lexical)
+      return Rd.readEnvFrameRef();
+    else
+      return Rd.readEnvNodeRef();
+  }
+
+  /// Serializes the full machine state at a transition boundary. Called
+  /// with Steps = s after ++Steps but before transition s executed, so the
+  /// checkpoint records s-1 completed transitions; resume re-executes
+  /// transition s and cumulative step counts match an uninterrupted run.
+  /// Returns an invalid Checkpoint if serialization failed.
+  Checkpoint makeCheckpoint();
+
+  /// Emits a checkpoint to the configured sink, if any.
+  void emitCheckpoint() {
+    if (!Opts.CheckpointSink)
+      return;
+    Checkpoint CK = makeCheckpoint();
+    if (CK.valid())
+      Opts.CheckpointSink(CK);
+  }
+
+  /// Rebuilds the machine state from \p CK (header validation, monitor
+  /// section, value graph, trampoline roots, continuation chain). On
+  /// failure sets \p Err and leaves the machine unusable — run() reports
+  /// the error without stepping.
+  bool restoreCheckpoint(const Checkpoint &CK, std::string &Err);
+
   const Expr *Program;
   RunOptions Opts;
   Policy Pol;
@@ -339,6 +457,15 @@ private:
   uint64_t KontDepth = 0; ///< Live continuation frames (depth bound).
   bool Failed = false;
   std::string Error;
+
+  // Checkpoint/resume support (all lazily populated; see exprTable()).
+  uint64_t StepBase = 0; ///< Steps already completed before this process.
+  std::unique_ptr<ExprTable> Exprs;
+  std::unordered_map<const Annotation *, uint32_t> AnnotIds;
+  uint64_t Fingerprint = 0;
+  /// Storage for strings revived from a checkpoint (Str values point into
+  /// it); must live as long as the rebuilt heap, i.e. the machine.
+  std::deque<std::string> RevivedStrings;
 };
 
 extern template class MachineT<NoMonitorPolicy, false>;
@@ -820,36 +947,307 @@ void MachineT<Policy, Lexical>::doReturn(Value V, Frame *K) {
   }
 }
 
+/// Per-frame-kind payloads: each kind serializes exactly the fields its
+/// doReturn case reads, so stale fields of recycled frames never drag
+/// unreachable heap structure into the checkpoint.
+template <typename Policy, bool Lexical>
+Checkpoint MachineT<Policy, Lexical>::makeCheckpoint() {
+  CheckpointHeader H;
+  H.Backend = CheckpointBackend::CEK;
+  H.Strategy = static_cast<uint8_t>(Opts.Strat);
+  H.Lexical = Lexical;
+  // Only hook-carrying policies (DynamicMonitorPolicy) have monitor states
+  // to serialize; a level-1 inline policy keeps its state outside the
+  // machine and checkpoints as unmonitored.
+  constexpr bool HasHooks =
+      requires(Policy &P, Serializer &Sec) { P.Hooks->saveMonitorSection(Sec); };
+  H.Monitored = HasHooks;
+#ifdef MONSEM_VALUE_BOXED
+  H.BoxedValues = true;
+#endif
+  H.ProgramFingerprint = fingerprint();
+  H.SavedSteps = Steps - 1;
+  Serializer S = Checkpoint::begin(H);
+  S.writeU8(M == Mode::Return ? 1 : 0);
+  if constexpr (HasHooks)
+    Pol.Hooks->saveMonitorSection(S);
+  else
+    S.writeU32(0);
+
+  ValueGraphWriter W(exprTable(), shapesOrNull(), Lexical);
+  Serializer &RS = W.roots();
+  if (M == Mode::Return) {
+    W.writeValue(CurVal);
+  } else {
+    W.writeExprRef(CurExpr);
+    writeEnvRef(W, CurEnv);
+  }
+  if constexpr (Lexical)
+    W.writeEnvFrameRef(PrimF);
+
+  uint32_t N = 0;
+  for (Frame *F = CurKont; F; F = F->Next)
+    ++N;
+  RS.writeU32(N);
+  for (Frame *F = CurKont; F; F = F->Next) {
+    RS.writeU8(static_cast<uint8_t>(F->K));
+    switch (F->K) {
+    case FK::Halt:
+      break;
+    case FK::EvalFn:
+      W.writeExprRef(F->E1);
+      writeEnvRef(W, F->Env);
+      RS.writeU32(F->Idx);
+      break;
+    case FK::Apply:
+      W.writeValue(F->V);
+      writeEnvRef(W, F->Env);
+      RS.writeU32(F->Idx);
+      break;
+    case FK::Branch:
+      W.writeExprRef(F->E1);
+      W.writeExprRef(F->E2);
+      writeEnvRef(W, F->Env);
+      break;
+    case FK::LetrecBind:
+      writeEnvRef(W, F->Env);
+      RS.writeU32(F->Idx);
+      W.writeExprRef(F->E1);
+      break;
+    case FK::Prim2Rhs:
+      RS.writeU8(F->Op);
+      W.writeExprRef(F->E1); // Null encodes "build a partial" (see doReturn).
+      writeEnvRef(W, F->Env);
+      break;
+    case FK::Prim2Apply:
+      RS.writeU8(F->Op);
+      W.writeValue(F->V);
+      break;
+    case FK::Prim1Apply:
+      RS.writeU8(F->Op);
+      break;
+    case FK::MonPost:
+      // Ann and E1 both belong to one AnnotExpr; its pre-order id names
+      // them across processes.
+      RS.writeU32(annotIdOf(F->Ann));
+      writeEnvRef(W, F->Env);
+      break;
+    case FK::UpdateThunk:
+      W.writeThunkRef(F->Th);
+      break;
+    }
+  }
+  if (!W.ok())
+    return Checkpoint();
+  W.finish(S);
+  return Checkpoint::seal(std::move(S));
+}
+
+template <typename Policy, bool Lexical>
+bool MachineT<Policy, Lexical>::restoreCheckpoint(const Checkpoint &CK,
+                                                  std::string &Err) {
+  const CheckpointHeader &H = CK.header();
+  if (H.Backend != CheckpointBackend::CEK) {
+    Err = "checkpoint was taken by the VM backend, not the CEK machine";
+    return false;
+  }
+  if (H.Strategy != static_cast<uint8_t>(Opts.Strat)) {
+    Err = std::string("checkpoint was taken under the ") +
+          strategyName(static_cast<Strategy>(H.Strategy)) +
+          " strategy, this run uses " + strategyName(Opts.Strat);
+    return false;
+  }
+  if (H.Lexical != Lexical) {
+    Err = "checkpoint environment representation (flat frames vs named "
+          "chain) does not match this machine";
+    return false;
+  }
+  constexpr bool HasHooks = requires(Policy &P, Deserializer &Sec) {
+    P.Hooks->loadMonitorSection(Sec);
+  };
+  if (H.Monitored != HasHooks) {
+    Err = H.Monitored
+              ? "checkpoint was taken by a monitored run; attach the same "
+                "cascade to resume"
+              : "checkpoint was taken by an unmonitored run";
+    return false;
+  }
+  if (H.ProgramFingerprint != fingerprint()) {
+    Err = "checkpoint was taken for a different program (fingerprint "
+          "mismatch)";
+    return false;
+  }
+
+  Deserializer D = CK.payload();
+  uint8_t ModeByte = D.readU8();
+  if (ModeByte > 1) {
+    Err = "corrupt checkpoint: bad trampoline mode byte";
+    return false;
+  }
+  if constexpr (HasHooks)
+    Pol.Hooks->loadMonitorSection(D);
+  else if (D.readU32() != 0)
+    D.fail("checkpoint has monitor states but this run is unmonitored");
+  if (!D.ok()) {
+    Err = D.error();
+    return false;
+  }
+
+  ValueGraphReader Rd(D, A, exprTable(), shapesOrNull(), numShapesOrZero());
+  if (!Rd.readObjects()) {
+    Err = D.error();
+    return false;
+  }
+  if (ModeByte == 1) {
+    CurVal = Rd.readValue();
+    M = Mode::Return;
+  } else {
+    CurExpr = Rd.readExprRef();
+    CurEnv = readEnvRef(Rd);
+    M = Mode::Eval;
+    if (D.ok() && !CurExpr) {
+      Err = "corrupt checkpoint: null control expression";
+      return false;
+    }
+  }
+  if constexpr (Lexical)
+    PrimF = Rd.readEnvFrameRef();
+
+  uint32_t N = D.readU32();
+  if (!D.ok() || N == 0 || N > (1u << 28)) {
+    Err = D.ok() ? "corrupt checkpoint: bad continuation length" : D.error();
+    return false;
+  }
+  std::vector<Frame *> Fs(N);
+  for (uint32_t I = 0; I < N; ++I)
+    Fs[I] = A.create<Frame>();
+  for (uint32_t I = 0; I < N && D.ok(); ++I) {
+    Frame *F = Fs[I];
+    uint8_t Raw = D.readU8();
+    if (Raw > static_cast<uint8_t>(FK::UpdateThunk)) {
+      D.fail("corrupt checkpoint: unknown continuation frame kind");
+      break;
+    }
+    F->K = static_cast<FK>(Raw);
+    switch (F->K) {
+    case FK::Halt:
+      break;
+    case FK::EvalFn:
+      F->E1 = Rd.readExprRef();
+      F->Env = readEnvRef(Rd);
+      F->Idx = D.readU32();
+      break;
+    case FK::Apply:
+      F->V = Rd.readValue();
+      F->Env = readEnvRef(Rd);
+      F->Idx = D.readU32();
+      break;
+    case FK::Branch:
+      F->E1 = Rd.readExprRef();
+      F->E2 = Rd.readExprRef();
+      F->Env = readEnvRef(Rd);
+      break;
+    case FK::LetrecBind:
+      F->Env = readEnvRef(Rd);
+      F->Idx = D.readU32();
+      F->E1 = Rd.readExprRef();
+      break;
+    case FK::Prim2Rhs:
+      F->Op = D.readU8();
+      F->E1 = Rd.readExprRef();
+      F->Env = readEnvRef(Rd);
+      break;
+    case FK::Prim2Apply:
+      F->Op = D.readU8();
+      F->V = Rd.readValue();
+      break;
+    case FK::Prim1Apply:
+      F->Op = D.readU8();
+      break;
+    case FK::MonPost: {
+      uint32_t AnnId = D.readU32();
+      const Expr *AE = exprTable()->exprAt(AnnId);
+      if (!AE || AE->kind() != ExprKind::Annot) {
+        D.fail("corrupt checkpoint: MonPost frame names a non-annotation");
+        break;
+      }
+      F->Ann = cast<AnnotExpr>(AE)->Ann;
+      F->E1 = cast<AnnotExpr>(AE)->Inner;
+      F->Env = readEnvRef(Rd);
+      break;
+    }
+    case FK::UpdateThunk:
+      F->Th = Rd.readThunkRef();
+      if (D.ok() && !F->Th) {
+        D.fail("corrupt checkpoint: UpdateThunk frame without a thunk");
+      }
+      break;
+    }
+    F->Next = I + 1 < N ? Fs[I + 1] : nullptr;
+  }
+  if (D.ok() && Fs[N - 1]->K != FK::Halt)
+    D.fail("corrupt checkpoint: continuation does not end in Halt");
+  if (!D.ok()) {
+    Err = D.error();
+    return false;
+  }
+  CurKont = Fs[0];
+  KontDepth = N;
+  RevivedStrings = Rd.takeStrings();
+  return true;
+}
+
 template <typename Policy, bool Lexical>
 RunResult MachineT<Policy, Lexical>::run() {
   RunResult R;
-  Governor Gov(Opts.Limits, Opts.MaxSteps);
+  if (Opts.ResumeFrom) {
+    std::string Err;
+    if (!restoreCheckpoint(*Opts.ResumeFrom, Err)) {
+      R.setOutcome(Outcome::Error);
+      R.Error = "cannot resume from checkpoint: " + Err;
+      return R;
+    }
+    // Continue the cumulative step counter; fuel and checkpoint boundaries
+    // are measured from the resume point (fresh budget).
+    StepBase = Steps = Opts.ResumeFrom->header().SavedSteps;
+  }
+  Governor Gov(Opts.Limits, Opts.MaxSteps, StepBase,
+               Opts.CheckpointSink ? Opts.CheckpointEveryNSteps : 0);
   A.setByteLimit(Gov.arenaByteCap());
   try {
-    Frame *Halt = mkFrame(FK::Halt, nullptr);
-    CurExpr = Program;
-    if constexpr (Lexical) {
-      // The frame chain bottoms out at the initial frame so monitors see
-      // the primitive bindings through EnvView, matching the named chain.
-      // The machine itself addresses PrimF directly (AddrKind::Global).
-      PrimF = initialFrame(A);
-      CurEnv = allocFrame(A, Res->rootShape(), PrimF);
-    } else {
-      CurEnv = initialEnv(A);
+    if (!Opts.ResumeFrom) {
+      Frame *Halt = mkFrame(FK::Halt, nullptr);
+      CurExpr = Program;
+      if constexpr (Lexical) {
+        // The frame chain bottoms out at the initial frame so monitors see
+        // the primitive bindings through EnvView, matching the named chain.
+        // The machine itself addresses PrimF directly (AddrKind::Global).
+        PrimF = initialFrame(A);
+        CurEnv = allocFrame(A, Res->rootShape(), PrimF);
+      } else {
+        CurEnv = initialEnv(A);
+      }
+      CurKont = Halt;
+      M = Mode::Eval;
     }
-    CurKont = Halt;
-    M = Mode::Eval;
 
     while (M != Mode::Done && !Failed) {
       ++Steps;
       if (Steps >= Gov.nextPause()) {
         Outcome O = Gov.pause(Steps, A.bytesAllocated(), KontDepth);
         if (O != Outcome::Ok) {
+          // ++Steps ran but transition `Steps` did not; the checkpoint
+          // records Steps-1 completed transitions so a resumed run
+          // re-executes exactly this transition.
+          if (Opts.CheckpointOnStop)
+            emitCheckpoint();
           R.setOutcome(O);
           R.Steps = Steps;
           R.ArenaBytes = A.bytesAllocated();
           return R;
         }
+        if (Gov.takeCheckpointDue())
+          emitCheckpoint();
       }
       if (M == Mode::Eval)
         doEval(CurExpr, CurEnv, CurKont);

@@ -116,3 +116,54 @@ void RuntimeCascade::post(const Annotation &Ann, const Expr &E, EnvView Env,
 std::vector<std::unique_ptr<MonitorState>> RuntimeCascade::takeStates() {
   return std::move(States);
 }
+
+void RuntimeCascade::saveMonitorSection(Serializer &S) const {
+  S.writeU32(C.size());
+  for (unsigned I = 0; I < C.size(); ++I) {
+    S.writeString(std::string(C.monitor(I).name()));
+    Serializer Blob;
+    States[I]->save(Blob);
+    S.writeU32(static_cast<uint32_t>(Blob.size()));
+    S.writeBytes(Blob.bytes().data(), Blob.size());
+  }
+}
+
+void RuntimeCascade::loadMonitorSection(Deserializer &D) {
+  uint32_t N = D.readU32();
+  if (!D.ok())
+    return;
+  if (N != C.size()) {
+    D.fail("checkpoint was written with a different number of monitors (" +
+           std::to_string(N) + " saved, " + std::to_string(C.size()) +
+           " in this run's cascade)");
+    return;
+  }
+  for (unsigned I = 0; I < C.size(); ++I) {
+    std::string Name = D.readString();
+    if (!D.ok())
+      return;
+    if (Name != C.monitor(I).name()) {
+      D.fail("checkpoint monitor #" + std::to_string(I) + " is '" + Name +
+             "' but this run's cascade has '" +
+             std::string(C.monitor(I).name()) + "' at that position");
+      return;
+    }
+    uint32_t Len = D.readU32();
+    if (!D.ok())
+      return;
+    if (Len > D.remaining()) {
+      D.fail("monitor state blob for '" + Name + "' is truncated");
+      return;
+    }
+    // Each state's load() runs against a sub-view of exactly its own blob,
+    // so a monitor that misreads its bytes cannot desynchronize the rest
+    // of the section.
+    Deserializer Sub(D.cursor(), Len);
+    States[I]->load(Sub);
+    if (!Sub.ok()) {
+      D.fail("monitor '" + Name + "': " + Sub.error());
+      return;
+    }
+    D.skip(Len);
+  }
+}

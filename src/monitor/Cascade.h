@@ -103,6 +103,13 @@ public:
             Value Result, uint64_t StepIndex,
             uint64_t AllocatedBytes) override;
 
+  /// Checkpoint support: writes one named, length-prefixed record per
+  /// monitor (MonitorState::save). The name prefix lets resume verify the
+  /// same cascade is being restored; the length prefix keeps one monitor's
+  /// framing error from desynchronizing the rest of the section.
+  void saveMonitorSection(Serializer &S) const override;
+  void loadMonitorSection(Deserializer &D) override;
+
   /// Final monitor states, transferred to the caller (paper: the sigma'
   /// component of the <alpha, sigma'> answer pair).
   std::vector<std::unique_ptr<MonitorState>> takeStates();

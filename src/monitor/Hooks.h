@@ -18,6 +18,7 @@
 #define MONSEM_MONITOR_HOOKS_H
 
 #include "monitor/MonitorSpec.h"
+#include "support/Journal.h"
 
 namespace monsem {
 
@@ -37,6 +38,51 @@ public:
   virtual void post(const Annotation &Ann, const Expr &E, EnvView Env,
                     Value Result, uint64_t StepIndex,
                     uint64_t AllocatedBytes) = 0;
+
+  /// Checkpoint support: serialize every live monitor state into the
+  /// checkpoint's monitor section. The default writes an empty section
+  /// (zero monitors), matching hook implementations that carry no state.
+  virtual void saveMonitorSection(Serializer &S) const { S.writeU32(0); }
+
+  /// Restores the monitor section written by saveMonitorSection into
+  /// freshly initialized states. Mismatches (different cascade) are
+  /// reported through D.fail().
+  virtual void loadMonitorSection(Deserializer &D) {
+    if (D.readU32() != 0)
+      D.fail("checkpoint has monitor states but this run has no monitors");
+  }
+};
+
+/// Decorator that appends every probe event to a run journal before
+/// forwarding to the wrapped hooks — the crash-safe event trail the CLI
+/// replays after an abort. Checkpoint sections delegate unchanged.
+class JournalingHooks : public MonitorHooks {
+public:
+  JournalingHooks(MonitorHooks &Inner, Journal &J) : Inner(Inner), J(J) {}
+
+  void pre(const Annotation &Ann, const Expr &E, EnvView Env,
+           uint64_t StepIndex, uint64_t AllocatedBytes) override {
+    J.appendEvent(StepIndex, "pre " + Ann.text());
+    Inner.pre(Ann, E, Env, StepIndex, AllocatedBytes);
+  }
+
+  void post(const Annotation &Ann, const Expr &E, EnvView Env, Value Result,
+            uint64_t StepIndex, uint64_t AllocatedBytes) override {
+    J.appendEvent(StepIndex,
+                  "post " + Ann.text() + " = " + toDisplayString(Result));
+    Inner.post(Ann, E, Env, Result, StepIndex, AllocatedBytes);
+  }
+
+  void saveMonitorSection(Serializer &S) const override {
+    Inner.saveMonitorSection(S);
+  }
+  void loadMonitorSection(Deserializer &D) override {
+    Inner.loadMonitorSection(D);
+  }
+
+private:
+  MonitorHooks &Inner;
+  Journal &J;
 };
 
 } // namespace monsem

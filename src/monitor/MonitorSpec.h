@@ -27,6 +27,7 @@
 #define MONSEM_MONITOR_MONITORSPEC_H
 
 #include "semantics/Value.h"
+#include "support/Checkpoint.h"
 #include "syntax/Ast.h"
 
 #include <memory>
@@ -47,6 +48,20 @@ public:
   /// Human-readable rendering of the final state (used by examples and
   /// EXPERIMENTS.md); the paper prints states like `[fac -> 4, mul -> 3]`.
   virtual std::string str() const { return "<state>"; }
+
+  /// Checkpoint support: serialize this state's *data* — counters, tables,
+  /// buffered output — never live handles (streams, ballast, callbacks),
+  /// which the owning Monitor re-establishes through initialState() on
+  /// resume. The default saves nothing, which is correct for stateless
+  /// monitors; a monitor that keeps data and does not override these pairs
+  /// resumes with a fresh state. See docs/WRITING_MONITORS.md ("Making
+  /// your monitor checkpointable").
+  virtual void save(Serializer &S) const {}
+
+  /// Inverse of save(): called on a state freshly built by initialState(),
+  /// so members not written by save() keep their initial-state values.
+  /// Report malformed input via D.fail(); never trust sizes blindly.
+  virtual void load(Deserializer &D) {}
 };
 
 /// Read-only view of the semantic context (the A*_i arguments: for

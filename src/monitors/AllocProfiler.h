@@ -50,6 +50,40 @@ public:
     }
     return Out + "]";
   }
+
+  void save(Serializer &S) const override {
+    S.writeU32(static_cast<uint32_t>(Entries.size()));
+    for (const auto &[Label, E] : Entries) {
+      S.writeString(Label);
+      S.writeU64(E.Calls);
+      S.writeU64(E.TotalBytes);
+      S.writeU64(E.MaxBytes);
+    }
+    S.writeU32(static_cast<uint32_t>(Stack.size()));
+    for (const auto &[Label, Start] : Stack) {
+      S.writeString(Label);
+      S.writeU64(Start);
+    }
+  }
+  void load(Deserializer &D) override {
+    Entries.clear();
+    Stack.clear();
+    uint32_t NE = D.readU32();
+    for (uint32_t I = 0; I < NE && D.ok(); ++I) {
+      std::string Label = D.readString();
+      Entry E;
+      E.Calls = D.readU64();
+      E.TotalBytes = D.readU64();
+      E.MaxBytes = D.readU64();
+      Entries[std::move(Label)] = E;
+    }
+    uint32_t NS = D.readU32();
+    for (uint32_t I = 0; I < NS && D.ok(); ++I) {
+      std::string Label = D.readString();
+      uint64_t Start = D.readU64();
+      Stack.emplace_back(std::move(Label), Start);
+    }
+  }
 };
 
 class AllocProfiler : public Monitor {

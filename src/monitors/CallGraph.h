@@ -43,6 +43,31 @@ public:
     }
     return Out;
   }
+
+  void save(Serializer &S) const override {
+    S.writeU32(static_cast<uint32_t>(Edges.size()));
+    for (const auto &[Edge, N] : Edges) {
+      S.writeString(Edge.first);
+      S.writeString(Edge.second);
+      S.writeU64(N);
+    }
+    S.writeU32(static_cast<uint32_t>(Stack.size()));
+    for (const std::string &Name : Stack)
+      S.writeString(Name);
+  }
+  void load(Deserializer &D) override {
+    Edges.clear();
+    Stack.clear();
+    uint32_t NE = D.readU32();
+    for (uint32_t I = 0; I < NE && D.ok(); ++I) {
+      std::string From = D.readString();
+      std::string To = D.readString();
+      Edges[{std::move(From), std::move(To)}] = D.readU64();
+    }
+    uint32_t NS = D.readU32();
+    for (uint32_t I = 0; I < NS && D.ok(); ++I)
+      Stack.push_back(D.readString());
+  }
 };
 
 class CallGraphMonitor : public Monitor {

@@ -53,6 +53,28 @@ public:
     }
     return Out + "]";
   }
+
+  void save(Serializer &S) const override {
+    S.writeU32(static_cast<uint32_t>(Sets.size()));
+    for (const auto &[Tag, Vals] : Sets) {
+      S.writeString(Tag);
+      S.writeU32(static_cast<uint32_t>(Vals.size()));
+      for (const std::string &V : Vals)
+        S.writeString(V);
+    }
+  }
+  void load(Deserializer &D) override {
+    Sets.clear();
+    uint32_t NT = D.readU32();
+    for (uint32_t I = 0; I < NT && D.ok(); ++I) {
+      std::string Tag = D.readString();
+      std::set<std::string> Vals;
+      uint32_t NV = D.readU32();
+      for (uint32_t J = 0; J < NV && D.ok(); ++J)
+        Vals.insert(D.readString());
+      Sets[std::move(Tag)] = std::move(Vals);
+    }
+  }
 };
 
 class CollectingMonitor : public Monitor {

@@ -37,6 +37,22 @@ public:
     Out += " points hit (" + std::to_string(TotalHits) + " events)";
     return Out;
   }
+
+  void save(Serializer &S) const override {
+    S.writeU32(static_cast<uint32_t>(Hit.size()));
+    for (const std::string &P : Hit)
+      S.writeString(P);
+    S.writeU64(TotalHits);
+    S.writeU32(TotalPoints);
+  }
+  void load(Deserializer &D) override {
+    Hit.clear();
+    uint32_t N = D.readU32();
+    for (uint32_t I = 0; I < N && D.ok(); ++I)
+      Hit.insert(D.readString());
+    TotalHits = D.readU64();
+    TotalPoints = D.readU32();
+  }
 };
 
 class CoverageMonitor : public Monitor {

@@ -60,6 +60,74 @@ public:
   std::vector<std::string> CallStack; ///< Maintained from pre/post events.
 
   std::string str() const override { return Chan.str(); }
+
+  /// The interactive Input stream is a live handle and is not serialized;
+  /// a resumed interactive session keeps the stream initialState() gave it.
+  /// Script/ScriptPos round-trip, so a scripted session resumes exactly
+  /// where it stopped.
+  void save(Serializer &S) const override {
+    Chan.save(S);
+    S.writeU32(static_cast<uint32_t>(Script.size()));
+    for (const std::string &L : Script)
+      S.writeString(L);
+    S.writeU64(ScriptPos);
+    S.writeU8(static_cast<uint8_t>(M));
+    S.writeU32(static_cast<uint32_t>(Breakpoints.size()));
+    for (const std::string &B : Breakpoints)
+      S.writeString(B);
+    S.writeU32(static_cast<uint32_t>(CondBreaks.size()));
+    for (const auto &[Label, Cond] : CondBreaks) {
+      S.writeString(Label);
+      S.writeString(Cond.first);
+      S.writeString(Cond.second);
+    }
+    S.writeU32(static_cast<uint32_t>(Watches.size()));
+    for (const auto &[Var, Last] : Watches) {
+      S.writeString(Var);
+      S.writeString(Last);
+    }
+    S.writeU32(static_cast<uint32_t>(CallStack.size()));
+    for (const std::string &F : CallStack)
+      S.writeString(F);
+  }
+  void load(Deserializer &D) override {
+    Chan.load(D);
+    Script.clear();
+    uint32_t NS = D.readU32();
+    for (uint32_t I = 0; I < NS && D.ok(); ++I)
+      Script.push_back(D.readString());
+    ScriptPos = static_cast<size_t>(D.readU64());
+    uint8_t Raw = D.readU8();
+    if (Raw > static_cast<uint8_t>(Mode::Detached)) {
+      D.fail("debugger mode byte out of range");
+      return;
+    }
+    M = static_cast<Mode>(Raw);
+    Breakpoints.clear();
+    uint32_t NB = D.readU32();
+    for (uint32_t I = 0; I < NB && D.ok(); ++I)
+      Breakpoints.insert(D.readString());
+    CondBreaks.clear();
+    uint32_t NC = D.readU32();
+    for (uint32_t I = 0; I < NC && D.ok(); ++I) {
+      std::string Label = D.readString();
+      std::string Var = D.readString();
+      std::string Val = D.readString();
+      CondBreaks[std::move(Label)] = {std::move(Var), std::move(Val)};
+    }
+    Watches.clear();
+    uint32_t NW = D.readU32();
+    for (uint32_t I = 0; I < NW && D.ok(); ++I) {
+      std::string Var = D.readString();
+      Watches[std::move(Var)] = D.readString();
+    }
+    CallStack.clear();
+    uint32_t NF = D.readU32();
+    for (uint32_t I = 0; I < NF && D.ok(); ++I)
+      CallStack.push_back(D.readString());
+    if (ScriptPos > Script.size())
+      D.fail("debugger script position past end of script");
+  }
 };
 
 class Debugger : public Monitor {

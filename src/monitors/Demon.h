@@ -45,6 +45,18 @@ public:
     }
     return Out + "}";
   }
+
+  void save(Serializer &S) const override {
+    S.writeU32(static_cast<uint32_t>(Fired.size()));
+    for (const std::string &L : Fired)
+      S.writeString(L);
+  }
+  void load(Deserializer &D) override {
+    Fired.clear();
+    uint32_t N = D.readU32();
+    for (uint32_t I = 0; I < N && D.ok(); ++I)
+      Fired.insert(D.readString());
+  }
 };
 
 /// The paper's `sorted?` predicate: true for non-decreasing integer lists

@@ -89,6 +89,25 @@ public:
         : InnerState(std::move(Inner)), Rng(Seed) {}
     std::string str() const override { return InnerState->str(); }
 
+    /// Recursive: the inner state's bytes nest inside the wrapper's, so an
+    /// injector around any checkpointable monitor is itself checkpointable.
+    /// Ballast is deliberately dropped — it models a leak, not data — but
+    /// BallastBytes round-trips so the cap keeps its cumulative meaning.
+    void save(Serializer &S) const override {
+      S.writeU64(Rng);
+      S.writeU64(Probes);
+      S.writeU64(Injected);
+      S.writeU64(BallastBytes);
+      InnerState->save(S);
+    }
+    void load(Deserializer &D) override {
+      Rng = D.readU64();
+      Probes = D.readU64();
+      Injected = D.readU64();
+      BallastBytes = static_cast<size_t>(D.readU64());
+      InnerState->load(D);
+    }
+
     std::unique_ptr<MonitorState> InnerState;
     uint64_t Rng;
     uint64_t Probes = 0;

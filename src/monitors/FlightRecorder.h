@@ -42,6 +42,26 @@ public:
     }
     return Out;
   }
+
+  void save(Serializer &S) const override {
+    S.writeU64(Capacity);
+    S.writeU64(TotalEvents);
+    S.writeU32(static_cast<uint32_t>(Ring.size()));
+    for (const std::string &L : Ring)
+      S.writeString(L);
+  }
+  void load(Deserializer &D) override {
+    Ring.clear();
+    Capacity = static_cast<size_t>(D.readU64());
+    TotalEvents = D.readU64();
+    uint32_t N = D.readU32();
+    if (N > Capacity) {
+      D.fail("flight-recorder ring larger than its capacity");
+      return;
+    }
+    for (uint32_t I = 0; I < N && D.ok(); ++I)
+      Ring.push_back(D.readString());
+  }
 };
 
 class FlightRecorder : public Monitor {

@@ -38,6 +38,15 @@ public:
   std::string str() const override {
     return "<" + std::to_string(CountA) + ", " + std::to_string(CountB) + ">";
   }
+
+  void save(Serializer &S) const override {
+    S.writeU64(CountA);
+    S.writeU64(CountB);
+  }
+  void load(Deserializer &D) override {
+    CountA = D.readU64();
+    CountB = D.readU64();
+  }
 };
 
 class CountingProfiler : public Monitor {
@@ -96,6 +105,22 @@ public:
       Out += Name + " -> " + std::to_string(N);
     }
     return Out + "]";
+  }
+
+  void save(Serializer &S) const override {
+    S.writeU32(static_cast<uint32_t>(Counters.size()));
+    for (const auto &[Name, N] : Counters) {
+      S.writeString(Name);
+      S.writeU64(N);
+    }
+  }
+  void load(Deserializer &D) override {
+    Counters.clear();
+    uint32_t N = D.readU32();
+    for (uint32_t I = 0; I < N && D.ok(); ++I) {
+      std::string Name = D.readString();
+      Counters[Name] = D.readU64();
+    }
   }
 };
 

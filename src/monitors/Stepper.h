@@ -25,6 +25,15 @@ public:
   uint64_t Events = 0;
 
   std::string str() const override { return Chan.str(); }
+
+  void save(Serializer &S) const override {
+    Chan.save(S);
+    S.writeU64(Events);
+  }
+  void load(Deserializer &D) override {
+    Chan.load(D);
+    Events = D.readU64();
+  }
 };
 
 class Stepper : public Monitor {

@@ -39,6 +39,15 @@ public:
   int Level = 0;
 
   std::string str() const override { return Chan.str(); }
+
+  void save(Serializer &S) const override {
+    Chan.save(S);
+    S.writeI64(Level);
+  }
+  void load(Deserializer &D) override {
+    Chan.load(D);
+    Level = static_cast<int>(D.readI64());
+  }
 };
 
 class Tracer : public Monitor {

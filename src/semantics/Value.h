@@ -106,8 +106,12 @@ struct Thunk;
 struct PrimPartial;
 
 /// A closure over compiled bytecode (see compile/Bytecode.h); the VM's
-/// counterpart of Closure.
-struct VMClosure;
+/// counterpart of Closure. Defined here rather than in compile/ so the
+/// value-graph serializer (semantics/ValueGraph.h) can rebuild one.
+struct VMClosure {
+  uint32_t Block;
+  EnvNode *Env;
+};
 
 enum class ValueKind : uint8_t {
   Unit, ///< The letrec "not yet initialized" placeholder.

@@ -99,15 +99,29 @@ public:
   /// \p LegacyMaxSteps is the pre-governor fuel field (RunOptions::MaxSteps
   /// and friends); it applies when Limits.MaxSteps is unset so existing
   /// drivers keep their exact semantics.
-  explicit Governor(const ResourceLimits &Limits, uint64_t LegacyMaxSteps = 0)
-      : L(Limits) {
+  ///
+  /// \p StepBase is nonzero only for resumed runs: the machine's step
+  /// counter continues from the checkpoint (so cumulative step counts match
+  /// an uninterrupted run), while the budget is fresh — fuel measures
+  /// `Steps - StepBase`, and checkpoint boundaries are relative to the
+  /// resume point.
+  ///
+  /// \p CheckpointEvery (0 = off) schedules a checkpoint boundary every N
+  /// steps; the machine polls takeCheckpointDue() after an Ok pause. Folding
+  /// the boundary into the pause schedule keeps the hot loop at one compare
+  /// per step whether or not checkpointing is armed.
+  explicit Governor(const ResourceLimits &Limits, uint64_t LegacyMaxSteps = 0,
+                    uint64_t StepBase = 0, uint64_t CheckpointEvery = 0)
+      : L(Limits), Base(StepBase), CkptEvery(CheckpointEvery) {
     MaxSteps = L.MaxSteps ? L.MaxSteps : LegacyMaxSteps;
     Interval = L.CheckInterval ? L.CheckInterval : kDefaultCheckInterval;
     Periodic = L.DeadlineMs || L.MaxArenaBytes || L.MaxDepth || L.CancelFlag;
     if (L.DeadlineMs)
       Deadline = std::chrono::steady_clock::now() +
                  std::chrono::milliseconds(L.DeadlineMs);
-    NextPause = computeNextPause(0);
+    if (CkptEvery)
+      NextCkpt = Base + CkptEvery;
+    NextPause = computeNextPause(Base);
   }
 
   /// The first step count at which pause() must run. UINT64_MAX when no
@@ -122,7 +136,7 @@ public:
   /// (fuel, memory, depth) run before the wall-clock ones so that runs
   /// that can stop deterministically do.
   Outcome pause(uint64_t Steps, uint64_t ArenaBytes, uint64_t Depth) {
-    if (MaxSteps && Steps > MaxSteps)
+    if (MaxSteps && Steps - Base > MaxSteps)
       return Outcome::FuelExhausted;
     if (L.MaxArenaBytes && ArenaBytes > L.MaxArenaBytes)
       return Outcome::MemoryExceeded;
@@ -132,8 +146,21 @@ public:
       return Outcome::Cancelled;
     if (L.DeadlineMs && std::chrono::steady_clock::now() >= Deadline)
       return Outcome::Deadline;
+    if (CkptEvery && Steps >= NextCkpt) {
+      CkptDue = true;
+      while (NextCkpt <= Steps)
+        NextCkpt += CkptEvery;
+    }
     NextPause = computeNextPause(Steps);
     return Outcome::Ok;
+  }
+
+  /// True once per crossed checkpoint boundary; the machine emits a
+  /// checkpoint when this fires. Self-clearing.
+  bool takeCheckpointDue() {
+    bool Due = CkptDue;
+    CkptDue = false;
+    return Due;
   }
 
 private:
@@ -141,18 +168,24 @@ private:
     uint64_t N = UINT64_MAX;
     if (Periodic)
       N = Steps + Interval;
-    // Fuel is exact: stop on the first step past MaxSteps, exactly like
+    // Fuel is exact: stop on the first step past the budget, exactly like
     // the pre-governor per-step check did.
-    if (MaxSteps && MaxSteps != UINT64_MAX && MaxSteps + 1 < N)
-      N = MaxSteps + 1;
+    if (MaxSteps && MaxSteps != UINT64_MAX && Base + MaxSteps + 1 < N)
+      N = Base + MaxSteps + 1;
+    if (CkptEvery && NextCkpt < N)
+      N = NextCkpt;
     return N;
   }
 
   ResourceLimits L;
   uint64_t MaxSteps = 0;
+  uint64_t Base = 0;
   uint32_t Interval = kDefaultCheckInterval;
   bool Periodic = false;
   uint64_t NextPause = UINT64_MAX;
+  uint64_t CkptEvery = 0;
+  uint64_t NextCkpt = UINT64_MAX;
+  bool CkptDue = false;
   std::chrono::steady_clock::time_point Deadline;
 };
 

@@ -1,0 +1,100 @@
+//===- support/Journal.cpp ------------------------------------------------===//
+
+#include "support/Journal.h"
+
+#include "support/Checkpoint.h"
+
+using namespace monsem;
+
+namespace {
+constexpr uint8_t kEventRecord = 1;
+constexpr uint8_t kCheckpointRecord = 2;
+} // namespace
+
+std::unique_ptr<Journal> Journal::open(const std::string &Path,
+                                       std::string &Err) {
+  std::FILE *F = std::fopen(Path.c_str(), "ab");
+  if (!F) {
+    Err = "cannot open journal file '" + Path + "' for appending";
+    return nullptr;
+  }
+  return std::unique_ptr<Journal>(new Journal(F, Path));
+}
+
+Journal::~Journal() {
+  if (F)
+    std::fclose(F);
+}
+
+void Journal::appendRecord(uint8_t Type, const std::vector<uint8_t> &Payload) {
+  // Frame = type + len + payload; checksum covers the whole frame so a
+  // record with a corrupted header is rejected too.
+  Serializer S;
+  S.writeU8(Type);
+  S.writeU32(static_cast<uint32_t>(Payload.size()));
+  S.writeBytes(Payload.data(), Payload.size());
+  S.writeU64(fnv1aHash(S.bytes().data(), S.bytes().size()));
+  std::fwrite(S.bytes().data(), 1, S.bytes().size(), F);
+  std::fflush(F);
+}
+
+void Journal::appendEvent(uint64_t Step, std::string_view Text) {
+  Serializer P;
+  P.writeU64(Step);
+  P.writeString(Text);
+  appendRecord(kEventRecord, P.bytes());
+}
+
+void Journal::appendCheckpoint(const std::vector<uint8_t> &CheckpointBytes) {
+  appendRecord(kCheckpointRecord, CheckpointBytes);
+}
+
+JournalRecovery monsem::recoverJournal(const std::string &Path,
+                                       size_t TailLimit) {
+  JournalRecovery R;
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return R;
+  std::vector<uint8_t> Bytes;
+  uint8_t Buf[4096];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Bytes.insert(Bytes.end(), Buf, Buf + N);
+  std::fclose(F);
+  R.Opened = true;
+
+  size_t Pos = 0;
+  while (Bytes.size() - Pos >= 1 + 4 + 8) {
+    Deserializer D(Bytes.data() + Pos, Bytes.size() - Pos);
+    uint8_t Type = D.readU8();
+    uint32_t Len = D.readU32();
+    if (D.remaining() < static_cast<size_t>(Len) + 8)
+      break; // torn tail: record body never made it to disk
+    size_t FrameLen = 1 + 4 + Len;
+    uint64_t Want = fnv1aHash(Bytes.data() + Pos, FrameLen);
+    Deserializer T(Bytes.data() + Pos + FrameLen, 8);
+    if (T.readU64() != Want)
+      break; // corrupt record: stop trusting the file here
+    Deserializer P(Bytes.data() + Pos + 1 + 4, Len);
+    if (Type == kEventRecord) {
+      JournalEvent E;
+      E.Step = P.readU64();
+      E.Text = P.readString();
+      if (P.ok()) {
+        ++R.TotalEvents;
+        ++R.EventsSinceCheckpoint;
+        R.Tail.push_back(std::move(E));
+        if (R.Tail.size() > TailLimit)
+          R.Tail.erase(R.Tail.begin());
+      }
+    } else if (Type == kCheckpointRecord) {
+      R.LastCheckpoint.assign(Bytes.data() + Pos + 1 + 4,
+                              Bytes.data() + Pos + 1 + 4 + Len);
+      R.EventsSinceCheckpoint = 0;
+    }
+    // Unknown record types are skipped (forward compatibility).
+    Pos += FrameLen + 8;
+  }
+  R.TornBytes = Bytes.size() - Pos;
+  return R;
+}

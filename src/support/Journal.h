@@ -1,0 +1,86 @@
+//===- support/Journal.h - Crash-safe run journal ---------------*- C++ -*-===//
+///
+/// \file
+/// An append-only on-disk journal of probe events and periodic checkpoints,
+/// so a run that crashes (or is killed) leaves behind (a) a FlightRecorder-
+/// style tail of the last monitor events and (b) the last durable
+/// checkpoint to resume from.
+///
+/// Record framing (little-endian):
+///
+///   [u8 type] [u32 len] [len payload bytes] [u64 FNV-1a of type+len+payload]
+///
+/// Types: 1 = event (u64 step + string text), 2 = checkpoint (the framed
+/// Checkpoint bytes, themselves internally checksummed).
+///
+/// Invariants (see DESIGN.md "Run journal"):
+///  - Records are only ever appended; nothing in a valid prefix is mutated.
+///  - Each append is flushed before appendEvent/appendCheckpoint returns,
+///    so the journal is durable up to the last completed record.
+///  - Recovery scans from the start and stops at the first record whose
+///    frame or checksum is invalid; the torn tail is reported, not trusted.
+///    Everything before it is usable: a crash can lose at most the record
+///    being written.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MONSEM_SUPPORT_JOURNAL_H
+#define MONSEM_SUPPORT_JOURNAL_H
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace monsem {
+
+/// One monitor-probe event as recorded in (and recovered from) a journal.
+struct JournalEvent {
+  uint64_t Step = 0;
+  std::string Text;
+};
+
+/// Append handle on a journal file. Create with Journal::open; every append
+/// is framed, checksummed and flushed individually.
+class Journal {
+public:
+  /// Opens \p Path for appending (creating it if absent). Returns nullptr
+  /// and sets \p Err on I/O failure.
+  static std::unique_ptr<Journal> open(const std::string &Path,
+                                       std::string &Err);
+  ~Journal();
+  Journal(const Journal &) = delete;
+  Journal &operator=(const Journal &) = delete;
+
+  void appendEvent(uint64_t Step, std::string_view Text);
+  void appendCheckpoint(const std::vector<uint8_t> &CheckpointBytes);
+  const std::string &path() const { return Path; }
+
+private:
+  Journal(std::FILE *F, std::string Path) : F(F), Path(std::move(Path)) {}
+  void appendRecord(uint8_t Type, const std::vector<uint8_t> &Payload);
+
+  std::FILE *F;
+  std::string Path;
+};
+
+/// What recovery found in a journal file. `LastCheckpoint` holds the framed
+/// bytes of the most recent durable checkpoint (feed to
+/// Checkpoint::fromBytes); `Tail` holds the last `TailLimit` events *after*
+/// discarding any torn trailing record.
+struct JournalRecovery {
+  bool Opened = false; ///< File existed and was readable.
+  std::vector<JournalEvent> Tail;
+  uint64_t TotalEvents = 0;
+  std::vector<uint8_t> LastCheckpoint;
+  uint64_t EventsSinceCheckpoint = 0;
+  uint64_t TornBytes = 0; ///< Trailing bytes of an incomplete record.
+};
+
+JournalRecovery recoverJournal(const std::string &Path, size_t TailLimit = 16);
+
+} // namespace monsem
+
+#endif // MONSEM_SUPPORT_JOURNAL_H

@@ -2,6 +2,8 @@
 
 #include "support/OutChan.h"
 
+#include "support/Checkpoint.h"
+
 #include <ostream>
 
 using namespace monsem;
@@ -39,4 +41,20 @@ std::string OutChan::str() const {
 void OutChan::clear() {
   Lines.clear();
   Pending.clear();
+}
+
+void OutChan::save(Serializer &S) const {
+  S.writeU32(static_cast<uint32_t>(Lines.size()));
+  for (const std::string &L : Lines)
+    S.writeString(L);
+  S.writeString(Pending);
+}
+
+void OutChan::load(Deserializer &D) {
+  Lines.clear();
+  Pending.clear();
+  uint32_t N = D.readU32();
+  for (uint32_t I = 0; I < N && D.ok(); ++I)
+    Lines.push_back(D.readString());
+  Pending = D.readString();
 }

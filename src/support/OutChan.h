@@ -22,6 +22,9 @@
 
 namespace monsem {
 
+class Serializer;
+class Deserializer;
+
 /// An append-only output channel: the paper's `Stream` with `addStream` and
 /// `initStream`. Lines are recorded individually so tests can make precise
 /// assertions, and the whole contents can be rendered as one string.
@@ -50,6 +53,12 @@ public:
   std::string str() const;
 
   void clear();
+
+  /// Checkpoint support: saves the buffered lines and any unterminated
+  /// pending text. The live echo sink is a handle, not data — it is left
+  /// untouched by load(), so a resumed run keeps its own sink.
+  void save(Serializer &S) const;
+  void load(Deserializer &D);
 
 private:
   std::vector<std::string> Lines;

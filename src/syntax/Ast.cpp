@@ -2,6 +2,8 @@
 
 #include "syntax/Ast.h"
 
+#include "support/Checkpoint.h"
+
 using namespace monsem;
 
 const char *monsem::prim1Name(Prim1Op Op) {
@@ -256,6 +258,117 @@ void monsem::collectAnnotations(const Expr *E,
     return;
   }
   }
+}
+
+void monsem::collectExprs(const Expr *E, std::vector<const Expr *> &Out) {
+  Out.push_back(E);
+  switch (E->kind()) {
+  case ExprKind::Const:
+  case ExprKind::Var:
+    return;
+  case ExprKind::Lam:
+    collectExprs(cast<LamExpr>(E)->Body, Out);
+    return;
+  case ExprKind::If: {
+    const auto *I = cast<IfExpr>(E);
+    collectExprs(I->Cond, Out);
+    collectExprs(I->Then, Out);
+    collectExprs(I->Else, Out);
+    return;
+  }
+  case ExprKind::App: {
+    const auto *A = cast<AppExpr>(E);
+    collectExprs(A->Fn, Out);
+    collectExprs(A->Arg, Out);
+    return;
+  }
+  case ExprKind::Letrec: {
+    const auto *L = cast<LetrecExpr>(E);
+    collectExprs(L->Bound, Out);
+    collectExprs(L->Body, Out);
+    return;
+  }
+  case ExprKind::Prim1:
+    collectExprs(cast<Prim1Expr>(E)->Arg, Out);
+    return;
+  case ExprKind::Prim2: {
+    const auto *P = cast<Prim2Expr>(E);
+    collectExprs(P->Lhs, Out);
+    collectExprs(P->Rhs, Out);
+    return;
+  }
+  case ExprKind::Annot:
+    collectExprs(cast<AnnotExpr>(E)->Inner, Out);
+    return;
+  }
+}
+
+namespace {
+uint64_t hashChain(uint64_t H, std::string_view S) {
+  H = fnv1aHash(S.data(), S.size(), H);
+  return fnv1aHash("\x1f", 1, H); // field separator
+}
+} // namespace
+
+uint64_t monsem::exprFingerprint(const Expr *E) {
+  // Every kind has a fixed arity, so hashing the pre-order stream of
+  // (kind, payload) pairs identifies the tree unambiguously.
+  std::vector<const Expr *> Nodes;
+  collectExprs(E, Nodes);
+  uint64_t H = 0xcbf29ce484222325ull;
+  for (const Expr *N : Nodes) {
+    uint8_t K = static_cast<uint8_t>(N->kind());
+    H = fnv1aHash(&K, 1, H);
+    switch (N->kind()) {
+    case ExprKind::Const: {
+      const ConstVal &V = cast<ConstExpr>(N)->Val;
+      uint8_t CK = static_cast<uint8_t>(V.K);
+      H = fnv1aHash(&CK, 1, H);
+      switch (V.K) {
+      case ConstVal::Kind::Int: {
+        int64_t I = V.Int;
+        H = fnv1aHash(&I, sizeof(I), H);
+        break;
+      }
+      case ConstVal::Kind::Bool:
+        H = hashChain(H, V.Bool ? "t" : "f");
+        break;
+      case ConstVal::Kind::Str:
+        H = hashChain(H, *V.Str);
+        break;
+      case ConstVal::Kind::Nil:
+        break;
+      }
+      break;
+    }
+    case ExprKind::Var:
+      H = hashChain(H, cast<VarExpr>(N)->Name.str());
+      break;
+    case ExprKind::Lam:
+      H = hashChain(H, cast<LamExpr>(N)->Param.str());
+      break;
+    case ExprKind::Letrec:
+      H = hashChain(H, cast<LetrecExpr>(N)->Name.str());
+      break;
+    case ExprKind::Prim1: {
+      uint8_t Op = static_cast<uint8_t>(cast<Prim1Expr>(N)->Op);
+      H = fnv1aHash(&Op, 1, H);
+      break;
+    }
+    case ExprKind::Prim2: {
+      uint8_t Op = static_cast<uint8_t>(cast<Prim2Expr>(N)->Op);
+      H = fnv1aHash(&Op, 1, H);
+      break;
+    }
+    case ExprKind::Annot:
+      H = hashChain(H, cast<AnnotExpr>(N)->Ann->text());
+      break;
+    case ExprKind::If:
+    case ExprKind::App:
+      break;
+    }
+  }
+  return H;
 }
 
 const Expr *monsem::stripAnnotations(AstContext &Ctx, const Expr *E) {

@@ -402,6 +402,18 @@ size_t exprSize(const Expr *E);
 /// Collects every annotation reachable in \p E in pre-order.
 void collectAnnotations(const Expr *E, std::vector<const Annotation *> &Out);
 
+/// Collects every node of \p E in pre-order (children visited in field
+/// order). Because every ExprKind has a fixed arity, a node's pre-order
+/// position is a stable identity across processes for structurally
+/// identical trees — the checkpoint format uses it to name expressions.
+void collectExprs(const Expr *E, std::vector<const Expr *> &Out);
+
+/// Deterministic structural fingerprint: FNV-1a over the pre-order stream
+/// of node kinds, constants, binder/variable spellings and annotation text.
+/// Equal for structurally equal trees in any process; used to refuse
+/// resuming a checkpoint against a different program.
+uint64_t exprFingerprint(const Expr *E);
+
 /// Strips every annotation node: the mapping from sbar back to s used in the
 /// soundness theorem (Thm. 7.7).
 const Expr *stripAnnotations(AstContext &Ctx, const Expr *E);

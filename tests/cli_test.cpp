@@ -192,3 +192,210 @@ TEST(CliTest, ImperativeReadInput) {
   EXPECT_EQ(R.ExitCode, 0) << R.Output;
   EXPECT_NE(R.Output.find("14"), std::string::npos) << R.Output;
 }
+
+//===----------------------------------------------------------------------===//
+// Exit-code contract: one code per Outcome (see exitCodeFor in the CLI).
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+CliResult runStdin(const std::string &Program, const std::string &Args) {
+  return runShell("printf '" + Program + "' | " + MONSEM_CLI_PATH + " - " +
+                  Args);
+}
+
+const char *kDivergingProgram = "letrec loop = lambda x. loop x in loop 1";
+const char *kDeepProgram =
+    "letrec f = lambda n. 1 + f (n + 1) in f 0"; // Non-tail: depth grows.
+
+} // namespace
+
+TEST(CliExitCodes, OkIsZero) {
+  EXPECT_EQ(runStdin("40 + 2", "").ExitCode, 0);
+}
+
+TEST(CliExitCodes, RuntimeErrorIsTwo) {
+  CliResult R = runStdin("1 2", ""); // Applying a non-function.
+  EXPECT_EQ(R.ExitCode, 2) << R.Output;
+}
+
+TEST(CliExitCodes, FuelExhaustedIsThree) {
+  CliResult R = runStdin(kDivergingProgram, "--max-steps=100");
+  EXPECT_EQ(R.ExitCode, 3) << R.Output;
+  EXPECT_NE(R.Output.find("fuel-exhausted"), std::string::npos) << R.Output;
+}
+
+TEST(CliExitCodes, DeadlineIsFour) {
+  CliResult R = runStdin(kDivergingProgram, "--deadline-ms=20");
+  EXPECT_EQ(R.ExitCode, 4) << R.Output;
+}
+
+TEST(CliExitCodes, MemoryExceededIsFive) {
+  CliResult R = runStdin(kDeepProgram, "--max-bytes=20000");
+  EXPECT_EQ(R.ExitCode, 5) << R.Output;
+}
+
+TEST(CliExitCodes, DepthExceededIsSeven) {
+  CliResult R = runStdin(kDeepProgram, "--max-depth=10");
+  EXPECT_EQ(R.ExitCode, 7) << R.Output;
+}
+
+TEST(CliExitCodes, UnreadableInputIsOne) {
+  CliResult R = runCli("/nonexistent/program.lam");
+  EXPECT_EQ(R.ExitCode, 1) << R.Output;
+}
+
+//===----------------------------------------------------------------------===//
+// Checkpoint / resume and the run journal.
+//===----------------------------------------------------------------------===//
+
+TEST(CliCheckpoint, InterruptAndResumeMatchesUninterrupted) {
+  std::string Ck = ::testing::TempDir() + "cli_fac.ck";
+  std::remove(Ck.c_str());
+  CliResult Stop = runCli(sample("fac.lam") +
+                          " --profile --max-steps=200 --checkpoint-out=" + Ck);
+  EXPECT_EQ(Stop.ExitCode, 3) << Stop.Output;
+  EXPECT_NE(Stop.Output.find("checkpoint written to"), std::string::npos)
+      << Stop.Output;
+
+  CliResult Resumed =
+      runCli(sample("fac.lam") + " --profile --resume=" + Ck);
+  EXPECT_EQ(Resumed.ExitCode, 0) << Resumed.Output;
+
+  CliResult Straight = runCli(sample("fac.lam") + " --profile");
+  // The answer and the monitor's final state must be exactly what the
+  // uninterrupted run produces.
+  EXPECT_EQ(Resumed.Output, Straight.Output);
+  std::remove(Ck.c_str());
+}
+
+TEST(CliCheckpoint, ResumeRejectsADifferentProgram) {
+  std::string Ck = ::testing::TempDir() + "cli_mismatch.ck";
+  std::remove(Ck.c_str());
+  CliResult Stop = runCli(sample("fac.lam") +
+                          " --max-steps=200 --checkpoint-out=" + Ck);
+  ASSERT_EQ(Stop.ExitCode, 3) << Stop.Output;
+  CliResult R = runCli(sample("fib.lam") + " --resume=" + Ck);
+  EXPECT_NE(R.ExitCode, 0);
+  std::remove(Ck.c_str());
+}
+
+TEST(CliCheckpoint, JournalRecoveryResumesAndPrintsTail) {
+  std::string Journal = ::testing::TempDir() + "cli_run.journal";
+  std::remove(Journal.c_str());
+  std::string Program = "letrec loop = lambda k. {loop}: if k < 1 then 42 "
+                        "else loop (k - 1) in loop 3000";
+  CliResult Crash = runStdin(
+      Program, "--profile --journal=" + Journal +
+                   " --checkpoint-every-n-steps=1000 --max-steps=5000");
+  EXPECT_EQ(Crash.ExitCode, 3) << Crash.Output;
+
+  CliResult Recovered =
+      runStdin(Program, "--profile --resume-journal=" + Journal);
+  EXPECT_EQ(Recovered.ExitCode, 0) << Recovered.Output;
+  // FlightRecorder-style tail of the last probe events, then the resume.
+  EXPECT_NE(Recovered.Output.find("last events:"), std::string::npos)
+      << Recovered.Output;
+  EXPECT_NE(Recovered.Output.find("pre {loop}"), std::string::npos)
+      << Recovered.Output;
+  EXPECT_NE(Recovered.Output.find("resuming from step"), std::string::npos)
+      << Recovered.Output;
+  EXPECT_NE(Recovered.Output.find("42"), std::string::npos) << Recovered.Output;
+
+  CliResult Straight = runStdin(Program, "--profile");
+  ASSERT_EQ(Straight.ExitCode, 0);
+  // The resumed profile must equal the uninterrupted one.
+  std::string Profile = Straight.Output.substr(Straight.Output.find("profile:"));
+  EXPECT_NE(Recovered.Output.find(Profile), std::string::npos)
+      << Recovered.Output;
+  std::remove(Journal.c_str());
+}
+
+TEST(CliCheckpoint, MissingJournalIsAnIoError) {
+  CliResult R = runStdin("1", "--resume-journal=/nonexistent/run.journal");
+  EXPECT_EQ(R.ExitCode, 1) << R.Output;
+}
+
+TEST(CliCheckpoint, RecordCapacityZeroRejected) {
+  CliResult R = runCli(sample("fac.lam") + " --record --record-capacity=0");
+  EXPECT_EQ(R.ExitCode, 2) << R.Output;
+  EXPECT_NE(R.Output.find("--record-capacity must be positive"),
+            std::string::npos)
+      << R.Output;
+}
+
+TEST(CliCheckpoint, RecordCapacityBoundsTheRing) {
+  CliResult R = runCli(sample("fac.lam") + " --record --record-capacity=3");
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  // Ring of 3: exactly the last three events survive.
+  size_t Events = 0;
+  for (size_t Pos = 0; (Pos = R.Output.find("exit fac", Pos)) !=
+                       std::string::npos;
+       ++Pos)
+    ++Events;
+  EXPECT_EQ(Events, 3u) << R.Output;
+  EXPECT_NE(R.Output.find("exit fac = 3628800"), std::string::npos)
+      << R.Output;
+}
+
+//===----------------------------------------------------------------------===//
+// SIGINT escalation: first ^C cancels cooperatively, a second within the
+// grace window hard-exits 130.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::string writeProgram(const char *Name, const std::string &Src) {
+  std::string Path = ::testing::TempDir() + Name;
+  FILE *F = fopen(Path.c_str(), "w");
+  EXPECT_NE(F, nullptr);
+  fwrite(Src.data(), 1, Src.size(), F);
+  fclose(F);
+  return Path;
+}
+
+} // namespace
+
+TEST(CliSigint, FirstInterruptCancelsCooperatively) {
+  std::string Prog = writeProgram("cli_sigint_loop.lam", kDivergingProgram);
+  CliResult R = runShell(std::string(MONSEM_CLI_PATH) + " " + Prog +
+                         " >/dev/null 2>&1 & pid=$!; sleep 0.5; "
+                         "kill -INT $pid; wait $pid");
+  EXPECT_EQ(R.ExitCode, 6) << R.Output; // Outcome::Cancelled.
+  std::remove(Prog.c_str());
+}
+
+TEST(CliSigint, FirstInterruptWritesAFinalCheckpoint) {
+  std::string Prog = writeProgram("cli_sigint_ck.lam", kDivergingProgram);
+  std::string Ck = ::testing::TempDir() + "cli_sigint.ck";
+  std::remove(Ck.c_str());
+  CliResult R = runShell(std::string(MONSEM_CLI_PATH) + " " + Prog +
+                         " --checkpoint-out=" + Ck +
+                         " >/dev/null 2>&1 & pid=$!; sleep 0.5; "
+                         "kill -INT $pid; wait $pid");
+  EXPECT_EQ(R.ExitCode, 6) << R.Output;
+  FILE *F = fopen(Ck.c_str(), "rb");
+  EXPECT_NE(F, nullptr) << "cancelled run should leave a resumable checkpoint";
+  if (F)
+    fclose(F);
+  std::remove(Ck.c_str());
+  std::remove(Prog.c_str());
+}
+
+TEST(CliSigint, SecondInterruptWithinGraceHardExits) {
+  // --debug blocks reading commands from stdin (held open by `sleep`), so
+  // the cooperative flag is never polled — exactly the stuck run the
+  // escalation exists for.
+  std::string Prog = writeProgram(
+      "cli_sigint_dbg.lam",
+      "letrec f = lambda x. {f(x)}: if x = 0 then 0 else f (x - 1) in f 5");
+  // `sleep 6` (not longer): popen() reads until every pipeline member
+  // exits, so the sleep bounds the test's runtime after the CLI dies.
+  CliResult R = runShell("sleep 6 | " + std::string(MONSEM_CLI_PATH) + " " +
+                         Prog +
+                         " --debug >/dev/null 2>&1 & pid=$!; sleep 0.5; "
+                         "kill -INT $pid; sleep 0.3; kill -INT $pid; "
+                         "wait $pid");
+  EXPECT_EQ(R.ExitCode, 130) << R.Output;
+  std::remove(Prog.c_str());
+}

@@ -39,9 +39,12 @@
 
 #include <atomic>
 #include <csignal>
+#include <ctime>
 #include <fstream>
 #include <iostream>
 #include <sstream>
+
+#include <unistd.h>
 
 using namespace monsem;
 
@@ -49,10 +52,50 @@ namespace {
 
 /// Set by the SIGINT handler; every run loop polls it through the
 /// governor's cancellation hook, so ^C ends the run with partial monitor
-/// states instead of killing the process.
+/// states (and, with --checkpoint-out, a final resumable checkpoint)
+/// instead of killing the process.
 std::atomic<bool> GCancel{false};
+/// time() of the first SIGINT, 0 before it. A second SIGINT within the
+/// grace window hard-exits: the polite path already had its chance.
+std::atomic<std::time_t> GFirstInt{0};
+constexpr std::time_t kInterruptGraceSeconds = 10;
 
-void onInterrupt(int) { GCancel.store(true, std::memory_order_relaxed); }
+/// First ^C: raise the cooperative flag and let the governor wind the run
+/// down. Second ^C within the grace window: the run is stuck (a hung
+/// monitor, a pathological program) — _exit immediately with the
+/// conventional 128+SIGINT status. Only async-signal-safe calls here.
+void onInterrupt(int) {
+  std::time_t Now = std::time(nullptr);
+  std::time_t First = GFirstInt.load(std::memory_order_relaxed);
+  if (First != 0 && Now - First <= kInterruptGraceSeconds)
+    _exit(130);
+  GFirstInt.store(Now, std::memory_order_relaxed);
+  GCancel.store(true, std::memory_order_relaxed);
+}
+
+/// The CLI's exit-code contract, one code per Outcome (asserted by
+/// tests/cli_test.cpp): 0 Ok, 2 Error, 3 FuelExhausted, 4 Deadline,
+/// 5 MemoryExceeded, 6 Cancelled, 7 DepthExceeded. Exit code 1 is
+/// reserved for CLI-level I/O failures (unreadable input, bad journal).
+int exitCodeFor(Outcome O) {
+  switch (O) {
+  case Outcome::Ok:
+    return 0;
+  case Outcome::Error:
+    return 2;
+  case Outcome::FuelExhausted:
+    return 3;
+  case Outcome::Deadline:
+    return 4;
+  case Outcome::MemoryExceeded:
+    return 5;
+  case Outcome::DepthExceeded:
+    return 7;
+  case Outcome::Cancelled:
+    return 6;
+  }
+  return 2;
+}
 
 struct Options {
   std::string File;
@@ -81,6 +124,12 @@ struct Options {
   uint64_t MaxBytes = 0;
   uint64_t MaxDepth = 0;
   FaultPolicy FaultPol = FaultPolicy::Quarantine;
+  std::string CheckpointOut;   ///< --checkpoint-out=PATH.
+  uint64_t CheckpointEvery = 0; ///< --checkpoint-every-n-steps=N.
+  std::string ResumePath;      ///< --resume=PATH (a checkpoint file).
+  std::string JournalPath;     ///< --journal=PATH.
+  std::string ResumeJournal;   ///< --resume-journal=PATH.
+  uint64_t RecordCapacity = 16; ///< --record-capacity=N (>0).
   std::string Inject; ///< "", "throw", "sleep", or "alloc".
   std::string ImpWatch;
   std::vector<int64_t> ImpInput;
@@ -101,7 +150,8 @@ int usage(const char *Argv0) {
       << "    --collect          collecting monitor (source annotations)\n"
       << "    --demon-sorted     unsorted-list demon (source annotations)\n"
       << "    --step             log every monitored event\n"
-      << "    --record           flight recorder: keep the last 16 events\n"
+      << "    --record           flight recorder: keep the last N events\n"
+      << "    --record-capacity=N  flight-recorder ring size (default 16)\n"
       << "    --coverage         label applications, report coverage\n"
       << "    --debug            interactive dbx-style debugger on stdin\n"
       << "    --prelude          wrap the program in the standard prelude\n"
@@ -117,6 +167,17 @@ int usage(const char *Argv0) {
       << "    --max-bytes=N      arena byte cap\n"
       << "    --max-depth=N      continuation / recursion depth bound\n"
       << "    --monitor-fault-policy=quarantine|abort|retry\n"
+      << "  checkpoint / resume (functional programs):\n"
+      << "    --checkpoint-out=F write a checkpoint to F when the governor\n"
+      << "                       (or ^C) stops the run; resumable later\n"
+      << "    --checkpoint-every-n-steps=N\n"
+      << "                       also checkpoint periodically every N steps\n"
+      << "    --resume=F         resume from checkpoint file F (same program\n"
+      << "                       and monitor flags as the original run)\n"
+      << "    --journal=F        crash-safe journal: append every monitor\n"
+      << "                       event and checkpoint to F as the run goes\n"
+      << "    --resume-journal=F print the journal's event tail, then resume\n"
+      << "                       from its last durable checkpoint\n"
       << "    --inject=throw|sleep|alloc\n"
       << "                       wrap --profile's monitor in a fault "
          "injector\n"
@@ -205,6 +266,22 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
     } else if (auto V = Value("--monitor-fault-policy=")) {
       if (!parseFaultPolicy(*V, O.FaultPol))
         return false;
+    } else if (auto V = Value("--checkpoint-out=")) {
+      O.CheckpointOut = *V;
+    } else if (auto V = Value("--checkpoint-every-n-steps=")) {
+      O.CheckpointEvery = std::stoull(*V);
+    } else if (auto V = Value("--resume=")) {
+      O.ResumePath = *V;
+    } else if (auto V = Value("--journal=")) {
+      O.JournalPath = *V;
+    } else if (auto V = Value("--resume-journal=")) {
+      O.ResumeJournal = *V;
+    } else if (auto V = Value("--record-capacity=")) {
+      O.RecordCapacity = std::stoull(*V);
+      if (O.RecordCapacity == 0) {
+        std::cerr << "error: --record-capacity must be positive\n";
+        return false;
+      }
     } else if (auto V = Value("--inject=")) {
       if (*V != "throw" && *V != "sleep" && *V != "alloc")
         return false;
@@ -266,6 +343,17 @@ EvalMode modeFor(const Options &O) {
     M = M & maxDepth(O.MaxDepth);
   if (O.UseVM)
     M = M & kVM;
+  if (!O.CheckpointOut.empty()) {
+    std::string Path = O.CheckpointOut;
+    M = M & checkpointInto([Path](const Checkpoint &CK) {
+          std::string Err;
+          if (!CK.saveFile(Path, Err))
+            std::cerr << "warning: cannot write checkpoint to '" << Path
+                      << "': " << Err << '\n';
+        });
+  }
+  if (O.CheckpointEvery)
+    M = M & checkpointEveryNSteps(O.CheckpointEvery);
   return M;
 }
 
@@ -294,7 +382,7 @@ int runImperative(const Options &O, const std::string &Source) {
   const Cmd *Program = parseImpProgram(Ctx, Source, Diags);
   if (!Program) {
     std::cerr << Diags.str() << '\n';
-    return 1;
+    return exitCodeFor(Outcome::Error);
   }
   if (O.PrintAst)
     std::cout << printCmd(Program) << '\n';
@@ -325,11 +413,11 @@ int runImperative(const Options &O, const std::string &Source) {
     for (unsigned I = 0; I < C.size() && I < R.FinalStates.size(); ++I)
       std::cerr << C.monitor(I).name() << " (partial): "
                 << R.FinalStates[I]->str() << '\n';
-    return 1;
+    return exitCodeFor(R.St);
   }
   if (!R.Ok) {
     std::cerr << "error: " << R.Error << '\n';
-    return 1;
+    return exitCodeFor(Outcome::Error);
   }
   for (const std::string &Line : R.Output)
     std::cout << Line << '\n';
@@ -347,7 +435,7 @@ int runFunctional(const Options &O, const std::string &Source) {
   auto P = ParsedProgram::parse(Source);
   if (!P->ok()) {
     std::cerr << P->diags().str() << '\n';
-    return 1;
+    return exitCodeFor(Outcome::Error);
   }
   const Expr *Program = P->root();
   if (O.Prelude) {
@@ -355,7 +443,7 @@ int runFunctional(const Options &O, const std::string &Source) {
     Program = wrapWithPrelude(P->context(), Program, PDiags);
     if (!Program) {
       std::cerr << PDiags.str() << '\n';
-      return 1;
+      return exitCodeFor(Outcome::Error);
     }
   }
   std::vector<Symbol> Names = toSymbols(O.Names);
@@ -401,6 +489,72 @@ int runFunctional(const Options &O, const std::string &Source) {
   // Assemble the mode: flags first (modeFor), then the cascade, all in
   // one EvalMode routed through the unified evaluate() entry.
   EvalMode Mode = modeFor(O);
+
+  // Resume: from an explicit checkpoint file, or from the last durable
+  // checkpoint in a journal (after replaying its event tail, so the user
+  // sees what the crashed run was doing).
+  Checkpoint CK; // Must outlive evaluate().
+  if (!O.ResumeJournal.empty()) {
+    JournalRecovery Rec = recoverJournal(O.ResumeJournal);
+    if (!Rec.Opened) {
+      std::cerr << "error: cannot read journal '" << O.ResumeJournal
+                << "'\n";
+      return 1;
+    }
+    std::cerr << "journal: " << Rec.TotalEvents << " events";
+    if (Rec.TornBytes)
+      std::cerr << ", " << Rec.TornBytes << " torn trailing bytes discarded";
+    std::cerr << "; last events:\n";
+    for (const JournalEvent &E : Rec.Tail)
+      std::cerr << "  [step " << E.Step << "] " << E.Text << '\n';
+    if (Rec.LastCheckpoint.empty()) {
+      std::cerr << "error: journal has no durable checkpoint to resume "
+                   "from\n";
+      return 1;
+    }
+    std::string Err;
+    CK = Checkpoint::fromBytes(Rec.LastCheckpoint, Err);
+    if (!CK.valid()) {
+      std::cerr << "error: journal checkpoint is unusable: " << Err << '\n';
+      return 1;
+    }
+    std::cerr << "resuming from step " << CK.header().SavedSteps << '\n';
+  } else if (!O.ResumePath.empty()) {
+    std::string Err;
+    CK = Checkpoint::loadFile(O.ResumePath, Err);
+    if (!CK.valid()) {
+      std::cerr << "error: cannot load checkpoint '" << O.ResumePath
+                << "': " << Err << '\n';
+      return 1;
+    }
+  }
+  if (CK.valid()) {
+    // Backend and strategy are recorded in the checkpoint; adopt them so
+    // `--resume=F` alone continues the run the way it was started. The
+    // monitor flags still have to match (the monitor section is checked
+    // name-by-name when the machine restores).
+    Mode = Mode & resumeFrom(CK);
+    Mode.B = CK.header().Backend == CheckpointBackend::VM ? Backend::VM
+                                                          : Backend::CEK;
+    Mode.Strat = static_cast<Strategy>(CK.header().Strategy);
+  }
+
+  // Crash-safe journal: every probe event and emitted checkpoint is
+  // appended (and flushed) as the run goes, so a kill -9 still leaves a
+  // usable trail. Arming a journal also arms the stop-boundary checkpoint.
+  std::unique_ptr<Journal> J;
+  if (!O.JournalPath.empty()) {
+    std::string Err;
+    J = Journal::open(O.JournalPath, Err);
+    if (!J) {
+      std::cerr << "error: cannot open journal '" << O.JournalPath
+                << "': " << Err << '\n';
+      return 1;
+    }
+    Mode = Mode & journalInto(*J);
+    Mode.CheckpointOnStop = true;
+  }
+
   Cascade &C = Mode.C;
   Tracer Trc(&std::cout);
   CallProfiler Prof;
@@ -413,7 +567,7 @@ int runFunctional(const Options &O, const std::string &Source) {
   CollectingMonitor Coll;
   Demon DemonM = Demon::unsortedLists();
   Stepper Stp;
-  FlightRecorder Rec(16);
+  FlightRecorder Rec(O.RecordCapacity);
   CoverageMonitor Cov(NumPoints);
   Debugger Dbg(std::cin, std::cout);
   if (O.Trace)
@@ -462,17 +616,20 @@ int runFunctional(const Options &O, const std::string &Source) {
   if (R.stoppedByGovernor()) {
     std::cerr << "stopped: " << outcomeName(R.St) << " after " << R.Steps
               << " steps\n";
+    if (!O.CheckpointOut.empty())
+      std::cerr << "checkpoint written to '" << O.CheckpointOut
+                << "'; resume with --resume=" << O.CheckpointOut << '\n';
     for (unsigned I = 0; I < C.size() && I < R.FinalStates.size(); ++I) {
       if (&C.monitor(I) == &Trc)
         continue;
       std::cerr << C.monitor(I).name() << " (partial): "
                 << R.FinalStates[I]->str() << '\n';
     }
-    return 1;
+    return exitCodeFor(R.St);
   }
   if (!R.Ok) {
     std::cerr << "error: " << R.Error << '\n';
-    return 1;
+    return exitCodeFor(Outcome::Error);
   }
   std::cout << R.ValueText << '\n';
   for (unsigned I = 0; I < C.size(); ++I) {
@@ -588,6 +745,7 @@ int runRepl(const Options &Base) {
       C.use(Prof);
     }
     GCancel.store(false); // A ^C from a previous evaluation is spent.
+    GFirstInt.store(0);   // ...and no longer arms the hard-exit escalation.
     RunResult R = evaluate(Mode, Program);
     if (R.stoppedByGovernor())
       std::cout << "stopped: " << outcomeName(R.St) << " after " << R.Steps
