@@ -103,6 +103,127 @@ inline uint16_t packOpDepth(uint8_t PrimOp, uint32_t Depth) {
 inline uint8_t unpackPrimOp(uint16_t B) { return static_cast<uint8_t>(B); }
 inline uint32_t unpackDepth(uint16_t B) { return B >> 8; }
 
+//===----------------------------------------------------------------------===//
+// Register tier
+//===----------------------------------------------------------------------===//
+
+struct CompiledProgram;
+
+/// Three-address register opcodes. The register tier is a 1:1 re-encoding
+/// of the *fused* stack bytecode: `lowerToRegisters` maps every stack
+/// instruction to exactly one register instruction at the same (block, pc)
+/// coordinate with the same Cost, so step counts, governor pause points,
+/// probe positions, and checkpoint coordinates are identical across tiers
+/// — a checkpoint taken on either tier resumes on the other.
+///
+/// The enumerators mirror `Op` name for name and value for value (the
+/// static_asserts below pin the correspondence); what changes is the
+/// operand encoding: pushes and pops become explicit register indices
+/// computed by the lowering pass from the static stack height at each pc.
+enum class ROp : uint8_t {
+  Const,       ///< r[D] = ConstPool[A]
+  Var,         ///< r[D] = varref S1 (register or environment, see kParamReg)
+  MkClosure,   ///< r[D] = closure over Blocks[A] and the current env
+  Jump,        ///< pc = A
+  JumpIfFalse, ///< pc = A when r[S1] is false (error if non-bool)
+  Call,        ///< fn = r[S1], arg = r[S2]; result lands in r[D]
+  TailCall,    ///< like Call but reuses the current register window
+  Ret,         ///< return r[S1] to the caller's destination register
+  Prim1,       ///< r[D] = prim1<A>(r[S1])
+  Prim2,       ///< r[D] = prim2<A>(r[S1], r[S2])
+  PushRecEnv,  ///< extend env with Names[A] bound to <uninitialized>
+  PatchRec,    ///< patch the innermost env node with r[S1]
+  PopEnv,      ///< drop A innermost env nodes
+  MonPre,      ///< monitoring probe updPre for Probes[A]
+  MonPost,     ///< monitoring probe updPost for Probes[A] (peeks r[S1])
+  Halt,        ///< stop; r[S1] is the answer
+
+  // Register forms of the fused superinstructions (same Cost accounting,
+  // same constituent check order).
+  VarVar,           ///< r[D] = varref S1; r[D+1] = varref S2
+  VarPrim2,         ///< r[D] = prim2<B.op>(r[S1], varref S2)
+  ConstPrim2,       ///< r[D] = prim2<B.op>(r[S1], pool[A])
+  VarConstPrim2,    ///< r[D] = prim2<B.op>(varref S1, pool[A])
+  VarVarPrim2,      ///< r[D] = prim2<B.op>(varref S1, varref S2)
+  Prim2JumpIfFalse, ///< pc = A unless prim2<B.op>(r[S1], r[S2])
+  VarCall,          ///< fn = varref S2, arg = r[S1]; result in r[D]
+  VarTailCall,      ///< fn = varref S2, arg = r[S1]; tail-invoke
+};
+
+inline constexpr unsigned kNumROps =
+    static_cast<unsigned>(ROp::VarTailCall) + 1;
+static_assert(kNumROps == kNumOps,
+              "the register tier mirrors the stack opcode set 1:1");
+static_assert(static_cast<unsigned>(ROp::Halt) ==
+                      static_cast<unsigned>(Op::Halt) &&
+                  static_cast<unsigned>(ROp::VarTailCall) ==
+                      static_cast<unsigned>(Op::VarTailCall),
+              "ROp enumerators must keep Op's order");
+
+/// A variable reference operand (`varref` above): either an environment
+/// depth, or — in leaf blocks, where the parameter lives in register 0
+/// instead of an environment node — the sentinel kParamReg naming that
+/// register. Parameters are never uninitialized, so the register path
+/// skips the letrec before-initialization check the env path performs.
+inline constexpr uint16_t kParamReg = 0xFFFF;
+
+/// Entry stack heights are recorded per pc for checkpoint spill/restore;
+/// statically unreachable instructions (e.g. the join jump after a taken
+/// tail call) carry this sentinel.
+inline constexpr uint16_t kDeadHeight = 0xFFFF;
+
+/// One register instruction: 16 bytes, operands fully explicit so the
+/// interpreter never consults the height table.
+///  - `D` is the destination register, window-relative.
+///  - `S1`/`S2` are source registers, or variable references where the
+///    opcode says `varref`.
+///  - `A`/`B` keep their stack-encoding meaning (constant index, block
+///    index, jump target, packed prim2 op, ...).
+///  - `Cost` is copied from the stack instruction: source-machine steps.
+struct RInstr {
+  ROp Code;
+  uint8_t Cost = 1;
+  uint16_t D = 0;
+  uint32_t A = 0;
+  uint16_t S1 = 0;
+  uint16_t S2 = 0;
+  uint16_t B = 0;
+  uint16_t Pad = 0;
+};
+static_assert(sizeof(RInstr) == 16, "RInstr must stay two machine words");
+
+/// One lowered block. `Leaf` blocks (no MkClosure, no PushRecEnv, no
+/// probes; never the entry block) keep their parameter in register 0 and
+/// allocate no environment node per call — the environment chain is
+/// materialized on demand only at checkpoint safepoints. Non-leaf blocks
+/// maintain the same environment chain as the stack VM, so probes observe
+/// the paper's environment unchanged.
+struct RegBlock {
+  std::vector<RInstr> Code;
+  /// Entry stack height per pc (kDeadHeight for unreachable pcs). Used by
+  /// checkpoint spill/restore to map register windows to the canonical
+  /// flat operand stack and back.
+  std::vector<uint16_t> Height;
+  /// Registers per frame window: locals (1 in leaf blocks, 0 otherwise)
+  /// plus the block's maximal temporary count.
+  uint32_t NumRegs = 0;
+  uint32_t TempBase = 0; ///< First temporary register (1 in leaf blocks).
+  bool Leaf = false;
+  Symbol Param;     ///< Copied from the source block (checkpoint spill).
+  std::string Name; ///< Copied from the source block (disassembly).
+};
+
+/// The lowered program. Non-owning view over the source CompiledProgram
+/// (constants, names, probes, disassembly fingerprint), which must outlive
+/// it.
+struct RegProgram {
+  const CompiledProgram *Src = nullptr;
+  std::vector<RegBlock> Blocks;
+
+  /// Human-readable register-form disassembly (tests, debugging).
+  std::string disassemble() const;
+};
+
 /// One compiled lambda (or the program entry).
 struct CodeBlock {
   Symbol Param;             ///< Binder for Call (empty for the entry block).

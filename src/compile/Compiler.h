@@ -45,6 +45,16 @@ size_t fuseSuperinstructions(CompiledProgram &P);
 /// probes). Run after fusion by compileProgram; exposed for tests.
 void markReusableFrames(CompiledProgram &P);
 
+/// Lowers a compiled (optionally fused) program to the register tier: a
+/// block-local allocator maps each stack slot to a fixed virtual register
+/// from the static stack height at every pc, producing exactly one RInstr
+/// per stack instruction at the same (block, pc) with the same Cost. The
+/// returned program borrows \p P (constants, names, probes), which must
+/// outlive it. Returns nullptr when a block exceeds the register-operand
+/// encoding limits (pathological nesting depth) — callers fall back to the
+/// stack tier.
+std::unique_ptr<RegProgram> lowerToRegisters(const CompiledProgram &P);
+
 } // namespace monsem
 
 #endif // MONSEM_COMPILE_COMPILER_H

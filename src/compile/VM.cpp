@@ -181,11 +181,12 @@ private:
     Stack.reserve(NS);
     for (uint32_t I = 0; I < NS && D.ok(); ++I)
       Stack.push_back(Rd.readValue());
+    // Zero frames is legitimate: the final return pops the sentinel frame,
+    // so a checkpoint at the entry Halt boundary has none and the resumed
+    // run halts immediately.
     uint32_t NF = D.readU32();
-    if (!D.ok() || NF == 0 || NF > (1u << 28)) {
-      Err = D.ok() ? "corrupt checkpoint: bad call-frame count (the "
-                     "sentinel frame must be present)"
-                   : D.error();
+    if (!D.ok() || NF > (1u << 28)) {
+      Err = D.ok() ? "corrupt checkpoint: bad call-frame count" : D.error();
       return false;
     }
     Frames.reserve(NF);
@@ -481,8 +482,17 @@ RunResult monsem::evaluateCompiled(const Cascade &C, const Expr *Program,
     R.Error = Diags.str();
     return R;
   }
+  // Register tier: lower after compilation; a program the lowering pass
+  // cannot encode (pathological nesting depth) falls back to the stack VM
+  // — same observable behavior either way.
+  std::unique_ptr<RegProgram> RP;
+  if (Opts.VMRegister)
+    RP = lowerToRegisters(*CP);
+  auto Run = [&](MonitorHooks *H) {
+    return RP ? runRegisterProgram(*RP, H, Opts) : runCompiled(*CP, H, Opts);
+  };
   if (C.empty())
-    return runCompiled(*CP, nullptr, Opts);
+    return Run(nullptr);
   RuntimeCascade RC(C, Opts.MonitorFaultPolicy, Opts.MonitorRetryBudget);
   std::unique_ptr<JournalingHooks> JH;
   MonitorHooks *Hooks = &RC;
@@ -490,7 +500,7 @@ RunResult monsem::evaluateCompiled(const Cascade &C, const Expr *Program,
     JH = std::make_unique<JournalingHooks>(RC, *Opts.RunJournal);
     Hooks = JH.get();
   }
-  RunResult R = runCompiled(*CP, Hooks, Opts);
+  RunResult R = Run(Hooks);
   R.FinalStates = RC.takeStates();
   R.MonitorFaults = RC.takeFaults();
   return R;

@@ -31,6 +31,15 @@ namespace monsem {
 RunResult runCompiled(const CompiledProgram &Program,
                       MonitorHooks *Hooks = nullptr, RunOptions Opts = {});
 
+/// Runs a lowered program on the register VM. Same contract as
+/// runCompiled — identical step counts, probe streams, and checkpoint
+/// format (MSCK checkpoints are portable across the stack and register
+/// tiers in both directions) — with register windows instead of an
+/// operand stack. \p RP.Src must outlive the run.
+RunResult runRegisterProgram(const RegProgram &RP,
+                             MonitorHooks *Hooks = nullptr,
+                             RunOptions Opts = {});
+
 /// True when this build supports computed-goto dispatch (GCC/Clang with
 /// MONSEM_VM_THREADED); otherwise RunOptions::VMThreaded is ignored and
 /// the portable switch loop always runs.

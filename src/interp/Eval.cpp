@@ -97,6 +97,13 @@ RunResult monsem::evaluate(const EvalMode &Mode, const Expr *Program) {
     // evaluateCompiled validates disjointness itself.
     return evaluateCompiled(Mode.C, Program, Opts);
 
+  case Backend::VMRegister:
+    if (Opts.Strat != Strategy::Strict)
+      return errorResult("the VM backend is strict-only; drop kVMReg or "
+                         "the lazy strategy tag");
+    Opts.VMRegister = true;
+    return evaluateCompiled(Mode.C, Program, Opts);
+
   case Backend::Direct: {
     if (Opts.Strat != Strategy::Strict)
       return errorResult("the Direct backend is strict-only; drop kDirect "

@@ -73,9 +73,10 @@ inline constexpr StrategyTag kByNeed{Strategy::CallByNeed};
 
 /// Which evaluator executes the program.
 enum class Backend : uint8_t {
-  CEK,    ///< The production CEK machine (all three strategies).
-  VM,     ///< Compile to bytecode, run on the VM (strict only).
-  Direct, ///< The definitional CPS interpreter (strict only).
+  CEK,        ///< The production CEK machine (all three strategies).
+  VM,         ///< Compile to bytecode, run on the stack VM (strict only).
+  VMRegister, ///< Compile, lower to the register tier, run (strict only).
+  Direct,     ///< The definitional CPS interpreter (strict only).
 };
 
 /// Backend selectors composable with `&`.
@@ -84,6 +85,7 @@ struct BackendTag {
 };
 inline constexpr BackendTag kCEK{Backend::CEK};
 inline constexpr BackendTag kVM{Backend::VM};
+inline constexpr BackendTag kVMReg{Backend::VMRegister};
 inline constexpr BackendTag kDirect{Backend::Direct};
 
 /// A resource-limit fragment composable with `&`. Fragments merge

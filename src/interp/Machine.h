@@ -104,6 +104,13 @@ struct RunOptions {
   /// supports it (see vmThreadedDispatchAvailable()); off selects the
   /// portable switch loop. Benchmarks compare the two.
   bool VMThreaded = true;
+  /// Run compiled programs on the register tier (lowered three-address
+  /// bytecode with register-window frames) instead of the stack VM.
+  /// Observable behavior — answers, step counts, probe event streams,
+  /// checkpoints — is identical; only speed and arena accounting differ.
+  /// Falls back to the stack VM for programs the lowering pass cannot
+  /// encode (pathological nesting depth).
+  bool VMRegister = false;
   /// Resume from this checkpoint instead of starting fresh. The checkpoint
   /// must match the run's configuration (backend, strategy, environment
   /// representation, monitored-ness, program fingerprint); a mismatch

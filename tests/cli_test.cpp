@@ -92,6 +92,39 @@ TEST(CliTest, VmAndInterpreterAgree) {
   EXPECT_EQ(Interp.Output, VM.Output);
 }
 
+TEST(CliTest, RegisterBackendAgreesWithInterpreter) {
+  CliResult Interp = runCli(sample("church.lam"));
+  CliResult Reg = runCli(sample("church.lam") + " --backend=vm-reg");
+  EXPECT_EQ(Interp.ExitCode, 0);
+  EXPECT_EQ(Reg.ExitCode, 0) << Reg.Output;
+  EXPECT_EQ(Interp.Output, Reg.Output);
+}
+
+TEST(CliTest, RegisterBackendRunsMonitors) {
+  // Probe events must be identical across bytecode tiers, so the profile
+  // line is byte-for-byte what --vm (and the CEK machine) prints.
+  CliResult VM = runCli(sample("fac.lam") + " --backend=vm --profile");
+  CliResult Reg = runCli(sample("fac.lam") + " --backend=vm-reg --profile");
+  EXPECT_EQ(VM.ExitCode, 0) << VM.Output;
+  EXPECT_EQ(Reg.ExitCode, 0) << Reg.Output;
+  EXPECT_EQ(VM.Output, Reg.Output);
+}
+
+TEST(CliTest, RegisterDisasmShowsRegisterListing) {
+  CliResult R = runCli(sample("fac.lam") + " --backend=vm-reg --disasm");
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  EXPECT_NE(R.Output.find("regs="), std::string::npos) << R.Output;
+  EXPECT_NE(R.Output.find("rconst"), std::string::npos) << R.Output;
+}
+
+TEST(CliTest, UnknownBackendIsUsageError) {
+  CliResult R = runCli(sample("fac.lam") + " --backend=jit");
+  EXPECT_EQ(R.ExitCode, 2);
+  EXPECT_NE(R.Output.find("unknown backend"), std::string::npos) << R.Output;
+  EXPECT_NE(R.Output.find("vm-reg"), std::string::npos)
+      << "the error must name the valid choices: " << R.Output;
+}
+
 TEST(CliTest, PartialEvaluationRun) {
   CliResult R = runCli(sample("fac.lam") + " --pe --print-residual");
   EXPECT_EQ(R.ExitCode, 0) << R.Output;
@@ -266,6 +299,29 @@ TEST(CliCheckpoint, InterruptAndResumeMatchesUninterrupted) {
   // The answer and the monitor's final state must be exactly what the
   // uninterrupted run produces.
   EXPECT_EQ(Resumed.Output, Straight.Output);
+  std::remove(Ck.c_str());
+}
+
+TEST(CliCheckpoint, VmCheckpointResumesOnEitherBytecodeTier) {
+  // A VM checkpoint spills register windows to the canonical stack form,
+  // so a run interrupted on the register tier resumes on the stack VM by
+  // default — and stays on the register tier when asked to.
+  std::string Ck = ::testing::TempDir() + "cli_reg.ck";
+  std::remove(Ck.c_str());
+  CliResult Stop =
+      runCli(sample("fac.lam") + " --backend=vm-reg --profile" +
+             " --max-steps=50 --checkpoint-out=" + Ck);
+  EXPECT_EQ(Stop.ExitCode, 3) << Stop.Output;
+
+  CliResult Straight = runCli(sample("fac.lam") + " --profile --vm");
+  CliResult OnStack =
+      runCli(sample("fac.lam") + " --profile --resume=" + Ck);
+  EXPECT_EQ(OnStack.ExitCode, 0) << OnStack.Output;
+  EXPECT_EQ(OnStack.Output, Straight.Output);
+  CliResult OnReg = runCli(sample("fac.lam") +
+                           " --backend=vm-reg --profile --resume=" + Ck);
+  EXPECT_EQ(OnReg.ExitCode, 0) << OnReg.Output;
+  EXPECT_EQ(OnReg.Output, Straight.Output);
   std::remove(Ck.c_str());
 }
 

@@ -1,0 +1,558 @@
+//===- tests/vm_register_test.cpp - Register tier differential -------------===//
+//
+// The register tier is a pure implementation refinement of the stack VM:
+// lowering is 1:1 per instruction (same block, same pc, same cost), so a
+// register run must be observationally identical to the fused stack run —
+// same answers, same step counts, same probe event streams, same final
+// monitor states — and checkpoints must be portable across tiers in both
+// directions. These tests pin that down differentially (register vs. fused
+// stack VM vs. CEK machine, monitored and unmonitored), plus golden
+// disassembly listings for both encodings and the structural invariants
+// the lowering pass must respect.
+//
+//===----------------------------------------------------------------------===//
+
+#include "compile/Compiler.h"
+#include "compile/VM.h"
+#include "interp/Eval.h"
+#include "interp/Machine.h"
+#include "monitors/Profiler.h"
+#include "syntax/Printer.h"
+
+#include "RandomProgram.h"
+
+#include <gtest/gtest.h>
+
+using namespace monsem;
+using monsem::testing::genProgram;
+
+namespace {
+
+constexpr uint64_t kBigBudget = 4'000'000;
+
+std::unique_ptr<ParsedProgram> parseOk(std::string_view Src) {
+  auto P = ParsedProgram::parse(Src);
+  EXPECT_TRUE(P->ok()) << P->diags().str();
+  return P;
+}
+
+std::string statesOf(const RunResult &R) {
+  std::string Out;
+  for (const auto &S : R.FinalStates)
+    Out += S->str() + ";";
+  return Out;
+}
+
+/// One probe event as a monitor would see it: which hook fired, at which
+/// step, with which rendered payload. Byte-identical streams between the
+/// register and stack tiers are the probe-convention acceptance bar.
+struct Event {
+  bool Pre;
+  uint64_t Step;
+  std::string Text;
+
+  bool operator==(const Event &O) const {
+    return Pre == O.Pre && Step == O.Step && Text == O.Text;
+  }
+};
+
+std::string describeEvents(const std::vector<Event> &Es) {
+  std::string Out;
+  for (const Event &E : Es)
+    Out += (E.Pre ? "pre@" : "post@") + std::to_string(E.Step) + " " +
+           E.Text + "\n";
+  return Out;
+}
+
+/// Decorator mirroring JournalingHooks, but into a vector instead of a
+/// file: records exactly what the journal would, then forwards.
+class RecordingHooks : public MonitorHooks {
+public:
+  RecordingHooks(MonitorHooks &Inner, std::vector<Event> &Events)
+      : Inner(Inner), Events(Events) {}
+
+  void pre(const Annotation &Ann, const Expr &E, EnvView Env,
+           uint64_t StepIndex, uint64_t AllocatedBytes) override {
+    Events.push_back({true, StepIndex, Ann.text()});
+    Inner.pre(Ann, E, Env, StepIndex, AllocatedBytes);
+  }
+
+  void post(const Annotation &Ann, const Expr &E, EnvView Env, Value Result,
+            uint64_t StepIndex, uint64_t AllocatedBytes) override {
+    Events.push_back(
+        {false, StepIndex, Ann.text() + " = " + toDisplayString(Result)});
+    Inner.post(Ann, E, Env, Result, StepIndex, AllocatedBytes);
+  }
+
+  void saveMonitorSection(Serializer &S) const override {
+    Inner.saveMonitorSection(S);
+  }
+  void loadMonitorSection(Deserializer &D) override {
+    Inner.loadMonitorSection(D);
+  }
+
+private:
+  MonitorHooks &Inner;
+  std::vector<Event> &Events;
+};
+
+enum class Tier { Fused, Reg };
+
+/// Run a program through the fused stack VM or the register tier under one
+/// cascade, optionally recording the probe event stream.
+RunResult runTier(Tier T, const Cascade &C, const Expr *Program,
+                  RunOptions Opts, std::vector<Event> *Events = nullptr) {
+  DiagnosticSink Diags;
+  if (!C.empty() && !C.validateFor(Program, Diags)) {
+    RunResult R;
+    R.Error = Diags.str();
+    return R;
+  }
+  CompileOptions CO;
+  CO.Instrument = !C.empty();
+  std::unique_ptr<CompiledProgram> CP = compileProgram(Program, Diags, CO);
+  if (!CP) {
+    RunResult R;
+    R.Error = Diags.str();
+    return R;
+  }
+  std::unique_ptr<RegProgram> RP;
+  if (T == Tier::Reg) {
+    RP = lowerToRegisters(*CP);
+    EXPECT_NE(RP, nullptr) << "register lowering failed";
+    if (!RP) {
+      RunResult R;
+      R.Error = "lowering failed";
+      return R;
+    }
+  }
+  auto Run = [&](MonitorHooks *H) {
+    return RP ? runRegisterProgram(*RP, H, Opts) : runCompiled(*CP, H, Opts);
+  };
+  if (C.empty())
+    return Run(nullptr);
+  RuntimeCascade RC(C, Opts.MonitorFaultPolicy, Opts.MonitorRetryBudget);
+  std::unique_ptr<RecordingHooks> RH;
+  MonitorHooks *Hooks = &RC;
+  if (Events) {
+    RH = std::make_unique<RecordingHooks>(RC, *Events);
+    Hooks = RH.get();
+  }
+  RunResult R = Run(Hooks);
+  R.FinalStates = RC.takeStates();
+  R.MonitorFaults = RC.takeFaults();
+  return R;
+}
+
+/// CEK machine run with the same event recording, for text-level stream
+/// comparison (CEK step indices differ from the VM's cost accounting, so
+/// only the hook/text sequence is comparable).
+RunResult runCEKRecorded(const Cascade &C, const Expr *Program,
+                         RunOptions Opts, std::vector<Event> &Events) {
+  DiagnosticSink Diags;
+  if (!C.validateFor(Program, Diags)) {
+    RunResult R;
+    R.Error = Diags.str();
+    return R;
+  }
+  RuntimeCascade RC(C, Opts.MonitorFaultPolicy, Opts.MonitorRetryBudget);
+  RecordingHooks RH(RC, Events);
+  DynamicMonitorPolicy Policy{&RH};
+  MonitoredMachine M(Program, Opts, Policy);
+  RunResult R = M.run();
+  R.FinalStates = RC.takeStates();
+  R.MonitorFaults = RC.takeFaults();
+  return R;
+}
+
+std::string textsOf(const std::vector<Event> &Es) {
+  std::string Out;
+  for (const Event &E : Es)
+    Out += (E.Pre ? "pre " : "post ") + E.Text + "\n";
+  return Out;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Golden disassembly round-trips: both encodings, pinned byte-for-byte.
+//===----------------------------------------------------------------------===//
+
+TEST(RegisterDisasmTest, GoldenFibListings) {
+  auto P = parseOk("letrec fib = lambda n. if n < 2 then n else "
+                   "fib (n - 1) + fib (n - 2) in fib 10");
+  DiagnosticSink D;
+  auto CP = compileProgram(P->root(), D);
+  ASSERT_NE(CP, nullptr);
+  EXPECT_EQ(CP->disassemble(),
+            "block 0 (<main>):\n"
+            "  0: pushrec 0\n"
+            "  1: closure 1\n"
+            "  2: patchrec\n"
+            "  3: const 10\n"
+            "  4: vartailcall 0\n"
+            "  5: halt\n"
+            "block 1 (lambda n):\n"
+            "  0: varconstprim2 0 2 <\n"
+            "  1: jfalse 4\n"
+            "  2: var 0\n"
+            "  3: jump 9\n"
+            "  4: varconstprim2 0 1 -\n"
+            "  5: varcall 1\n"
+            "  6: varconstprim2 0 2 -\n"
+            "  7: varcall 1\n"
+            "  8: prim2 +\n"
+            "  9: ret\n");
+  auto RP = lowerToRegisters(*CP);
+  ASSERT_NE(RP, nullptr);
+  // The fib body has no closure creation and no probes, so it lowers as a
+  // leaf block: the parameter lives in r0 with no environment node at all,
+  // and recursive references shift down one environment level.
+  EXPECT_EQ(RP->disassemble(),
+            "block 0 (<main>) regs=1:\n"
+            "  0: rpushrec 0\n"
+            "  1: rclosure r0 = block 1\n"
+            "  2: rpatchrec r0\n"
+            "  3: rconst r0 = 10\n"
+            "  4: rvartailcall env[0](r0)\n"
+            "  5: rhalt r0\n"
+            "block 1 (lambda n) leaf regs=3:\n"
+            "  0: rvarconstprim2 r1 = param < 2\n"
+            "  1: rjfalse r1 -> 4\n"
+            "  2: rvar r1 = param\n"
+            "  3: rjump 9\n"
+            "  4: rvarconstprim2 r1 = param - 1\n"
+            "  5: rvarcall r1 = env[0](r1)\n"
+            "  6: rvarconstprim2 r2 = param - 2\n"
+            "  7: rvarcall r2 = env[0](r2)\n"
+            "  8: rprim2 r1 = r1 + r2\n"
+            "  9: rret r1\n");
+}
+
+TEST(RegisterDisasmTest, GoldenProbeListing) {
+  // A probe in the body forces the non-leaf convention: the block keeps
+  // the full environment chain (param at env[0]) so MonPre/MonPost present
+  // the paper-exact environment view, and MonPost names the register
+  // holding the observed result.
+  auto P = parseOk("(lambda x. x + ({A}: x)) 3");
+  DiagnosticSink D;
+  auto CP = compileProgram(P->root(), D);
+  ASSERT_NE(CP, nullptr);
+  auto RP = lowerToRegisters(*CP);
+  ASSERT_NE(RP, nullptr);
+  EXPECT_EQ(RP->disassemble(),
+            "block 0 (<main>) regs=2:\n"
+            "  0: rconst r0 = 3\n"
+            "  1: rclosure r1 = block 1\n"
+            "  2: rtailcall r1(r0)\n"
+            "  3: rhalt r0\n"
+            "block 1 (lambda x) regs=2:\n"
+            "  0: rvar r0 = env[0]\n"
+            "  1: rmonpre {A}\n"
+            "  2: rvar r1 = env[0]\n"
+            "  3: rmonpost {A} r1\n"
+            "  4: rprim2 r0 = r0 + r1\n"
+            "  5: rret r0\n");
+}
+
+//===----------------------------------------------------------------------===//
+// Structural invariants of the lowering pass.
+//===----------------------------------------------------------------------===//
+
+TEST(RegisterLoweringTest, LoweringIsOneToOne) {
+  // Step-count identity, governor-pause identity, and cross-tier
+  // checkpoint portability all rest on the same invariant: every stack
+  // instruction lowers to exactly one register instruction at the same
+  // (block, pc) with the same cost.
+  for (unsigned Seed = 0; Seed < 20; ++Seed) {
+    AstContext Ctx;
+    const Expr *Prog = genProgram(Ctx, Seed);
+    DiagnosticSink D;
+    CompileOptions CO;
+    CO.Instrument = true;
+    auto CP = compileProgram(Prog, D, CO);
+    ASSERT_NE(CP, nullptr);
+    auto RP = lowerToRegisters(*CP);
+    ASSERT_NE(RP, nullptr) << printExpr(Prog);
+    ASSERT_EQ(RP->Blocks.size(), CP->Blocks.size());
+    for (size_t B = 0; B < CP->Blocks.size(); ++B) {
+      const CodeBlock &SB = CP->Blocks[B];
+      const RegBlock &RB = RP->Blocks[B];
+      ASSERT_EQ(RB.Code.size(), SB.Code.size()) << printExpr(Prog);
+      for (size_t Pc = 0; Pc < SB.Code.size(); ++Pc) {
+        EXPECT_EQ(static_cast<unsigned>(RB.Code[Pc].Code),
+                  static_cast<unsigned>(SB.Code[Pc].Code));
+        EXPECT_EQ(RB.Code[Pc].Cost, SB.Code[Pc].Cost);
+      }
+    }
+  }
+}
+
+TEST(RegisterLoweringTest, LeafCallsSkipEnvAllocation) {
+  auto P = parseOk("letrec fib = lambda n. if n < 2 then n else "
+                   "fib (n - 1) + fib (n - 2) in fib 12");
+  Cascade Empty;
+  RunOptions Opts;
+  RunResult F = runTier(Tier::Fused, Empty, P->root(), Opts);
+  RunResult R = runTier(Tier::Reg, Empty, P->root(), Opts);
+  ASSERT_TRUE(F.Ok && R.Ok) << F.Error << R.Error;
+  EXPECT_EQ(R.ValueText, F.ValueText);
+  EXPECT_EQ(R.Steps, F.Steps);
+  // Leaf frames never materialize an EnvNode, so the register run's arena
+  // high-water mark is far below the stack tier's one-node-per-call.
+  EXPECT_LT(R.ArenaBytes, F.ArenaBytes);
+}
+
+TEST(RegisterLoweringTest, SelfLoopsRunInConstantArena) {
+  auto Short = parseOk("letrec loop = lambda n. if n = 0 then 7 else "
+                       "loop (n - 1) in loop 1000");
+  auto Long = parseOk("letrec loop = lambda n. if n = 0 then 7 else "
+                      "loop (n - 1) in loop 100000");
+  Cascade Empty;
+  RunOptions Opts;
+  RunResult RS = runTier(Tier::Reg, Empty, Short->root(), Opts);
+  RunResult RL = runTier(Tier::Reg, Empty, Long->root(), Opts);
+  ASSERT_TRUE(RS.Ok && RL.Ok) << RS.Error << RL.Error;
+  EXPECT_EQ(RL.IntValue, 7);
+  EXPECT_EQ(RS.ArenaBytes, RL.ArenaBytes);
+}
+
+TEST(RegisterLoweringTest, LazyStrategyIsRejected) {
+  auto P = parseOk("1 + 2");
+  RunResult R = evaluate(kVMReg & kByName, P->root());
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("kVMReg"), std::string::npos) << R.Error;
+
+  RunResult Reg = evaluate(kVMReg, P->root());
+  RunResult VM = evaluate(kVM, P->root());
+  ASSERT_TRUE(Reg.Ok && VM.Ok) << Reg.Error << VM.Error;
+  EXPECT_EQ(Reg.ValueText, VM.ValueText);
+  EXPECT_EQ(Reg.Steps, VM.Steps);
+}
+
+//===----------------------------------------------------------------------===//
+// Differential corpus: register tier (both dispatchers) vs. fused stack VM
+// vs. the CEK machine over generated programs.
+//===----------------------------------------------------------------------===//
+
+class VMRegisterDifferentialTest : public ::testing::TestWithParam<unsigned> {
+};
+
+TEST_P(VMRegisterDifferentialTest, RegisterAgreesWithStackAndMachine) {
+  AstContext Ctx;
+  const Expr *Prog = genProgram(Ctx, GetParam());
+  RunOptions Opts;
+  Opts.MaxSteps = 1000000;
+  RunResult Interp = evaluate(Prog, Opts);
+  Cascade Empty;
+
+  RunResult Base = runTier(Tier::Fused, Empty, Prog, Opts);
+  EXPECT_TRUE(Interp.sameOutcome(Base)) << printExpr(Prog);
+  for (bool Threaded : {false, true}) {
+    RunOptions O = Opts;
+    O.VMThreaded = Threaded;
+    RunResult R = runTier(Tier::Reg, Empty, Prog, O);
+    EXPECT_TRUE(Base.sameOutcome(R))
+        << printExpr(Prog) << "\nthreaded=" << Threaded
+        << "\nstack: " << (Base.Ok ? Base.ValueText : Base.Error)
+        << "\nreg:   " << (R.Ok ? R.ValueText : R.Error);
+    if (Base.Ok && R.Ok) {
+      EXPECT_EQ(Base.Steps, R.Steps) << printExpr(Prog);
+      // Leaf elision only removes allocations; it never adds any.
+      EXPECT_LE(R.ArenaBytes, Base.ArenaBytes) << printExpr(Prog);
+    }
+  }
+}
+
+TEST_P(VMRegisterDifferentialTest, MonitoredStreamsAreIdentical) {
+  AstContext Ctx;
+  const Expr *Prog = genProgram(Ctx, GetParam());
+  RunOptions Opts;
+  Opts.MaxSteps = 1000000;
+
+  CountingProfiler CountAB;
+  CountingProfiler CountM("m0", "m1");
+  Cascade Single;
+  Single.use(CountAB);
+  Cascade Pair;
+  Pair.use(CountAB);
+  Pair.use(CountM);
+
+  for (const Cascade *C : {&Single, &Pair}) {
+    std::vector<Event> FusedEvents, RegEvents, CEKEvents;
+    RunResult F = runTier(Tier::Fused, *C, Prog, Opts, &FusedEvents);
+    RunResult R = runTier(Tier::Reg, *C, Prog, Opts, &RegEvents);
+    RunResult Interp = runCEKRecorded(*C, Prog, Opts, CEKEvents);
+    EXPECT_TRUE(F.sameOutcome(R)) << printExpr(Prog);
+    EXPECT_TRUE(Interp.sameOutcome(R)) << printExpr(Prog);
+    if (Interp.Ok && F.Ok && R.Ok) {
+      EXPECT_EQ(statesOf(R), statesOf(F)) << printExpr(Prog);
+      EXPECT_EQ(statesOf(R), statesOf(Interp)) << printExpr(Prog);
+      EXPECT_EQ(R.Steps, F.Steps) << printExpr(Prog);
+      // Probe convention: the register tier emits the byte-identical
+      // event stream — same steps, same rendered payloads.
+      EXPECT_TRUE(RegEvents == FusedEvents)
+          << printExpr(Prog) << "\nfused:\n" << describeEvents(FusedEvents)
+          << "reg:\n" << describeEvents(RegEvents);
+      // Against the CEK machine only the hook/text sequence is comparable
+      // (step indices follow each machine's own cost accounting).
+      EXPECT_EQ(textsOf(RegEvents), textsOf(CEKEvents)) << printExpr(Prog);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VMRegisterDifferentialTest,
+                         ::testing::Range(0u, 60u));
+
+//===----------------------------------------------------------------------===//
+// Cross-tier checkpoint portability: interrupt under one tier, resume
+// under the other, and compare against the uninterrupted run.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct Final {
+  Outcome St = Outcome::Error;
+  std::string ValueText;
+  std::string Error;
+  uint64_t Steps = 0;
+  std::vector<std::string> States;
+
+  bool operator==(const Final &O) const {
+    return St == O.St && ValueText == O.ValueText && Error == O.Error &&
+           Steps == O.Steps && States == O.States;
+  }
+};
+
+Final finalOf(const RunResult &R) {
+  Final F;
+  F.St = R.St;
+  F.ValueText = R.ValueText;
+  F.Error = R.Error;
+  F.Steps = R.Steps;
+  for (const auto &S : R.FinalStates)
+    F.States.push_back(S->str());
+  return F;
+}
+
+std::string describe(const Final &F) {
+  std::string Out = std::string(outcomeName(F.St)) + " value='" +
+                    F.ValueText + "' error='" + F.Error +
+                    "' steps=" + std::to_string(F.Steps);
+  for (const std::string &S : F.States)
+    Out += " state=" + S;
+  return Out;
+}
+
+/// checkpoint_test's differential core, generalized to interrupt under
+/// `From` and resume under `To`. Both tiers share the CheckpointBackend::VM
+/// format and the stack-listing fingerprint, so a checkpoint written by
+/// either must resume on the other with identical observables.
+void checkCrossTier(unsigned Seed, Backend From, Backend To, bool Monitored) {
+  CallProfiler Prof;
+  auto modeFor = [&](Backend B) {
+    EvalMode M = kStrict & BackendTag{B};
+    if (Monitored)
+      M = M & Prof;
+    return M;
+  };
+
+  AstContext C1;
+  const Expr *P1 = genProgram(C1, Seed);
+  RunResult Ref = evaluate(modeFor(To) & maxSteps(kBigBudget), P1);
+  if (Ref.stoppedByGovernor())
+    return;
+  Final FRef = finalOf(Ref);
+  if (FRef.Steps < 2)
+    return;
+
+  uint64_t K = 1 + (Seed * 7919u) % (FRef.Steps - 1);
+
+  Checkpoint CK;
+  {
+    AstContext C2;
+    const Expr *P2 = genProgram(C2, Seed);
+    RunResult R =
+        evaluate(modeFor(From) & maxSteps(K) &
+                     checkpointInto([&](const Checkpoint &C) { CK = C; }),
+                 P2);
+    ASSERT_EQ(R.St, Outcome::FuelExhausted)
+        << "seed " << Seed << " K=" << K << ": " << R.Error;
+    ASSERT_TRUE(CK.valid()) << "seed " << Seed;
+  }
+
+  {
+    AstContext C3;
+    const Expr *P3 = genProgram(C3, Seed);
+    RunResult R =
+        evaluate(modeFor(To) & maxSteps(kBigBudget) & resumeFrom(CK), P3);
+    Final FRes = finalOf(R);
+    EXPECT_TRUE(FRes == FRef)
+        << "seed " << Seed << " K=" << K << " "
+        << (From == Backend::VM ? "vm" : "vm-reg") << "->"
+        << (To == Backend::VM ? "vm" : "vm-reg")
+        << "\n  reference: " << describe(FRef)
+        << "\n  resumed:   " << describe(FRes);
+  }
+}
+
+} // namespace
+
+TEST(RegisterCheckpointTest, StackToRegisterUnmonitored) {
+  for (unsigned Seed = 0; Seed < 25; ++Seed)
+    checkCrossTier(Seed, Backend::VM, Backend::VMRegister, false);
+}
+
+TEST(RegisterCheckpointTest, RegisterToStackUnmonitored) {
+  for (unsigned Seed = 0; Seed < 25; ++Seed)
+    checkCrossTier(Seed, Backend::VMRegister, Backend::VM, false);
+}
+
+TEST(RegisterCheckpointTest, StackToRegisterMonitored) {
+  for (unsigned Seed = 0; Seed < 25; ++Seed)
+    checkCrossTier(Seed, Backend::VM, Backend::VMRegister, true);
+}
+
+TEST(RegisterCheckpointTest, RegisterToStackMonitored) {
+  for (unsigned Seed = 0; Seed < 25; ++Seed)
+    checkCrossTier(Seed, Backend::VMRegister, Backend::VM, true);
+}
+
+TEST(RegisterCheckpointTest, RegisterResumesItself) {
+  for (unsigned Seed = 0; Seed < 25; ++Seed)
+    checkCrossTier(Seed, Backend::VMRegister, Backend::VMRegister, true);
+}
+
+TEST(RegisterCheckpointTest, LastStepCheckpointHasNoFrames) {
+  // Interrupting on the final Halt catches the machine after the sentinel
+  // frame was popped: the checkpoint legitimately carries zero call frames
+  // and the resumed run halts immediately. Exercise every tier pairing.
+  auto Src = "letrec fib = lambda n. if n < 2 then n else "
+             "fib (n - 1) + fib (n - 2) in fib 14";
+  for (Backend From : {Backend::VM, Backend::VMRegister}) {
+    for (Backend To : {Backend::VM, Backend::VMRegister}) {
+      auto P1 = parseOk(Src);
+      RunResult Ref =
+          evaluate(kStrict & BackendTag{To} & maxSteps(kBigBudget),
+                   P1->root());
+      ASSERT_TRUE(Ref.Ok) << Ref.Error;
+
+      Checkpoint CK;
+      auto P2 = parseOk(Src);
+      RunResult Cut =
+          evaluate(kStrict & BackendTag{From} & maxSteps(Ref.Steps - 1) &
+                       checkpointInto([&](const Checkpoint &C) { CK = C; }),
+                   P2->root());
+      ASSERT_EQ(Cut.St, Outcome::FuelExhausted) << Cut.Error;
+      ASSERT_TRUE(CK.valid());
+
+      auto P3 = parseOk(Src);
+      RunResult R = evaluate(kStrict & BackendTag{To} &
+                                 maxSteps(kBigBudget) & resumeFrom(CK),
+                             P3->root());
+      ASSERT_TRUE(R.Ok) << R.Error;
+      EXPECT_EQ(R.ValueText, Ref.ValueText);
+      EXPECT_EQ(R.Steps, Ref.Steps);
+    }
+  }
+}

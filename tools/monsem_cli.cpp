@@ -112,7 +112,7 @@ struct Options {
   bool Record = false;
   bool Coverage = false;
   bool Debug = false;
-  bool UseVM = false;
+  Backend B = Backend::CEK; ///< --backend=cek|vm|vm-reg|direct (--vm = vm).
   bool PE = false;
   bool Prelude = false;
   bool PrintAst = false;
@@ -156,7 +156,11 @@ int usage(const char *Argv0) {
       << "    --debug            interactive dbx-style debugger on stdin\n"
       << "    --prelude          wrap the program in the standard prelude\n"
       << "    --strategy=strict|name|need\n"
-      << "    --vm               run compiled bytecode (strict only)\n"
+      << "    --backend=cek|vm|vm-reg|direct\n"
+      << "                       evaluator: CEK machine (default), stack\n"
+      << "                       bytecode VM, register bytecode VM, or the\n"
+      << "                       direct interpreter (VMs are strict only)\n"
+      << "    --vm               shorthand for --backend=vm\n"
       << "    --pe               partially evaluate, then run the residual\n"
       << "    --print-ast        show the (annotated) program\n"
       << "    --print-residual   with --pe: show the residual program\n"
@@ -237,7 +241,21 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
     } else if (A == "--prelude") {
       O.Prelude = true;
     } else if (A == "--vm") {
-      O.UseVM = true;
+      O.B = Backend::VM;
+    } else if (auto V = Value("--backend=")) {
+      if (*V == "cek")
+        O.B = Backend::CEK;
+      else if (*V == "vm")
+        O.B = Backend::VM;
+      else if (*V == "vm-reg")
+        O.B = Backend::VMRegister;
+      else if (*V == "direct")
+        O.B = Backend::Direct;
+      else {
+        std::cerr << "error: unknown backend '" << *V
+                  << "' (valid: cek, vm, vm-reg, direct)\n";
+        return false;
+      }
     } else if (A == "--pe") {
       O.PE = true;
     } else if (A == "--print-ast") {
@@ -341,8 +359,12 @@ EvalMode modeFor(const Options &O) {
     M = M & maxArenaBytes(O.MaxBytes);
   if (O.MaxDepth)
     M = M & maxDepth(O.MaxDepth);
-  if (O.UseVM)
+  if (O.B == Backend::VM)
     M = M & kVM;
+  else if (O.B == Backend::VMRegister)
+    M = M & kVMReg;
+  else if (O.B == Backend::Direct)
+    M = M & kDirect;
   if (!O.CheckpointOut.empty()) {
     std::string Path = O.CheckpointOut;
     M = M & checkpointInto([Path](const Checkpoint &CK) {
@@ -534,8 +556,14 @@ int runFunctional(const Options &O, const std::string &Source) {
     // monitor flags still have to match (the monitor section is checked
     // name-by-name when the machine restores).
     Mode = Mode & resumeFrom(CK);
-    Mode.B = CK.header().Backend == CheckpointBackend::VM ? Backend::VM
-                                                          : Backend::CEK;
+    // A VM checkpoint is tier-portable: an explicit --backend=vm-reg keeps
+    // the register tier, anything else resumes on the stack VM.
+    if (CK.header().Backend == CheckpointBackend::VM) {
+      if (Mode.B != Backend::VMRegister)
+        Mode.B = Backend::VM;
+    } else {
+      Mode.B = Backend::CEK;
+    }
     Mode.Strat = static_cast<Strategy>(CK.header().Strategy);
   }
 
@@ -599,15 +627,27 @@ int runFunctional(const Options &O, const std::string &Source) {
       std::cerr << LintDiags.str() << '\n';
   }
 
-  if (O.UseVM) {
+  if (O.B == Backend::VM || O.B == Backend::VMRegister) {
     if (O.Strat != Strategy::Strict) {
-      std::cerr << "error: --vm supports the strict strategy only\n";
+      std::cerr << "error: the bytecode backends support the strict "
+                   "strategy only\n";
       return 2;
     }
     if (O.Disasm) {
       DiagnosticSink Diags;
-      if (auto CP = compileProgram(Program, Diags))
-        std::cout << CP->disassemble();
+      if (auto CP = compileProgram(Program, Diags)) {
+        // Under the register backend, show the program the way that tier
+        // runs it; fall back to the stack listing if lowering declines.
+        if (O.B == Backend::VMRegister) {
+          if (auto RP = lowerToRegisters(*CP)) {
+            std::cout << RP->disassemble();
+          } else {
+            std::cout << CP->disassemble();
+          }
+        } else {
+          std::cout << CP->disassemble();
+        }
+      }
     }
   }
   RunResult R = evaluate(Mode, Program);
