@@ -310,6 +310,8 @@ private:
   void emitCheckpoint(const RInstr &I) {
     if (!Opts.CheckpointSink)
       return;
+    if (Opts.Durability && Opts.Durability->degraded("checkpoint"))
+      return;
     Checkpoint CK = makeCheckpoint(I);
     if (CK.valid())
       Opts.CheckpointSink(CK);
@@ -728,6 +730,8 @@ RunResult RegVM::run() {
 #endif
     return runSwitch(Gov);
   } catch (const MonitorAbort &E) {
+    fail(E.what());
+  } catch (const DurabilityAbort &E) {
     fail(E.what());
   } catch (const ArenaLimitExceeded &) {
     return stopResult(Outcome::MemoryExceeded);

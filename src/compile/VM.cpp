@@ -125,6 +125,8 @@ private:
   void emitCheckpoint(const Instr &I) {
     if (!Opts.CheckpointSink)
       return;
+    if (Opts.Durability && Opts.Durability->degraded("checkpoint"))
+      return;
     Checkpoint CK = makeCheckpoint(I);
     if (CK.valid())
       Opts.CheckpointSink(CK);
@@ -451,6 +453,9 @@ RunResult VM::run() {
   } catch (const MonitorAbort &E) {
     // A monitor under FaultPolicy::Abort faulted at a MonPre/MonPost probe.
     fail(E.what());
+  } catch (const DurabilityAbort &E) {
+    // A durable sink failed under OnDurabilityFailure::Abort.
+    fail(E.what());
   } catch (const ArenaLimitExceeded &) {
     return stopResult(Outcome::MemoryExceeded);
   }
@@ -467,6 +472,8 @@ RunResult monsem::runCompiled(const CompiledProgram &Program,
 
 RunResult monsem::evaluateCompiled(const Cascade &C, const Expr *Program,
                                    RunOptions Opts) {
+  DurabilityTracker Tracker(Opts.DurabilityPolicy, Opts.DurabilityRetryBudget);
+  armDurabilityTracker(Opts, Tracker);
   armJournalCheckpointSink(Opts);
   DiagnosticSink Diags;
   if (!C.empty() && !C.validateFor(Program, Diags)) {
@@ -491,17 +498,22 @@ RunResult monsem::evaluateCompiled(const Cascade &C, const Expr *Program,
   auto Run = [&](MonitorHooks *H) {
     return RP ? runRegisterProgram(*RP, H, Opts) : runCompiled(*CP, H, Opts);
   };
-  if (C.empty())
-    return Run(nullptr);
+  if (C.empty()) {
+    RunResult R = Run(nullptr);
+    R.DurabilityFaults = Opts.Durability->takeFaults();
+    return R;
+  }
   RuntimeCascade RC(C, Opts.MonitorFaultPolicy, Opts.MonitorRetryBudget);
   std::unique_ptr<JournalingHooks> JH;
   MonitorHooks *Hooks = &RC;
   if (Opts.RunJournal) {
-    JH = std::make_unique<JournalingHooks>(RC, *Opts.RunJournal);
+    JH = std::make_unique<JournalingHooks>(RC, *Opts.RunJournal,
+                                           Opts.Durability);
     Hooks = JH.get();
   }
   RunResult R = Run(Hooks);
   R.FinalStates = RC.takeStates();
   R.MonitorFaults = RC.takeFaults();
+  R.DurabilityFaults = Opts.Durability->takeFaults();
   return R;
 }

@@ -15,6 +15,8 @@ std::unique_ptr<ParsedProgram> ParsedProgram::parse(std::string_view Source,
 }
 
 RunResult monsem::evaluate(const Expr *Program, RunOptions Opts) {
+  DurabilityTracker Tracker(Opts.DurabilityPolicy, Opts.DurabilityRetryBudget);
+  armDurabilityTracker(Opts, Tracker);
   armJournalCheckpointSink(Opts);
   // On resume the machine choice (flat frames vs. named chain) must match
   // the one the checkpoint was written under; adopt it from the header so
@@ -22,6 +24,7 @@ RunResult monsem::evaluate(const Expr *Program, RunOptions Opts) {
   // guarded by the fingerprint check inside restoreCheckpoint().
   if (Opts.ResumeFrom && Opts.ResumeFrom->valid())
     Opts.Lexical = Opts.ResumeFrom->header().Lexical;
+  RunResult R;
   if (Opts.Lexical) {
     // Level-2 specialization: resolve once, then run on flat frames. The
     // resolver refuses shared-node programs (!ok), in which case the named
@@ -29,17 +32,23 @@ RunResult monsem::evaluate(const Expr *Program, RunOptions Opts) {
     std::unique_ptr<Resolution> Res = resolveProgram(Program);
     if (Res->ok()) {
       ResolvedMachine M(Program, Opts, NoMonitorPolicy(), Res.get());
-      return M.run();
+      R = M.run();
+      R.DurabilityFaults = Opts.Durability->takeFaults();
+      return R;
     }
   }
   StandardMachine M(Program, Opts);
-  return M.run();
+  R = M.run();
+  R.DurabilityFaults = Opts.Durability->takeFaults();
+  return R;
 }
 
 RunResult monsem::evaluate(const Cascade &C, const Expr *Program,
                            RunOptions Opts) {
   if (C.empty())
     return evaluate(Program, Opts);
+  DurabilityTracker Tracker(Opts.DurabilityPolicy, Opts.DurabilityRetryBudget);
+  armDurabilityTracker(Opts, Tracker);
   armJournalCheckpointSink(Opts);
   if (Opts.ResumeFrom && Opts.ResumeFrom->valid())
     Opts.Lexical = Opts.ResumeFrom->header().Lexical;
@@ -56,7 +65,8 @@ RunResult monsem::evaluate(const Cascade &C, const Expr *Program,
   std::unique_ptr<JournalingHooks> JH;
   MonitorHooks *Hooks = &RC;
   if (Opts.RunJournal) {
-    JH = std::make_unique<JournalingHooks>(RC, *Opts.RunJournal);
+    JH = std::make_unique<JournalingHooks>(RC, *Opts.RunJournal,
+                                           Opts.Durability);
     Hooks = JH.get();
   }
   DynamicMonitorPolicy Policy{Hooks};
@@ -67,6 +77,7 @@ RunResult monsem::evaluate(const Cascade &C, const Expr *Program,
       RunResult R = M.run();
       R.FinalStates = RC.takeStates();
       R.MonitorFaults = RC.takeFaults();
+      R.DurabilityFaults = Opts.Durability->takeFaults();
       return R;
     }
   }
@@ -74,6 +85,7 @@ RunResult monsem::evaluate(const Cascade &C, const Expr *Program,
   RunResult R = M.run();
   R.FinalStates = RC.takeStates();
   R.MonitorFaults = RC.takeFaults();
+  R.DurabilityFaults = Opts.Durability->takeFaults();
   return R;
 }
 

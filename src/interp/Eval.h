@@ -173,6 +173,28 @@ inline FaultPolicyTag onMonitorFault(FaultPolicy P,
   return FaultPolicyTag{P, RetryBudget};
 }
 
+/// A durability policy composable with `&`: what the run does when a
+/// durable sink (journal append, checkpoint save) fails. See
+/// support/Durability.h. `evaluate(profiler & journalInto(J) &
+/// onDurabilityFailure(OnDurabilityFailure::Abort), p)`.
+struct DurabilityPolicyTag {
+  OnDurabilityFailure P;
+  unsigned RetryBudget;
+};
+inline DurabilityPolicyTag onDurabilityFailure(OnDurabilityFailure P,
+                                               unsigned RetryBudget = 3) {
+  return DurabilityPolicyTag{P, RetryBudget};
+}
+
+/// A failpoint plan composable with `&`: installed (process-globally) by
+/// the driver before the run starts. Spec syntax in support/FailPoint.h.
+struct FailPointsTag {
+  std::string Spec;
+};
+inline FailPointsTag failpointsSpec(std::string Spec) {
+  return FailPointsTag{std::move(Spec)};
+}
+
 /// The argument of the paper's `evaluate (profile & debug & strict) prog`,
 /// extended: a cascade plus everything else a run is configured with — the
 /// strategy, the resource budget, the monitor fault policy, and the
@@ -194,6 +216,12 @@ struct EvalMode {
   bool CheckpointOnStop = false;
   uint64_t CheckpointEveryNSteps = 0;
   Journal *RunJournal = nullptr;
+  OnDurabilityFailure DurabilityPolicy = OnDurabilityFailure::RetryThenDegrade;
+  unsigned DurabilityRetryBudget = 3;
+  std::string FailPointSpec;
+  /// Embedder-owned durability tracker (optional; the CLI installs one so
+  /// the file sink it builds can report into it). Must outlive the run.
+  DurabilityTracker *Durability = nullptr;
 
   EvalMode() = default;
   // Implicit conversions so any single ingredient is already a mode and
@@ -210,6 +238,9 @@ struct EvalMode {
       : CheckpointSink(std::move(T.Sink)), CheckpointOnStop(T.OnStop),
         CheckpointEveryNSteps(T.EveryNSteps) {}
   EvalMode(JournalTag T) : RunJournal(T.J) {}
+  EvalMode(DurabilityPolicyTag T)
+      : DurabilityPolicy(T.P), DurabilityRetryBudget(T.RetryBudget) {}
+  EvalMode(FailPointsTag T) : FailPointSpec(std::move(T.Spec)) {}
 
   /// The one place an EvalMode becomes a RunOptions. The CLI and the
   /// embedded API both funnel through here, so flags and `&` chains cannot
@@ -226,6 +257,10 @@ struct EvalMode {
     O.CheckpointOnStop = CheckpointOnStop;
     O.CheckpointEveryNSteps = CheckpointEveryNSteps;
     O.RunJournal = RunJournal;
+    O.DurabilityPolicy = DurabilityPolicy;
+    O.DurabilityRetryBudget = DurabilityRetryBudget;
+    O.FailPointSpec = FailPointSpec;
+    O.Durability = Durability;
     return O;
   }
 };
@@ -286,6 +321,15 @@ inline EvalMode operator&(EvalMode M, CheckpointTag T) {
 }
 inline EvalMode operator&(EvalMode M, JournalTag T) {
   M.RunJournal = T.J;
+  return M;
+}
+inline EvalMode operator&(EvalMode M, DurabilityPolicyTag T) {
+  M.DurabilityPolicy = T.P;
+  M.DurabilityRetryBudget = T.RetryBudget;
+  return M;
+}
+inline EvalMode operator&(EvalMode M, FailPointsTag T) {
+  M.FailPointSpec = std::move(T.Spec);
   return M;
 }
 

@@ -54,6 +54,8 @@
 #include "semantics/Answer.h"
 #include "semantics/ValueGraph.h"
 #include "support/Checkpoint.h"
+#include "support/Durability.h"
+#include "support/FailPoint.h"
 #include "support/Governor.h"
 #include "semantics/Primitives.h"
 #include "semantics/Value.h"
@@ -131,6 +133,21 @@ struct RunOptions {
   /// the run's hooks in JournalingHooks). Null disables journaling. The
   /// pointee must outlive the run.
   Journal *RunJournal = nullptr;
+  /// What happens when a durable sink (journal append, checkpoint save)
+  /// fails: abort the run, degrade the sink to best-effort immediately, or
+  /// (default) tolerate DurabilityRetryBudget failures before degrading.
+  /// See support/Durability.h.
+  OnDurabilityFailure DurabilityPolicy = OnDurabilityFailure::RetryThenDegrade;
+  /// Sink failures tolerated under RetryThenDegrade before demotion.
+  unsigned DurabilityRetryBudget = 3;
+  /// Failpoint plan installed (process-globally) by the driver before the
+  /// run; empty = none. See support/FailPoint.h for the spec syntax.
+  std::string FailPointSpec;
+  /// The run's durability arbiter. Drivers leave this null and get a
+  /// per-run tracker configured from the two fields above; embedders (the
+  /// CLI) may install their own so sinks they construct can report into it.
+  /// The pointee must outlive the run.
+  DurabilityTracker *Durability = nullptr;
 };
 
 /// When \p O has a journal armed, rewrite its CheckpointSink so every
@@ -144,12 +161,31 @@ inline void armJournalCheckpointSink(RunOptions &O) {
   if (!O.RunJournal)
     return;
   Journal *J = O.RunJournal;
-  O.CheckpointSink = [J, User = std::move(O.CheckpointSink)](
+  DurabilityTracker *DT = O.Durability;
+  O.CheckpointSink = [J, DT, User = std::move(O.CheckpointSink)](
                          const Checkpoint &CK) {
-    J->appendCheckpoint(CK.bytes());
+    if (DT && DT->degraded("checkpoint"))
+      return;
+    if (!J->appendCheckpoint(CK.bytes()) && DT)
+      DT->report("checkpoint", J->error(), CK.header().SavedSteps);
     if (User)
       User(CK);
   };
+}
+
+/// Points the run at \p T unless an embedder already installed a tracker,
+/// and installs the RunOptions failpoint plan (process-global; see
+/// support/FailPoint.h). Drivers call this once per run, before
+/// armJournalCheckpointSink.
+inline void armDurabilityTracker(RunOptions &O, DurabilityTracker &T) {
+  if (!O.Durability)
+    O.Durability = &T;
+  if (!O.FailPointSpec.empty()) {
+    // The spec was validated where it entered (CLI flag, combinator); a
+    // malformed one here degenerates to "no failpoints", never to UB.
+    std::string Err;
+    installFailPoints(O.FailPointSpec, Err);
+  }
 }
 
 /// The final answer: the paper's <alpha, sigma'> pair. `ValueText` is
@@ -177,6 +213,11 @@ struct RunResult {
   /// Non-empty MonitorFaults with St == Ok means quarantine kept the run
   /// alive; the FinalStates of quarantined monitors are partial.
   std::vector<MonitorFault> MonitorFaults;
+  /// Failures of the durable sinks (journal, checkpoint). Non-empty with
+  /// St == Ok means a degradation policy kept the run alive without full
+  /// durability; under Abort the first fault also ends the run with
+  /// St == Error. See support/Durability.h.
+  std::vector<DurabilityFault> DurabilityFaults;
 
   void setOutcome(Outcome O) {
     St = O;
@@ -430,9 +471,13 @@ private:
   /// Returns an invalid Checkpoint if serialization failed.
   Checkpoint makeCheckpoint();
 
-  /// Emits a checkpoint to the configured sink, if any.
+  /// Emits a checkpoint to the configured sink, if any. Skips even the
+  /// serialization once the checkpoint path has been degraded (the sink
+  /// would drop it anyway).
   void emitCheckpoint() {
     if (!Opts.CheckpointSink)
+      return;
+    if (Opts.Durability && Opts.Durability->degraded("checkpoint"))
       return;
     Checkpoint CK = makeCheckpoint();
     if (CK.valid())
@@ -1264,6 +1309,11 @@ RunResult MachineT<Policy, Lexical>::run() {
   } catch (const MonitorAbort &E) {
     // A monitor under FaultPolicy::Abort faulted: the run's answer is an
     // error, not a crash.
+    Failed = true;
+    Error = E.what();
+  } catch (const DurabilityAbort &E) {
+    // A durable sink failed under OnDurabilityFailure::Abort: "no
+    // checkpoint, no progress" — surface it as the run's error.
     Failed = true;
     Error = E.what();
   } catch (const ArenaLimitExceeded &) {

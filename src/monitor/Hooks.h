@@ -18,6 +18,7 @@
 #define MONSEM_MONITOR_HOOKS_H
 
 #include "monitor/MonitorSpec.h"
+#include "support/Durability.h"
 #include "support/Journal.h"
 
 namespace monsem {
@@ -56,20 +57,29 @@ public:
 /// Decorator that appends every probe event to a run journal before
 /// forwarding to the wrapped hooks — the crash-safe event trail the CLI
 /// replays after an abort. Checkpoint sections delegate unchanged.
+///
+/// Append failures are routed to the run's DurabilityTracker (when one is
+/// attached): under Abort the tracker throws out of the probe, ending the
+/// run; under the degrade policies the event is dropped, the fault is
+/// recorded, and — once the journal sink is demoted — further appends are
+/// skipped entirely. The wrapped hooks always still see the event: the
+/// journal is an observer, and losing it must not change what the monitors
+/// observe (Thm. 7.7 one level down).
 class JournalingHooks : public MonitorHooks {
 public:
-  JournalingHooks(MonitorHooks &Inner, Journal &J) : Inner(Inner), J(J) {}
+  JournalingHooks(MonitorHooks &Inner, Journal &J,
+                  DurabilityTracker *Durability = nullptr)
+      : Inner(Inner), J(J), Durability(Durability) {}
 
   void pre(const Annotation &Ann, const Expr &E, EnvView Env,
            uint64_t StepIndex, uint64_t AllocatedBytes) override {
-    J.appendEvent(StepIndex, "pre " + Ann.text());
+    append(StepIndex, "pre " + Ann.text());
     Inner.pre(Ann, E, Env, StepIndex, AllocatedBytes);
   }
 
   void post(const Annotation &Ann, const Expr &E, EnvView Env, Value Result,
             uint64_t StepIndex, uint64_t AllocatedBytes) override {
-    J.appendEvent(StepIndex,
-                  "post " + Ann.text() + " = " + toDisplayString(Result));
+    append(StepIndex, "post " + Ann.text() + " = " + toDisplayString(Result));
     Inner.post(Ann, E, Env, Result, StepIndex, AllocatedBytes);
   }
 
@@ -81,8 +91,16 @@ public:
   }
 
 private:
+  void append(uint64_t StepIndex, std::string Text) {
+    if (Durability && Durability->degraded("journal"))
+      return;
+    if (!J.appendEvent(StepIndex, Text) && Durability)
+      Durability->report("journal", J.error(), StepIndex);
+  }
+
   MonitorHooks &Inner;
   Journal &J;
+  DurabilityTracker *Durability;
 };
 
 } // namespace monsem

@@ -2,9 +2,19 @@
 
 #include "support/Checkpoint.h"
 
+#include "support/FailPoint.h"
+
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 
 using namespace monsem;
+
+namespace {
+std::string errnoText(int E) {
+  return E ? std::string(std::strerror(E)) : std::string("I/O error");
+}
+} // namespace
 
 uint64_t monsem::fnv1aHash(const void *Data, size_t Len, uint64_t Seed) {
   const uint8_t *P = static_cast<const uint8_t *>(Data);
@@ -124,29 +134,68 @@ Checkpoint Checkpoint::loadFile(const std::string &Path, std::string &Err) {
   return fromBytes(std::move(Bytes), Err);
 }
 
-bool Checkpoint::saveFile(const std::string &Path, std::string &Err) const {
+bool Checkpoint::saveFile(const std::string &Path, std::string &Err,
+                          bool Fsync) const {
   if (!valid()) {
     Err = "refusing to write an empty checkpoint";
     return false;
   }
+  // Atomic-replace discipline: write Path+".tmp", flush, fsync the file,
+  // close (checked — close can surface deferred write errors), rename into
+  // place, fsync the parent directory so the rename itself is durable.
+  // Every failure path removes the temp file; the destination is only ever
+  // a complete, previously-fsync'd checkpoint or whatever was there before.
   std::string Tmp = Path + ".tmp";
-  std::FILE *F = std::fopen(Tmp.c_str(), "wb");
+  errno = 0;
+  std::FILE *F = FileSys::openFile(FailSite::CheckpointOpen, Tmp.c_str(), "wb");
   if (!F) {
-    Err = "cannot create checkpoint file '" + Tmp + "'";
+    Err = "cannot create checkpoint file '" + Tmp + "': " + errnoText(errno);
     return false;
   }
-  size_t Written = std::fwrite(Bytes.data(), 1, Bytes.size(), F);
-  bool Ok = Written == Bytes.size() && std::fflush(F) == 0;
-  std::fclose(F);
+  errno = 0;
+  bool Ok = FileSys::writeFile(FailSite::CheckpointWrite, F, Bytes.data(),
+                               Bytes.size()) == Bytes.size();
+  if (!Ok)
+    Err = "short write to checkpoint file '" + Tmp + "': " + errnoText(errno);
+  if (Ok) {
+    errno = 0;
+    Ok = FileSys::flushFile(FailSite::CheckpointFlush, F) == 0;
+    if (!Ok)
+      Err = "cannot flush checkpoint file '" + Tmp + "': " + errnoText(errno);
+  }
+  if (Ok && Fsync) {
+    errno = 0;
+    Ok = FileSys::syncFile(FailSite::CheckpointSync, F) == 0;
+    if (!Ok)
+      Err = "cannot fsync checkpoint file '" + Tmp + "': " + errnoText(errno);
+  }
+  errno = 0;
+  if (FileSys::closeFile(FailSite::CheckpointClose, F) != 0 && Ok) {
+    Ok = false;
+    Err = "cannot close checkpoint file '" + Tmp + "': " + errnoText(errno);
+  }
   if (!Ok) {
-    Err = "short write to checkpoint file '" + Tmp + "'";
     std::remove(Tmp.c_str());
     return false;
   }
-  if (std::rename(Tmp.c_str(), Path.c_str()) != 0) {
-    Err = "cannot rename checkpoint file into place at '" + Path + "'";
+  errno = 0;
+  if (FileSys::renameFile(FailSite::CheckpointRename, Tmp.c_str(),
+                          Path.c_str()) != 0) {
+    Err = "cannot rename checkpoint file into place at '" + Path +
+          "': " + errnoText(errno);
     std::remove(Tmp.c_str());
     return false;
+  }
+  if (Fsync) {
+    errno = 0;
+    if (FileSys::syncParentDir(FailSite::CheckpointDirSync, Path.c_str()) !=
+        0) {
+      // The rename happened (the destination is valid) but is not yet
+      // guaranteed durable; report it so the policy layer can decide.
+      Err = "cannot fsync parent directory of '" + Path +
+            "': " + errnoText(errno);
+      return false;
+    }
   }
   return true;
 }

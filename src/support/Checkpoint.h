@@ -195,8 +195,13 @@ public:
   /// Reads and verifies a checkpoint file.
   static Checkpoint loadFile(const std::string &Path, std::string &Err);
 
-  /// Atomically-ish writes the framed bytes (write temp, rename).
-  bool saveFile(const std::string &Path, std::string &Err) const;
+  /// Atomically writes the framed bytes: write temp, flush, fsync, close
+  /// (all checked), rename into place, fsync the parent directory. The temp
+  /// file is removed on every failure path. \p Fsync=false skips the two
+  /// fsyncs (tests and overhead measurements); the destination is still
+  /// only ever replaced by a complete checkpoint.
+  bool saveFile(const std::string &Path, std::string &Err,
+                bool Fsync = true) const;
 
   bool valid() const { return !Bytes.empty(); }
   const CheckpointHeader &header() const { return Header; }

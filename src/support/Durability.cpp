@@ -1,0 +1,30 @@
+//===- support/Durability.cpp ---------------------------------------------===//
+
+#include "support/Durability.h"
+
+using namespace monsem;
+
+const char *monsem::durabilityPolicyName(OnDurabilityFailure P) {
+  switch (P) {
+  case OnDurabilityFailure::Abort:
+    return "abort";
+  case OnDurabilityFailure::DegradeToBestEffort:
+    return "degrade";
+  case OnDurabilityFailure::RetryThenDegrade:
+    return "retry";
+  }
+  return "?";
+}
+
+bool monsem::parseDurabilityPolicy(std::string_view Name,
+                                   OnDurabilityFailure &Out) {
+  if (Name == "abort")
+    Out = OnDurabilityFailure::Abort;
+  else if (Name == "degrade")
+    Out = OnDurabilityFailure::DegradeToBestEffort;
+  else if (Name == "retry")
+    Out = OnDurabilityFailure::RetryThenDegrade;
+  else
+    return false;
+  return true;
+}

@@ -1,0 +1,133 @@
+//===- support/Durability.h - Durable-I/O failure policy --------*- C++ -*-===//
+///
+/// \file
+/// What a run does when its durability layer — the checkpoint sink or the
+/// run journal — fails. The paper's monitors must not change the meaning of
+/// the monitored program (Thm. 7.7); the same discipline applies one level
+/// down: a full disk under the journal must not silently corrupt the run's
+/// answer, and — unless the operator asked for it — must not kill a healthy
+/// run either. `OnDurabilityFailure` names the three policies, and
+/// `DurabilityTracker` is the per-run arbiter every durable sink reports
+/// into:
+///
+///   Abort               the run stops with a structured error the moment
+///                       a durable write fails (after the I/O layer's own
+///                       bounded retry); "no checkpoint, no progress".
+///   DegradeToBestEffort the failing sink is demoted immediately: the run
+///                       continues, further writes to that sink are
+///                       skipped, and the failure surfaces as a
+///                       DurabilityFault in RunResult.
+///   RetryThenDegrade    (default) the sink gets RetryBudget failures —
+///                       each a fresh attempt at the next boundary — before
+///                       demotion; transient errors heal, persistent ones
+///                       degrade.
+///
+/// Faults are never swallowed: every failure is recorded and returned in
+/// RunResult::DurabilityFaults, so "the run succeeded but its last
+/// checkpoint didn't land" is visible to callers and the CLI.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MONSEM_SUPPORT_DURABILITY_H
+#define MONSEM_SUPPORT_DURABILITY_H
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace monsem {
+
+enum class OnDurabilityFailure : uint8_t {
+  Abort,
+  DegradeToBestEffort,
+  RetryThenDegrade,
+};
+
+const char *durabilityPolicyName(OnDurabilityFailure P);
+
+/// Parses "abort" / "degrade" / "retry"; returns false on anything else.
+bool parseDurabilityPolicy(std::string_view Name, OnDurabilityFailure &Out);
+
+/// One recorded durability failure: which sink, what the I/O layer said,
+/// and when. `Demoted` marks the fault that tripped degradation.
+struct DurabilityFault {
+  std::string Site;    ///< "journal" or "checkpoint" (sink granularity).
+  std::string Error;   ///< The I/O layer's message (errno text included).
+  uint64_t Step = 0;   ///< Evaluator step count at failure time.
+  bool Demoted = false;
+
+  /// "durability fault at journal (step 12): short write ... [degraded]"
+  std::string str() const {
+    std::string S = "durability fault at " + Site + " (step " +
+                    std::to_string(Step) + "): " + Error;
+    if (Demoted)
+      S += " [sink degraded to best-effort]";
+    return S;
+  }
+};
+
+/// Raised out of a durable sink when the policy is Abort; evaluators catch
+/// it at the run loop (next to MonitorAbort) and report an error outcome.
+class DurabilityAbort : public std::runtime_error {
+public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Per-run durability bookkeeping, shared by the journal hooks and the
+/// checkpoint sink wrapper. Sinks call report() on failure; it records the
+/// fault and answers "may this sink still be used?". Not thread-safe (one
+/// run, one thread — like the machines themselves).
+class DurabilityTracker {
+public:
+  DurabilityTracker() = default;
+  DurabilityTracker(OnDurabilityFailure P, unsigned RetryBudget)
+      : Policy(P), RetryBudget(RetryBudget) {}
+
+  /// Records a failure of \p Site. Under Abort, throws DurabilityAbort
+  /// (the fault is recorded first, so drivers can still surface it).
+  /// Otherwise returns true when the sink has been demoted — the caller
+  /// must stop writing to it.
+  bool report(std::string Site, std::string Error, uint64_t Step) {
+    Faults.push_back(DurabilityFault{Site, std::move(Error), Step, false});
+    if (Policy == OnDurabilityFailure::Abort) {
+      std::string Msg = "durable " + Site + " write failed: " +
+                        Faults.back().Error;
+      throw DurabilityAbort(Msg);
+    }
+    unsigned &Count = Site == "journal" ? JournalFailures
+                                        : CheckpointFailures;
+    ++Count;
+    unsigned Budget =
+        Policy == OnDurabilityFailure::RetryThenDegrade ? RetryBudget : 0;
+    if (Count > Budget) {
+      Faults.back().Demoted = true;
+      (Site == "journal" ? JournalDegraded : CheckpointDegraded) = true;
+    }
+    return degraded(Site);
+  }
+
+  /// True once \p Site ("journal" / "checkpoint") has been demoted; sinks
+  /// check this before attempting a write.
+  bool degraded(std::string_view Site) const {
+    return Site == "journal" ? JournalDegraded : CheckpointDegraded;
+  }
+
+  bool anyFault() const { return !Faults.empty(); }
+  const std::vector<DurabilityFault> &faults() const { return Faults; }
+  std::vector<DurabilityFault> takeFaults() { return std::move(Faults); }
+
+private:
+  OnDurabilityFailure Policy = OnDurabilityFailure::RetryThenDegrade;
+  unsigned RetryBudget = 3;
+  unsigned JournalFailures = 0;
+  unsigned CheckpointFailures = 0;
+  bool JournalDegraded = false;
+  bool CheckpointDegraded = false;
+  std::vector<DurabilityFault> Faults;
+};
+
+} // namespace monsem
+
+#endif // MONSEM_SUPPORT_DURABILITY_H

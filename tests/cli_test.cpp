@@ -455,3 +455,143 @@ TEST(CliSigint, SecondInterruptWithinGraceHardExits) {
   EXPECT_EQ(R.ExitCode, 130) << R.Output;
   std::remove(Prog.c_str());
 }
+
+//===----------------------------------------------------------------------===//
+// Durability: crash injection at every checkpoint failpoint site must never
+// leave a torn checkpoint at the destination, and the supervisor must
+// reproduce the uninterrupted run exactly.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+bool fileExists(const std::string &Path) {
+  FILE *F = fopen(Path.c_str(), "rb");
+  if (F)
+    fclose(F);
+  return F != nullptr;
+}
+
+const char *kLoop3000 =
+    "letrec loop = lambda k. {loop}: if k < 1 then 42 "
+    "else loop (k - 1) in loop 3000";
+
+} // namespace
+
+TEST(CliDurability, CrashAtEveryCheckpointSiteLeavesNoTornDestination) {
+  const char *Sites[] = {"open",  "write",  "flush",  "sync",
+                         "close", "rename", "dirsync"};
+  CliResult Straight = runCli(sample("fac.lam") + " --profile");
+  ASSERT_EQ(Straight.ExitCode, 0) << Straight.Output;
+  for (const char *Site : Sites) {
+    std::string Ck = ::testing::TempDir() + "cli_crash_" + Site + ".ck";
+    std::remove(Ck.c_str());
+    std::remove((Ck + ".tmp").c_str());
+    CliResult R = runShell(
+        "MONSEM_FAILPOINTS='checkpoint." + std::string(Site) + "=crash' " +
+        MONSEM_CLI_PATH + " " + sample("fac.lam") +
+        " --profile --max-steps=200 --checkpoint-out=" + Ck);
+    // The injected crash _exit()s with the sentinel code, mid-save.
+    EXPECT_EQ(R.ExitCode, 86) << Site << ": " << R.Output;
+    // Atomic replace: the destination is either absent (the crash hit
+    // before the rename landed) or a complete, resumable checkpoint.
+    if (fileExists(Ck)) {
+      CliResult Resumed =
+          runCli(sample("fac.lam") + " --profile --resume=" + Ck);
+      EXPECT_EQ(Resumed.ExitCode, 0) << Site << ": " << Resumed.Output;
+      EXPECT_EQ(Resumed.Output, Straight.Output) << Site;
+    }
+    std::remove(Ck.c_str());
+    std::remove((Ck + ".tmp").c_str());
+  }
+}
+
+TEST(CliDurability, AbortPolicyFailsTheRunAndLeavesNoPartialFiles) {
+  std::string Ck = ::testing::TempDir() + "cli_abort.ck";
+  std::remove(Ck.c_str());
+  std::string Prog = writeProgram("cli_abort.lam", kLoop3000);
+  CliResult R = runCli(Prog + " --checkpoint-out=" + Ck +
+                       " --checkpoint-every-n-steps=1000" +
+                       " --on-durability-failure=abort" +
+                       " --failpoints=checkpoint.sync=err\\(ENOSPC\\)");
+  EXPECT_EQ(R.ExitCode, 2) << R.Output;
+  EXPECT_NE(R.Output.find("durability fault at checkpoint"), std::string::npos)
+      << R.Output;
+  EXPECT_NE(R.Output.find("No space left on device"), std::string::npos)
+      << R.Output;
+  EXPECT_FALSE(fileExists(Ck));
+  EXPECT_FALSE(fileExists(Ck + ".tmp"));
+  std::remove(Prog.c_str());
+}
+
+TEST(CliDurability, DegradePolicyKeepsTheAnswerAndWarns) {
+  std::string Ck = ::testing::TempDir() + "cli_degrade.ck";
+  std::remove(Ck.c_str());
+  std::string Prog = writeProgram("cli_degrade.lam", kLoop3000);
+  CliResult R = runCli(Prog + " --checkpoint-out=" + Ck +
+                       " --checkpoint-every-n-steps=1000" +
+                       " --on-durability-failure=degrade" +
+                       " --failpoints=checkpoint.sync=err\\(ENOSPC\\)");
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  EXPECT_NE(R.Output.find("42"), std::string::npos) << R.Output;
+  EXPECT_NE(R.Output.find("degraded to best-effort"), std::string::npos)
+      << R.Output;
+  std::remove(Ck.c_str());
+  std::remove(Prog.c_str());
+}
+
+TEST(CliDurability, MalformedFailpointSpecIsAUsageError) {
+  CliResult R = runCli(sample("fac.lam") + " --failpoints=nonsense");
+  EXPECT_EQ(R.ExitCode, 2) << R.Output;
+  EXPECT_NE(R.Output.find("bad --failpoints spec"), std::string::npos)
+      << R.Output;
+}
+
+TEST(CliSupervise, SupervisedCrashesConvergeToTheUninterruptedAnswer) {
+  std::string Journal = ::testing::TempDir() + "cli_supervise.journal";
+  std::remove(Journal.c_str());
+  std::string Prog = writeProgram("cli_supervise.lam", kLoop3000);
+  // Supervisor chatter goes to stderr; drop it so stdout can be compared
+  // byte-for-byte against the uninterrupted run.
+  CliResult Straight = runShell("( " + std::string(MONSEM_CLI_PATH) + " " +
+                                Prog + " --profile 2>/dev/null )");
+  ASSERT_EQ(Straight.ExitCode, 0) << Straight.Output;
+  // journal.sync fires once per checkpoint append, so every fresh attempt
+  // lands more checkpoints before it crashes: the supervisor converges.
+  // (@8 rather than a tighter selector keeps the exponential backoff from
+  // dominating the test's runtime.)
+  CliResult R = runShell(
+      "( " + std::string(MONSEM_CLI_PATH) + " " + Prog +
+      " --profile --journal=" + Journal +
+      " --checkpoint-every-n-steps=1000 --supervise --max-restarts=60" +
+      " --restart-backoff-ms=1 --failpoints='journal.sync=crash@8'" +
+      " 2>/dev/null )");
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  EXPECT_EQ(R.Output, Straight.Output);
+  std::remove(Journal.c_str());
+  std::remove(Prog.c_str());
+}
+
+TEST(CliSupervise, GivesUpWhenTheCrashRecursEveryAttempt) {
+  std::string Journal = ::testing::TempDir() + "cli_giveup.journal";
+  std::remove(Journal.c_str());
+  std::string Prog = writeProgram("cli_giveup.lam", kLoop3000);
+  // journal.write re-fires early in every fresh attempt, before any
+  // checkpoint can land: no restart makes progress.
+  CliResult R = runCli(Prog + " --profile --journal=" + Journal +
+                       " --checkpoint-every-n-steps=1000 --supervise" +
+                       " --max-restarts=2 --restart-backoff-ms=1" +
+                       " --failpoints='journal.write=crash@5'");
+  EXPECT_EQ(R.ExitCode, 1) << R.Output;
+  EXPECT_NE(R.Output.find("giving up after 2 restarts"), std::string::npos)
+      << R.Output;
+  std::remove(Journal.c_str());
+  std::remove(Prog.c_str());
+}
+
+TEST(CliSupervise, SuperviseWithoutJournalIsAUsageError) {
+  CliResult R = runCli(sample("fac.lam") + " --supervise");
+  EXPECT_EQ(R.ExitCode, 2) << R.Output;
+  EXPECT_NE(R.Output.find("--supervise requires --journal"),
+            std::string::npos)
+      << R.Output;
+}

@@ -167,3 +167,53 @@ TEST(JournalTest, AppendsAreDurablePerRecord) {
   J.reset();
   std::remove(Path.c_str());
 }
+
+TEST(JournalTest, OpenTruncatesTheTornTailBeforeAppending) {
+  std::string Path = tempPath("monsem_journal_reopen.bin");
+  {
+    std::string Err;
+    auto J = Journal::open(Path, Err);
+    ASSERT_NE(J, nullptr) << Err;
+    J->appendEvent(1, "kept");
+    J->appendEvent(2, "torn away");
+  }
+  // Crash mid-append: the second record is half-written.
+  std::vector<uint8_t> Bytes = readAll(Path);
+  size_t Full = Bytes.size();
+  Bytes.resize(Full - 7);
+  writeAll(Path, Bytes);
+
+  // Reopening repairs the file in place: the torn bytes are truncated so
+  // the next append starts at a record boundary, not inside garbage.
+  {
+    std::string Err;
+    auto J = Journal::open(Path, Err);
+    ASSERT_NE(J, nullptr) << Err;
+    EXPECT_LT(readAll(Path).size(), Full - 7); // Torn tail gone already.
+    J->appendEvent(3, "after repair");
+  }
+  JournalRecovery R = recoverJournal(Path);
+  ASSERT_TRUE(R.Opened);
+  EXPECT_EQ(R.TornBytes, 0u); // Fully healed, not merely tolerated.
+  EXPECT_EQ(R.TotalEvents, 2u);
+  ASSERT_EQ(R.Tail.size(), 2u);
+  EXPECT_EQ(R.Tail[0].Text, "kept");
+  EXPECT_EQ(R.Tail[1].Text, "after repair");
+  std::remove(Path.c_str());
+}
+
+TEST(JournalTest, FirstAppendFailureIsSticky) {
+  // The first I/O failure is what a diagnostic should surface, even if
+  // later appends fail differently; failed() latches it.
+  std::string Path = tempPath("monsem_journal_sticky.bin");
+  std::string Err;
+  JournalOptions Opts;
+  Opts.MaxRetries = 0;
+  auto J = Journal::open(Path, Err, Opts);
+  ASSERT_NE(J, nullptr) << Err;
+  EXPECT_FALSE(J->failed());
+  ASSERT_TRUE(J->appendEvent(1, "fine"));
+  EXPECT_FALSE(J->failed());
+  J.reset();
+  std::remove(Path.c_str());
+}

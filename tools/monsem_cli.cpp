@@ -44,6 +44,7 @@
 #include <iostream>
 #include <sstream>
 
+#include <sys/wait.h>
 #include <unistd.h>
 
 using namespace monsem;
@@ -129,6 +130,12 @@ struct Options {
   std::string ResumePath;      ///< --resume=PATH (a checkpoint file).
   std::string JournalPath;     ///< --journal=PATH.
   std::string ResumeJournal;   ///< --resume-journal=PATH.
+  std::string FailPoints;      ///< --failpoints=SPEC (see FailPoint.h).
+  OnDurabilityFailure DurPol = OnDurabilityFailure::RetryThenDegrade;
+  unsigned DurBudget = 3;       ///< --durability-retry-budget=N.
+  bool Supervise = false;       ///< --supervise (requires --journal).
+  unsigned MaxRestarts = 3;     ///< --max-restarts=N.
+  uint64_t RestartBackoffMs = 50; ///< --restart-backoff-ms=N (base).
   uint64_t RecordCapacity = 16; ///< --record-capacity=N (>0).
   std::string Inject; ///< "", "throw", "sleep", or "alloc".
   std::string ImpWatch;
@@ -182,6 +189,24 @@ int usage(const char *Argv0) {
       << "                       event and checkpoint to F as the run goes\n"
       << "    --resume-journal=F print the journal's event tail, then resume\n"
       << "                       from its last durable checkpoint\n"
+      << "  durability and fault injection (functional programs):\n"
+      << "    --on-durability-failure=abort|degrade|retry\n"
+      << "                       what a failed durable write (journal,\n"
+      << "                       checkpoint) does to the run (default retry)\n"
+      << "    --durability-retry-budget=N\n"
+      << "                       sink failures tolerated under retry before\n"
+      << "                       degrading to best-effort (default 3)\n"
+      << "    --supervise        run under a supervisor: on a crash, resume\n"
+      << "                       from the journal's last durable checkpoint\n"
+      << "                       with backoff (requires --journal)\n"
+      << "    --max-restarts=N   supervisor restart budget (default 3)\n"
+      << "    --restart-backoff-ms=N\n"
+      << "                       base supervisor backoff, doubled per\n"
+      << "                       restart (default 50)\n"
+      << "    --failpoints=SPEC  deterministic fault injection into the\n"
+      << "                       durable-I/O sites (testing; also read from\n"
+      << "                       the MONSEM_FAILPOINTS environment variable;\n"
+      << "                       e.g. 'checkpoint.sync=err(ENOSPC)*1')\n"
       << "    --inject=throw|sleep|alloc\n"
       << "                       wrap --profile's monitor in a fault "
          "injector\n"
@@ -294,6 +319,27 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
       O.JournalPath = *V;
     } else if (auto V = Value("--resume-journal=")) {
       O.ResumeJournal = *V;
+    } else if (auto V = Value("--failpoints=")) {
+      std::string Err;
+      if (!installFailPoints(*V, Err)) {
+        std::cerr << "error: bad --failpoints spec: " << Err << '\n';
+        return false;
+      }
+      O.FailPoints = *V;
+    } else if (auto V = Value("--on-durability-failure=")) {
+      if (!parseDurabilityPolicy(*V, O.DurPol)) {
+        std::cerr << "error: unknown durability policy '" << *V
+                  << "' (valid: abort, degrade, retry)\n";
+        return false;
+      }
+    } else if (auto V = Value("--durability-retry-budget=")) {
+      O.DurBudget = static_cast<unsigned>(std::stoul(*V));
+    } else if (A == "--supervise") {
+      O.Supervise = true;
+    } else if (auto V = Value("--max-restarts=")) {
+      O.MaxRestarts = static_cast<unsigned>(std::stoul(*V));
+    } else if (auto V = Value("--restart-backoff-ms=")) {
+      O.RestartBackoffMs = std::stoull(*V);
     } else if (auto V = Value("--record-capacity=")) {
       O.RecordCapacity = std::stoull(*V);
       if (O.RecordCapacity == 0) {
@@ -347,10 +393,16 @@ std::vector<Symbol> toSymbols(const std::vector<std::string> &Names) {
 
 /// The single place CLI flags become an EvalMode — the same `&` chain an
 /// embedded user would write, so the two construction paths cannot skew.
-/// Monitors are composed onto the returned mode by the caller.
-EvalMode modeFor(const Options &O) {
+/// Monitors are composed onto the returned mode by the caller. When a
+/// DurabilityTracker is passed, the checkpoint file sink reports its
+/// failures into it (so the policy — abort / degrade / retry — governs the
+/// file sink exactly like the journal), and the tracker becomes the run's
+/// arbiter.
+EvalMode modeFor(const Options &O, DurabilityTracker *Tracker = nullptr) {
   EvalMode M = StrategyTag{O.Strat} & cancelOn(GCancel) &
-               onMonitorFault(O.FaultPol);
+               onMonitorFault(O.FaultPol) &
+               onDurabilityFailure(O.DurPol, O.DurBudget);
+  M.Durability = Tracker;
   if (O.MaxSteps)
     M = M & maxSteps(O.MaxSteps);
   if (O.DeadlineMs)
@@ -367,9 +419,13 @@ EvalMode modeFor(const Options &O) {
     M = M & kDirect;
   if (!O.CheckpointOut.empty()) {
     std::string Path = O.CheckpointOut;
-    M = M & checkpointInto([Path](const Checkpoint &CK) {
+    M = M & checkpointInto([Path, Tracker](const Checkpoint &CK) {
           std::string Err;
-          if (!CK.saveFile(Path, Err))
+          if (CK.saveFile(Path, Err))
+            return;
+          if (Tracker)
+            Tracker->report("checkpoint", Err, CK.header().SavedSteps);
+          else
             std::cerr << "warning: cannot write checkpoint to '" << Path
                       << "': " << Err << '\n';
         });
@@ -387,6 +443,12 @@ ResourceLimits limitsFor(const Options &O) {
 void printFaults(const std::vector<MonitorFault> &Faults) {
   for (const MonitorFault &F : Faults)
     std::cerr << "monitor fault: " << F.str() << '\n';
+}
+
+void printDurabilityFaults(const std::vector<DurabilityFault> &Faults) {
+  // F.str() already carries the "durability fault at <site>" prefix.
+  for (const DurabilityFault &F : Faults)
+    std::cerr << F.str() << '\n';
 }
 
 FaultInjector::Config injectorConfig(const std::string &Mode) {
@@ -509,8 +571,11 @@ int runFunctional(const Options &O, const std::string &Source) {
   }
 
   // Assemble the mode: flags first (modeFor), then the cascade, all in
-  // one EvalMode routed through the unified evaluate() entry.
-  EvalMode Mode = modeFor(O);
+  // one EvalMode routed through the unified evaluate() entry. The tracker
+  // arbitrates every durable sink of this run, including the checkpoint
+  // file sink modeFor builds.
+  DurabilityTracker Tracker(O.DurPol, O.DurBudget);
+  EvalMode Mode = modeFor(O, &Tracker);
 
   // Resume: from an explicit checkpoint file, or from the last durable
   // checkpoint in a journal (after replaying its event tail, so the user
@@ -653,6 +718,7 @@ int runFunctional(const Options &O, const std::string &Source) {
   RunResult R = evaluate(Mode, Program);
 
   printFaults(R.MonitorFaults);
+  printDurabilityFaults(R.DurabilityFaults);
   if (R.stoppedByGovernor()) {
     std::cerr << "stopped: " << outcomeName(R.St) << " after " << R.Steps
               << " steps\n";
@@ -680,6 +746,82 @@ int runFunctional(const Options &O, const std::string &Source) {
               << '\n';
   }
   return 0;
+}
+
+/// `--supervise`: run the functional path in a forked child and, when the
+/// child *crashes* — dies on a signal or exits with the injected-crash
+/// status (kFailPointCrashExit) — resume it from the journal's last durable
+/// checkpoint with exponential backoff, up to --max-restarts times. Normal
+/// exits (including governor stops and ordinary errors) pass through
+/// unchanged: the supervisor restarts crashes, it does not retry failures.
+/// Convergence under deterministic crash injection: each attempt is a fresh
+/// process whose failpoint counters restart, but checkpoints land earlier
+/// in the attempt than the crash re-fires, so every restart begins strictly
+/// further along; the final attempt reproduces the uninterrupted answer,
+/// cumulative step count and monitor states exactly (that is what
+/// checkpoint/resume guarantees, and tests/cli_test.cpp asserts it).
+int runSupervised(Options O, const std::string &Source) {
+  if (O.JournalPath.empty()) {
+    std::cerr << "error: --supervise requires --journal=F (the journal is "
+                 "what crash recovery resumes from)\n";
+    return 2;
+  }
+  unsigned Restarts = 0;
+  for (;;) {
+    // Flush before fork so the child's stdio buffers start empty (no
+    // double-printed parent bytes).
+    std::cout.flush();
+    std::cerr.flush();
+    pid_t Pid = fork();
+    if (Pid < 0) {
+      std::cerr << "error: fork failed\n";
+      return 1;
+    }
+    if (Pid == 0) {
+      int Code = runFunctional(O, Source);
+      std::cout.flush();
+      std::cerr.flush();
+      _exit(Code);
+    }
+    int Status = 0;
+    if (waitpid(Pid, &Status, 0) < 0) {
+      std::cerr << "error: waitpid failed\n";
+      return 1;
+    }
+    bool Crashed =
+        WIFSIGNALED(Status) ||
+        (WIFEXITED(Status) && WEXITSTATUS(Status) == kFailPointCrashExit);
+    if (!Crashed)
+      return WIFEXITED(Status) ? WEXITSTATUS(Status) : 1;
+    if (Restarts >= O.MaxRestarts) {
+      std::cerr << "supervisor: giving up after " << O.MaxRestarts
+                << " restart" << (O.MaxRestarts == 1 ? "" : "s") << '\n';
+      return 1;
+    }
+    ++Restarts;
+    // Exponential backoff, capped: doubling is for transient contention,
+    // not for turning a long supervised run into a sleep marathon.
+    constexpr uint64_t kMaxBackoffMs = 2000;
+    unsigned Shift = Restarts - 1 < 20 ? Restarts - 1 : 20;
+    uint64_t BackoffMs = O.RestartBackoffMs << Shift;
+    if (BackoffMs > kMaxBackoffMs || BackoffMs < O.RestartBackoffMs)
+      BackoffMs = kMaxBackoffMs;
+    if (WIFSIGNALED(Status))
+      std::cerr << "supervisor: run killed by signal " << WTERMSIG(Status);
+    else
+      std::cerr << "supervisor: run crashed";
+    std::cerr << "; restart " << Restarts << "/" << O.MaxRestarts
+              << " after " << BackoffMs << "ms backoff\n";
+    std::cerr.flush();
+    ::usleep(static_cast<useconds_t>(BackoffMs * 1000));
+    // Resume from the journal when it already holds a durable checkpoint;
+    // a crash before the first checkpoint restarts from scratch (the
+    // journal's torn tail is truncated on reopen either way).
+    JournalRecovery Rec = recoverJournal(O.JournalPath);
+    O.ResumeJournal = Rec.Opened && !Rec.LastCheckpoint.empty()
+                          ? O.JournalPath
+                          : std::string();
+  }
 }
 
 /// A line-based read-eval-monitor loop. `:let f = <expr>` accumulates a
@@ -814,5 +956,9 @@ int main(int Argc, char **Argv) {
   std::optional<std::string> Source = readInput(O.File);
   if (!Source)
     return 1;
-  return O.Imp ? runImperative(O, *Source) : runFunctional(O, *Source);
+  if (O.Imp)
+    return runImperative(O, *Source);
+  if (O.Supervise)
+    return runSupervised(O, *Source);
+  return runFunctional(O, *Source);
 }
