@@ -503,11 +503,18 @@ RunResult monsem::evaluateCompiled(const Cascade &C, const Expr *Program,
     R.DurabilityFaults = Opts.Durability->takeFaults();
     return R;
   }
+  // Hook chain, outermost first: journal -> event tap -> cascade (same
+  // order as the CEK driver in Eval.cpp, so streams match across tiers).
   RuntimeCascade RC(C, Opts.MonitorFaultPolicy, Opts.MonitorRetryBudget);
+  std::unique_ptr<EventTapHooks> ET;
   std::unique_ptr<JournalingHooks> JH;
   MonitorHooks *Hooks = &RC;
+  if (Opts.EventSink) {
+    ET = std::make_unique<EventTapHooks>(*Hooks, Opts.EventSink);
+    Hooks = ET.get();
+  }
   if (Opts.RunJournal) {
-    JH = std::make_unique<JournalingHooks>(RC, *Opts.RunJournal,
+    JH = std::make_unique<JournalingHooks>(*Hooks, *Opts.RunJournal,
                                            Opts.Durability);
     Hooks = JH.get();
   }

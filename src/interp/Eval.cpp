@@ -43,8 +43,12 @@ RunResult monsem::evaluate(const Expr *Program, RunOptions Opts) {
   return R;
 }
 
-RunResult monsem::evaluate(const Cascade &C, const Expr *Program,
-                           RunOptions Opts) {
+/// Monitoring semantics with \p C instantiated over \p Program. Internal:
+/// the public surface is evaluate(EvalMode, Expr*) — EvalMode::runOptions()
+/// is the single options constructor (a Cascade converts implicitly to an
+/// EvalMode, so `evaluate(C & maxSteps(n), e)` is the spelling).
+static RunResult evaluateMonitored(const Cascade &C, const Expr *Program,
+                                   RunOptions Opts) {
   if (C.empty())
     return evaluate(Program, Opts);
   DurabilityTracker Tracker(Opts.DurabilityPolicy, Opts.DurabilityRetryBudget);
@@ -61,11 +65,19 @@ RunResult monsem::evaluate(const Cascade &C, const Expr *Program,
     return R;
   }
 
+  // Hook chain, outermost first: journal -> event tap -> cascade. Both
+  // decorators render events with the same canonical text, so the tapped
+  // and journaled streams are byte-identical.
   RuntimeCascade RC(C, Opts.MonitorFaultPolicy, Opts.MonitorRetryBudget);
+  std::unique_ptr<EventTapHooks> ET;
   std::unique_ptr<JournalingHooks> JH;
   MonitorHooks *Hooks = &RC;
+  if (Opts.EventSink) {
+    ET = std::make_unique<EventTapHooks>(*Hooks, Opts.EventSink);
+    Hooks = ET.get();
+  }
   if (Opts.RunJournal) {
-    JH = std::make_unique<JournalingHooks>(RC, *Opts.RunJournal,
+    JH = std::make_unique<JournalingHooks>(*Hooks, *Opts.RunJournal,
                                            Opts.Durability);
     Hooks = JH.get();
   }
@@ -100,7 +112,7 @@ RunResult monsem::evaluate(const EvalMode &Mode, const Expr *Program) {
   RunOptions Opts = Mode.runOptions();
   switch (Mode.B) {
   case Backend::CEK:
-    return evaluate(Mode.C, Program, Opts);
+    return evaluateMonitored(Mode.C, Program, Opts);
 
   case Backend::VM:
     if (Opts.Strat != Strategy::Strict)
@@ -132,12 +144,9 @@ RunResult monsem::evaluate(const EvalMode &Mode, const Expr *Program) {
     }
     DirectOptions D;
     // The direct interpreter's call budget doubles as its fuel and depth
-    // bound; the deprecated EvalMode::MaxSteps forwards into it so legacy
-    // fuel keeps its meaning on every backend.
+    // bound.
     if (Mode.Limits.MaxSteps)
       D.CallBudget = Mode.Limits.MaxSteps;
-    else if (Mode.MaxSteps)
-      D.CallBudget = Mode.MaxSteps;
     D.Limits = Mode.Limits;
     D.MonitorFaultPolicy = Mode.MonitorFaultPolicy;
     D.MonitorRetryBudget = Mode.MonitorRetryBudget;

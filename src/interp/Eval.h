@@ -88,6 +88,16 @@ inline constexpr BackendTag kVM{Backend::VM};
 inline constexpr BackendTag kVMReg{Backend::VMRegister};
 inline constexpr BackendTag kDirect{Backend::Direct};
 
+/// Environment-representation selectors composable with `&` (CEK backend):
+/// kLexicalEnv (the default) runs resolvable programs on flat frames;
+/// kNamedEnv forces the named-chain machine. Differential tests pin both
+/// representations against each other.
+struct EnvRepTag {
+  bool Lexical;
+};
+inline constexpr EnvRepTag kLexicalEnv{true};
+inline constexpr EnvRepTag kNamedEnv{false};
+
 /// A resource-limit fragment composable with `&`. Fragments merge
 /// field-wise (nonzero wins), so `deadlineMs(50) & maxDepth(10'000)` arms
 /// both limits.
@@ -162,6 +172,17 @@ struct JournalTag {
 };
 inline JournalTag journalInto(Journal &J) { return JournalTag{&J}; }
 
+/// An event-tap fragment composable with `&`: every probe event is handed
+/// to \p Sink as (step, canonical journal text) before the monitors see
+/// it. `monsem serve` streams these to clients; see RunOptions::EventSink.
+struct EventsTag {
+  std::function<void(uint64_t, const std::string &)> Sink;
+};
+inline EventsTag
+eventsInto(std::function<void(uint64_t, const std::string &)> Sink) {
+  return EventsTag{std::move(Sink)};
+}
+
 /// A monitor fault policy composable with `&` (run-wide default; per-
 /// monitor overrides still come from Cascade::use(M, Policy)).
 struct FaultPolicyTag {
@@ -203,18 +224,16 @@ inline FailPointsTag failpointsSpec(std::string Spec) {
 struct EvalMode {
   Cascade C;
   Strategy Strat = Strategy::Strict;
-  /// Deprecated legacy fuel field, superseded by Limits.MaxSteps (use the
-  /// maxSteps(...) tag). Kept as a forwarding alias: when Limits.MaxSteps
-  /// is unset, this value reaches the governor unchanged.
-  uint64_t MaxSteps = 0;
   ResourceLimits Limits;
   Backend B = Backend::CEK;
+  bool Lexical = true;
   FaultPolicy MonitorFaultPolicy = FaultPolicy::Quarantine;
   unsigned MonitorRetryBudget = 3;
   const Checkpoint *ResumeFrom = nullptr;
   std::function<void(const Checkpoint &)> CheckpointSink;
   bool CheckpointOnStop = false;
   uint64_t CheckpointEveryNSteps = 0;
+  std::function<void(uint64_t, const std::string &)> EventSink;
   Journal *RunJournal = nullptr;
   OnDurabilityFailure DurabilityPolicy = OnDurabilityFailure::RetryThenDegrade;
   unsigned DurabilityRetryBudget = 3;
@@ -228,8 +247,10 @@ struct EvalMode {
   // `&` chains can start from anything: evaluate(kVM, p),
   // evaluate(profiler & deadlineMs(50), p), ...
   EvalMode(const Monitor &M) { C.use(M); }
+  EvalMode(Cascade C) : C(std::move(C)) {}
   EvalMode(StrategyTag T) : Strat(T.S) {}
   EvalMode(BackendTag T) : B(T.B) {}
+  EvalMode(EnvRepTag T) : Lexical(T.Lexical) {}
   EvalMode(LimitsTag T) : Limits(T.L) {}
   EvalMode(FaultPolicyTag T)
       : MonitorFaultPolicy(T.P), MonitorRetryBudget(T.RetryBudget) {}
@@ -238,6 +259,7 @@ struct EvalMode {
       : CheckpointSink(std::move(T.Sink)), CheckpointOnStop(T.OnStop),
         CheckpointEveryNSteps(T.EveryNSteps) {}
   EvalMode(JournalTag T) : RunJournal(T.J) {}
+  EvalMode(EventsTag T) : EventSink(std::move(T.Sink)) {}
   EvalMode(DurabilityPolicyTag T)
       : DurabilityPolicy(T.P), DurabilityRetryBudget(T.RetryBudget) {}
   EvalMode(FailPointsTag T) : FailPointSpec(std::move(T.Spec)) {}
@@ -248,14 +270,15 @@ struct EvalMode {
   RunOptions runOptions() const {
     RunOptions O;
     O.Strat = Strat;
-    O.MaxSteps = MaxSteps; // Legacy fuel; Limits.MaxSteps supersedes it.
     O.Limits = Limits;
+    O.Lexical = Lexical;
     O.MonitorFaultPolicy = MonitorFaultPolicy;
     O.MonitorRetryBudget = MonitorRetryBudget;
     O.ResumeFrom = ResumeFrom;
     O.CheckpointSink = CheckpointSink;
     O.CheckpointOnStop = CheckpointOnStop;
     O.CheckpointEveryNSteps = CheckpointEveryNSteps;
+    O.EventSink = EventSink;
     O.RunJournal = RunJournal;
     O.DurabilityPolicy = DurabilityPolicy;
     O.DurabilityRetryBudget = DurabilityRetryBudget;
@@ -280,6 +303,8 @@ inline void mergeLimits(ResourceLimits &Into, const ResourceLimits &From) {
     Into.CheckInterval = From.CheckInterval;
   if (From.CancelFlag)
     Into.CancelFlag = From.CancelFlag;
+  if (From.PreemptFlag)
+    Into.PreemptFlag = From.PreemptFlag;
 }
 } // namespace detail
 
@@ -296,6 +321,10 @@ inline EvalMode operator&(EvalMode M, StrategyTag T) {
 }
 inline EvalMode operator&(EvalMode M, BackendTag T) {
   M.B = T.B;
+  return M;
+}
+inline EvalMode operator&(EvalMode M, EnvRepTag T) {
+  M.Lexical = T.Lexical;
   return M;
 }
 inline EvalMode operator&(EvalMode M, LimitsTag T) {
@@ -323,6 +352,10 @@ inline EvalMode operator&(EvalMode M, JournalTag T) {
   M.RunJournal = T.J;
   return M;
 }
+inline EvalMode operator&(EvalMode M, EventsTag T) {
+  M.EventSink = std::move(T.Sink);
+  return M;
+}
 inline EvalMode operator&(EvalMode M, DurabilityPolicyTag T) {
   M.DurabilityPolicy = T.P;
   M.DurabilityRetryBudget = T.RetryBudget;
@@ -335,12 +368,6 @@ inline EvalMode operator&(EvalMode M, FailPointsTag T) {
 
 /// Standard semantics: no monitoring, annotations skipped.
 RunResult evaluate(const Expr *Program, RunOptions Opts = {});
-
-/// Monitoring semantics with \p C instantiated over \p Program. Validates
-/// annotation-syntax disjointness first (Section 6); a violation yields an
-/// error result without running.
-RunResult evaluate(const Cascade &C, const Expr *Program,
-                   RunOptions Opts = {});
 
 /// The Section 9.2 spelling: the unified entry. Assembles RunOptions via
 /// EvalMode::runOptions() and routes to the selected backend — the CEK

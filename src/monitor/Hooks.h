@@ -21,7 +21,20 @@
 #include "support/Durability.h"
 #include "support/Journal.h"
 
+#include <functional>
+
 namespace monsem {
+
+/// The canonical one-line rendering of a probe event. The journal, the
+/// event tap (RunOptions::EventSink — what `monsem serve` streams to
+/// clients), and the `--resume-journal` tail printer all share these two
+/// functions, so every event stream a run can emit is byte-identical.
+inline std::string probePreText(const Annotation &Ann) {
+  return "pre " + Ann.text();
+}
+inline std::string probePostText(const Annotation &Ann, Value Result) {
+  return "post " + Ann.text() + " = " + toDisplayString(Result);
+}
 
 class MonitorHooks {
 public:
@@ -73,13 +86,13 @@ public:
 
   void pre(const Annotation &Ann, const Expr &E, EnvView Env,
            uint64_t StepIndex, uint64_t AllocatedBytes) override {
-    append(StepIndex, "pre " + Ann.text());
+    append(StepIndex, probePreText(Ann));
     Inner.pre(Ann, E, Env, StepIndex, AllocatedBytes);
   }
 
   void post(const Annotation &Ann, const Expr &E, EnvView Env, Value Result,
             uint64_t StepIndex, uint64_t AllocatedBytes) override {
-    append(StepIndex, "post " + Ann.text() + " = " + toDisplayString(Result));
+    append(StepIndex, probePostText(Ann, Result));
     Inner.post(Ann, E, Env, Result, StepIndex, AllocatedBytes);
   }
 
@@ -101,6 +114,44 @@ private:
   MonitorHooks &Inner;
   Journal &J;
   DurabilityTracker *Durability;
+};
+
+/// Decorator that hands every probe event — rendered with the same
+/// canonical text the journal records — to an in-process observer before
+/// forwarding to the wrapped hooks. This is how `monsem serve` streams a
+/// run's probe events to the submitting client: the tap sees exactly the
+/// event stream a journaled standalone run would have persisted, byte for
+/// byte. Like the journal, the tap is an observer: it cannot change what
+/// the monitors see (Thm. 7.7 one level down), and it must not throw.
+class EventTapHooks : public MonitorHooks {
+public:
+  using Sink = std::function<void(uint64_t Step, const std::string &Text)>;
+
+  EventTapHooks(MonitorHooks &Inner, Sink Tap)
+      : Inner(Inner), Tap(std::move(Tap)) {}
+
+  void pre(const Annotation &Ann, const Expr &E, EnvView Env,
+           uint64_t StepIndex, uint64_t AllocatedBytes) override {
+    Tap(StepIndex, probePreText(Ann));
+    Inner.pre(Ann, E, Env, StepIndex, AllocatedBytes);
+  }
+
+  void post(const Annotation &Ann, const Expr &E, EnvView Env, Value Result,
+            uint64_t StepIndex, uint64_t AllocatedBytes) override {
+    Tap(StepIndex, probePostText(Ann, Result));
+    Inner.post(Ann, E, Env, Result, StepIndex, AllocatedBytes);
+  }
+
+  void saveMonitorSection(Serializer &S) const override {
+    Inner.saveMonitorSection(S);
+  }
+  void loadMonitorSection(Deserializer &D) override {
+    Inner.loadMonitorSection(D);
+  }
+
+private:
+  MonitorHooks &Inner;
+  Sink Tap;
 };
 
 } // namespace monsem

@@ -1,0 +1,680 @@
+//===- server/Serve.cpp - the `monsem serve` daemon ------------------------===//
+//
+// Wiring layers, top to bottom:
+//
+//   transport (LineChannel/Listener)  — bytes to lines
+//   protocol  (parseRequest/Writer)   — lines to requests/responses
+//   this file                         — requests to Session runs
+//   Session                           — runs to governed evaluate() slices
+//
+// Response ordering invariants, per run: `accepted` (or `recovered`) is
+// written before the run is submitted, so it precedes every probe batch;
+// each `checkpoint` record is preceded by a flush of the probe buffer, so
+// probes never appear after a checkpoint that covers them; `outcome` is
+// last, after a final probe flush. Probe buffers are only ever touched by
+// the worker currently running the run's slice (callbacks fire on worker
+// threads, and a run is on at most one worker at a time), so they need no
+// lock; the channel's writeLine is the single synchronization point.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/Serve.h"
+
+#include "server/Protocol.h"
+#include "server/Session.h"
+#include "server/Transport.h"
+
+#include "interp/Eval.h"
+#include "monitors/AllocProfiler.h"
+#include "monitors/CallGraph.h"
+#include "monitors/Collecting.h"
+#include "monitors/CostProfiler.h"
+#include "monitors/Coverage.h"
+#include "monitors/Demon.h"
+#include "monitors/FlightRecorder.h"
+#include "monitors/Profiler.h"
+#include "support/Governor.h"
+#include "support/Journal.h"
+#include "syntax/Annotator.h"
+#include "syntax/Prelude.h"
+
+#include <algorithm>
+#include <csignal>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+using namespace monsem;
+
+namespace {
+
+/// Everything owned on behalf of one served run: the parsed program (the
+/// AST arena the run's Expr nodes live in), the monitor instances the
+/// run's cascade references, the journal for durable runs, and the probe
+/// batch buffer. Kept alive by the RunEvents closures until the outcome
+/// record is written.
+struct ServeRun {
+  std::string Id;
+  std::unique_ptr<ParsedProgram> P;
+  const Expr *Program = nullptr;
+  std::vector<std::unique_ptr<Monitor>> Owned;
+  std::vector<std::string> MonitorNames; ///< Cascade order = outcome order.
+  std::unique_ptr<Journal> J;            ///< Durable runs only.
+  std::string ReqPath;    ///< Durable request file; unlinked at outcome.
+  std::shared_ptr<LineChannel> Out; ///< Keeps the client channel alive.
+  std::vector<std::pair<uint64_t, std::string>> Probes; ///< Worker-local.
+  std::atomic<bool> Finished{false}; ///< Outcome written; sweepable.
+};
+
+/// A request limit clamped to the server's cap: tighter wins, and a
+/// request cannot opt out of a cap by asking for 0 (unlimited).
+uint64_t capLimit(uint64_t Requested, uint64_t Cap) {
+  if (!Cap)
+    return Requested;
+  if (!Requested || Requested > Cap)
+    return Cap;
+  return Requested;
+}
+
+void emitError(LineChannel &Out, std::string_view Id, std::string_view Msg) {
+  // Diagnostics often end in '\n'; the record is one line, so trim.
+  while (!Msg.empty() && (Msg.back() == '\n' || Msg.back() == ' '))
+    Msg.remove_suffix(1);
+  json::Writer W;
+  W.beginObject();
+  W.key("event");
+  W.str("error");
+  if (!Id.empty()) {
+    W.key("id");
+    W.str(Id);
+  }
+  W.key("message");
+  W.str(Msg);
+  W.endObject();
+  Out.writeLine(W.take());
+}
+
+void flushProbes(ServeRun &R) {
+  if (R.Probes.empty())
+    return;
+  json::Writer W;
+  W.beginObject();
+  W.key("event");
+  W.str("probes");
+  W.key("id");
+  W.str(R.Id);
+  W.key("events");
+  W.beginArray();
+  for (const auto &[Step, Text] : R.Probes) {
+    W.beginObject();
+    W.key("step");
+    W.num(Step);
+    W.key("text");
+    W.str(Text);
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+  R.Out->writeLine(W.take());
+  R.Probes.clear();
+}
+
+void emitOutcome(ServeRun &R, const RunResult &Res) {
+  json::Writer W;
+  W.beginObject();
+  W.key("event");
+  W.str("outcome");
+  W.key("id");
+  W.str(R.Id);
+  W.key("outcome");
+  W.str(outcomeName(Res.St));
+  W.key("exit_code");
+  W.num(static_cast<int64_t>(exitCodeFor(Res.St)));
+  W.key("steps");
+  W.num(Res.Steps);
+  if (Res.St == Outcome::Ok) {
+    W.key("value");
+    W.str(Res.ValueText);
+  } else if (!Res.Error.empty()) {
+    W.key("error");
+    W.str(Res.Error);
+  }
+  W.key("monitors");
+  W.beginArray();
+  for (size_t I = 0;
+       I < R.MonitorNames.size() && I < Res.FinalStates.size(); ++I) {
+    W.beginObject();
+    W.key("name");
+    W.str(R.MonitorNames[I]);
+    W.key("state");
+    W.str(Res.FinalStates[I]->str());
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+  R.Out->writeLine(W.take());
+}
+
+bool writeFileAtomic(const std::string &Path, std::string_view Data,
+                     std::string &Err) {
+  std::string Tmp = Path + ".tmp";
+  int Fd = ::open(Tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (Fd < 0) {
+    Err = "cannot create '" + Tmp + "'";
+    return false;
+  }
+  size_t Off = 0;
+  while (Off < Data.size()) {
+    ssize_t W = ::write(Fd, Data.data() + Off, Data.size() - Off);
+    if (W < 0) {
+      if (errno == EINTR)
+        continue;
+      Err = "write failed";
+      ::close(Fd);
+      ::unlink(Tmp.c_str());
+      return false;
+    }
+    Off += static_cast<size_t>(W);
+  }
+  ::fsync(Fd);
+  ::close(Fd);
+  if (::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    Err = "rename failed";
+    ::unlink(Tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+std::string readWholeFile(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return {};
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+class Server {
+public:
+  explicit Server(const ServeOptions &O)
+      : O(O), S(Session::Config{O.Workers ? O.Workers : 1, O.QuantumSteps}) {}
+
+  int run();
+
+private:
+  struct Entry {
+    RunHandle H;
+    std::shared_ptr<ServeRun> R;
+  };
+
+  bool interrupted() const { return O.Interrupt && O.Interrupt->load(); }
+  bool stopRequested() const { return interrupted() || ShutdownReq; }
+
+  void serveChannel(const std::shared_ptr<LineChannel> &Ch);
+  void dispatch(const std::string &Line,
+                const std::shared_ptr<LineChannel> &Ch);
+  void submitRun(const SubmitRequest &Req, const std::string &RawLine,
+                 const std::shared_ptr<LineChannel> &Out,
+                 const Checkpoint *Resume, uint64_t ResumeSteps);
+  void recoverDurable(const std::shared_ptr<LineChannel> &Out);
+  void emitStatus(LineChannel &Out);
+  void sweepFinished();
+  void cancelAllLive();
+  int drainAndExit(bool CancelAll, LineChannel &Out);
+
+  const ServeOptions &O;
+  std::mutex RM;
+  std::map<std::string, Entry> Registry;
+  std::atomic<uint64_t> DoneCount{0};
+  bool ShutdownReq = false; ///< Main thread only.
+  /// Declared last: destroyed first, so the worker pool is joined while
+  /// the registry (and the ServeRuns its callbacks reference) still exist.
+  Session S;
+};
+
+void Server::emitStatus(LineChannel &Out) {
+  json::Writer W;
+  W.beginObject();
+  W.key("event");
+  W.str("status");
+  W.key("live");
+  W.num(S.liveRuns());
+  W.key("done");
+  W.num(DoneCount.load(std::memory_order_relaxed));
+  W.key("workers");
+  W.num(static_cast<uint64_t>(S.workers()));
+  W.endObject();
+  Out.writeLine(W.take());
+}
+
+void Server::sweepFinished() {
+  std::lock_guard<std::mutex> Lock(RM);
+  for (auto It = Registry.begin(); It != Registry.end();) {
+    if (It->second.R->Finished.load(std::memory_order_acquire))
+      It = Registry.erase(It);
+    else
+      ++It;
+  }
+}
+
+void Server::cancelAllLive() {
+  // Copy the handles out under the lock, cancel without it: RunHandle
+  // methods take the run's own mutex, and a worker's OnFinish callback
+  // must never find this thread holding RM while it wants a run lock.
+  std::vector<RunHandle> Handles;
+  {
+    std::lock_guard<std::mutex> Lock(RM);
+    Handles.reserve(Registry.size());
+    for (auto &[Id, E] : Registry)
+      Handles.push_back(E.H);
+  }
+  for (RunHandle &H : Handles)
+    H.cancel();
+}
+
+void Server::submitRun(const SubmitRequest &Req, const std::string &RawLine,
+                       const std::shared_ptr<LineChannel> &Out,
+                       const Checkpoint *Resume, uint64_t ResumeSteps) {
+  {
+    std::lock_guard<std::mutex> Lock(RM);
+    auto It = Registry.find(Req.Id);
+    if (It != Registry.end()) {
+      if (!It->second.R->Finished.load(std::memory_order_acquire)) {
+        emitError(*Out, Req.Id, "run id already live");
+        return;
+      }
+      Registry.erase(It);
+    }
+  }
+
+  auto R = std::make_shared<ServeRun>();
+  R->Id = Req.Id;
+  R->Out = Out;
+
+  R->P = ParsedProgram::parse(Req.Program);
+  if (!R->P->ok()) {
+    emitError(*Out, Req.Id, R->P->diags().str());
+    return;
+  }
+  const Expr *Program = R->P->root();
+  if (Req.Prelude) {
+    DiagnosticSink PD;
+    Program = wrapWithPrelude(R->P->context(), Program, PD);
+    if (!Program) {
+      emitError(*Out, Req.Id, PD.str());
+      return;
+    }
+  }
+
+  EvalMode Mode;
+  if (Req.Backend == "vm")
+    Mode.B = Backend::VM;
+  else if (Req.Backend == "vm-reg")
+    Mode.B = Backend::VMRegister;
+  else if (Req.Backend == "direct")
+    Mode.B = Backend::Direct;
+  else
+    Mode.B = Backend::CEK;
+  if (Req.Strategy == "name")
+    Mode.Strat = Strategy::CallByName;
+  else if (Req.Strategy == "need")
+    Mode.Strat = Strategy::CallByNeed;
+  else
+    Mode.Strat = Strategy::Strict;
+  if ((Mode.B == Backend::VM || Mode.B == Backend::VMRegister) &&
+      Mode.Strat != Strategy::Strict) {
+    emitError(*Out, Req.Id,
+              "the bytecode backends support the strict strategy only");
+    return;
+  }
+
+  // The monitor grant set, deny-by-default. Auto-annotation mirrors the
+  // CLI (one qualifier per monitor kind keeps cascaded syntaxes disjoint);
+  // interactive monitors are refused — there is no terminal to serve them
+  // on, and probe events already stream to the client.
+  std::vector<Symbol> Names;
+  for (const std::string &N : Req.Names)
+    Names.push_back(Symbol::intern(N));
+  auto Annotate = [&](const char *Qual, bool WithParams) {
+    AnnotateOptions AO;
+    AO.Qualifier = Symbol::intern(Qual);
+    AO.WithParams = WithParams;
+    Program = annotateFunctionBodies(R->P->context(), Program, Names, AO);
+  };
+  for (const std::string &Kind : Req.Monitors) {
+    std::unique_ptr<Monitor> M;
+    if (Kind == "profile") {
+      Annotate("profile", /*WithParams=*/false);
+      M = std::make_unique<CallProfiler>();
+    } else if (Kind == "cost") {
+      Annotate("cost", /*WithParams=*/false);
+      M = std::make_unique<CostProfiler>();
+    } else if (Kind == "alloc") {
+      Annotate("alloc", /*WithParams=*/false);
+      M = std::make_unique<AllocProfiler>();
+    } else if (Kind == "callgraph") {
+      Annotate("callgraph", /*WithParams=*/false);
+      M = std::make_unique<CallGraphMonitor>();
+    } else if (Kind == "record") {
+      Annotate("record", /*WithParams=*/true);
+      M = std::make_unique<FlightRecorder>(16);
+    } else if (Kind == "collect") {
+      M = std::make_unique<CollectingMonitor>();
+    } else if (Kind == "demon") {
+      M = std::make_unique<Demon>(Demon::unsortedLists());
+    } else if (Kind == "coverage") {
+      unsigned NumPoints = 0;
+      Program = labelProgramPoints(R->P->context(), Program, "p",
+                                   Symbol::intern("cover"), &NumPoints);
+      M = std::make_unique<CoverageMonitor>(NumPoints);
+    } else if (Kind == "trace" || Kind == "step" || Kind == "debug") {
+      emitError(*Out, Req.Id,
+                "monitor '" + Kind +
+                    "' is interactive and not served; probe events already "
+                    "stream to the client");
+      return;
+    } else {
+      emitError(*Out, Req.Id,
+                "unknown monitor '" + Kind +
+                    "'; served kinds: profile, cost, alloc, callgraph, "
+                    "record, collect, demon, coverage");
+      return;
+    }
+    R->MonitorNames.push_back(std::string(M->name()));
+    Mode.C.use(*M);
+    R->Owned.push_back(std::move(M));
+  }
+  R->Program = Program;
+
+  Mode = Mode & maxSteps(capLimit(Req.MaxSteps, O.MaxSteps)) &
+         deadlineMs(capLimit(Req.DeadlineMs, O.DeadlineMs)) &
+         maxArenaBytes(capLimit(Req.MaxBytes, O.MaxBytes)) &
+         maxDepth(capLimit(Req.MaxDepth, O.MaxDepth));
+
+  if (Req.Durable) {
+    if (O.JournalDir.empty()) {
+      emitError(*Out, Req.Id,
+                "durability not granted; start serve with --journal=DIR");
+      return;
+    }
+    if (Mode.B == Backend::Direct) {
+      emitError(*Out, Req.Id,
+                "the direct backend cannot checkpoint; durable runs need "
+                "cek or vm");
+      return;
+    }
+    R->ReqPath = O.JournalDir + "/" + Req.Id + ".req.json";
+    std::string Err;
+    // Persist the request *before* acknowledging it: once the client sees
+    // `accepted`, a crash must be recoverable.
+    if (!Resume && !writeFileAtomic(R->ReqPath, RawLine + "\n", Err)) {
+      emitError(*Out, Req.Id, "cannot persist request: " + Err);
+      return;
+    }
+    R->J = Journal::open(O.JournalDir + "/" + Req.Id + ".journal", Err);
+    if (!R->J) {
+      emitError(*Out, Req.Id, "cannot open journal: " + Err);
+      return;
+    }
+    Mode = Mode & journalInto(*R->J);
+    Mode.CheckpointOnStop = true;
+  }
+
+  if (Resume) {
+    Mode = Mode & resumeFrom(*Resume);
+    // Backend and strategy travel in the checkpoint header; adopt them so
+    // a recovered run continues the way it was started (a VM checkpoint is
+    // tier-portable: an explicit vm-reg request keeps the register tier).
+    if (Resume->header().Backend == CheckpointBackend::VM) {
+      if (Mode.B != Backend::VMRegister)
+        Mode.B = Backend::VM;
+    } else {
+      Mode.B = Backend::CEK;
+    }
+    Mode.Strat = static_cast<Strategy>(Resume->header().Strategy);
+  }
+
+  {
+    json::Writer W;
+    W.beginObject();
+    W.key("event");
+    W.str(Resume ? "recovered" : "accepted");
+    W.key("id");
+    W.str(Req.Id);
+    if (Resume) {
+      W.key("steps");
+      W.num(ResumeSteps);
+    }
+    W.endObject();
+    Out->writeLine(W.take());
+  }
+
+  RunEvents Ev;
+  Ev.OnProbe = [R](uint64_t Step, const std::string &Text) {
+    R->Probes.emplace_back(Step, Text);
+    if (R->Probes.size() >= 256)
+      flushProbes(*R);
+  };
+  Ev.OnCheckpoint = [R](uint64_t Steps) {
+    flushProbes(*R);
+    json::Writer W;
+    W.beginObject();
+    W.key("event");
+    W.str("checkpoint");
+    W.key("id");
+    W.str(R->Id);
+    W.key("steps");
+    W.num(Steps);
+    W.endObject();
+    R->Out->writeLine(W.take());
+  };
+  // NOTE: fires on a worker thread while the run's own lock is held — it
+  // only writes output and flips Finished; it must not (and does not)
+  // touch the registry or call RunHandle methods.
+  Ev.OnFinish = [this, R](const RunResult &Res) {
+    flushProbes(*R);
+    emitOutcome(*R, Res);
+    if (!R->ReqPath.empty())
+      ::unlink(R->ReqPath.c_str());
+    R->J.reset();
+    DoneCount.fetch_add(1, std::memory_order_relaxed);
+    R->Finished.store(true, std::memory_order_release);
+  };
+
+  RunHandle H = S.submit(Mode, R->Program, std::move(Ev));
+  {
+    std::lock_guard<std::mutex> Lock(RM);
+    Registry.insert_or_assign(Req.Id, Entry{H, R});
+  }
+}
+
+void Server::recoverDurable(const std::shared_ptr<LineChannel> &Out) {
+  DIR *D = ::opendir(O.JournalDir.c_str());
+  if (!D)
+    return;
+  static constexpr std::string_view Suffix = ".req.json";
+  std::vector<std::string> Ids;
+  while (dirent *E = ::readdir(D)) {
+    std::string_view Name(E->d_name);
+    if (Name.size() > Suffix.size() &&
+        Name.substr(Name.size() - Suffix.size()) == Suffix)
+      Ids.emplace_back(Name.substr(0, Name.size() - Suffix.size()));
+  }
+  ::closedir(D);
+  std::sort(Ids.begin(), Ids.end()); // readdir order is not deterministic.
+
+  for (const std::string &Id : Ids) {
+    if (!validRunId(Id))
+      continue;
+    std::string Raw = readWholeFile(O.JournalDir + "/" + Id + Suffix.data());
+    while (!Raw.empty() && (Raw.back() == '\n' || Raw.back() == '\r'))
+      Raw.pop_back();
+    Request Req;
+    std::string Err, ErrId;
+    if (Raw.empty() || !parseRequest(Raw, Req, Err, ErrId) ||
+        Req.O != Request::Op::Submit || Req.Submit.Id != Id) {
+      emitError(*Out, Id, "unrecoverable durable request: " + Err);
+      continue;
+    }
+    // Resume from the journal's last durable checkpoint; a journal with
+    // no checkpoint yet (crash before the first quantum expired) restarts
+    // the run from the beginning — same at-least-once rule as --supervise.
+    JournalRecovery Rec = recoverJournal(O.JournalDir + "/" + Id + ".journal");
+    Checkpoint CK;
+    uint64_t Steps = 0;
+    if (Rec.Opened && !Rec.LastCheckpoint.empty()) {
+      std::string CErr;
+      CK = Checkpoint::fromBytes(Rec.LastCheckpoint, CErr);
+      if (CK.valid())
+        Steps = CK.header().SavedSteps;
+    }
+    submitRun(Req.Submit, Raw, Out, CK.valid() ? &CK : nullptr, Steps);
+  }
+}
+
+void Server::dispatch(const std::string &Line,
+                      const std::shared_ptr<LineChannel> &Ch) {
+  Request Req;
+  std::string Err, ErrId;
+  if (!parseRequest(Line, Req, Err, ErrId)) {
+    emitError(*Ch, ErrId, Err);
+    return;
+  }
+  switch (Req.O) {
+  case Request::Op::Submit:
+    submitRun(Req.Submit, Line, Ch, /*Resume=*/nullptr, 0);
+    break;
+  case Request::Op::Cancel: {
+    RunHandle H;
+    {
+      std::lock_guard<std::mutex> Lock(RM);
+      auto It = Registry.find(Req.CancelId);
+      if (It != Registry.end())
+        H = It->second.H;
+    }
+    if (!H.valid())
+      emitError(*Ch, Req.CancelId, "no such live run");
+    else
+      H.cancel(); // The outcome record is the acknowledgement.
+    break;
+  }
+  case Request::Op::Status:
+    emitStatus(*Ch);
+    break;
+  case Request::Op::Shutdown:
+    ShutdownReq = true;
+    break;
+  }
+}
+
+void Server::serveChannel(const std::shared_ptr<LineChannel> &Ch) {
+  std::string Line;
+  for (;;) {
+    LineChannel::ReadStatus St =
+        Ch->readLine(Line, [this] { return stopRequested(); });
+    if (St != LineChannel::ReadStatus::Line)
+      return;
+    sweepFinished();
+    if (Line.find_first_not_of(" \t\r") == std::string::npos)
+      continue;
+    dispatch(Line, Ch);
+    if (ShutdownReq)
+      return;
+  }
+}
+
+int Server::drainAndExit(bool CancelAll, LineChannel &Out) {
+  if (CancelAll)
+    cancelAllLive();
+  while (S.liveRuns() > 0) {
+    if (!CancelAll && interrupted()) {
+      // ^C during a graceful drain escalates to a cancel-drain; a second
+      // ^C within the grace window hard-exits via the CLI's handler.
+      CancelAll = true;
+      cancelAllLive();
+    }
+    ::usleep(20 * 1000);
+  }
+  sweepFinished();
+  json::Writer W;
+  W.beginObject();
+  W.key("event");
+  W.str("shutdown");
+  W.key("done");
+  W.num(DoneCount.load(std::memory_order_relaxed));
+  W.endObject();
+  Out.writeLine(W.take());
+  return interrupted() ? 130 : 0;
+}
+
+int Server::run() {
+  // Workers write to client sockets; a hung-up peer must surface as a
+  // writeLine failure, not a process-killing SIGPIPE.
+  std::signal(SIGPIPE, SIG_IGN);
+
+  auto Stdio = std::make_shared<LineChannel>(0, 1, /*OwnsFds=*/false);
+  if (!O.JournalDir.empty())
+    recoverDurable(Stdio);
+
+  if (!O.UnixPath.empty() || O.TcpPort >= 0) {
+    std::string Err;
+    std::unique_ptr<Listener> L =
+        !O.UnixPath.empty()
+            ? Listener::listenUnix(O.UnixPath, Err)
+            : Listener::listenTcp(static_cast<uint16_t>(O.TcpPort), Err);
+    if (!L) {
+      emitError(*Stdio, {}, "cannot listen: " + Err);
+      return 1;
+    }
+    // Announce the endpoint on stdout — with --listen-tcp=0 this is how
+    // the client learns the picked port.
+    {
+      json::Writer W;
+      W.beginObject();
+      W.key("event");
+      W.str("listening");
+      W.key("transport");
+      W.str(!O.UnixPath.empty() ? "unix" : "tcp");
+      if (!O.UnixPath.empty()) {
+        W.key("path");
+        W.str(O.UnixPath);
+      } else {
+        W.key("port");
+        W.num(static_cast<uint64_t>(L->boundPort()));
+      }
+      W.endObject();
+      Stdio->writeLine(W.take());
+    }
+    while (!stopRequested()) {
+      std::shared_ptr<LineChannel> Ch =
+          L->accept([this] { return stopRequested(); });
+      if (!Ch)
+        break;
+      serveChannel(Ch); // One client at a time; it holds the connection.
+      sweepFinished();
+    }
+    return drainAndExit(stopRequested(), *Stdio);
+  }
+
+  serveChannel(Stdio);
+  // stdin EOF drains gracefully (runs finish, outcomes flush, exit 0);
+  // shutdown/^C cancel what is in flight first — every live run still
+  // gets its final outcome record before the process exits.
+  return drainAndExit(interrupted() || ShutdownReq, *Stdio);
+}
+
+} // namespace
+
+int monsem::runServe(const ServeOptions &O) {
+  if (!O.JournalDir.empty())
+    ::mkdir(O.JournalDir.c_str(), 0777); // EEXIST is the common case.
+  Server Srv(O);
+  return Srv.run();
+}

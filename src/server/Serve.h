@@ -1,0 +1,64 @@
+//===- server/Serve.h - `monsem serve` daemon entry point -------*- C++ -*-===//
+///
+/// \file
+/// The monitoring-as-a-service daemon behind `monsem serve`: a long-lived
+/// process that reads JSONL requests (see server/Protocol.h) from stdin, a
+/// unix-domain socket, or a loopback TCP socket, runs each submitted
+/// program under the requested monitors on a shared Session worker pool,
+/// and streams JSONL responses back.
+///
+/// Capability policy is deny-by-default: clients only get the monitors in
+/// the serve grant set (profilers, recorders, coverage — nothing
+/// interactive), limits the server was started with are hard caps that
+/// requests can tighten but never exceed, and durability (journals +
+/// request persistence, i.e. the right to write files) exists only when
+/// the operator passed `--journal=DIR`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MONSEM_SERVER_SERVE_H
+#define MONSEM_SERVER_SERVE_H
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace monsem {
+
+/// Operator-side configuration for one `monsem serve` process, assembled
+/// by the CLI from serve-mode flags.
+struct ServeOptions {
+  unsigned Workers = 4;            ///< --workers=N (worker threads).
+  uint64_t QuantumSteps = 1 << 16; ///< --quantum-steps=N (0: no slicing).
+
+  /// Per-run resource caps (--max-steps, --deadline-ms, --max-bytes,
+  /// --max-depth — the CLI's existing spellings). 0 = unlimited. A
+  /// request's own limits are clamped to these: tighter wins.
+  uint64_t MaxSteps = 0;
+  uint64_t DeadlineMs = 0;
+  uint64_t MaxBytes = 0;
+  uint64_t MaxDepth = 0;
+
+  /// --journal=DIR: the durability grant. Durable submits persist their
+  /// request to DIR/<id>.req.json and journal events + checkpoints to
+  /// DIR/<id>.journal; on startup the directory is scanned and interrupted
+  /// durable runs are resumed from their last durable checkpoint. Empty =
+  /// durability denied.
+  std::string JournalDir;
+
+  std::string UnixPath; ///< --listen-unix=PATH (empty: no unix socket).
+  int TcpPort = -1;     ///< --listen-tcp=PORT (-1: no TCP; 0: pick free).
+
+  /// The CLI's SIGINT flag (GCancel). When it flips, serve stops accepting
+  /// requests, cancels every in-flight run, drains the final outcome
+  /// records, and exits 130 — the polite half of the CLI's two-stage ^C.
+  std::atomic<bool> *Interrupt = nullptr;
+};
+
+/// Runs the daemon until EOF / shutdown request / interrupt. Returns the
+/// process exit code (0 clean, 1 setup failure, 130 interrupted).
+int runServe(const ServeOptions &O);
+
+} // namespace monsem
+
+#endif // MONSEM_SERVER_SERVE_H

@@ -1,0 +1,328 @@
+//===- server/Session.cpp - Worker pool and run time-slicing --------------===//
+
+#include "server/Session.h"
+
+using namespace monsem;
+using detail::RunState;
+using Phase = detail::RunState::Phase;
+
+//===----------------------------------------------------------------------===//
+// RunHandle
+//===----------------------------------------------------------------------===//
+
+void RunHandle::pause() {
+  if (!S)
+    return;
+  std::lock_guard<std::mutex> L(S->M);
+  if (S->Ph == Phase::Done)
+    return;
+  S->PauseRequested = true;
+  S->SliceStop.store(true, std::memory_order_relaxed);
+}
+
+void RunHandle::resume() {
+  if (!S)
+    return;
+  bool Requeue = false;
+  {
+    std::lock_guard<std::mutex> L(S->M);
+    S->PauseRequested = false;
+    if (S->Ph == Phase::Paused) {
+      S->Ph = Phase::Queued;
+      Requeue = true;
+    }
+  }
+  if (Requeue)
+    Sess->enqueue(S);
+}
+
+void RunHandle::cancel() {
+  if (!S)
+    return;
+  bool Requeue = false;
+  {
+    std::lock_guard<std::mutex> L(S->M);
+    if (S->Ph == Phase::Done)
+      return;
+    S->CancelRequested = true;
+    S->SliceStop.store(true, std::memory_order_relaxed);
+    // A paused run is off the queue; put it back so a worker finalizes it.
+    if (S->Ph == Phase::Paused) {
+      S->Ph = Phase::Queued;
+      Requeue = true;
+    }
+  }
+  if (Requeue)
+    Sess->enqueue(S);
+}
+
+bool RunHandle::done() const {
+  if (!S)
+    return false;
+  std::lock_guard<std::mutex> L(S->M);
+  return S->Ph == Phase::Done;
+}
+
+RunResult RunHandle::outcome() {
+  RunResult R;
+  if (!S) {
+    R.Error = "invalid run handle";
+    return R;
+  }
+  std::unique_lock<std::mutex> L(S->M);
+  S->CV.wait(L, [&] { return S->Ph == Phase::Done; });
+  if (!S->HasResult) {
+    R.Error = "run outcome already consumed";
+    return R;
+  }
+  S->HasResult = false;
+  return std::move(S->Result);
+}
+
+//===----------------------------------------------------------------------===//
+// Session
+//===----------------------------------------------------------------------===//
+
+Session::Session(Config Cfg)
+    : NumWorkers(Cfg.Workers ? Cfg.Workers : 1), Quantum(Cfg.QuantumSteps) {
+  Workers.reserve(NumWorkers);
+  for (unsigned I = 0; I < NumWorkers; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+Session::~Session() {
+  std::vector<RunStatePtr> Drain;
+  {
+    std::lock_guard<std::mutex> L(QM);
+    Stopping = true;
+    for (const std::weak_ptr<RunState> &W : AllRuns)
+      if (RunStatePtr R = W.lock())
+        Drain.push_back(std::move(R));
+  }
+  // Mark every unfinished run cancelled; the workers drain the queue (the
+  // pre-slice triage turns a cancelled pop into an immediate finish), so
+  // even an unbounded run cannot wedge the join below past its next
+  // governor boundary.
+  for (const RunStatePtr &R : Drain) {
+    std::lock_guard<std::mutex> L(R->M);
+    if (R->Ph == Phase::Done)
+      continue;
+    R->CancelRequested = true;
+    R->SliceStop.store(true, std::memory_order_relaxed);
+    if (R->Ph == Phase::Paused) {
+      R->Ph = Phase::Queued;
+      std::lock_guard<std::mutex> QL(QM);
+      Queue.push_back(R);
+    }
+  }
+  QCV.notify_all();
+  for (std::thread &T : Workers)
+    T.join();
+}
+
+RunHandle Session::submit(EvalMode Mode, const Expr *Program, RunEvents Ev) {
+  auto R = std::make_shared<RunState>();
+  R->Mode = std::move(Mode);
+  R->Program = Program;
+  R->Ev = std::move(Ev);
+  R->Start = std::chrono::steady_clock::now();
+  if (R->Mode.ResumeFrom) {
+    // Own the resume point so requeued slices can overwrite it in place;
+    // the caller's checkpoint need not outlive the run.
+    R->CK = *R->Mode.ResumeFrom;
+    R->HasCK = true;
+    R->BaseSteps = R->DoneSteps = R->CK.header().SavedSteps;
+    R->Mode.ResumeFrom = nullptr;
+  }
+  Live.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> L(QM);
+    R->Id = NextId.fetch_add(1, std::memory_order_relaxed);
+    AllRuns.push_back(R);
+    // Compact dead registry entries opportunistically so a long-lived
+    // server's registry stays proportional to its live runs.
+    if (AllRuns.size() > 64 && AllRuns.size() > 4 * Live.load()) {
+      size_t Kept = 0;
+      for (std::weak_ptr<RunState> &W : AllRuns)
+        if (!W.expired())
+          AllRuns[Kept++] = std::move(W);
+      AllRuns.resize(Kept);
+    }
+    Queue.push_back(R);
+  }
+  QCV.notify_one();
+  return RunHandle(this, std::move(R));
+}
+
+void Session::enqueue(RunStatePtr R) {
+  {
+    std::lock_guard<std::mutex> L(QM);
+    Queue.push_back(std::move(R));
+  }
+  QCV.notify_one();
+}
+
+void Session::workerLoop() {
+  for (;;) {
+    RunStatePtr R;
+    {
+      std::unique_lock<std::mutex> L(QM);
+      QCV.wait(L, [&] { return Stopping || !Queue.empty(); });
+      if (Queue.empty())
+        return; // Stopping and drained.
+      R = std::move(Queue.front());
+      Queue.pop_front();
+    }
+    runSlice(std::move(R));
+  }
+}
+
+void Session::finish(RunState &R, RunResult Res) {
+  // Caller holds R.M with Ph != Done.
+  R.Result = std::move(Res);
+  R.HasResult = true;
+  R.Ph = Phase::Done;
+  Live.fetch_sub(1, std::memory_order_relaxed);
+  if (R.Ev.OnFinish)
+    R.Ev.OnFinish(R.Result);
+  R.CV.notify_all();
+}
+
+void Session::runSlice(RunStatePtr RP) {
+  RunState &R = *RP;
+  {
+    std::unique_lock<std::mutex> L(R.M);
+    if (R.Ph == Phase::Done)
+      return;
+    if (R.CancelRequested) {
+      // Cancelled while queued or paused: finish without running.
+      RunResult Res;
+      Res.setOutcome(Outcome::Cancelled);
+      Res.Steps = R.DoneSteps;
+      finish(R, std::move(Res));
+      return;
+    }
+    if (R.PauseRequested) {
+      R.Ph = Phase::Paused; // Parked before the slice started.
+      return;
+    }
+    R.Ph = Phase::Running;
+    R.SliceStop.store(false, std::memory_order_relaxed);
+  }
+
+  // Assemble this quantum's mode from the submitted one.
+  EvalMode Slice = R.Mode;
+  Slice.Limits.PreemptFlag = &R.SliceStop;
+
+  // Fuel: the user budget measures steps since submit (a resumed run gets
+  // a fresh budget, matching the standalone rule), so the slice gets the
+  // remaining budget — or one quantum, whichever is smaller. The Direct
+  // backend cannot checkpoint and is never sliced.
+  const uint64_t UserFuel = R.Mode.Limits.MaxSteps;
+  const uint64_t Progress = R.DoneSteps - R.BaseSteps;
+  const uint64_t Remaining =
+      UserFuel ? (UserFuel > Progress ? UserFuel - Progress : 1) : 0;
+  const bool CanSlice = Quantum != 0 && R.Mode.B != Backend::Direct;
+  const bool QuantumLimited =
+      CanSlice && (UserFuel == 0 || Quantum < Remaining);
+  if (QuantumLimited)
+    Slice.Limits.MaxSteps = Quantum;
+  else if (UserFuel)
+    Slice.Limits.MaxSteps = Remaining;
+
+  // Deadline: wall clock is charged against the whole run, not per slice.
+  if (uint64_t D = R.Mode.Limits.DeadlineMs) {
+    auto ElapsedMs =
+        static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::milliseconds>(
+                                  std::chrono::steady_clock::now() - R.Start)
+                                  .count());
+    Slice.Limits.DeadlineMs = ElapsedMs >= D ? 1 : D - ElapsedMs;
+  }
+
+  if (R.HasCK)
+    Slice.ResumeFrom = &R.CK;
+
+  // Capture the freshest checkpoint the slice emits so a requeue or park
+  // can resume from it; the user's sink (if any) still sees every one.
+  Checkpoint Latest;
+  bool Got = false;
+  if (CanSlice || R.Mode.CheckpointSink) {
+    Slice.CheckpointSink = [&Latest, &Got,
+                            User = R.Mode.CheckpointSink](const Checkpoint &CK) {
+      Latest = CK;
+      Got = true;
+      if (User)
+        User(CK);
+    };
+    Slice.CheckpointOnStop = R.Mode.CheckpointOnStop || CanSlice;
+  }
+
+  // Probe taps compose: the scheduler never swallows the user's own sink.
+  if (R.Ev.OnProbe) {
+    Slice.EventSink = [Tap = R.Ev.OnProbe, User = R.Mode.EventSink](
+                          uint64_t Step, const std::string &Text) {
+      Tap(Step, Text);
+      if (User)
+        User(Step, Text);
+    };
+  }
+
+  RunResult SR = evaluate(Slice, R.Program);
+
+  std::unique_lock<std::mutex> L(R.M);
+  if (Got) {
+    R.CK = std::move(Latest);
+    R.HasCK = true;
+  }
+  if (R.Ph == Phase::Done)
+    return; // Defensive; finish only happens here, under this lock.
+
+  const bool Preempted = R.SliceStop.load(std::memory_order_relaxed);
+  if (SR.St == Outcome::Cancelled && Preempted && !R.CancelRequested) {
+    // The scheduler, not the user, stopped the slice.
+    if (Got)
+      R.DoneSteps = R.CK.header().SavedSteps;
+    // else: no checkpoint was captured (Direct backend, or serialization
+    // failed) — the run restarts from its previous resume point; the
+    // machines are deterministic, so re-execution is exact.
+    uint64_t At = R.DoneSteps;
+    auto OnCk = (Got && R.Ev.OnCheckpoint) ? R.Ev.OnCheckpoint : nullptr;
+    if (R.PauseRequested) {
+      R.Ph = Phase::Paused;
+      L.unlock();
+      if (OnCk)
+        OnCk(At);
+      return;
+    }
+    // A pause raced with a resume: neither request stands, keep going.
+    R.Ph = Phase::Queued;
+    L.unlock();
+    if (OnCk)
+      OnCk(At);
+    enqueue(std::move(RP));
+    return;
+  }
+  if (SR.St == Outcome::FuelExhausted && QuantumLimited &&
+      !R.CancelRequested) {
+    // Quantum expired: checkpoint, requeue, let any worker resume it.
+    if (Got)
+      R.DoneSteps = R.CK.header().SavedSteps;
+    R.Ph = Phase::Queued;
+    uint64_t At = R.DoneSteps;
+    auto OnCk = (Got && R.Ev.OnCheckpoint) ? R.Ev.OnCheckpoint : nullptr;
+    L.unlock();
+    if (OnCk)
+      OnCk(At);
+    enqueue(std::move(RP));
+    return;
+  }
+  // A cancel that lands just as the quantum expires: the slice reports
+  // FuelExhausted, but that fuel limit was the scheduler's, not the
+  // user's — the run is cancelled, not out of budget.
+  if (SR.St == Outcome::FuelExhausted && QuantumLimited && R.CancelRequested)
+    SR.setOutcome(Outcome::Cancelled);
+  // Final: the program finished, errored, hit a user limit, or was
+  // cancelled. Steps/states are cumulative (the machine continues the
+  // counter across resumes), so the result matches an uninterrupted run.
+  finish(R, std::move(SR));
+}

@@ -1,0 +1,214 @@
+//===- server/Session.h - Stable embedding API for monitored runs -*- C++ -*-===//
+///
+/// \file
+/// The embedding API `monsem serve` and the CLI are both built on: a
+/// `Session` owns a fixed pool of worker threads and multiplexes any number
+/// of submitted runs across them by time-slicing.
+///
+/// Each scheduler quantum is one `evaluate(mode & maxSteps(quantum) &
+/// checkpointInto(...))` call; when the quantum expires the run's
+/// checkpoint is captured, the run is requeued, and the next worker to
+/// pick it up resumes with `resumeFrom` — possibly a different thread than
+/// the one that started it. Because checkpoints record exact transition
+/// boundaries (support/Checkpoint.h) and resumed runs re-execute from
+/// SavedSteps+1, a sliced run's answer, cumulative step count and probe
+/// event stream are byte-identical to an uninterrupted run.
+///
+/// A `RunHandle` is the caller's view of one submitted run:
+///
+///   Session S({.Workers = 4, .QuantumSteps = 1 << 16});
+///   RunHandle H = S.submit(profiler & maxSteps(1'000'000), P.root());
+///   RunResult R = H.outcome();   // blocks until the run finishes
+///
+/// pause()/resume() park a run at the next governor boundary (checkpointed,
+/// off the queue) and put it back; cancel() finishes it with
+/// Outcome::Cancelled. Preemption rides the governor's one-compare hot
+/// loop via ResourceLimits::PreemptFlag, so an idle flag costs nothing.
+///
+/// With `Workers = 1, QuantumSteps = 0` a Session degenerates to a plain
+/// synchronous `evaluate()` — that configuration is exactly what the CLI
+/// uses, so the flag surface and the server cannot skew.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MONSEM_SERVER_SESSION_H
+#define MONSEM_SERVER_SESSION_H
+
+#include "interp/Eval.h"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace monsem {
+
+/// Observer callbacks for one run. All of them fire on worker threads; the
+/// embedder is responsible for its own synchronization (the server routes
+/// them through a mutex-guarded JSONL writer).
+struct RunEvents {
+  /// Every probe event, as (cumulative step, canonical journal text) — the
+  /// same text JournalingHooks writes, so streamed and journaled event
+  /// sequences are byte-identical.
+  std::function<void(uint64_t Step, const std::string &Text)> OnProbe;
+  /// A checkpoint was captured at a park/requeue boundary; \p Steps is the
+  /// checkpoint's SavedSteps (completed transitions).
+  std::function<void(uint64_t Steps)> OnCheckpoint;
+  /// The run reached a final outcome. Fires exactly once, before outcome()
+  /// unblocks; the result reference is valid for the duration of the call.
+  std::function<void(const RunResult &R)> OnFinish;
+};
+
+namespace detail {
+
+/// Shared state of one submitted run. Lifecycle:
+///
+///   Queued -> Running -> { Queued (quantum expired, requeued)
+///                        | Paused (pause() honored at a boundary)
+///                        | Done   (final outcome) }
+///
+/// Guarded by M except SliceStop, which the governor polls lock-free.
+struct RunState {
+  enum class Phase : uint8_t { Queued, Running, Paused, Done };
+
+  uint64_t Id = 0;
+  EvalMode Mode;              ///< As submitted (user limits, sinks, cascade).
+  const Expr *Program = nullptr;
+  RunEvents Ev;
+
+  std::mutex M;
+  std::condition_variable CV; ///< Signaled on Done.
+  Phase Ph = Phase::Queued;
+  bool CancelRequested = false;
+  bool PauseRequested = false;
+  /// Scheduler preemption flag, wired as ResourceLimits::PreemptFlag for
+  /// the duration of each slice.
+  std::atomic<bool> SliceStop{false};
+
+  /// Latest checkpoint (requeue/park resume point). Valid iff HasCK.
+  Checkpoint CK;
+  bool HasCK = false;
+  /// Completed transitions so far (CK.header().SavedSteps once HasCK).
+  uint64_t DoneSteps = 0;
+  /// Step count at submit (0, or the resume checkpoint's SavedSteps):
+  /// fuel budgets measure steps *since submit*, matching the standalone
+  /// rule that a resumed run gets a fresh budget.
+  uint64_t BaseSteps = 0;
+  /// Wall-clock submit time; per-slice deadlines subtract elapsed time so
+  /// a sliced run's total deadline matches an uninterrupted one.
+  std::chrono::steady_clock::time_point Start;
+
+  RunResult Result;
+  bool HasResult = false;
+};
+
+} // namespace detail
+
+class Session;
+
+/// The caller's handle on one submitted run. Copyable; all copies refer to
+/// the same run.
+class RunHandle {
+public:
+  RunHandle() = default;
+
+  bool valid() const { return S != nullptr; }
+  uint64_t id() const { return S ? S->Id : 0; }
+
+  /// Requests a park at the next governor boundary: the run checkpoints,
+  /// leaves the queue, and holds until resume(). No-op on finished runs.
+  void pause();
+
+  /// Puts a paused run back on the queue. No-op unless paused.
+  void resume();
+
+  /// Finishes the run with Outcome::Cancelled (honored at the next
+  /// governor boundary if it is mid-slice). No-op on finished runs.
+  void cancel();
+
+  /// True once the run has a final outcome.
+  bool done() const;
+
+  /// Blocks until the run finishes and moves the result out. Single-shot:
+  /// a second call returns an empty error result.
+  RunResult outcome();
+
+private:
+  friend class Session;
+  RunHandle(Session *Sess, std::shared_ptr<detail::RunState> S)
+      : Sess(Sess), S(std::move(S)) {}
+
+  Session *Sess = nullptr;
+  std::shared_ptr<detail::RunState> S;
+};
+
+/// A fixed worker pool multiplexing monitored runs by time-slicing. See
+/// the file comment for the model.
+class Session {
+public:
+  struct Config {
+    /// Worker threads. 0 is clamped to 1.
+    unsigned Workers = 1;
+    /// Scheduler quantum in machine transitions; 0 = run every slice to
+    /// completion (no preemptive multiplexing, cancel/pause still work).
+    /// Runs on the Direct backend are never sliced — the definitional
+    /// interpreter cannot checkpoint.
+    uint64_t QuantumSteps = 0;
+  };
+
+  Session() : Session(Config{}) {}
+  explicit Session(Config Cfg);
+
+  /// Cancels every unfinished run, drains the queue and joins the workers.
+  ~Session();
+
+  Session(const Session &) = delete;
+  Session &operator=(const Session &) = delete;
+
+  /// Submits a run. The program, the monitors referenced by the mode's
+  /// cascade, and anything the mode's sinks capture must outlive the run
+  /// (i.e. until done() or outcome()). Thread-safe.
+  RunHandle submit(EvalMode Mode, const Expr *Program, RunEvents Ev = {});
+
+  unsigned workers() const { return NumWorkers; }
+  uint64_t quantumSteps() const { return Quantum; }
+
+  /// Runs currently queued, running or paused (not yet Done).
+  uint64_t liveRuns() const { return Live.load(std::memory_order_relaxed); }
+
+private:
+  friend class RunHandle;
+  using RunStatePtr = std::shared_ptr<detail::RunState>;
+
+  void enqueue(RunStatePtr R);
+  void workerLoop();
+  /// Runs one scheduler quantum of \p R and dispatches on how it stopped.
+  void runSlice(RunStatePtr R);
+  /// Finalizes \p R with \p Res. Caller holds R.M with Ph != Done.
+  void finish(detail::RunState &R, RunResult Res);
+
+  unsigned NumWorkers;
+  uint64_t Quantum;
+  std::atomic<uint64_t> Live{0};
+  std::atomic<uint64_t> NextId{1};
+
+  std::mutex QM;
+  std::condition_variable QCV;
+  std::deque<RunStatePtr> Queue;
+  /// Every submitted run (weak, compacted as runs finish); the destructor
+  /// uses it to cancel whatever is still live.
+  std::vector<std::weak_ptr<detail::RunState>> AllRuns;
+  bool Stopping = false;
+
+  std::vector<std::thread> Workers;
+};
+
+} // namespace monsem
+
+#endif // MONSEM_SERVER_SESSION_H

@@ -1,0 +1,170 @@
+//===- server/Transport.cpp - poll-driven line I/O --------------------------===//
+
+#include "server/Transport.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace monsem;
+
+LineChannel::~LineChannel() {
+  if (OwnsFds) {
+    ::close(InFd);
+    if (OutFd != InFd)
+      ::close(OutFd);
+  }
+}
+
+LineChannel::ReadStatus
+LineChannel::readLine(std::string &Out, const std::function<bool()> &Stop) {
+  for (;;) {
+    // Serve a buffered line first; EOF only after the buffer drains.
+    size_t NL = Buf.find('\n');
+    if (NL != std::string::npos) {
+      Out.assign(Buf, 0, NL);
+      Buf.erase(0, NL + 1);
+      return ReadStatus::Line;
+    }
+    if (SawEof) {
+      if (!Buf.empty()) {
+        Out = std::move(Buf);
+        Buf.clear();
+        return ReadStatus::Line;
+      }
+      return ReadStatus::Eof;
+    }
+    if (Stop && Stop())
+      return ReadStatus::Stopped;
+
+    struct pollfd P = {InFd, POLLIN, 0};
+    int N = ::poll(&P, 1, 200);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue; // A signal (SIGINT) landed; re-check the stop predicate.
+      return ReadStatus::Error;
+    }
+    if (N == 0)
+      continue; // Timeout: re-check the stop predicate.
+
+    char Chunk[4096];
+    ssize_t R = ::read(InFd, Chunk, sizeof(Chunk));
+    if (R < 0) {
+      if (errno == EINTR)
+        continue;
+      return ReadStatus::Error;
+    }
+    if (R == 0)
+      SawEof = true;
+    else
+      Buf.append(Chunk, static_cast<size_t>(R));
+  }
+}
+
+bool LineChannel::writeLine(std::string_view Line) {
+  std::lock_guard<std::mutex> Lock(WM);
+  std::string Out(Line);
+  Out.push_back('\n');
+  size_t Off = 0;
+  while (Off < Out.size()) {
+    ssize_t W = ::write(OutFd, Out.data() + Off, Out.size() - Off);
+    if (W < 0) {
+      if (errno == EINTR)
+        continue;
+      return false; // Peer hung up (SIGPIPE is ignored by the serve loop).
+    }
+    Off += static_cast<size_t>(W);
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Listener
+//===----------------------------------------------------------------------===//
+
+Listener::~Listener() {
+  ::close(Fd);
+  if (!UnlinkPath.empty())
+    ::unlink(UnlinkPath.c_str());
+}
+
+std::unique_ptr<Listener> Listener::listenUnix(const std::string &Path,
+                                               std::string &Err) {
+  sockaddr_un Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  if (Path.size() >= sizeof(Addr.sun_path)) {
+    Err = "unix socket path too long";
+    return nullptr;
+  }
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    Err = std::strerror(errno);
+    return nullptr;
+  }
+  ::unlink(Path.c_str()); // A stale socket from a crashed server.
+  if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0 ||
+      ::listen(Fd, 16) < 0) {
+    Err = std::strerror(errno);
+    ::close(Fd);
+    return nullptr;
+  }
+  return std::unique_ptr<Listener>(new Listener(Fd, Path, 0));
+}
+
+std::unique_ptr<Listener> Listener::listenTcp(uint16_t Port,
+                                              std::string &Err) {
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    Err = std::strerror(errno);
+    return nullptr;
+  }
+  int One = 1;
+  ::setsockopt(Fd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+  sockaddr_in Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK); // Loopback only, by design.
+  Addr.sin_port = htons(Port);
+  if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0 ||
+      ::listen(Fd, 16) < 0) {
+    Err = std::strerror(errno);
+    ::close(Fd);
+    return nullptr;
+  }
+  socklen_t Len = sizeof(Addr);
+  if (::getsockname(Fd, reinterpret_cast<sockaddr *>(&Addr), &Len) == 0)
+    Port = ntohs(Addr.sin_port);
+  return std::unique_ptr<Listener>(new Listener(Fd, std::string(), Port));
+}
+
+std::unique_ptr<LineChannel>
+Listener::accept(const std::function<bool()> &Stop) {
+  for (;;) {
+    if (Stop && Stop())
+      return nullptr;
+    struct pollfd P = {Fd, POLLIN, 0};
+    int N = ::poll(&P, 1, 200);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return nullptr;
+    }
+    if (N == 0)
+      continue;
+    int Client = ::accept(Fd, nullptr, nullptr);
+    if (Client < 0) {
+      if (errno == EINTR || errno == ECONNABORTED)
+        continue;
+      return nullptr;
+    }
+    return std::make_unique<LineChannel>(Client, Client, /*OwnsFds=*/true);
+  }
+}

@@ -1,0 +1,99 @@
+//===- server/Transport.h - Line transports for monsem serve ----*- C++ -*-===//
+///
+/// \file
+/// Byte transport for the JSONL protocol: a `LineChannel` turns a pair of
+/// file descriptors into a line-oriented duplex channel, and `Listener`
+/// accepts unix-domain or loopback-TCP connections that become channels.
+///
+/// Reads poll with a short timeout and consult a stop predicate between
+/// polls, so the serve loop notices SIGINT (or a shutdown request) even
+/// while idle at a blocking read. Writes are mutex-guarded and whole-line
+/// atomic: concurrent workers can stream probe batches for different runs
+/// into one channel without interleaving bytes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MONSEM_SERVER_TRANSPORT_H
+#define MONSEM_SERVER_TRANSPORT_H
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace monsem {
+
+/// A line-oriented duplex channel over two (possibly equal) fds. Does not
+/// own the fds unless told to (socket channels do, stdio does not).
+class LineChannel {
+public:
+  LineChannel(int InFd, int OutFd, bool OwnsFds = false)
+      : InFd(InFd), OutFd(OutFd), OwnsFds(OwnsFds) {}
+  ~LineChannel();
+
+  LineChannel(const LineChannel &) = delete;
+  LineChannel &operator=(const LineChannel &) = delete;
+
+  enum class ReadStatus : uint8_t {
+    Line,    ///< A complete line was read (returned without the '\n').
+    Eof,     ///< Input exhausted (a final unterminated line is delivered
+             ///< as Line first).
+    Stopped, ///< The stop predicate fired.
+    Error,   ///< read() failed.
+  };
+
+  /// Reads the next line. Between 200ms polls, \p Stop is consulted; when
+  /// it returns true the call gives up with Stopped.
+  ReadStatus readLine(std::string &Out, const std::function<bool()> &Stop);
+
+  /// Writes \p Line plus '\n' atomically with respect to other writeLine
+  /// calls on this channel. Returns false on write failure (e.g. the peer
+  /// hung up); the channel stays usable for the caller to decide.
+  bool writeLine(std::string_view Line);
+
+private:
+  int InFd;
+  int OutFd;
+  bool OwnsFds;
+  std::string Buf;     ///< Bytes read but not yet returned.
+  bool SawEof = false;
+  std::mutex WM;
+};
+
+/// A listening unix-domain or loopback-TCP socket. Connections are served
+/// one at a time (accept, serve to EOF, accept the next); the protocol is
+/// request-streamed, so a client holds the connection for as long as it
+/// wants to submit and observe runs.
+class Listener {
+public:
+  ~Listener();
+
+  /// Binds and listens on a unix-domain socket at \p Path (unlinking a
+  /// stale socket first). Null + \p Err on failure.
+  static std::unique_ptr<Listener> listenUnix(const std::string &Path,
+                                              std::string &Err);
+
+  /// Binds and listens on 127.0.0.1:\p Port. \p Port 0 picks a free port
+  /// (see boundPort()). Null + \p Err on failure.
+  static std::unique_ptr<Listener> listenTcp(uint16_t Port, std::string &Err);
+
+  /// Accepts the next connection as an owning channel. Polls with the same
+  /// 200ms cadence as reads; returns null when \p Stop fires or accept
+  /// fails terminally.
+  std::unique_ptr<LineChannel> accept(const std::function<bool()> &Stop);
+
+  uint16_t boundPort() const { return Port; }
+
+private:
+  Listener(int Fd, std::string UnlinkPath, uint16_t Port)
+      : Fd(Fd), UnlinkPath(std::move(UnlinkPath)), Port(Port) {}
+
+  int Fd;
+  std::string UnlinkPath; ///< Unix socket path to unlink on close.
+  uint16_t Port = 0;
+};
+
+} // namespace monsem
+
+#endif // MONSEM_SERVER_TRANSPORT_H

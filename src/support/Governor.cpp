@@ -24,4 +24,24 @@ const char *outcomeName(Outcome O) {
   return "?";
 }
 
+int exitCodeFor(Outcome O) {
+  switch (O) {
+  case Outcome::Ok:
+    return 0;
+  case Outcome::Error:
+    return 2;
+  case Outcome::FuelExhausted:
+    return 3;
+  case Outcome::Deadline:
+    return 4;
+  case Outcome::MemoryExceeded:
+    return 5;
+  case Outcome::Cancelled:
+    return 6;
+  case Outcome::DepthExceeded:
+    return 7;
+  }
+  return 2;
+}
+
 } // namespace monsem

@@ -52,6 +52,14 @@ enum class Outcome : uint8_t {
 
 const char *outcomeName(Outcome O);
 
+/// The process exit code (and JSONL `exit_code` field) for each outcome:
+/// 0 ok, 2 error, 3 fuel-exhausted, 4 deadline, 5 memory-exceeded,
+/// 6 cancelled, 7 depth-exceeded. Exit code 1 is reserved for driver I/O
+/// failures (unreadable input, bad flags), so it is not in this table. The
+/// CLI and `monsem serve` both map through here — the two surfaces cannot
+/// skew.
+int exitCodeFor(Outcome O);
+
 /// True for the outcomes imposed by the governor rather than produced by
 /// the program.
 inline bool isGovernanceStop(Outcome O) {
@@ -84,9 +92,17 @@ struct ResourceLimits {
   /// the next checkpoint after the flag becomes true. The pointee must
   /// outlive the run (monsem_cli wires this to SIGINT).
   std::atomic<bool> *CancelFlag = nullptr;
+  /// Scheduler preemption: a second cancellation channel owned by an
+  /// embedding scheduler (server/Session.h) rather than the user, so a
+  /// time-slicing host can yank a run off a worker without clobbering the
+  /// user's CancelFlag. Raises Outcome::Cancelled exactly like CancelFlag;
+  /// the scheduler disambiguates park-vs-cancel from its own bookkeeping.
+  /// The pointee must outlive the run.
+  std::atomic<bool> *PreemptFlag = nullptr;
 
   bool any() const {
-    return MaxSteps || DeadlineMs || MaxArenaBytes || MaxDepth || CancelFlag;
+    return MaxSteps || DeadlineMs || MaxArenaBytes || MaxDepth || CancelFlag ||
+           PreemptFlag;
   }
 };
 
@@ -115,7 +131,8 @@ public:
       : L(Limits), Base(StepBase), CkptEvery(CheckpointEvery) {
     MaxSteps = L.MaxSteps ? L.MaxSteps : LegacyMaxSteps;
     Interval = L.CheckInterval ? L.CheckInterval : kDefaultCheckInterval;
-    Periodic = L.DeadlineMs || L.MaxArenaBytes || L.MaxDepth || L.CancelFlag;
+    Periodic = L.DeadlineMs || L.MaxArenaBytes || L.MaxDepth || L.CancelFlag ||
+               L.PreemptFlag;
     if (L.DeadlineMs)
       Deadline = std::chrono::steady_clock::now() +
                  std::chrono::milliseconds(L.DeadlineMs);
@@ -143,6 +160,8 @@ public:
     if (L.MaxDepth && Depth > L.MaxDepth)
       return Outcome::DepthExceeded;
     if (L.CancelFlag && L.CancelFlag->load(std::memory_order_relaxed))
+      return Outcome::Cancelled;
+    if (L.PreemptFlag && L.PreemptFlag->load(std::memory_order_relaxed))
       return Outcome::Cancelled;
     if (L.DeadlineMs && std::chrono::steady_clock::now() >= Deadline)
       return Outcome::Deadline;

@@ -4,6 +4,8 @@
 
 #include <cassert>
 #include <deque>
+#include <mutex>
+#include <shared_mutex>
 #include <unordered_map>
 
 using namespace monsem;
@@ -12,13 +14,29 @@ namespace {
 
 /// Process-wide intern table. Spellings are stored in a deque so handles
 /// remain stable as the table grows. Index 0 is reserved for the sentinel.
+///
+/// Thread safety: server workers parse programs (and render probe events)
+/// concurrently, so the table takes a reader-writer lock — shared for the
+/// str() hot path and the already-interned fast path, exclusive only when
+/// a new spelling is actually inserted. Handles and the string storage are
+/// stable once published, so a Symbol obtained under one lock is usable
+/// forever without one.
 struct InternTable {
+  std::shared_mutex M;
   std::deque<std::string> Spellings;
   std::unordered_map<std::string_view, unsigned> Index;
 
   InternTable() { Spellings.emplace_back(); }
 
   unsigned intern(std::string_view Spelling) {
+    {
+      std::shared_lock<std::shared_mutex> Lock(M);
+      auto It = Index.find(Spelling);
+      if (It != Index.end())
+        return It->second;
+    }
+    std::unique_lock<std::shared_mutex> Lock(M);
+    // Re-check: another thread may have interned it between the locks.
     auto It = Index.find(Spelling);
     if (It != Index.end())
       return It->second;
@@ -26,6 +44,11 @@ struct InternTable {
     unsigned Id = static_cast<unsigned>(Spellings.size() - 1);
     Index.emplace(std::string_view(Spellings.back()), Id);
     return Id;
+  }
+
+  std::string_view str(unsigned Id) {
+    std::shared_lock<std::shared_mutex> Lock(M);
+    return Spellings[Id];
   }
 };
 
@@ -42,5 +65,5 @@ Symbol Symbol::intern(std::string_view Spelling) {
 }
 
 std::string_view Symbol::str() const {
-  return table().Spellings[Id];
+  return table().str(Id);
 }

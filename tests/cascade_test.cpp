@@ -122,10 +122,8 @@ TEST(CascadeDepthTest, MonitorsComposeAcrossStrategies) {
   Tracer Trc;
   for (Strategy S :
        {Strategy::Strict, Strategy::CallByName, Strategy::CallByNeed}) {
-    RunOptions Opts;
-    Opts.Strat = S;
     Cascade C = cascadeOf({&Prof, &Trc});
-    RunResult R = evaluate(C, P->root(), Opts);
+    RunResult R = evaluate(C & StrategyTag{S}, P->root());
     ASSERT_TRUE(R.Ok) << strategyName(S) << ": " << R.Error;
     EXPECT_EQ(R.IntValue, 24) << strategyName(S);
     EXPECT_EQ(CallProfiler::state(*R.FinalStates[0]).count("fac"), 5u)

@@ -86,7 +86,7 @@ TEST(CliTest, CollectingMonitor) {
 
 TEST(CliTest, VmAndInterpreterAgree) {
   CliResult Interp = runCli(sample("church.lam"));
-  CliResult VM = runCli(sample("church.lam") + " --vm");
+  CliResult VM = runCli(sample("church.lam") + " --backend=vm");
   EXPECT_EQ(Interp.ExitCode, 0);
   EXPECT_EQ(VM.ExitCode, 0);
   EXPECT_EQ(Interp.Output, VM.Output);
@@ -162,6 +162,18 @@ TEST(CliTest, VmHonorsGovernorFlags) {
       MONSEM_CLI_PATH + " - --vm --max-steps=100");
   EXPECT_NE(R.ExitCode, 0);
   EXPECT_NE(R.Output.find("fuel-exhausted"), std::string::npos) << R.Output;
+}
+
+TEST(CliTest, VmFlagWarnsDeprecated) {
+  // --vm still works but steers users to the --backend spelling; the
+  // warning goes to stderr and must not change the exit code or value.
+  CliResult Old = runCli(sample("church.lam") + " --vm");
+  EXPECT_EQ(Old.ExitCode, 0) << Old.Output;
+  EXPECT_NE(Old.Output.find("warning: --vm is deprecated; use --backend=vm"),
+            std::string::npos)
+      << Old.Output;
+  CliResult New = runCli(sample("church.lam") + " --backend=vm");
+  EXPECT_EQ(New.Output.find("deprecated"), std::string::npos) << New.Output;
 }
 
 TEST(CliTest, ParseErrorsExitNonzero) {
@@ -313,7 +325,7 @@ TEST(CliCheckpoint, VmCheckpointResumesOnEitherBytecodeTier) {
              " --max-steps=50 --checkpoint-out=" + Ck);
   EXPECT_EQ(Stop.ExitCode, 3) << Stop.Output;
 
-  CliResult Straight = runCli(sample("fac.lam") + " --profile --vm");
+  CliResult Straight = runCli(sample("fac.lam") + " --profile --backend=vm");
   CliResult OnStack =
       runCli(sample("fac.lam") + " --profile --resume=" + Ck);
   EXPECT_EQ(OnStack.ExitCode, 0) << OnStack.Output;

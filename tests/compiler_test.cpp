@@ -197,7 +197,7 @@ TEST_P(VMDifferentialTest, MonitoredStatesAgreeWithMachine) {
   C.use(Count);
   RunOptions Opts;
   Opts.MaxSteps = 1000000;
-  RunResult Interp = evaluate(C, Prog, Opts);
+  RunResult Interp = evaluate(C & maxSteps(Opts.MaxSteps), Prog);
   RunResult VM = evaluateCompiled(C, Prog, Opts);
   EXPECT_TRUE(Interp.sameOutcome(VM)) << printExpr(Prog);
   if (Interp.Ok && VM.Ok) {

@@ -218,9 +218,7 @@ TEST(FailureInjectionTest, StatesSurviveFuelExhaustion) {
   CallProfiler Prof;
   Cascade C;
   C.use(Prof);
-  RunOptions Opts;
-  Opts.MaxSteps = 5000;
-  RunResult R = evaluate(C, P->root(), Opts);
+  RunResult R = evaluate(C & maxSteps(5000), P->root());
   EXPECT_TRUE(R.FuelExhausted);
   ASSERT_EQ(R.FinalStates.size(), 1u);
   EXPECT_GT(CallProfiler::state(*R.FinalStates[0]).count("loop"), 100u);

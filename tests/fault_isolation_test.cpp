@@ -127,16 +127,16 @@ TEST(FaultIsolationTest, QuarantinePreservesTheAnswerOnEveryMachineVariant) {
       RunResult Std = evaluate(P->root(), Opts);
       ASSERT_TRUE(Std.Ok) << Std.Error;
 
+      EvalMode Mode = StrategyTag{S} & (Lexical ? kLexicalEnv : kNamedEnv) &
+                      maxSteps(500000);
       // Fault-free monitored run, for the untouched monitor's state.
       Cascade Clean;
       Clean.use(Count).use(Prof);
-      RunResult CleanR = evaluate(Clean, P->root(), Opts);
+      RunResult CleanR = evaluate(Mode & Count & Prof, P->root());
       ASSERT_TRUE(CleanR.Ok) << CleanR.Error;
       ASSERT_TRUE(CleanR.MonitorFaults.empty());
 
-      Cascade Faulty;
-      Faulty.use(Inj).use(Prof);
-      RunResult Mon = evaluate(Faulty, P->root(), Opts);
+      RunResult Mon = evaluate(Mode & Inj & Prof, P->root());
 
       EXPECT_TRUE(Mon.sameOutcome(Std))
           << strategyName(S) << " lexical=" << Lexical
@@ -229,7 +229,8 @@ TEST(FaultIsolationTest, AbortPolicyTurnsTheFaultIntoAnError) {
 
   RunOptions Opts;
   Opts.MonitorFaultPolicy = FaultPolicy::Abort;
-  RunResult R = evaluate(Faulty, P->root(), Opts);
+  RunResult R = evaluate(Faulty & onMonitorFault(FaultPolicy::Abort),
+                         P->root());
   EXPECT_FALSE(R.Ok);
   EXPECT_EQ(R.St, Outcome::Error);
   EXPECT_NE(R.Error.find("monitor 'count'"), std::string::npos) << R.Error;
@@ -259,8 +260,7 @@ TEST(FaultIsolationTest, PerMonitorPolicyOverridesTheRunWideDefault) {
   // Run-wide default stays Quarantine; the injector alone is marked Abort.
   Cascade Faulty;
   Faulty.use(Inj, FaultPolicy::Abort).use(Prof);
-  RunOptions Opts;
-  RunResult R = evaluate(Faulty, P->root(), Opts);
+  RunResult R = evaluate(EvalMode(Faulty), P->root());
   EXPECT_EQ(R.St, Outcome::Error);
   EXPECT_NE(R.Error.find("monitor 'count'"), std::string::npos) << R.Error;
 }
@@ -277,11 +277,9 @@ TEST(FaultIsolationTest, RetrySurvivesTransientFaultsWithoutQuarantine) {
   Cascade C;
   C.use(Flaky);
 
-  RunOptions Opts;
-  Opts.MonitorFaultPolicy = FaultPolicy::RetryThenQuarantine;
-  Opts.MonitorRetryBudget = 3;
   RunResult Std = evaluate(P->root(), RunOptions());
-  RunResult R = evaluate(C, P->root(), Opts);
+  RunResult R = evaluate(
+      C & onMonitorFault(FaultPolicy::RetryThenQuarantine, 3), P->root());
   EXPECT_TRUE(R.sameOutcome(Std)) << (R.Ok ? R.ValueText : R.Error);
 
   // Two transient faults recorded, neither tripped quarantine, and the
@@ -300,11 +298,9 @@ TEST(FaultIsolationTest, RetryBudgetExhaustionQuarantines) {
   Cascade C;
   C.use(Inj);
 
-  RunOptions Opts;
-  Opts.MonitorFaultPolicy = FaultPolicy::RetryThenQuarantine;
-  Opts.MonitorRetryBudget = 2;
   RunResult Std = evaluate(P->root(), RunOptions());
-  RunResult R = evaluate(C, P->root(), Opts);
+  RunResult R = evaluate(
+      C & onMonitorFault(FaultPolicy::RetryThenQuarantine, 2), P->root());
   EXPECT_TRUE(R.sameOutcome(Std)) << (R.Ok ? R.ValueText : R.Error);
 
   // Budget 2: two retried faults, then the third quarantines.
@@ -361,8 +357,8 @@ TEST(FaultIsolationTest, InjectorAtRateZeroIsInvisible) {
   Cascade Clean, Wrapped;
   Clean.use(Count);
   Wrapped.use(Inj);
-  RunResult A = evaluate(Clean, P->root(), RunOptions());
-  RunResult B = evaluate(Wrapped, P->root(), RunOptions());
+  RunResult A = evaluate(EvalMode(Clean), P->root());
+  RunResult B = evaluate(EvalMode(Wrapped), P->root());
   ASSERT_TRUE(A.Ok && B.Ok);
   EXPECT_TRUE(B.MonitorFaults.empty());
   ASSERT_EQ(A.FinalStates.size(), 1u);

@@ -240,10 +240,9 @@ TEST_P(PEDifferentialTest, ResidualPreservesMonitorStates) {
   CountingProfiler Count;
   Cascade C;
   C.use(Count);
-  RunOptions RO;
-  RO.MaxSteps = 1000000;
-  RunResult Orig = evaluate(C, Prog, RO);
-  RunResult Res = evaluate(C, R.Residual, RO);
+  EvalMode M = C & maxSteps(1000000);
+  RunResult Orig = evaluate(M, Prog);
+  RunResult Res = evaluate(M, R.Residual);
   EXPECT_TRUE(Orig.sameOutcome(Res)) << printExpr(Prog);
   if (Orig.Ok && Res.Ok) {
     EXPECT_EQ(Orig.FinalStates[0]->str(), Res.FinalStates[0]->str())

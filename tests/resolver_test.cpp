@@ -300,11 +300,15 @@ namespace {
 
 RunResult runOne(const Expr *Prog, Strategy S, bool Lexical,
                  const Cascade *C) {
+  if (C)
+    return evaluate(*C & StrategyTag{S} & maxSteps(Fuel) &
+                        (Lexical ? kLexicalEnv : kNamedEnv),
+                    Prog);
   RunOptions Opts;
   Opts.Strat = S;
   Opts.MaxSteps = Fuel;
   Opts.Lexical = Lexical;
-  return C ? evaluate(*C, Prog, Opts) : evaluate(Prog, Opts);
+  return evaluate(Prog, Opts);
 }
 
 void checkProgram(const Expr *Prog, const Cascade *C) {

@@ -1,0 +1,618 @@
+//===- tests/serve_test.cpp - Session API and `monsem serve` tests ---------===//
+//
+// Three layers, mirroring the server's own stack:
+//
+//  * SessionApi.*   — the embedding API in-process: sliced runs on a worker
+//                     pool reproduce standalone evaluate() byte-for-byte
+//                     (answers, cumulative step counts, probe streams),
+//                     including 64 runs multiplexed over 4 workers.
+//  * ServeProtocol.* — JSONL golden transcripts through the real binary
+//                     over stdin (popen): accept/outcome ordering, error
+//                     records, limit caps, capability denials.
+//  * ServeDaemon.*  — a bidirectional pipe/fork/exec harness for the parts
+//                     popen cannot drive: cancelling a run mid-flight, and
+//                     crash-recovery convergence (failpoint-injected crash,
+//                     restart on the same journal directory).
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/Protocol.h"
+#include "server/Session.h"
+
+#include "monitors/Profiler.h"
+#include "support/FailPoint.h"
+#include "support/Journal.h"
+#include "syntax/Annotator.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#ifndef MONSEM_CLI_PATH
+#error "MONSEM_CLI_PATH must be defined by the build"
+#endif
+
+using namespace monsem;
+
+namespace {
+
+std::string facProgram(int N) {
+  return "letrec fac = lambda n. if n < 2 then 1 else n * fac (n - 1) "
+         "in fac " +
+         std::to_string(N);
+}
+
+//===----------------------------------------------------------------------===//
+// SessionApi — in-process embedding tests
+//===----------------------------------------------------------------------===//
+
+struct Baseline {
+  std::string Value;
+  uint64_t Steps = 0;
+  Outcome St = Outcome::Ok;
+  std::vector<std::pair<uint64_t, std::string>> Events;
+};
+
+/// The ground truth: an uninterrupted, unsliced evaluate() of \p Src under
+/// a profile cascade, with every probe event recorded.
+Baseline standalone(const std::string &Src, const CallProfiler &Prof) {
+  auto P = ParsedProgram::parse(Src);
+  EXPECT_TRUE(P->ok()) << P->diags().str();
+  AnnotateOptions AO;
+  AO.Qualifier = Symbol::intern("profile");
+  const Expr *Prog = annotateFunctionBodies(P->context(), P->root(), {}, AO);
+  Cascade C;
+  C.use(Prof);
+  Baseline B;
+  EvalMode M = EvalMode(C) &
+               eventsInto([&B](uint64_t S, const std::string &T) {
+                 B.Events.emplace_back(S, T);
+               });
+  RunResult R = evaluate(M, Prog);
+  B.Value = R.ValueText;
+  B.Steps = R.Steps;
+  B.St = R.St;
+  return B;
+}
+
+TEST(SessionApi, SlicedRunMatchesStandalone) {
+  CallProfiler Prof;
+  Baseline Want = standalone(facProgram(10), Prof);
+  ASSERT_EQ(Want.St, Outcome::Ok);
+
+  auto P = ParsedProgram::parse(facProgram(10));
+  ASSERT_TRUE(P->ok());
+  AnnotateOptions AO;
+  AO.Qualifier = Symbol::intern("profile");
+  const Expr *Prog = annotateFunctionBodies(P->context(), P->root(), {}, AO);
+  Cascade C;
+  C.use(Prof);
+
+  // A tiny quantum forces many checkpoint/requeue round trips.
+  Session S(Session::Config{2, 32});
+  std::vector<std::pair<uint64_t, std::string>> Events;
+  uint64_t Checkpoints = 0;
+  RunEvents Ev;
+  Ev.OnProbe = [&Events](uint64_t Step, const std::string &T) {
+    Events.emplace_back(Step, T);
+  };
+  Ev.OnCheckpoint = [&Checkpoints](uint64_t) { ++Checkpoints; };
+  RunResult R = S.submit(EvalMode(C), Prog, std::move(Ev)).outcome();
+
+  EXPECT_EQ(R.St, Outcome::Ok);
+  EXPECT_EQ(R.ValueText, Want.Value);
+  EXPECT_EQ(R.Steps, Want.Steps);
+  EXPECT_EQ(Events, Want.Events); // Byte-for-byte, steps included.
+  EXPECT_GT(Checkpoints, 1u);     // The run really was sliced.
+}
+
+TEST(SessionApi, SixtyFourRunsOnFourWorkersAreByteIdentical) {
+  CallProfiler Prof;
+  // Eight distinct programs, each with its own standalone baseline.
+  constexpr int Kinds = 8;
+  std::vector<Baseline> Want;
+  std::vector<std::unique_ptr<ParsedProgram>> Parsed;
+  std::vector<const Expr *> Progs;
+  for (int K = 0; K < Kinds; ++K) {
+    std::string Src = facProgram(6 + K);
+    Want.push_back(standalone(Src, Prof));
+    auto P = ParsedProgram::parse(Src);
+    ASSERT_TRUE(P->ok());
+    AnnotateOptions AO;
+    AO.Qualifier = Symbol::intern("profile");
+    Progs.push_back(
+        annotateFunctionBodies(P->context(), P->root(), {}, AO));
+    Parsed.push_back(std::move(P));
+  }
+  Cascade C;
+  C.use(Prof);
+
+  constexpr int Runs = 64;
+  Session S(Session::Config{4, 64});
+  std::vector<std::vector<std::pair<uint64_t, std::string>>> Events(Runs);
+  std::vector<RunHandle> Handles;
+  for (int I = 0; I < Runs; ++I) {
+    auto *Sink = &Events[I];
+    RunEvents Ev;
+    Ev.OnProbe = [Sink](uint64_t Step, const std::string &T) {
+      Sink->emplace_back(Step, T);
+    };
+    Handles.push_back(
+        S.submit(EvalMode(C), Progs[I % Kinds], std::move(Ev)));
+  }
+  for (int I = 0; I < Runs; ++I) {
+    const Baseline &B = Want[I % Kinds];
+    RunResult R = Handles[I].outcome();
+    EXPECT_EQ(R.St, Outcome::Ok) << "run " << I;
+    EXPECT_EQ(R.ValueText, B.Value) << "run " << I;
+    EXPECT_EQ(R.Steps, B.Steps) << "run " << I;
+    EXPECT_EQ(Events[I], B.Events) << "run " << I;
+  }
+  EXPECT_EQ(S.liveRuns(), 0u);
+}
+
+TEST(SessionApi, CancelFinishesWithCancelledOutcome) {
+  auto P = ParsedProgram::parse("letrec loop = lambda n. loop (n + 1) "
+                                "in loop 0");
+  ASSERT_TRUE(P->ok());
+  Session S(Session::Config{2, 256});
+  RunHandle H = S.submit(EvalMode(), P->root());
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(H.done());
+  H.cancel();
+  RunResult R = H.outcome();
+  EXPECT_EQ(R.St, Outcome::Cancelled);
+  EXPECT_GT(R.Steps, 0u); // It really ran before being cancelled.
+}
+
+TEST(SessionApi, PauseParksAndResumeContinues) {
+  // Long enough (tens of thousands of steps, hundreds of slices) that the
+  // pause below always lands while the run is in flight; a pause that
+  // arrives after a run finishes is a no-op by design.
+  auto P = ParsedProgram::parse("letrec loop = lambda n. if n < 1 then 42 "
+                                "else loop (n - 1) in loop 5000");
+  ASSERT_TRUE(P->ok());
+  // Unmonitored baseline: this test submits the bare program.
+  RunResult Base = evaluate(EvalMode(), P->root());
+  ASSERT_EQ(Base.St, Outcome::Ok);
+
+  Session S(Session::Config{1, 64});
+  RunHandle H = S.submit(EvalMode(), P->root());
+  H.pause();
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(H.done()); // Parked, not finished.
+  EXPECT_EQ(S.liveRuns(), 1u);
+  H.resume();
+  RunResult R = H.outcome();
+  EXPECT_EQ(R.St, Outcome::Ok);
+  EXPECT_EQ(R.ValueText, Base.ValueText);
+  EXPECT_EQ(R.Steps, Base.Steps); // Park/continue does not skew the count.
+}
+
+TEST(SessionApi, DestructorCancelsLiveRuns) {
+  auto P = ParsedProgram::parse("letrec loop = lambda n. loop (n + 1) "
+                                "in loop 0");
+  ASSERT_TRUE(P->ok());
+  RunHandle H;
+  {
+    Session S(Session::Config{2, 128});
+    H = S.submit(EvalMode(), P->root());
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  } // ~Session cancels, drains, joins.
+  ASSERT_TRUE(H.done());
+  EXPECT_EQ(H.outcome().St, Outcome::Cancelled);
+}
+
+//===----------------------------------------------------------------------===//
+// ServeProtocol — golden transcripts over stdin
+//===----------------------------------------------------------------------===//
+
+struct Transcript {
+  int ExitCode = -1;
+  std::vector<std::string> Lines;
+};
+
+/// Feeds \p Requests (JSONL) to `monsem serve <Flags>` over stdin and
+/// collects the stdout transcript.
+Transcript serveStdin(const std::string &Requests, const std::string &Flags) {
+  std::string ReqFile =
+      ::testing::TempDir() + "serve_req_" + std::to_string(::getpid()) +
+      "_" + std::to_string(::rand()) + ".jsonl";
+  {
+    FILE *F = fopen(ReqFile.c_str(), "w");
+    EXPECT_NE(F, nullptr);
+    fwrite(Requests.data(), 1, Requests.size(), F);
+    fclose(F);
+  }
+  std::string Cmd = std::string(MONSEM_CLI_PATH) + " serve " + Flags +
+                    " < " + ReqFile + " 2>/dev/null";
+  FILE *Pipe = popen(Cmd.c_str(), "r");
+  EXPECT_NE(Pipe, nullptr);
+  Transcript T;
+  std::string Out;
+  char Buf[512];
+  while (size_t N = fread(Buf, 1, sizeof(Buf), Pipe))
+    Out.append(Buf, N);
+  T.ExitCode = WEXITSTATUS(pclose(Pipe));
+  std::remove(ReqFile.c_str());
+  size_t Pos = 0;
+  while (Pos < Out.size()) {
+    size_t NL = Out.find('\n', Pos);
+    if (NL == std::string::npos)
+      NL = Out.size();
+    T.Lines.push_back(Out.substr(Pos, NL - Pos));
+    Pos = NL + 1;
+  }
+  return T;
+}
+
+bool lineHas(const std::string &Line, const std::string &Needle) {
+  return Line.find(Needle) != std::string::npos;
+}
+
+TEST(ServeProtocol, GoldenSubmitTranscript) {
+  Transcript T = serveStdin(
+      "{\"op\":\"submit\",\"id\":\"r1\",\"program\":\"" + facProgram(6) +
+          "\"}\n",
+      "--workers=1 --quantum-steps=0");
+  ASSERT_EQ(T.Lines.size(), 3u) << ::testing::PrintToString(T.Lines);
+  EXPECT_EQ(T.Lines[0], "{\"event\":\"accepted\",\"id\":\"r1\"}");
+  EXPECT_TRUE(lineHas(T.Lines[1], "\"event\":\"outcome\"")) << T.Lines[1];
+  EXPECT_TRUE(lineHas(T.Lines[1], "\"id\":\"r1\"")) << T.Lines[1];
+  EXPECT_TRUE(lineHas(T.Lines[1], "\"outcome\":\"ok\"")) << T.Lines[1];
+  EXPECT_TRUE(lineHas(T.Lines[1], "\"exit_code\":0")) << T.Lines[1];
+  EXPECT_TRUE(lineHas(T.Lines[1], "\"value\":\"720\"")) << T.Lines[1];
+  EXPECT_TRUE(lineHas(T.Lines[2], "\"event\":\"shutdown\"")) << T.Lines[2];
+  EXPECT_TRUE(lineHas(T.Lines[2], "\"done\":1")) << T.Lines[2];
+  EXPECT_EQ(T.ExitCode, 0);
+}
+
+TEST(ServeProtocol, MalformedLineDoesNotKillTheDaemon) {
+  Transcript T = serveStdin(
+      "{not json\n"
+      "{\"op\":\"submit\",\"id\":\"after\",\"program\":\"1 + 2\"}\n",
+      "--workers=1");
+  ASSERT_GE(T.Lines.size(), 3u) << ::testing::PrintToString(T.Lines);
+  EXPECT_TRUE(lineHas(T.Lines[0], "\"event\":\"error\"")) << T.Lines[0];
+  EXPECT_EQ(T.Lines[1], "{\"event\":\"accepted\",\"id\":\"after\"}");
+  EXPECT_TRUE(lineHas(T.Lines[2], "\"value\":\"3\"")) << T.Lines[2];
+  EXPECT_EQ(T.ExitCode, 0);
+}
+
+TEST(ServeProtocol, ParseErrorYieldsErrorRecordNotAcceptance) {
+  Transcript T = serveStdin(
+      "{\"op\":\"submit\",\"id\":\"bad\",\"program\":\"((\"}\n",
+      "--workers=1");
+  ASSERT_GE(T.Lines.size(), 1u);
+  EXPECT_TRUE(lineHas(T.Lines[0], "\"event\":\"error\"")) << T.Lines[0];
+  EXPECT_TRUE(lineHas(T.Lines[0], "\"id\":\"bad\"")) << T.Lines[0];
+}
+
+TEST(ServeProtocol, OverLimitRunGetsOutcomeRecordWithExitCode) {
+  Transcript T = serveStdin(
+      "{\"op\":\"submit\",\"id\":\"lim\",\"program\":\"letrec loop = "
+      "lambda n. loop (n + 1) in loop 0\",\"limits\":{\"max_steps\":"
+      "500}}\n",
+      "--workers=1 --quantum-steps=0");
+  ASSERT_GE(T.Lines.size(), 2u) << ::testing::PrintToString(T.Lines);
+  EXPECT_TRUE(lineHas(T.Lines[1], "\"outcome\":\"fuel-exhausted\""))
+      << T.Lines[1];
+  EXPECT_TRUE(lineHas(T.Lines[1], "\"exit_code\":3")) << T.Lines[1];
+}
+
+TEST(ServeProtocol, ServerCapOverridesGreedyRequest) {
+  // The request asks for a billion steps; the server was started with a
+  // 500-step cap. Tighter wins.
+  Transcript T = serveStdin(
+      "{\"op\":\"submit\",\"id\":\"greedy\",\"program\":\"letrec loop = "
+      "lambda n. loop (n + 1) in loop 0\",\"limits\":{\"max_steps\":"
+      "1000000000}}\n",
+      "--workers=1 --max-steps=500");
+  ASSERT_GE(T.Lines.size(), 2u) << ::testing::PrintToString(T.Lines);
+  EXPECT_TRUE(lineHas(T.Lines[1], "\"outcome\":\"fuel-exhausted\""))
+      << T.Lines[1];
+}
+
+TEST(ServeProtocol, CapabilityDenials) {
+  Transcript T = serveStdin(
+      "{\"op\":\"submit\",\"id\":\"a\",\"program\":\"1\",\"monitors\":"
+      "[\"debug\"]}\n"
+      "{\"op\":\"submit\",\"id\":\"b\",\"program\":\"1\",\"monitors\":"
+      "[\"nosuch\"]}\n"
+      "{\"op\":\"submit\",\"id\":\"c\",\"program\":\"1\",\"durable\":"
+      "true}\n",
+      "--workers=1");
+  ASSERT_GE(T.Lines.size(), 3u) << ::testing::PrintToString(T.Lines);
+  EXPECT_TRUE(lineHas(T.Lines[0], "interactive")) << T.Lines[0];
+  EXPECT_TRUE(lineHas(T.Lines[1], "unknown monitor")) << T.Lines[1];
+  EXPECT_TRUE(lineHas(T.Lines[2], "durability not granted")) << T.Lines[2];
+}
+
+TEST(ServeProtocol, StatusAndExplicitShutdown) {
+  Transcript T = serveStdin("{\"op\":\"status\"}\n{\"op\":\"shutdown\"}\n"
+                            "{\"op\":\"status\"}\n",
+                            "--workers=3");
+  ASSERT_GE(T.Lines.size(), 2u);
+  EXPECT_TRUE(lineHas(T.Lines[0], "\"event\":\"status\"")) << T.Lines[0];
+  EXPECT_TRUE(lineHas(T.Lines[0], "\"workers\":3")) << T.Lines[0];
+  // The request after shutdown is never processed.
+  EXPECT_TRUE(lineHas(T.Lines[1], "\"event\":\"shutdown\"")) << T.Lines[1];
+  EXPECT_EQ(T.Lines.size(), 2u) << ::testing::PrintToString(T.Lines);
+  EXPECT_EQ(T.ExitCode, 0);
+}
+
+TEST(ServeProtocol, SixtyFourConcurrentRunsAllAnswer) {
+  // Protocol-level smoke of the multiplexing path: 64 governed runs on 4
+  // workers, every one gets the right value. (Byte-identity of streams is
+  // asserted in-process by SessionApi.SixtyFourRunsOnFourWorkers*.)
+  std::string Reqs;
+  for (int I = 0; I < 64; ++I)
+    Reqs += "{\"op\":\"submit\",\"id\":\"r" + std::to_string(I) +
+            "\",\"program\":\"" + facProgram(6 + I % 8) +
+            "\",\"limits\":{\"max_steps\":1000000}}\n";
+  Transcript T = serveStdin(Reqs, "--workers=4 --quantum-steps=64");
+  EXPECT_EQ(T.ExitCode, 0);
+  int Outcomes = 0;
+  for (const std::string &L : T.Lines)
+    if (lineHas(L, "\"outcome\":\"ok\""))
+      ++Outcomes;
+  EXPECT_EQ(Outcomes, 64) << "lines: " << T.Lines.size();
+  // Spot-check one value per program kind.
+  bool Sawfac6 = false;
+  for (const std::string &L : T.Lines)
+    if (lineHas(L, "\"id\":\"r0\"") && lineHas(L, "\"value\":\"720\""))
+      Sawfac6 = true;
+  EXPECT_TRUE(Sawfac6);
+}
+
+//===----------------------------------------------------------------------===//
+// ServeDaemon — bidirectional harness (cancel mid-run, crash recovery)
+//===----------------------------------------------------------------------===//
+
+struct ServeProc {
+  pid_t Pid = -1;
+  int InFd = -1, OutFd = -1;
+  std::string Buf;
+
+  bool start(const std::vector<std::string> &ExtraArgs,
+             const char *FailPoints = nullptr) {
+    int In[2], Out[2];
+    if (pipe(In) != 0 || pipe(Out) != 0)
+      return false;
+    Pid = fork();
+    if (Pid < 0)
+      return false;
+    if (Pid == 0) {
+      ::dup2(In[0], 0);
+      ::dup2(Out[1], 1);
+      ::close(In[0]);
+      ::close(In[1]);
+      ::close(Out[0]);
+      ::close(Out[1]);
+      if (FailPoints)
+        ::setenv("MONSEM_FAILPOINTS", FailPoints, 1);
+      std::vector<std::string> Args = {MONSEM_CLI_PATH, "serve"};
+      Args.insert(Args.end(), ExtraArgs.begin(), ExtraArgs.end());
+      std::vector<char *> Argv;
+      for (std::string &A : Args)
+        Argv.push_back(A.data());
+      Argv.push_back(nullptr);
+      ::execv(MONSEM_CLI_PATH, Argv.data());
+      _exit(127);
+    }
+    ::close(In[0]);
+    ::close(Out[1]);
+    InFd = In[1];
+    OutFd = Out[0];
+    return true;
+  }
+
+  bool send(const std::string &Line) {
+    std::string L = Line + "\n";
+    return ::write(InFd, L.data(), L.size()) ==
+           static_cast<ssize_t>(L.size());
+  }
+
+  void closeIn() {
+    if (InFd >= 0) {
+      ::close(InFd);
+      InFd = -1;
+    }
+  }
+
+  bool readLine(std::string &OutLine, int TimeoutMs = 20000) {
+    auto Deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(TimeoutMs);
+    for (;;) {
+      size_t NL = Buf.find('\n');
+      if (NL != std::string::npos) {
+        OutLine = Buf.substr(0, NL);
+        Buf.erase(0, NL + 1);
+        return true;
+      }
+      auto Left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      Deadline - std::chrono::steady_clock::now())
+                      .count();
+      if (Left <= 0)
+        return false;
+      struct pollfd P = {OutFd, POLLIN, 0};
+      int N = ::poll(&P, 1, static_cast<int>(Left));
+      if (N <= 0)
+        return false;
+      char Chunk[1024];
+      ssize_t R = ::read(OutFd, Chunk, sizeof(Chunk));
+      if (R <= 0)
+        return false; // EOF before a full line.
+      Buf.append(Chunk, static_cast<size_t>(R));
+    }
+  }
+
+  /// Reads lines until one contains \p Needle; collects everything read
+  /// into \p Seen when given.
+  bool readUntil(const std::string &Needle, std::string *Hit = nullptr,
+                 std::vector<std::string> *Seen = nullptr) {
+    std::string L;
+    while (readLine(L)) {
+      if (Seen)
+        Seen->push_back(L);
+      if (L.find(Needle) != std::string::npos) {
+        if (Hit)
+          *Hit = L;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  int wait() {
+    closeIn();
+    int St = 0;
+    ::waitpid(Pid, &St, 0);
+    Pid = -1;
+    return St;
+  }
+
+  ~ServeProc() {
+    if (Pid > 0) {
+      ::kill(Pid, SIGKILL);
+      int St;
+      ::waitpid(Pid, &St, 0);
+    }
+    closeIn();
+    if (OutFd >= 0)
+      ::close(OutFd);
+  }
+};
+
+TEST(ServeDaemon, CancelMidRunYieldsCancelledOutcome) {
+  ServeProc P;
+  ASSERT_TRUE(P.start({"--workers=2", "--quantum-steps=1024"}));
+  ASSERT_TRUE(P.send("{\"op\":\"submit\",\"id\":\"spin\",\"program\":"
+                     "\"letrec loop = lambda n. loop (n + 1) in loop 0\"}"));
+  ASSERT_TRUE(P.readUntil("\"event\":\"accepted\""));
+  // Let it spin a little, then cancel.
+  ASSERT_TRUE(P.readUntil("\"event\":\"checkpoint\""));
+  ASSERT_TRUE(P.send("{\"op\":\"cancel\",\"id\":\"spin\"}"));
+  std::string Outcome;
+  ASSERT_TRUE(P.readUntil("\"event\":\"outcome\"", &Outcome));
+  EXPECT_TRUE(Outcome.find("\"outcome\":\"cancelled\"") != std::string::npos)
+      << Outcome;
+  EXPECT_TRUE(Outcome.find("\"exit_code\":6") != std::string::npos)
+      << Outcome;
+  int St = P.wait();
+  EXPECT_TRUE(WIFEXITED(St) && WEXITSTATUS(St) == 0);
+}
+
+TEST(ServeDaemon, CancelUnknownRunIsAnError) {
+  ServeProc P;
+  ASSERT_TRUE(P.start({"--workers=1"}));
+  ASSERT_TRUE(P.send("{\"op\":\"cancel\",\"id\":\"ghost\"}"));
+  std::string Err;
+  ASSERT_TRUE(P.readUntil("\"event\":\"error\"", &Err));
+  EXPECT_TRUE(Err.find("no such live run") != std::string::npos) << Err;
+  P.wait();
+}
+
+/// Crash-recovery convergence: a durable run is killed mid-flight by a
+/// failpoint-injected crash in the journal write path (the same
+/// deterministic crash PR7's supervisor tests use), the daemon is
+/// restarted on the same journal directory, and the recovered run must
+/// converge to the standalone answer with the exact cumulative step count.
+/// The probe events streamed after recovery must equal the standalone
+/// event stream's suffix past the recovery point.
+TEST(ServeDaemon, CrashRecoveryConvergesToStandaloneAnswer) {
+  CallProfiler Prof;
+  Baseline Want = standalone(facProgram(18), Prof);
+  ASSERT_EQ(Want.St, Outcome::Ok);
+
+  std::string Dir = ::testing::TempDir() + "serve_crash_" +
+                    std::to_string(::getpid());
+  std::string Submit =
+      "{\"op\":\"submit\",\"id\":\"dur\",\"program\":\"" + facProgram(18) +
+      "\",\"monitors\":[\"profile\"],\"durable\":true}";
+
+  // Attempt 1: crash on the 12th journal write — mid-run, after at least
+  // one durable checkpoint.
+  {
+    ServeProc P;
+    ASSERT_TRUE(P.start({"--workers=1", "--quantum-steps=64",
+                         "--journal=" + Dir},
+                        "journal.write=crash@12"));
+    ASSERT_TRUE(P.send(Submit));
+    ASSERT_TRUE(P.readUntil("\"event\":\"accepted\""));
+    P.closeIn();
+    int St = 0;
+    ::waitpid(P.Pid, &St, 0);
+    P.Pid = -1;
+    ASSERT_TRUE(WIFEXITED(St) && WEXITSTATUS(St) == kFailPointCrashExit)
+        << "crash failpoint did not fire; status " << St;
+  }
+
+  // Attempt 2: same journal directory, no failpoints. The persisted
+  // request is rediscovered and resumed from the last durable checkpoint.
+  {
+    ServeProc P;
+    ASSERT_TRUE(P.start({"--workers=1", "--quantum-steps=64",
+                         "--journal=" + Dir}));
+    std::vector<std::string> Seen;
+    std::string Rec;
+    ASSERT_TRUE(P.readUntil("\"event\":\"recovered\"", &Rec, &Seen));
+    json::Value RecV;
+    std::string JErr;
+    ASSERT_TRUE(json::parse(Rec, RecV, JErr)) << Rec;
+    uint64_t RecSteps =
+        static_cast<uint64_t>(RecV.field("steps")->intOr(0));
+    EXPECT_GT(RecSteps, 0u); // crash@12 lands after the first checkpoint.
+
+    std::string Outcome;
+    ASSERT_TRUE(P.readUntil("\"event\":\"outcome\"", &Outcome, &Seen));
+    json::Value OutV;
+    ASSERT_TRUE(json::parse(Outcome, OutV, JErr)) << Outcome;
+    EXPECT_EQ(OutV.field("outcome")->strOr(), "ok") << Outcome;
+    EXPECT_EQ(OutV.field("value")->strOr(), Want.Value) << Outcome;
+    EXPECT_EQ(static_cast<uint64_t>(OutV.field("steps")->intOr(0)),
+              Want.Steps)
+        << Outcome;
+
+    // Post-recovery probe stream == standalone stream past RecSteps.
+    std::vector<std::pair<uint64_t, std::string>> Streamed;
+    for (const std::string &L : Seen) {
+      if (L.find("\"event\":\"probes\"") == std::string::npos)
+        continue;
+      json::Value V;
+      ASSERT_TRUE(json::parse(L, V, JErr)) << L;
+      for (const json::Value &E : V.field("events")->Elems)
+        Streamed.emplace_back(
+            static_cast<uint64_t>(E.field("step")->intOr(0)),
+            std::string(E.field("text")->strOr()));
+    }
+    std::vector<std::pair<uint64_t, std::string>> WantSuffix;
+    for (const auto &[Step, Text] : Want.Events)
+      if (Step > RecSteps)
+        WantSuffix.emplace_back(Step, Text);
+    EXPECT_EQ(Streamed, WantSuffix);
+
+    int St = P.wait();
+    EXPECT_TRUE(WIFEXITED(St) && WEXITSTATUS(St) == 0);
+    // The request file was consumed: a third start recovers nothing.
+    ServeProc P3;
+    ASSERT_TRUE(P3.start({"--workers=1", "--journal=" + Dir}));
+    ASSERT_TRUE(P3.send("{\"op\":\"status\"}"));
+    std::string Status;
+    ASSERT_TRUE(P3.readUntil("\"event\":\"status\"", &Status));
+    EXPECT_TRUE(Status.find("\"live\":0") != std::string::npos) << Status;
+    P3.wait();
+  }
+}
+
+} // namespace

@@ -43,10 +43,7 @@ RunResult runStd(const Expr *E, Strategy S = Strategy::Strict) {
 
 RunResult runMon(const Cascade &C, const Expr *E,
                  Strategy S = Strategy::Strict) {
-  RunOptions Opts;
-  Opts.Strat = S;
-  Opts.MaxSteps = Fuel;
-  return evaluate(C, E, Opts);
+  return evaluate(C & StrategyTag{S} & maxSteps(Fuel), E);
 }
 
 } // namespace

@@ -43,11 +43,9 @@ RunResult runCEK(const Expr *E, Strategy S, bool Lexical) {
 
 RunResult runMonitoredCEK(const Cascade &C, const Expr *E, Strategy S,
                           bool Lexical) {
-  RunOptions Opts;
-  Opts.Strat = S;
-  Opts.MaxSteps = Fuel;
-  Opts.Lexical = Lexical;
-  return evaluate(C, E, Opts);
+  return evaluate(C & StrategyTag{S} & maxSteps(Fuel) &
+                      (Lexical ? kLexicalEnv : kNamedEnv),
+                  E);
 }
 
 const Expr *parseInto(ParsedProgram &P, std::string_view Src) {

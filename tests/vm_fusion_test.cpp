@@ -203,7 +203,7 @@ TEST(VMFusionTest, ProbesBlockFusionWindows) {
   Cascade C;
   C.use(Count);
   RunOptions Opts;
-  RunResult Interp = evaluate(C, Q->root(), Opts);
+  RunResult Interp = evaluate(EvalMode(C), Q->root());
   RunResult F = runVM(C, Q->root(), Opts, /*Fuse=*/true);
   RunResult U = runVM(C, Q->root(), Opts, /*Fuse=*/false);
   ASSERT_TRUE(Interp.Ok && F.Ok && U.Ok)
@@ -264,7 +264,7 @@ TEST_P(VMFusionDifferentialTest, MonitoredStatesAgreeFusedVsUnfused) {
   Pair.use(CountM);
 
   for (const Cascade *C : {&Single, &Pair}) {
-    RunResult Interp = evaluate(*C, Prog, Opts);
+    RunResult Interp = evaluate(*C & maxSteps(Opts.MaxSteps), Prog);
     RunResult F = runVM(*C, Prog, Opts, /*Fuse=*/true);
     RunResult U = runVM(*C, Prog, Opts, /*Fuse=*/false);
     EXPECT_TRUE(U.sameOutcome(F)) << printExpr(Prog);
@@ -386,7 +386,7 @@ TEST(TailReuseTest, MonitoredLoopKeepsExactStates) {
   Cascade C;
   C.use(Count);
   RunOptions Opts;
-  RunResult Interp = evaluate(C, P->root(), Opts);
+  RunResult Interp = evaluate(EvalMode(C), P->root());
   RunResult F = runVM(C, P->root(), Opts, /*Fuse=*/true);
   RunResult U = runVM(C, P->root(), Opts, /*Fuse=*/false);
   ASSERT_TRUE(Interp.Ok && F.Ok && U.Ok)

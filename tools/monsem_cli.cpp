@@ -32,6 +32,8 @@
 #include "monitors/Stepper.h"
 #include "monitors/Tracer.h"
 #include "pe/PartialEval.h"
+#include "server/Serve.h"
+#include "server/Session.h"
 #include "support/StrUtils.h"
 #include "syntax/Prelude.h"
 #include "syntax/Annotator.h"
@@ -74,33 +76,18 @@ void onInterrupt(int) {
   GCancel.store(true, std::memory_order_relaxed);
 }
 
-/// The CLI's exit-code contract, one code per Outcome (asserted by
-/// tests/cli_test.cpp): 0 Ok, 2 Error, 3 FuelExhausted, 4 Deadline,
-/// 5 MemoryExceeded, 6 Cancelled, 7 DepthExceeded. Exit code 1 is
-/// reserved for CLI-level I/O failures (unreadable input, bad journal).
-int exitCodeFor(Outcome O) {
-  switch (O) {
-  case Outcome::Ok:
-    return 0;
-  case Outcome::Error:
-    return 2;
-  case Outcome::FuelExhausted:
-    return 3;
-  case Outcome::Deadline:
-    return 4;
-  case Outcome::MemoryExceeded:
-    return 5;
-  case Outcome::DepthExceeded:
-    return 7;
-  case Outcome::Cancelled:
-    return 6;
-  }
-  return 2;
-}
+// The exit-code contract (asserted by tests/cli_test.cpp) lives in
+// support/Governor.h as monsem::exitCodeFor — shared with `monsem serve`,
+// whose JSONL outcome records carry the same codes.
 
 struct Options {
   std::string File;
   bool Repl = false;
+  bool Serve = false;          ///< `monsem serve` subcommand.
+  unsigned Workers = 4;        ///< serve: --workers=N.
+  uint64_t QuantumSteps = 1 << 16; ///< serve: --quantum-steps=N.
+  std::string ListenUnix;      ///< serve: --listen-unix=PATH.
+  int ListenTcp = -1;          ///< serve: --listen-tcp=PORT (0 picks).
   bool Imp = false;
   bool Trace = false;
   bool Profile = false;
@@ -147,7 +134,7 @@ struct Options {
 
 int usage(const char *Argv0) {
   std::cerr
-      << "usage: " << Argv0 << " <file | - | --repl> [options]\n"
+      << "usage: " << Argv0 << " <file | - | --repl | serve> [options]\n"
       << "  functional programs (default):\n"
       << "    --trace[=f,g]      trace calls (auto-annotates functions)\n"
       << "    --profile[=f,g]    count calls per function\n"
@@ -210,6 +197,21 @@ int usage(const char *Argv0) {
       << "    --inject=throw|sleep|alloc\n"
       << "                       wrap --profile's monitor in a fault "
          "injector\n"
+      << "  serve mode (monsem serve):\n"
+      << "    serve              run the JSONL monitoring daemon: requests\n"
+      << "                       on stdin (or a socket), responses on\n"
+      << "                       stdout; see DESIGN.md section 6\n"
+      << "    --workers=N        worker threads (default 4)\n"
+      << "    --quantum-steps=N  scheduler quantum in transitions\n"
+      << "                       (default 65536; 0 = no time-slicing)\n"
+      << "    --listen-unix=PATH accept clients on a unix socket\n"
+      << "    --listen-tcp=PORT  accept clients on 127.0.0.1:PORT (0 picks\n"
+      << "                       a free port, announced on stdout)\n"
+      << "    --journal=DIR      grant durability: persist requests and\n"
+      << "                       journal events under DIR, auto-resume\n"
+      << "                       interrupted durable runs on restart\n"
+      << "    (--max-steps, --deadline-ms, --max-bytes, --max-depth become\n"
+      << "     per-run caps that client requests may tighten, not exceed)\n"
       << "  imperative programs:\n"
       << "    --imp              treat input as an imperative program\n"
       << "    --imp-watch=x      watchpoint demon on variable x\n"
@@ -227,7 +229,9 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
         return std::nullopt;
       return A.substr(Prefix.size());
     };
-    if (!A.empty() && A[0] != '-' && O.File.empty()) {
+    if (A == "serve" && !O.Serve && O.File.empty()) {
+      O.Serve = true;
+    } else if (!A.empty() && A[0] != '-' && O.File.empty()) {
       O.File = A;
     } else if (A == "-") {
       O.File = "-";
@@ -266,7 +270,16 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
     } else if (A == "--prelude") {
       O.Prelude = true;
     } else if (A == "--vm") {
+      std::cerr << "warning: --vm is deprecated; use --backend=vm\n";
       O.B = Backend::VM;
+    } else if (auto V = Value("--workers=")) {
+      O.Workers = static_cast<unsigned>(std::stoul(*V));
+    } else if (auto V = Value("--quantum-steps=")) {
+      O.QuantumSteps = std::stoull(*V);
+    } else if (auto V = Value("--listen-unix=")) {
+      O.ListenUnix = *V;
+    } else if (auto V = Value("--listen-tcp=")) {
+      O.ListenTcp = std::stoi(*V);
     } else if (auto V = Value("--backend=")) {
       if (*V == "cek")
         O.B = Backend::CEK;
@@ -364,7 +377,7 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
       return false;
     }
   }
-  return O.Repl || !O.File.empty();
+  return O.Repl || O.Serve || !O.File.empty();
 }
 
 std::optional<std::string> readInput(const std::string &File) {
@@ -715,7 +728,12 @@ int runFunctional(const Options &O, const std::string &Source) {
       }
     }
   }
-  RunResult R = evaluate(Mode, Program);
+  // One run on the embedding API the server multiplexes through: a
+  // single-worker, unsliced Session is exactly a synchronous evaluate(),
+  // so the CLI exercises the same code path `monsem serve` scales up.
+  // (Mode stays live — the cascade reference below prints final states.)
+  Session Sess;
+  RunResult R = Sess.submit(Mode, Program).outcome();
 
   printFaults(R.MonitorFaults);
   printDurabilityFaults(R.DurabilityFaults);
@@ -928,7 +946,8 @@ int runRepl(const Options &Base) {
     }
     GCancel.store(false); // A ^C from a previous evaluation is spent.
     GFirstInt.store(0);   // ...and no longer arms the hard-exit escalation.
-    RunResult R = evaluate(Mode, Program);
+    Session Sess;
+    RunResult R = Sess.submit(Mode, Program).outcome();
     if (R.stoppedByGovernor())
       std::cout << "stopped: " << outcomeName(R.St) << " after " << R.Steps
                 << " steps\n";
@@ -951,6 +970,20 @@ int main(int Argc, char **Argv) {
   if (!parseArgs(Argc, Argv, O))
     return usage(Argv[0]);
   std::signal(SIGINT, onInterrupt);
+  if (O.Serve) {
+    ServeOptions SO;
+    SO.Workers = O.Workers;
+    SO.QuantumSteps = O.QuantumSteps;
+    SO.MaxSteps = O.MaxSteps;
+    SO.DeadlineMs = O.DeadlineMs;
+    SO.MaxBytes = O.MaxBytes;
+    SO.MaxDepth = O.MaxDepth;
+    SO.JournalDir = O.JournalPath; // --journal=DIR in serve mode.
+    SO.UnixPath = O.ListenUnix;
+    SO.TcpPort = O.ListenTcp;
+    SO.Interrupt = &GCancel; // First ^C drains politely; second hard-exits.
+    return runServe(SO);
+  }
   if (O.Repl)
     return runRepl(O);
   std::optional<std::string> Source = readInput(O.File);
