@@ -26,6 +26,7 @@
 #include "BenchUtil.h"
 
 #include "analysis/Resolver.h"
+#include "compile/AotEmit.h"
 #include "compile/Compiler.h"
 #include "compile/VM.h"
 #include "interp/Direct.h"
@@ -577,6 +578,94 @@ std::vector<double> reportRegisterVM(JsonlWriter &W, bool Quick) {
   return GateSpeedups;
 }
 
+/// Native AOT tier: the same register programs compiled to C and run
+/// through the trampoline driver. Answers and step counts must be
+/// identical to the register interpreter (the native tier is a pure
+/// implementation refinement) before any timing is recorded; compilation
+/// happens once outside the timed region, the way a warm cache behaves.
+/// Returns the interleaved vm-aot / vm-reg speedups for the fib, down, and
+/// list rows so CI can assert the tier pays for itself on at least two of
+/// them (tak and ack call through curried/non-leaf blocks, so they ride
+/// the interpreter and sit at parity by construction).
+std::vector<double> reportAotVM(JsonlWriter &W, bool Quick) {
+  std::printf("A6d — native AOT tier vs register interpreter\n");
+  printRule();
+  if (!aotAvailable()) {
+    std::printf("vm-aot unavailable (no C compiler); skipping\n");
+    printRule();
+    std::printf("\n");
+    return {};
+  }
+  std::printf("%-14s %12s %12s %9s\n", "workload", "reg ms", "aot ms",
+              "speedup");
+  printRule();
+
+  std::vector<double> GateSpeedups;
+  for (const Workload &WL : deepWorkloads(Quick)) {
+    auto P = parseOrDie(WL.Src);
+    DiagnosticSink Diags;
+    auto Fused = compileProgram(P->root(), Diags);
+    if (!Fused) {
+      std::fprintf(stderr, "compile failed for %s\n", WL.Name);
+      std::exit(1);
+    }
+    auto RP = lowerToRegisters(*Fused);
+    if (!RP) {
+      std::fprintf(stderr, "register lowering failed for %s\n", WL.Name);
+      std::exit(1);
+    }
+    std::string Why;
+    auto Lib = aotLoad(*RP, /*CacheDir=*/"", &Why);
+    if (!Lib) {
+      std::fprintf(stderr, "aotLoad failed for %s: %s\n", WL.Name,
+                   Why.c_str());
+      std::exit(1);
+    }
+
+    RunOptions Opts;
+    Opts.VMThreaded = vmThreadedDispatchAvailable();
+    Opts.ReuseTailFrames = true;
+    RunResult Ref = runRegisterProgram(*RP, nullptr, Opts);
+    RunResult R = runAotProgram(*RP, *Lib, nullptr, Opts);
+    if (R.Ok != Ref.Ok || R.ValueText != Ref.ValueText ||
+        R.Steps != Ref.Steps) {
+      std::fprintf(stderr,
+                   "FAIL: vm-aot disagrees with vm-reg on %s "
+                   "(%s/%s, %llu vs %llu steps)\n",
+                   WL.Name, R.ValueText.c_str(), Ref.ValueText.c_str(),
+                   static_cast<unsigned long long>(R.Steps),
+                   static_cast<unsigned long long>(Ref.Steps));
+      std::exit(1);
+    }
+
+    double RegMs = medianMs([&] { runRegisterProgram(*RP, nullptr, Opts); },
+                            Quick ? 3 : 9);
+    double AotMs = medianMs([&] { runAotProgram(*RP, *Lib, nullptr, Opts); },
+                            Quick ? 3 : 9);
+    W.write({WL.Name, "vm-aot", "strict", AotMs * 1e6, R.Steps,
+             R.ArenaBytes});
+
+    // Interleaved ratio: median of (register time / native time).
+    double Speedup = medianRatio(
+        [&] { runAotProgram(*RP, *Lib, nullptr, Opts); },
+        [&] { runRegisterProgram(*RP, nullptr, Opts); }, Quick ? 9 : 11);
+    if (std::strncmp(WL.Name, "fib", 3) == 0 ||
+        std::strncmp(WL.Name, "down", 4) == 0 ||
+        std::strncmp(WL.Name, "list", 4) == 0)
+      GateSpeedups.push_back(Speedup);
+    std::printf("%-14s %12.3f %12.3f %8.2fx\n", WL.Name, RegMs, AotMs,
+                Speedup);
+  }
+  printRule();
+  std::printf("vm-aot = eligible leaf blocks compiled to C (%s),\nrun from "
+              "the trampoline driver; identical step counts, probe "
+              "streams,\nand checkpoint coordinates — every governor pause "
+              "fires in the\ninterpreter. speedup = vm-reg / vm-aot, "
+              "interleaved.\n\n",
+              aotCompilerId().c_str());
+  return GateSpeedups;
+}
+
 //===----------------------------------------------------------------------===//
 // Governor overhead
 //===----------------------------------------------------------------------===//
@@ -792,6 +881,7 @@ int main(int argc, char **argv) {
   double MaxGovernorPct = -1;    // <0: report only, no assertion.
   double MinFusionSpeedup = -1;  // <0: report only, no assertion.
   double MinRegisterSpeedup = -1; // <0: report only, no assertion.
+  double MinAotSpeedup = -1;     // <0: report only, no assertion.
   double MaxCheckpointPct = -1;  // <0: report only, no assertion.
   std::string JsonPath = "BENCH_machines.json";
   // Strip our flags before handing argv to google-benchmark.
@@ -807,6 +897,8 @@ int main(int argc, char **argv) {
       MinFusionSpeedup = std::atof(argv[I] + 27);
     else if (std::strncmp(argv[I], "--assert-vm-register-speedup=", 29) == 0)
       MinRegisterSpeedup = std::atof(argv[I] + 29);
+    else if (std::strncmp(argv[I], "--assert-vm-aot-speedup=", 24) == 0)
+      MinAotSpeedup = std::atof(argv[I] + 24);
     else if (std::strncmp(argv[I], "--assert-checkpoint-overhead=", 29) == 0)
       MaxCheckpointPct = std::atof(argv[I] + 29);
     else
@@ -819,6 +911,7 @@ int main(int argc, char **argv) {
   reportTailReuse(W, Quick);
   double FusionSpeedup = reportVM(W, Quick);
   std::vector<double> RegSpeedups = reportRegisterVM(W, Quick);
+  std::vector<double> AotSpeedups = reportAotVM(W, Quick);
   double GovMedian = reportGovernor(W, Quick);
   double CkMedian = reportCheckpoint(W, Quick);
   if (MaxCheckpointPct >= 0 && CkMedian > 1.0 + MaxCheckpointPct / 100.0) {
@@ -852,6 +945,29 @@ int main(int argc, char **argv) {
                    "FAIL: vm-reg cleared the %.2fx floor on %d of %zu gate "
                    "workloads (need 2)\n",
                    MinRegisterSpeedup, Cleared, RegSpeedups.size());
+      return 1;
+    }
+  }
+  if (MinAotSpeedup >= 0) {
+    // Asserting the native tier's floor presumes a working C compiler; a
+    // no-compiler environment must not silently pass the gate.
+    if (AotSpeedups.empty()) {
+      std::fprintf(stderr,
+                   "FAIL: --assert-vm-aot-speedup set but the native tier "
+                   "is unavailable in this environment\n");
+      return 1;
+    }
+    // The native tier must clear the floor on at least two of the three
+    // gate workloads (fib / down / list sums).
+    int Cleared = 0;
+    for (double S : AotSpeedups)
+      if (S >= MinAotSpeedup)
+        ++Cleared;
+    if (Cleared < 2) {
+      std::fprintf(stderr,
+                   "FAIL: vm-aot cleared the %.2fx floor on %d of %zu gate "
+                   "workloads (need 2)\n",
+                   MinAotSpeedup, Cleared, AotSpeedups.size());
       return 1;
     }
   }

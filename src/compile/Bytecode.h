@@ -209,6 +209,20 @@ struct RegBlock {
   uint32_t NumRegs = 0;
   uint32_t TempBase = 0; ///< First temporary register (1 in leaf blocks).
   bool Leaf = false;
+  /// A *currier*: a non-entry block whose whole body is `MkClosure k; Ret`
+  /// — the shape curried definitions (`\x. \y. ...`) lower to for every
+  /// outer parameter. Calls into a currier are collapsed by the register
+  /// tier's apply path: instead of pushing a register window, dispatching
+  /// two instructions, and popping it, the caller allocates the same env
+  /// node + closure pair inline and charges CurrierCost steps. Allocation
+  /// count, probe streams (curriers have none by construction), and total
+  /// step counts are unchanged; only the *interior* pause coordinate moves
+  /// to the caller's next instruction boundary (the fused-superinstruction
+  /// precedent). The block body is kept intact so checkpoints taken inside
+  /// it by older producers still resume.
+  bool Currier = false;
+  uint32_t CurrierInner = 0; ///< Block index the MkClosure captures.
+  uint8_t CurrierCost = 0;   ///< MkClosure.Cost + Ret.Cost.
   Symbol Param;     ///< Copied from the source block (checkpoint spill).
   std::string Name; ///< Copied from the source block (disassembly).
 };

@@ -160,15 +160,33 @@ public:
     auto RP = std::make_unique<RegProgram>();
     RP->Src = &P;
     RP->Blocks.resize(P.Blocks.size());
-    for (size_t B = 0; B < P.Blocks.size(); ++B)
+    for (size_t B = 0; B < P.Blocks.size(); ++B) {
       if (!lowerBlock(P.Blocks[B], B == 0,
                       B != 0 && isLeafBlock(P.Blocks[B]), RP->Blocks[B]))
         return nullptr;
+      markCurrier(P.Blocks[B], B == 0, RP->Blocks[B]);
+    }
     return RP;
   }
 
 private:
   const CompiledProgram &P;
+
+  /// Detects the curried-parameter shape (`MkClosure k; Ret`) so the
+  /// register VM's apply path can collapse the call. Entry blocks are
+  /// excluded (their Halt convention differs); the lowered body stays
+  /// intact for checkpoint resume into the block.
+  static void markCurrier(const CodeBlock &B, bool IsEntry, RegBlock &Out) {
+    if (IsEntry || B.Code.size() != 2 || B.Code[0].Code != Op::MkClosure ||
+        B.Code[1].Code != Op::Ret)
+      return;
+    unsigned Cost = unsigned(B.Code[0].Cost) + unsigned(B.Code[1].Cost);
+    if (Cost > 0xFF)
+      return;
+    Out.Currier = true;
+    Out.CurrierInner = B.Code[0].A;
+    Out.CurrierCost = static_cast<uint8_t>(Cost);
+  }
 
   /// Rewrites a stack-encoding environment depth for the current block.
   /// Returns false when the depth exceeds the u16 operand encoding.

@@ -2,6 +2,7 @@
 
 #include "compile/VM.h"
 
+#include "compile/AotEmit.h"
 #include "compile/Compiler.h"
 #include "semantics/Primitives.h"
 #include "semantics/ValueGraph.h"
@@ -493,9 +494,18 @@ RunResult monsem::evaluateCompiled(const Cascade &C, const Expr *Program,
   // cannot encode (pathological nesting depth) falls back to the stack VM
   // — same observable behavior either way.
   std::unique_ptr<RegProgram> RP;
-  if (Opts.VMRegister)
+  if (Opts.VMRegister || Opts.VMAot)
     RP = lowerToRegisters(*CP);
+  // Native tier on top of the lowering: load (emit + compile + cache) the
+  // leaf-block library; any reason it cannot be used — no C compiler,
+  // boxed Values, nothing eligible — degrades to the register interpreter
+  // with identical observable behavior.
+  std::shared_ptr<const AotLibrary> AotLib;
+  if (Opts.VMAot && RP)
+    AotLib = aotLoad(*RP, Opts.AotCacheDir, nullptr);
   auto Run = [&](MonitorHooks *H) {
+    if (AotLib)
+      return runAotProgram(*RP, *AotLib, H, Opts);
     return RP ? runRegisterProgram(*RP, H, Opts) : runCompiled(*CP, H, Opts);
   };
   if (C.empty()) {

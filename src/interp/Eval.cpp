@@ -128,6 +128,14 @@ RunResult monsem::evaluate(const EvalMode &Mode, const Expr *Program) {
     Opts.VMRegister = true;
     return evaluateCompiled(Mode.C, Program, Opts);
 
+  case Backend::VMAot:
+    if (Opts.Strat != Strategy::Strict)
+      return errorResult("the VM backend is strict-only; drop kVMAot or "
+                         "the lazy strategy tag");
+    Opts.VMRegister = true;
+    Opts.VMAot = true;
+    return evaluateCompiled(Mode.C, Program, Opts);
+
   case Backend::Direct: {
     if (Opts.Strat != Strategy::Strict)
       return errorResult("the Direct backend is strict-only; drop kDirect "

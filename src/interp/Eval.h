@@ -76,6 +76,8 @@ enum class Backend : uint8_t {
   CEK,        ///< The production CEK machine (all three strategies).
   VM,         ///< Compile to bytecode, run on the stack VM (strict only).
   VMRegister, ///< Compile, lower to the register tier, run (strict only).
+  VMAot,      ///< Register tier + native code for leaf blocks (strict
+              ///< only); degrades to VMRegister without a C compiler.
   Direct,     ///< The definitional CPS interpreter (strict only).
 };
 
@@ -86,6 +88,7 @@ struct BackendTag {
 inline constexpr BackendTag kCEK{Backend::CEK};
 inline constexpr BackendTag kVM{Backend::VM};
 inline constexpr BackendTag kVMReg{Backend::VMRegister};
+inline constexpr BackendTag kVMAot{Backend::VMAot};
 inline constexpr BackendTag kDirect{Backend::Direct};
 
 /// Environment-representation selectors composable with `&` (CEK backend):
@@ -241,6 +244,9 @@ struct EvalMode {
   /// Embedder-owned durability tracker (optional; the CLI installs one so
   /// the file sink it builds can report into it). Must outlive the run.
   DurabilityTracker *Durability = nullptr;
+  /// Cache directory for vm-aot shared objects; "" selects the per-user
+  /// default under TMPDIR (see compile/AotEmit.h).
+  std::string AotCacheDir;
 
   EvalMode() = default;
   // Implicit conversions so any single ingredient is already a mode and
@@ -284,6 +290,7 @@ struct EvalMode {
     O.DurabilityRetryBudget = DurabilityRetryBudget;
     O.FailPointSpec = FailPointSpec;
     O.Durability = Durability;
+    O.AotCacheDir = AotCacheDir;
     return O;
   }
 };

@@ -113,6 +113,14 @@ struct RunOptions {
   /// Falls back to the stack VM for programs the lowering pass cannot
   /// encode (pathological nesting depth).
   bool VMRegister = false;
+  /// On top of VMRegister: run leaf blocks as native code compiled by the
+  /// system C compiler (`--backend=vm-aot`). Degrades to the register
+  /// interpreter when no compiler is available or the program has no
+  /// eligible blocks; observable behavior is identical either way.
+  bool VMAot = false;
+  /// Cache directory for vm-aot shared objects; "" selects the per-user
+  /// default under TMPDIR (see compile/AotEmit.h).
+  std::string AotCacheDir;
   /// Resume from this checkpoint instead of starting fresh. The checkpoint
   /// must match the run's configuration (backend, strategy, environment
   /// representation, monitored-ness, program fingerprint); a mismatch

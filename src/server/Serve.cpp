@@ -230,6 +230,9 @@ private:
   int drainAndExit(bool CancelAll, LineChannel &Out);
 
   const ServeOptions &O;
+  /// Daemon start, for the status report's steps/sec rate.
+  const std::chrono::steady_clock::time_point StartTime =
+      std::chrono::steady_clock::now();
   std::mutex RM;
   std::map<std::string, Entry> Registry;
   std::atomic<uint64_t> DoneCount{0};
@@ -250,6 +253,22 @@ void Server::emitStatus(LineChannel &Out) {
   W.num(DoneCount.load(std::memory_order_relaxed));
   W.key("workers");
   W.num(static_cast<uint64_t>(S.workers()));
+  // Perf counters: scheduler occupancy and cumulative user-program
+  // transitions, plus the average rate since the daemon started
+  // (integer steps/sec — the counters are exact, the rate is a summary).
+  W.key("active");
+  W.num(S.activeRuns());
+  W.key("queued");
+  W.num(S.queuedRuns());
+  uint64_t Steps = S.totalUserSteps();
+  W.key("user_steps");
+  W.num(Steps);
+  auto ElapsedMs = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - StartTime)
+          .count());
+  W.key("steps_per_sec");
+  W.num(ElapsedMs ? Steps * 1000 / ElapsedMs : 0);
   W.endObject();
   Out.writeLine(W.take());
 }
@@ -318,6 +337,8 @@ void Server::submitRun(const SubmitRequest &Req, const std::string &RawLine,
     Mode.B = Backend::VM;
   else if (Req.Backend == "vm-reg")
     Mode.B = Backend::VMRegister;
+  else if (Req.Backend == "vm-aot")
+    Mode.B = Backend::VMAot;
   else if (Req.Backend == "direct")
     Mode.B = Backend::Direct;
   else
@@ -328,7 +349,8 @@ void Server::submitRun(const SubmitRequest &Req, const std::string &RawLine,
     Mode.Strat = Strategy::CallByNeed;
   else
     Mode.Strat = Strategy::Strict;
-  if ((Mode.B == Backend::VM || Mode.B == Backend::VMRegister) &&
+  if ((Mode.B == Backend::VM || Mode.B == Backend::VMRegister ||
+       Mode.B == Backend::VMAot) &&
       Mode.Strat != Strategy::Strict) {
     emitError(*Out, Req.Id,
               "the bytecode backends support the strict strategy only");
@@ -431,9 +453,10 @@ void Server::submitRun(const SubmitRequest &Req, const std::string &RawLine,
     Mode = Mode & resumeFrom(*Resume);
     // Backend and strategy travel in the checkpoint header; adopt them so
     // a recovered run continues the way it was started (a VM checkpoint is
-    // tier-portable: an explicit vm-reg request keeps the register tier).
+    // tier-portable: an explicit vm-reg or vm-aot request keeps that
+    // tier).
     if (Resume->header().Backend == CheckpointBackend::VM) {
-      if (Mode.B != Backend::VMRegister)
+      if (Mode.B != Backend::VMRegister && Mode.B != Backend::VMAot)
         Mode.B = Backend::VM;
     } else {
       Mode.B = Backend::CEK;

@@ -210,6 +210,16 @@ void Session::runSlice(RunStatePtr RP) {
     R.SliceStop.store(false, std::memory_order_relaxed);
   }
 
+  // Perf counters: this run occupies a worker until runSlice returns, and
+  // whatever durable progress the slice makes is credited against the
+  // resume point it started from.
+  const uint64_t Before = R.DoneSteps;
+  ActiveSlices.fetch_add(1, std::memory_order_relaxed);
+  struct SliceGuard {
+    std::atomic<uint64_t> &Active;
+    ~SliceGuard() { Active.fetch_sub(1, std::memory_order_relaxed); }
+  } Guard{ActiveSlices};
+
   // Assemble this quantum's mode from the submitted one.
   EvalMode Slice = R.Mode;
   Slice.Limits.PreemptFlag = &R.SliceStop;
@@ -285,6 +295,7 @@ void Session::runSlice(RunStatePtr RP) {
     // else: no checkpoint was captured (Direct backend, or serialization
     // failed) — the run restarts from its previous resume point; the
     // machines are deterministic, so re-execution is exact.
+    UserSteps.fetch_add(R.DoneSteps - Before, std::memory_order_relaxed);
     uint64_t At = R.DoneSteps;
     auto OnCk = (Got && R.Ev.OnCheckpoint) ? R.Ev.OnCheckpoint : nullptr;
     if (R.PauseRequested) {
@@ -307,6 +318,7 @@ void Session::runSlice(RunStatePtr RP) {
     // Quantum expired: checkpoint, requeue, let any worker resume it.
     if (Got)
       R.DoneSteps = R.CK.header().SavedSteps;
+    UserSteps.fetch_add(R.DoneSteps - Before, std::memory_order_relaxed);
     R.Ph = Phase::Queued;
     uint64_t At = R.DoneSteps;
     auto OnCk = (Got && R.Ev.OnCheckpoint) ? R.Ev.OnCheckpoint : nullptr;
@@ -324,5 +336,7 @@ void Session::runSlice(RunStatePtr RP) {
   // Final: the program finished, errored, hit a user limit, or was
   // cancelled. Steps/states are cumulative (the machine continues the
   // counter across resumes), so the result matches an uninterrupted run.
+  if (SR.Steps > Before)
+    UserSteps.fetch_add(SR.Steps - Before, std::memory_order_relaxed);
   finish(R, std::move(SR));
 }

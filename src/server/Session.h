@@ -182,6 +182,26 @@ public:
   /// Runs currently queued, running or paused (not yet Done).
   uint64_t liveRuns() const { return Live.load(std::memory_order_relaxed); }
 
+  /// Runs executing a slice on a worker right now.
+  uint64_t activeRuns() const {
+    return ActiveSlices.load(std::memory_order_relaxed);
+  }
+
+  /// Runs waiting in the scheduler queue for a worker.
+  uint64_t queuedRuns() const {
+    std::lock_guard<std::mutex> L(QM);
+    return Queue.size();
+  }
+
+  /// Cumulative user-program transitions completed across all runs (the
+  /// machine's step counter, summed over every slice that made durable
+  /// progress — re-executed work after a checkpoint-less preemption is not
+  /// double-counted). The daemon's status report derives steps/sec from
+  /// this.
+  uint64_t totalUserSteps() const {
+    return UserSteps.load(std::memory_order_relaxed);
+  }
+
 private:
   friend class RunHandle;
   using RunStatePtr = std::shared_ptr<detail::RunState>;
@@ -197,8 +217,10 @@ private:
   uint64_t Quantum;
   std::atomic<uint64_t> Live{0};
   std::atomic<uint64_t> NextId{1};
+  std::atomic<uint64_t> ActiveSlices{0};
+  std::atomic<uint64_t> UserSteps{0};
 
-  std::mutex QM;
+  mutable std::mutex QM;
   std::condition_variable QCV;
   std::deque<RunStatePtr> Queue;
   /// Every submitted run (weak, compacted as runs finish); the destructor

@@ -117,12 +117,53 @@ TEST(CliTest, RegisterDisasmShowsRegisterListing) {
   EXPECT_NE(R.Output.find("rconst"), std::string::npos) << R.Output;
 }
 
+TEST(CliTest, AotBackendAgreesWithInterpreter) {
+  // Works with or without a system C compiler: vm-aot degrades to the
+  // register interpreter when compilation is unavailable, so the value
+  // and exit code are compiler-independent.
+  CliResult Interp = runCli(sample("church.lam"));
+  CliResult Aot = runCli(sample("church.lam") + " --backend=vm-aot");
+  EXPECT_EQ(Interp.ExitCode, 0);
+  EXPECT_EQ(Aot.ExitCode, 0) << Aot.Output;
+  EXPECT_EQ(Interp.Output, Aot.Output);
+}
+
+TEST(CliTest, AotBackendRunsMonitors) {
+  // The native tier deopts around every probe window, so monitored output
+  // is byte-for-byte the register tier's.
+  CliResult Reg = runCli(sample("fac.lam") + " --backend=vm-reg --profile");
+  CliResult Aot = runCli(sample("fac.lam") + " --backend=vm-aot --profile");
+  EXPECT_EQ(Reg.ExitCode, 0) << Reg.Output;
+  EXPECT_EQ(Aot.ExitCode, 0) << Aot.Output;
+  EXPECT_EQ(Reg.Output, Aot.Output);
+}
+
+TEST(CliTest, AotDisasmShowsEmittedC) {
+  // --disasm under vm-aot appends the generated C translation unit to the
+  // register listing; both are printable without a compiler present.
+  CliResult R = runCli(sample("fac.lam") + " --backend=vm-aot --disasm");
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  EXPECT_NE(R.Output.find("regs="), std::string::npos) << R.Output;
+  EXPECT_NE(R.Output.find("MonsemAotCtx"), std::string::npos) << R.Output;
+}
+
 TEST(CliTest, UnknownBackendIsUsageError) {
   CliResult R = runCli(sample("fac.lam") + " --backend=jit");
   EXPECT_EQ(R.ExitCode, 2);
   EXPECT_NE(R.Output.find("unknown backend"), std::string::npos) << R.Output;
   EXPECT_NE(R.Output.find("vm-reg"), std::string::npos)
       << "the error must name the valid choices: " << R.Output;
+  EXPECT_NE(R.Output.find("vm-aot"), std::string::npos)
+      << "the error must name the valid choices: " << R.Output;
+  // The note reports this build's actual tier availability.
+  EXPECT_NE(R.Output.find("note: "), std::string::npos) << R.Output;
+}
+
+TEST(CliTest, HelpListsBackendAvailability) {
+  CliResult R = runShell(std::string(MONSEM_CLI_PATH) + " --help");
+  EXPECT_NE(R.Output.find("vm-aot"), std::string::npos) << R.Output;
+  EXPECT_NE(R.Output.find("this build: "), std::string::npos) << R.Output;
+  EXPECT_NE(R.Output.find("--aot-cache"), std::string::npos) << R.Output;
 }
 
 TEST(CliTest, PartialEvaluationRun) {

@@ -513,6 +513,33 @@ TEST(ServeDaemon, CancelMidRunYieldsCancelledOutcome) {
   EXPECT_TRUE(WIFEXITED(St) && WEXITSTATUS(St) == 0);
 }
 
+TEST(ServeDaemon, StatusReportsPerfCounters) {
+  ServeProc P;
+  ASSERT_TRUE(P.start({"--workers=1"}));
+  // A fresh daemon has no scheduler occupancy and no completed steps.
+  ASSERT_TRUE(P.send("{\"op\":\"status\"}"));
+  std::string S0;
+  ASSERT_TRUE(P.readUntil("\"event\":\"status\"", &S0));
+  EXPECT_TRUE(S0.find("\"active\":0") != std::string::npos) << S0;
+  EXPECT_TRUE(S0.find("\"queued\":0") != std::string::npos) << S0;
+  EXPECT_TRUE(S0.find("\"user_steps\":0") != std::string::npos) << S0;
+  EXPECT_TRUE(S0.find("\"steps_per_sec\":") != std::string::npos) << S0;
+  // UserSteps is credited before the outcome event is emitted, so a
+  // status issued after the outcome must account the finished run.
+  ASSERT_TRUE(P.send("{\"op\":\"submit\",\"id\":\"f\",\"program\":\"" +
+                     facProgram(10) + "\"}"));
+  std::string Outcome;
+  ASSERT_TRUE(P.readUntil("\"event\":\"outcome\"", &Outcome));
+  EXPECT_TRUE(Outcome.find("\"outcome\":\"ok\"") != std::string::npos)
+      << Outcome;
+  ASSERT_TRUE(P.send("{\"op\":\"status\"}"));
+  std::string S1;
+  ASSERT_TRUE(P.readUntil("\"event\":\"status\"", &S1));
+  EXPECT_TRUE(S1.find("\"active\":0") != std::string::npos) << S1;
+  EXPECT_TRUE(S1.find("\"user_steps\":0,") == std::string::npos) << S1;
+  P.wait();
+}
+
 TEST(ServeDaemon, CancelUnknownRunIsAnError) {
   ServeProc P;
   ASSERT_TRUE(P.start({"--workers=1"}));

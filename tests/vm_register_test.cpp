@@ -12,6 +12,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "compile/AotEmit.h"
 #include "compile/Compiler.h"
 #include "compile/VM.h"
 #include "interp/Eval.h"
@@ -96,10 +97,11 @@ private:
   std::vector<Event> &Events;
 };
 
-enum class Tier { Fused, Reg };
+enum class Tier { Fused, Reg, Aot };
 
-/// Run a program through the fused stack VM or the register tier under one
-/// cascade, optionally recording the probe event stream.
+/// Run a program through the fused stack VM, the register tier, or the
+/// native AOT tier under one cascade, optionally recording the probe
+/// event stream. Tier::Aot requires aotAvailable() — callers skip first.
 RunResult runTier(Tier T, const Cascade &C, const Expr *Program,
                   RunOptions Opts, std::vector<Event> *Events = nullptr) {
   DiagnosticSink Diags;
@@ -117,7 +119,8 @@ RunResult runTier(Tier T, const Cascade &C, const Expr *Program,
     return R;
   }
   std::unique_ptr<RegProgram> RP;
-  if (T == Tier::Reg) {
+  std::shared_ptr<const AotLibrary> Lib;
+  if (T != Tier::Fused) {
     RP = lowerToRegisters(*CP);
     EXPECT_NE(RP, nullptr) << "register lowering failed";
     if (!RP) {
@@ -126,7 +129,19 @@ RunResult runTier(Tier T, const Cascade &C, const Expr *Program,
       return R;
     }
   }
+  if (T == Tier::Aot) {
+    std::string Why;
+    Lib = aotLoad(*RP, /*CacheDir=*/"", &Why);
+    EXPECT_NE(Lib, nullptr) << "aotLoad failed: " << Why;
+    if (!Lib) {
+      RunResult R;
+      R.Error = "aot load failed: " + Why;
+      return R;
+    }
+  }
   auto Run = [&](MonitorHooks *H) {
+    if (Lib)
+      return runAotProgram(*RP, *Lib, H, Opts);
     return RP ? runRegisterProgram(*RP, H, Opts) : runCompiled(*CP, H, Opts);
   };
   if (C.empty())
@@ -348,6 +363,7 @@ TEST_P(VMRegisterDifferentialTest, RegisterAgreesWithStackAndMachine) {
 
   RunResult Base = runTier(Tier::Fused, Empty, Prog, Opts);
   EXPECT_TRUE(Interp.sameOutcome(Base)) << printExpr(Prog);
+  RunResult Reg;
   for (bool Threaded : {false, true}) {
     RunOptions O = Opts;
     O.VMThreaded = Threaded;
@@ -360,6 +376,23 @@ TEST_P(VMRegisterDifferentialTest, RegisterAgreesWithStackAndMachine) {
       EXPECT_EQ(Base.Steps, R.Steps) << printExpr(Prog);
       // Leaf elision only removes allocations; it never adds any.
       EXPECT_LE(R.ArenaBytes, Base.ArenaBytes) << printExpr(Prog);
+    }
+    if (!Threaded)
+      Reg = std::move(R);
+  }
+  // The native AOT tier runs the same register program, so it must match
+  // the register interpreter exactly — answer, step count, and even the
+  // arena footprint (the native fast paths allocate iff the interpreter's
+  // fast paths would).
+  if (aotAvailable()) {
+    RunResult A = runTier(Tier::Aot, Empty, Prog, Opts);
+    EXPECT_TRUE(Base.sameOutcome(A))
+        << printExpr(Prog)
+        << "\nstack: " << (Base.Ok ? Base.ValueText : Base.Error)
+        << "\naot:   " << (A.Ok ? A.ValueText : A.Error);
+    if (Reg.Ok && A.Ok) {
+      EXPECT_EQ(Reg.Steps, A.Steps) << printExpr(Prog);
+      EXPECT_EQ(Reg.ArenaBytes, A.ArenaBytes) << printExpr(Prog);
     }
   }
 }
@@ -397,6 +430,21 @@ TEST_P(VMRegisterDifferentialTest, MonitoredStreamsAreIdentical) {
       // Against the CEK machine only the hook/text sequence is comparable
       // (step indices follow each machine's own cost accounting).
       EXPECT_EQ(textsOf(RegEvents), textsOf(CEKEvents)) << printExpr(Prog);
+    }
+    // The native tier deopts to the register interpreter around every
+    // probe window, so the monitored stream — steps, payloads, final
+    // states — must be byte-identical to the pure register run.
+    if (aotAvailable()) {
+      std::vector<Event> AotEvents;
+      RunResult A = runTier(Tier::Aot, *C, Prog, Opts, &AotEvents);
+      EXPECT_TRUE(R.sameOutcome(A)) << printExpr(Prog);
+      if (R.Ok && A.Ok) {
+        EXPECT_EQ(statesOf(A), statesOf(R)) << printExpr(Prog);
+        EXPECT_EQ(A.Steps, R.Steps) << printExpr(Prog);
+        EXPECT_TRUE(AotEvents == RegEvents)
+            << printExpr(Prog) << "\nreg:\n" << describeEvents(RegEvents)
+            << "aot:\n" << describeEvents(AotEvents);
+      }
     }
   }
 }
@@ -444,10 +492,28 @@ std::string describe(const Final &F) {
   return Out;
 }
 
+const char *tierName(Backend B) {
+  switch (B) {
+  case Backend::VM:
+    return "vm";
+  case Backend::VMRegister:
+    return "vm-reg";
+  case Backend::VMAot:
+    return "vm-aot";
+  default:
+    return "?";
+  }
+}
+
 /// checkpoint_test's differential core, generalized to interrupt under
-/// `From` and resume under `To`. Both tiers share the CheckpointBackend::VM
-/// format and the stack-listing fingerprint, so a checkpoint written by
-/// either must resume on the other with identical observables.
+/// `From` and resume under `To`. All three VM tiers (stack, register,
+/// native AOT) share the CheckpointBackend::VM format and the stack-listing
+/// fingerprint, so a checkpoint written by any must resume on the others
+/// with identical observables. For vm-aot this doubles as the
+/// deopt-at-checkpoint test: native code yields back to the register
+/// interpreter before every governor pause, so the fuel stop that emits
+/// the checkpoint always fires from interpreted code at an exact
+/// transition boundary.
 void checkCrossTier(unsigned Seed, Backend From, Backend To, bool Monitored) {
   CallProfiler Prof;
   auto modeFor = [&](Backend B) {
@@ -488,10 +554,8 @@ void checkCrossTier(unsigned Seed, Backend From, Backend To, bool Monitored) {
         evaluate(modeFor(To) & maxSteps(kBigBudget) & resumeFrom(CK), P3);
     Final FRes = finalOf(R);
     EXPECT_TRUE(FRes == FRef)
-        << "seed " << Seed << " K=" << K << " "
-        << (From == Backend::VM ? "vm" : "vm-reg") << "->"
-        << (To == Backend::VM ? "vm" : "vm-reg")
-        << "\n  reference: " << describe(FRef)
+        << "seed " << Seed << " K=" << K << " " << tierName(From) << "->"
+        << tierName(To) << "\n  reference: " << describe(FRef)
         << "\n  resumed:   " << describe(FRes);
   }
 }
@@ -523,14 +587,57 @@ TEST(RegisterCheckpointTest, RegisterResumesItself) {
     checkCrossTier(Seed, Backend::VMRegister, Backend::VMRegister, true);
 }
 
+// vm-aot checkpoint portability: a checkpoint cut while the native tier is
+// driving must resume under the pure interpreters (and vice versa) with
+// identical observables, because the native tier deopts to the register
+// interpreter at the exact (block, pc) the governor pauses on.
+
+TEST(RegisterCheckpointTest, AotToStackUnmonitored) {
+  if (!aotAvailable())
+    GTEST_SKIP() << "no C compiler; native tier degrades to vm-reg";
+  for (unsigned Seed = 0; Seed < 25; ++Seed)
+    checkCrossTier(Seed, Backend::VMAot, Backend::VM, false);
+}
+
+TEST(RegisterCheckpointTest, StackToAotMonitored) {
+  if (!aotAvailable())
+    GTEST_SKIP() << "no C compiler; native tier degrades to vm-reg";
+  for (unsigned Seed = 0; Seed < 25; ++Seed)
+    checkCrossTier(Seed, Backend::VM, Backend::VMAot, true);
+}
+
+TEST(RegisterCheckpointTest, AotToRegisterMonitored) {
+  if (!aotAvailable())
+    GTEST_SKIP() << "no C compiler; native tier degrades to vm-reg";
+  for (unsigned Seed = 0; Seed < 25; ++Seed)
+    checkCrossTier(Seed, Backend::VMAot, Backend::VMRegister, true);
+}
+
+TEST(RegisterCheckpointTest, RegisterToAotMonitored) {
+  if (!aotAvailable())
+    GTEST_SKIP() << "no C compiler; native tier degrades to vm-reg";
+  for (unsigned Seed = 0; Seed < 25; ++Seed)
+    checkCrossTier(Seed, Backend::VMRegister, Backend::VMAot, true);
+}
+
+TEST(RegisterCheckpointTest, AotResumesItself) {
+  if (!aotAvailable())
+    GTEST_SKIP() << "no C compiler; native tier degrades to vm-reg";
+  for (unsigned Seed = 0; Seed < 25; ++Seed)
+    checkCrossTier(Seed, Backend::VMAot, Backend::VMAot, true);
+}
+
 TEST(RegisterCheckpointTest, LastStepCheckpointHasNoFrames) {
   // Interrupting on the final Halt catches the machine after the sentinel
   // frame was popped: the checkpoint legitimately carries zero call frames
   // and the resumed run halts immediately. Exercise every tier pairing.
   auto Src = "letrec fib = lambda n. if n < 2 then n else "
              "fib (n - 1) + fib (n - 2) in fib 14";
-  for (Backend From : {Backend::VM, Backend::VMRegister}) {
-    for (Backend To : {Backend::VM, Backend::VMRegister}) {
+  std::vector<Backend> Tiers = {Backend::VM, Backend::VMRegister};
+  if (aotAvailable())
+    Tiers.push_back(Backend::VMAot);
+  for (Backend From : Tiers) {
+    for (Backend To : Tiers) {
       auto P1 = parseOk(Src);
       RunResult Ref =
           evaluate(kStrict & BackendTag{To} & maxSteps(kBigBudget),

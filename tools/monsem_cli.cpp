@@ -13,6 +13,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "compile/AotEmit.h"
 #include "compile/Compiler.h"
 #include "compile/VM.h"
 #include "imp/ImpMachine.h"
@@ -100,7 +101,8 @@ struct Options {
   bool Record = false;
   bool Coverage = false;
   bool Debug = false;
-  Backend B = Backend::CEK; ///< --backend=cek|vm|vm-reg|direct (--vm = vm).
+  Backend B = Backend::CEK; ///< --backend=cek|vm|vm-reg|vm-aot|direct.
+  std::string AotCacheDir;  ///< --aot-cache=DIR (vm-aot shared objects).
   bool PE = false;
   bool Prelude = false;
   bool PrintAst = false;
@@ -132,6 +134,24 @@ struct Options {
   std::vector<std::string> Names; ///< Functions to annotate ("" = all).
 };
 
+/// One line describing what each backend needs from this build and
+/// whether it has it, shown in --help and after an unknown-backend error
+/// so the valid set is never a guessing game.
+std::string backendAvailability() {
+  std::string S = "cek, vm, vm-reg, direct: always available; ";
+  S += "threaded dispatch ";
+  S += vmThreadedDispatchAvailable() ? "available" : "unavailable";
+#ifdef MONSEM_VALUE_BOXED
+  S += "; boxed values";
+#else
+  S += "; tagged values";
+#endif
+  S += "; vm-aot ";
+  S += aotAvailable() ? "available (" + aotCompilerId() + ")"
+                      : "unavailable (no C compiler; degrades to vm-reg)";
+  return S;
+}
+
 int usage(const char *Argv0) {
   std::cerr
       << "usage: " << Argv0 << " <file | - | --repl | serve> [options]\n"
@@ -150,10 +170,14 @@ int usage(const char *Argv0) {
       << "    --debug            interactive dbx-style debugger on stdin\n"
       << "    --prelude          wrap the program in the standard prelude\n"
       << "    --strategy=strict|name|need\n"
-      << "    --backend=cek|vm|vm-reg|direct\n"
+      << "    --backend=cek|vm|vm-reg|vm-aot|direct\n"
       << "                       evaluator: CEK machine (default), stack\n"
-      << "                       bytecode VM, register bytecode VM, or the\n"
-      << "                       direct interpreter (VMs are strict only)\n"
+      << "                       bytecode VM, register bytecode VM, native\n"
+      << "                       code over the register tier, or the direct\n"
+      << "                       interpreter (VMs are strict only)\n"
+      << "                       this build: " << backendAvailability() << "\n"
+      << "    --aot-cache=DIR    vm-aot shared-object cache directory\n"
+      << "                       (default: per-user under TMPDIR)\n"
       << "    --vm               shorthand for --backend=vm\n"
       << "    --pe               partially evaluate, then run the residual\n"
       << "    --print-ast        show the (annotated) program\n"
@@ -287,13 +311,18 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
         O.B = Backend::VM;
       else if (*V == "vm-reg")
         O.B = Backend::VMRegister;
+      else if (*V == "vm-aot")
+        O.B = Backend::VMAot;
       else if (*V == "direct")
         O.B = Backend::Direct;
       else {
         std::cerr << "error: unknown backend '" << *V
-                  << "' (valid: cek, vm, vm-reg, direct)\n";
+                  << "' (valid: cek, vm, vm-reg, vm-aot, direct)\n"
+                  << "note: " << backendAvailability() << '\n';
         return false;
       }
+    } else if (auto V = Value("--aot-cache=")) {
+      O.AotCacheDir = *V;
     } else if (A == "--pe") {
       O.PE = true;
     } else if (A == "--print-ast") {
@@ -428,8 +457,12 @@ EvalMode modeFor(const Options &O, DurabilityTracker *Tracker = nullptr) {
     M = M & kVM;
   else if (O.B == Backend::VMRegister)
     M = M & kVMReg;
+  else if (O.B == Backend::VMAot)
+    M = M & kVMAot;
   else if (O.B == Backend::Direct)
     M = M & kDirect;
+  if (!O.AotCacheDir.empty())
+    M.AotCacheDir = O.AotCacheDir;
   if (!O.CheckpointOut.empty()) {
     std::string Path = O.CheckpointOut;
     M = M & checkpointInto([Path, Tracker](const Checkpoint &CK) {
@@ -634,10 +667,11 @@ int runFunctional(const Options &O, const std::string &Source) {
     // monitor flags still have to match (the monitor section is checked
     // name-by-name when the machine restores).
     Mode = Mode & resumeFrom(CK);
-    // A VM checkpoint is tier-portable: an explicit --backend=vm-reg keeps
-    // the register tier, anything else resumes on the stack VM.
+    // A VM checkpoint is tier-portable: an explicit --backend=vm-reg or
+    // --backend=vm-aot keeps that tier, anything else resumes on the
+    // stack VM.
     if (CK.header().Backend == CheckpointBackend::VM) {
-      if (Mode.B != Backend::VMRegister)
+      if (Mode.B != Backend::VMRegister && Mode.B != Backend::VMAot)
         Mode.B = Backend::VM;
     } else {
       Mode.B = Backend::CEK;
@@ -705,7 +739,8 @@ int runFunctional(const Options &O, const std::string &Source) {
       std::cerr << LintDiags.str() << '\n';
   }
 
-  if (O.B == Backend::VM || O.B == Backend::VMRegister) {
+  if (O.B == Backend::VM || O.B == Backend::VMRegister ||
+      O.B == Backend::VMAot) {
     if (O.Strat != Strategy::Strict) {
       std::cerr << "error: the bytecode backends support the strict "
                    "strategy only\n";
@@ -714,11 +749,15 @@ int runFunctional(const Options &O, const std::string &Source) {
     if (O.Disasm) {
       DiagnosticSink Diags;
       if (auto CP = compileProgram(Program, Diags)) {
-        // Under the register backend, show the program the way that tier
+        // Under the register backends, show the program the way that tier
         // runs it; fall back to the stack listing if lowering declines.
-        if (O.B == Backend::VMRegister) {
+        // vm-aot additionally shows the C the emitter would hand to the
+        // system compiler for the eligible leaf blocks.
+        if (O.B == Backend::VMRegister || O.B == Backend::VMAot) {
           if (auto RP = lowerToRegisters(*CP)) {
             std::cout << RP->disassemble();
+            if (O.B == Backend::VMAot)
+              std::cout << '\n' << aotEmitSource(*RP);
           } else {
             std::cout << CP->disassemble();
           }
