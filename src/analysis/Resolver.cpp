@@ -4,6 +4,8 @@
 
 #include "semantics/Primitives.h"
 
+#include <mutex>
+#include <unordered_map>
 #include <unordered_set>
 
 using namespace monsem;
@@ -201,5 +203,57 @@ private:
 std::unique_ptr<Resolution> monsem::resolveProgram(const Expr *Program) {
   auto R = std::make_unique<Resolution>();
   Resolver(*R).run(Program);
+  // A raw resolve repoints the tree's annotations away from whatever the
+  // cache may hold for this root; drop the stamp so a later cached lookup
+  // re-resolves instead of returning a Resolution the annotations no
+  // longer belong to.
+  Program->ResolutionStamp = nullptr;
   return R;
+}
+
+namespace {
+
+/// Guards the cache map, the per-root stamps, and — crucially — the
+/// annotation-writing resolve pass itself. Holding it across the pass is
+/// what publishes the AST writes to every thread that later looks the same
+/// tree up: lock acquire/release gives the happens-before edge.
+std::mutex &resolveCacheMutex() {
+  static std::mutex M;
+  return M;
+}
+
+using ResolveCache =
+    std::unordered_map<const Expr *, std::shared_ptr<const Resolution>>;
+
+ResolveCache &resolveCache() {
+  // Leaked on purpose: entries may be handed out to threads that outlive
+  // static destruction order.
+  static ResolveCache *C = new ResolveCache();
+  return *C;
+}
+
+/// Above this many entries a miss sweeps out every Resolution nobody but
+/// the cache still holds. use_count() == 1 is trustworthy here because new
+/// references are only ever minted under the cache mutex, which the
+/// sweeper holds. Evicting a still-live tree's entry is safe (the next run
+/// re-resolves while provably nobody is mid-run on it) — merely wasted
+/// work, so the threshold is generous.
+constexpr size_t kResolveCacheSweep = 256;
+
+} // namespace
+
+std::shared_ptr<const Resolution>
+monsem::resolveProgramCached(const Expr *Program) {
+  std::lock_guard<std::mutex> Lock(resolveCacheMutex());
+  ResolveCache &Cache = resolveCache();
+  auto It = Cache.find(Program);
+  if (It != Cache.end() && Program->ResolutionStamp == It->second.get())
+    return It->second;
+  if (Cache.size() >= kResolveCacheSweep)
+    for (auto SI = Cache.begin(); SI != Cache.end();)
+      SI = SI->second.use_count() == 1 ? Cache.erase(SI) : std::next(SI);
+  std::shared_ptr<const Resolution> Res = resolveProgram(Program);
+  Program->ResolutionStamp = Res.get();
+  Cache[Program] = Res;
+  return Res;
 }

@@ -94,7 +94,25 @@ private:
 
 /// Runs the resolution pass over \p Program (see file comment). Always
 /// returns a Resolution; check ok() before using the annotations.
+///
+/// The pass *writes* the AST annotation fields, so it must never run
+/// concurrently with anything reading them — including another run of the
+/// same tree. Single-threaded analysis and tests may call this directly;
+/// execution paths (interpreter, compiler) go through
+/// resolveProgramCached() instead, which serializes the write and reuses
+/// one Resolution per tree.
 std::unique_ptr<Resolution> resolveProgram(const Expr *Program);
+
+/// Memoized, thread-safe front end to resolveProgram(): resolves each tree
+/// at most once and hands every caller the same Resolution, pinned by a
+/// process-wide cache so it outlives all runs that use it. This is what
+/// makes one Expr tree shareable by concurrent runs (Session workers
+/// time-slicing many runs of one program): the mutating pass happens once,
+/// under the cache mutex — which also publishes the annotation writes to
+/// every thread that looks the tree up afterwards — and later lookups are
+/// read-only. Stale entries (the tree died; a new one reuses the root
+/// address) are detected via Expr::ResolutionStamp and re-resolved.
+std::shared_ptr<const Resolution> resolveProgramCached(const Expr *Program);
 
 } // namespace monsem
 

@@ -27,7 +27,7 @@ public:
     // env node per lambda parameter and per letrec binder, the latter in
     // scope for bound expression and body alike). On shared-node programs
     // the resolver refuses and the legacy scope scan below is used.
-    Res = resolveProgram(Program);
+    Res = resolveProgramCached(Program);
     Resolved = Res->ok();
     Prog->Blocks.emplace_back();
     Prog->Blocks[0].Name = "<main>";
@@ -45,7 +45,7 @@ private:
   DiagnosticSink &Diags;
   CompileOptions Opts;
   std::unique_ptr<CompiledProgram> Prog;
-  std::unique_ptr<Resolution> Res;
+  std::shared_ptr<const Resolution> Res;
   bool Resolved = false;
   std::vector<Symbol> Scope; ///< Legacy compile-time environment shape.
   bool Failed = false;

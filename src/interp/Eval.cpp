@@ -29,7 +29,9 @@ RunResult monsem::evaluate(const Expr *Program, RunOptions Opts) {
     // Level-2 specialization: resolve once, then run on flat frames. The
     // resolver refuses shared-node programs (!ok), in which case the named
     // chain remains the semantics of record.
-    std::unique_ptr<Resolution> Res = resolveProgram(Program);
+    // Cached: one tree is resolved once, process-wide, so concurrent runs
+    // sharing a program (Session workers) never race on the annotations.
+    std::shared_ptr<const Resolution> Res = resolveProgramCached(Program);
     if (Res->ok()) {
       ResolvedMachine M(Program, Opts, NoMonitorPolicy(), Res.get());
       R = M.run();
@@ -83,7 +85,7 @@ static RunResult evaluateMonitored(const Cascade &C, const Expr *Program,
   }
   DynamicMonitorPolicy Policy{Hooks};
   if (Opts.Lexical) {
-    std::unique_ptr<Resolution> Res = resolveProgram(Program);
+    std::shared_ptr<const Resolution> Res = resolveProgramCached(Program);
     if (Res->ok()) {
       ResolvedMonitoredMachine M(Program, Opts, Policy, Res.get());
       RunResult R = M.run();

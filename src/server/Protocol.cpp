@@ -426,12 +426,19 @@ bool monsem::parseRequest(std::string_view Line, Request &Out,
   if (!stringList(V.field("monitors"), S.Monitors, "\"monitors\"", Err) ||
       !stringList(V.field("names"), S.Names, "\"names\"", Err))
     return false;
+  if (const Value *T = V.field("tenant")) {
+    if (!validRunId(T->strOr())) {
+      Err = "\"tenant\" must match [A-Za-z0-9_-]{1,64}";
+      return false;
+    }
+    S.Tenant = T->S;
+  }
   if (const Value *B = V.field("backend")) {
     S.Backend = B->strOr("cek");
     if (S.Backend != "cek" && S.Backend != "vm" && S.Backend != "vm-reg" &&
-        S.Backend != "direct") {
+        S.Backend != "vm-aot" && S.Backend != "direct") {
       Err = "unknown backend \"" + S.Backend +
-            "\" (valid: cek, vm, vm-reg, direct)";
+            "\" (valid: cek, vm, vm-reg, vm-aot, direct)";
       return false;
     }
   }

@@ -11,7 +11,7 @@
 ///   {"op":"submit","id":"r1","program":"fac 6","monitors":["profile"],
 ///    "names":["fac"],"backend":"cek","strategy":"strict","prelude":true,
 ///    "limits":{"max_steps":100000,"deadline_ms":50,"max_bytes":0,
-///              "max_depth":0},"durable":false}
+///              "max_depth":0},"durable":false,"tenant":"alice"}
 ///   {"op":"cancel","id":"r1"}
 ///   {"op":"status"}
 ///   {"op":"shutdown"}
@@ -25,7 +25,12 @@
 ///   {"event":"outcome","id":"r1","outcome":"ok","exit_code":0,
 ///    "value":"720","steps":178,"monitors":[{"name":"profile",
 ///    "state":"[fac -> 7]"}]}
-///   {"event":"status","live":7,"done":17,"workers":4}
+///   {"event":"status","live":7,"done":17,"workers":4,...,
+///    "resident_bytes":81920,"evictions":3,
+///    "tenants":[{"tenant":"alice","queued":2,"active":1,"user_steps":9000,
+///                "evicted":1}]}
+///   {"event":"overloaded","id":"r1","tenant":"alice","queued":64,
+///    "retry_after_ms":1700}
 ///   {"event":"error","id":"r1","message":"unknown op"}
 ///   {"event":"listening","transport":"tcp","port":43117}
 ///   {"event":"shutdown","done":17}
@@ -163,9 +168,10 @@ private:
 struct SubmitRequest {
   std::string Id;
   std::string Program;
+  std::string Tenant;                ///< Fair-share queue ("" = connection).
   std::vector<std::string> Monitors; ///< Monitor kinds (serve's grant list).
   std::vector<std::string> Names;    ///< Functions to annotate (empty = all).
-  std::string Backend = "cek";       ///< cek | vm | vm-reg | direct.
+  std::string Backend = "cek";       ///< cek | vm | vm-reg | vm-aot | direct.
   std::string Strategy = "strict";   ///< strict | name | need.
   bool Prelude = false;
   uint64_t MaxSteps = 0;

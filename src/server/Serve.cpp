@@ -16,6 +16,16 @@
 // threads, and a run is on at most one worker at a time), so they need no
 // lock; the channel's writeLine is the single synchronization point.
 //
+// Socket transports run a poll-driven multiplexer: one serve thread polls
+// the listener plus every client channel, ingests complete request lines,
+// and drains bounded per-client outboxes. Workers enqueue responses into
+// those outboxes through the channels' whole-line-atomic writeLine, so a
+// client that stops reading stalls only its own bounded buffer — the
+// serve thread and the worker pool never block on a peer. Hostile-client
+// policies (request-size caps, slow-reader and idle disconnects,
+// per-tenant admission) all live here, on top of Session's fair-share
+// scheduler.
+//
 //===----------------------------------------------------------------------===//
 
 #include "server/Serve.h"
@@ -47,6 +57,8 @@
 
 #include <dirent.h>
 #include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
@@ -201,10 +213,23 @@ std::string readWholeFile(const std::string &Path) {
   return SS.str();
 }
 
+/// The final line a slow reader sees before its connection is dropped
+/// (queued by the channel itself when the outbox overflows).
+std::string overflowNoticeLine() {
+  json::Writer W;
+  W.beginObject();
+  W.key("event");
+  W.str("error");
+  W.key("message");
+  W.str("outbound queue overflowed (slow reader); disconnecting");
+  W.endObject();
+  return W.take();
+}
+
 class Server {
 public:
-  explicit Server(const ServeOptions &O)
-      : O(O), S(Session::Config{O.Workers ? O.Workers : 1, O.QuantumSteps}) {}
+  Server(const ServeOptions &O, std::string SpoolDir)
+      : O(O), S(makeConfig(O, std::move(SpoolDir))) {}
 
   int run();
 
@@ -214,20 +239,54 @@ private:
     std::shared_ptr<ServeRun> R;
   };
 
+  /// One multiplexed socket client.
+  struct Client {
+    std::shared_ptr<LineChannel> Ch;
+    std::string Tenant; ///< Default tenant: "c<conn#>".
+    std::chrono::steady_clock::time_point LastActivity;
+    /// Since when the outbox has been write-blocked without draining a
+    /// byte; epoch (time_point{}) = not stalled.
+    std::chrono::steady_clock::time_point StallSince{};
+    bool ReadClosed = false; ///< Peer EOF; may still be reading outcomes.
+    bool Drop = false;       ///< Reap at the end of the cycle.
+  };
+
+  static Session::Config makeConfig(const ServeOptions &O,
+                                    std::string SpoolDir) {
+    Session::Config C;
+    C.Workers = O.Workers ? O.Workers : 1;
+    C.QuantumSteps = O.QuantumSteps;
+    C.MaxLiveRuns = O.MaxLiveRuns;
+    C.MaxLivePerTenant = O.MaxRunsPerTenant;
+    C.MaxResidentBytes = O.MaxResidentBytes;
+    C.ParkDir = std::move(SpoolDir);
+    return C;
+  }
+
   bool interrupted() const { return O.Interrupt && O.Interrupt->load(); }
   bool stopRequested() const { return interrupted() || ShutdownReq; }
 
   void serveChannel(const std::shared_ptr<LineChannel> &Ch);
   void dispatch(const std::string &Line,
-                const std::shared_ptr<LineChannel> &Ch);
+                const std::shared_ptr<LineChannel> &Ch,
+                const std::string &DefaultTenant);
   void submitRun(const SubmitRequest &Req, const std::string &RawLine,
                  const std::shared_ptr<LineChannel> &Out,
-                 const Checkpoint *Resume, uint64_t ResumeSteps);
+                 const std::string &DefaultTenant, const Checkpoint *Resume,
+                 uint64_t ResumeSteps);
   void recoverDurable(const std::shared_ptr<LineChannel> &Out);
   void emitStatus(LineChannel &Out);
+  void emitOverloaded(LineChannel &Out, const std::string &Id,
+                      const std::string &Tenant, const std::string &Why);
   void sweepFinished();
   void cancelAllLive();
   int drainAndExit(bool CancelAll, LineChannel &Out);
+
+  int runMux(const std::shared_ptr<LineChannel> &Stdio, Listener &L);
+  void serviceClient(Client &C);
+  void reapClients(std::vector<Client> &Clients);
+  int drainMux(std::vector<Client> &Clients, bool CancelAll,
+               LineChannel &Stdio);
 
   const ServeOptions &O;
   /// Daemon start, for the status report's steps/sec rate.
@@ -236,6 +295,7 @@ private:
   std::mutex RM;
   std::map<std::string, Entry> Registry;
   std::atomic<uint64_t> DoneCount{0};
+  uint64_t NextConn = 0;    ///< Serve thread only.
   bool ShutdownReq = false; ///< Main thread only.
   /// Declared last: destroyed first, so the worker pool is joined while
   /// the registry (and the ServeRuns its callbacks reference) still exist.
@@ -269,6 +329,61 @@ void Server::emitStatus(LineChannel &Out) {
           .count());
   W.key("steps_per_sec");
   W.num(ElapsedMs ? Steps * 1000 / ElapsedMs : 0);
+  // Memory pressure: summed serialized size of resident run checkpoints
+  // (the --max-resident-bytes gauge) and how often eviction fired.
+  W.key("resident_bytes");
+  W.num(S.residentBytes());
+  W.key("evictions");
+  W.num(S.evictions());
+  // Fair-share accounting, one row per tenant ever seen.
+  W.key("tenants");
+  W.beginArray();
+  for (const Session::TenantStats &T : S.tenantStats()) {
+    W.beginObject();
+    W.key("tenant");
+    W.str(T.Tenant);
+    W.key("queued");
+    W.num(T.Queued);
+    W.key("active");
+    W.num(T.Active);
+    W.key("live");
+    W.num(T.Live);
+    W.key("user_steps");
+    W.num(T.UserSteps);
+    W.key("evicted");
+    W.num(T.Evicted);
+    W.key("done");
+    W.num(T.Done);
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+  Out.writeLine(W.take());
+}
+
+void Server::emitOverloaded(LineChannel &Out, const std::string &Id,
+                            const std::string &Tenant,
+                            const std::string &Why) {
+  // Backpressure, not failure: the client should retry after the hint.
+  // The hint scales with queue depth per worker, capped so a client never
+  // backs off absurdly far.
+  uint64_t Queued = S.queuedRuns();
+  uint64_t RetryMs = 100 * (1 + Queued / (S.workers() ? S.workers() : 1));
+  RetryMs = std::min<uint64_t>(RetryMs, 5000);
+  json::Writer W;
+  W.beginObject();
+  W.key("event");
+  W.str("overloaded");
+  W.key("id");
+  W.str(Id);
+  W.key("tenant");
+  W.str(Tenant);
+  W.key("reason");
+  W.str(Why);
+  W.key("queued");
+  W.num(Queued);
+  W.key("retry_after_ms");
+  W.num(RetryMs);
   W.endObject();
   Out.writeLine(W.take());
 }
@@ -300,7 +415,24 @@ void Server::cancelAllLive() {
 
 void Server::submitRun(const SubmitRequest &Req, const std::string &RawLine,
                        const std::shared_ptr<LineChannel> &Out,
+                       const std::string &DefaultTenant,
                        const Checkpoint *Resume, uint64_t ResumeSteps) {
+  // The client may name its tenant (a cooperating pool of connections);
+  // an unnamed submit is billed to the connection's own tenant.
+  const std::string Tenant = Req.Tenant.empty() ? DefaultTenant : Req.Tenant;
+
+  // Admission, before any parsing or persistence: a rejected submit must
+  // be cheap and leave no trace. Recovery resumes bypass admission — the
+  // daemon readmits its own durable obligations unconditionally. The
+  // dispatch thread is the only submitter, so the pre-check is exact.
+  if (!Resume) {
+    std::string Why;
+    if (!S.admissible(Tenant, &Why)) {
+      emitOverloaded(*Out, Req.Id, Tenant, Why);
+      return;
+    }
+  }
+
   {
     std::lock_guard<std::mutex> Lock(RM);
     auto It = Registry.find(Req.Id);
@@ -511,7 +643,7 @@ void Server::submitRun(const SubmitRequest &Req, const std::string &RawLine,
     R->Finished.store(true, std::memory_order_release);
   };
 
-  RunHandle H = S.submit(Mode, R->Program, std::move(Ev));
+  RunHandle H = S.submit(Mode, R->Program, std::move(Ev), Tenant);
   {
     std::lock_guard<std::mutex> Lock(RM);
     Registry.insert_or_assign(Req.Id, Entry{H, R});
@@ -558,12 +690,14 @@ void Server::recoverDurable(const std::shared_ptr<LineChannel> &Out) {
       if (CK.valid())
         Steps = CK.header().SavedSteps;
     }
-    submitRun(Req.Submit, Raw, Out, CK.valid() ? &CK : nullptr, Steps);
+    submitRun(Req.Submit, Raw, Out, /*DefaultTenant=*/"stdio",
+              CK.valid() ? &CK : nullptr, Steps);
   }
 }
 
 void Server::dispatch(const std::string &Line,
-                      const std::shared_ptr<LineChannel> &Ch) {
+                      const std::shared_ptr<LineChannel> &Ch,
+                      const std::string &DefaultTenant) {
   Request Req;
   std::string Err, ErrId;
   if (!parseRequest(Line, Req, Err, ErrId)) {
@@ -572,7 +706,7 @@ void Server::dispatch(const std::string &Line,
   }
   switch (Req.O) {
   case Request::Op::Submit:
-    submitRun(Req.Submit, Line, Ch, /*Resume=*/nullptr, 0);
+    submitRun(Req.Submit, Line, Ch, DefaultTenant, /*Resume=*/nullptr, 0);
     break;
   case Request::Op::Cancel: {
     RunHandle H;
@@ -602,12 +736,18 @@ void Server::serveChannel(const std::shared_ptr<LineChannel> &Ch) {
   for (;;) {
     LineChannel::ReadStatus St =
         Ch->readLine(Line, [this] { return stopRequested(); });
+    if (St == LineChannel::ReadStatus::TooLong) {
+      emitError(*Ch, {},
+                "request line exceeds " + std::to_string(O.MaxRequestBytes) +
+                    " bytes; disconnecting");
+      return;
+    }
     if (St != LineChannel::ReadStatus::Line)
       return;
     sweepFinished();
     if (Line.find_first_not_of(" \t\r") == std::string::npos)
       continue;
-    dispatch(Line, Ch);
+    dispatch(Line, Ch, /*DefaultTenant=*/"stdio");
     if (ShutdownReq)
       return;
   }
@@ -637,12 +777,227 @@ int Server::drainAndExit(bool CancelAll, LineChannel &Out) {
   return interrupted() ? 130 : 0;
 }
 
+//===----------------------------------------------------------------------===//
+// Socket multiplexer
+//===----------------------------------------------------------------------===//
+
+void Server::serviceClient(Client &C) {
+  const auto Now = std::chrono::steady_clock::now();
+
+  // Writes first: draining the outbox both frees space for this cycle's
+  // responses and feeds the slow-reader stall detector.
+  switch (C.Ch->flushOut()) {
+  case LineChannel::Flush::Error:
+    C.Drop = true;
+    return;
+  case LineChannel::Flush::Blocked:
+    if (C.StallSince == std::chrono::steady_clock::time_point{})
+      C.StallSince = Now;
+    break;
+  case LineChannel::Flush::Idle:
+  case LineChannel::Flush::Progress:
+    C.StallSince = {};
+    break;
+  }
+
+  // Reads: bounded rounds so one firehose client cannot monopolize the
+  // serve thread; whatever is left is picked up next poll cycle.
+  std::string Line;
+  for (int Round = 0; Round < 16; ++Round) {
+    while (C.Ch->nextLine(Line)) {
+      C.LastActivity = Now;
+      if (Line.find_first_not_of(" \t\r") == std::string::npos)
+        continue;
+      dispatch(Line, C.Ch, C.Tenant);
+      if (ShutdownReq)
+        return;
+    }
+    if (C.ReadClosed)
+      return;
+    switch (C.Ch->pumpIn()) {
+    case LineChannel::Pump::Progress:
+      C.LastActivity = Now;
+      continue;
+    case LineChannel::Pump::WouldBlock:
+      return;
+    case LineChannel::Pump::Eof:
+      // Half-close: the client is done submitting but may still be
+      // reading outcomes; drain remaining buffered lines, then keep the
+      // connection for its pending responses.
+      C.ReadClosed = true;
+      continue;
+    case LineChannel::Pump::TooLong:
+      emitError(*C.Ch, {},
+                "request line exceeds " + std::to_string(O.MaxRequestBytes) +
+                    " bytes; disconnecting");
+      C.Ch->flushOut(); // Best effort: get the verdict onto the wire.
+      C.Drop = true;
+      return;
+    case LineChannel::Pump::Error:
+      C.Drop = true;
+      return;
+    }
+  }
+}
+
+void Server::reapClients(std::vector<Client> &Clients) {
+  const auto Now = std::chrono::steady_clock::now();
+  for (Client &C : Clients) {
+    if (C.Drop || C.Ch->dead())
+      continue;
+    const bool OutIdle = !C.Ch->wantsWrite();
+    // use_count() == 1 means no live run still holds this channel for its
+    // responses — only the client table references it.
+    const bool NoRuns = C.Ch.use_count() == 1;
+    if (C.Ch->overflowed() && OutIdle) {
+      // The overflow notice has drained (or died trying); cut the cord.
+      C.Drop = true;
+      continue;
+    }
+    if (C.ReadClosed && NoRuns && OutIdle) {
+      C.Drop = true; // Clean finish: EOF seen, every response delivered.
+      continue;
+    }
+    if (O.SlowReaderMs && C.StallSince != std::chrono::steady_clock::time_point{} &&
+        Now - C.StallSince > std::chrono::milliseconds(O.SlowReaderMs)) {
+      // Write-blocked with zero drain for the whole window. The error
+      // record is almost certainly undeliverable (the pipe is full), but
+      // queue it anyway for the post-mortem read() a dying client might do.
+      emitError(*C.Ch, {}, "slow reader: no drain for " +
+                               std::to_string(O.SlowReaderMs) +
+                               " ms; disconnecting");
+      C.Drop = true;
+      continue;
+    }
+    if (O.IdleTimeoutMs && !C.ReadClosed && NoRuns && OutIdle &&
+        Now - C.LastActivity > std::chrono::milliseconds(O.IdleTimeoutMs)) {
+      emitError(*C.Ch, {}, "idle timeout after " +
+                               std::to_string(O.IdleTimeoutMs) +
+                               " ms; disconnecting");
+      C.Ch->flushOut();
+      C.Drop = true;
+      continue;
+    }
+  }
+  for (Client &C : Clients)
+    if (C.Drop)
+      C.Ch->shutdownNow(); // Workers holding the channel see dead() and
+                           // drop their output; the fd is gone now.
+  Clients.erase(std::remove_if(Clients.begin(), Clients.end(),
+                               [](const Client &C) { return C.Drop; }),
+                Clients.end());
+}
+
+int Server::runMux(const std::shared_ptr<LineChannel> &Stdio, Listener &L) {
+  std::vector<Client> Clients;
+  std::vector<pollfd> P;
+  while (!stopRequested()) {
+    sweepFinished();
+
+    P.clear();
+    P.push_back({L.fd(), POLLIN, 0});
+    for (const Client &C : Clients) {
+      short Ev = 0;
+      if (!C.ReadClosed)
+        Ev |= POLLIN;
+      if (C.Ch->wantsWrite())
+        Ev |= POLLOUT;
+      P.push_back({C.Ch->fd(), Ev, 0});
+    }
+    // 200ms cap keeps the loop responsive to SIGINT and to timers even
+    // when poll reports nothing.
+    if (::poll(P.data(), P.size(), 200) < 0 && errno != EINTR)
+      break;
+
+    // Accept a bounded batch of new connections per cycle.
+    for (int I = 0; I < 32; ++I) {
+      std::string AErr;
+      std::unique_ptr<LineChannel> Ch = L.acceptOne(AErr);
+      if (!Ch) {
+        if (!AErr.empty())
+          emitError(*Stdio, {}, "accept failed: " + AErr);
+        break;
+      }
+      Ch->setMaxLineBytes(O.MaxRequestBytes);
+      Ch->setNonBlocking(O.MaxOutboxBytes, overflowNoticeLine());
+      if (O.SockSndbufBytes) {
+        // Bound kernel-side buffering so a slow reader exerts backpressure
+        // on the outbox (where the overflow/stall policy lives) instead of
+        // hiding behind megabytes of autotuned socket buffer.
+        int Buf = static_cast<int>(
+            std::min<uint64_t>(O.SockSndbufBytes, 1u << 30));
+        ::setsockopt(Ch->fd(), SOL_SOCKET, SO_SNDBUF, &Buf, sizeof(Buf));
+      }
+      Client C;
+      C.Ch = std::move(Ch);
+      C.Tenant = "c" + std::to_string(++NextConn);
+      C.LastActivity = std::chrono::steady_clock::now();
+      Clients.push_back(std::move(C));
+    }
+
+    for (Client &C : Clients) {
+      serviceClient(C);
+      if (ShutdownReq)
+        break;
+    }
+    reapClients(Clients);
+    if (ShutdownReq)
+      break;
+  }
+  return drainMux(Clients, stopRequested(), *Stdio);
+}
+
+int Server::drainMux(std::vector<Client> &Clients, bool CancelAll,
+                     LineChannel &Stdio) {
+  if (CancelAll)
+    cancelAllLive();
+  for (;;) {
+    bool Pending = false;
+    for (Client &C : Clients) {
+      if (C.Ch->dead())
+        continue;
+      if (C.Ch->flushOut() == LineChannel::Flush::Error)
+        C.Ch->shutdownNow();
+      else if (C.Ch->wantsWrite())
+        Pending = true;
+    }
+    if (S.liveRuns() == 0 && !Pending)
+      break;
+    if (!CancelAll && interrupted()) {
+      // ^C during a graceful drain escalates to a cancel-drain; a second
+      // ^C within the grace window hard-exits via the CLI's handler.
+      CancelAll = true;
+      cancelAllLive();
+    }
+    ::usleep(20 * 1000);
+  }
+  sweepFinished();
+  json::Writer W;
+  W.beginObject();
+  W.key("event");
+  W.str("shutdown");
+  W.key("done");
+  W.num(DoneCount.load(std::memory_order_relaxed));
+  W.endObject();
+  std::string Line = W.take();
+  for (Client &C : Clients) {
+    if (C.Ch->dead())
+      continue;
+    C.Ch->writeLine(Line);
+    C.Ch->flushOut(); // Best effort; a blocked peer forfeits the record.
+    C.Ch->shutdownNow();
+  }
+  Stdio.writeLine(Line);
+  return interrupted() ? 130 : 0;
+}
+
 int Server::run() {
   // Workers write to client sockets; a hung-up peer must surface as a
   // writeLine failure, not a process-killing SIGPIPE.
   std::signal(SIGPIPE, SIG_IGN);
 
   auto Stdio = std::make_shared<LineChannel>(0, 1, /*OwnsFds=*/false);
+  Stdio->setMaxLineBytes(O.MaxRequestBytes);
   if (!O.JournalDir.empty())
     recoverDurable(Stdio);
 
@@ -675,15 +1030,7 @@ int Server::run() {
       W.endObject();
       Stdio->writeLine(W.take());
     }
-    while (!stopRequested()) {
-      std::shared_ptr<LineChannel> Ch =
-          L->accept([this] { return stopRequested(); });
-      if (!Ch)
-        break;
-      serveChannel(Ch); // One client at a time; it holds the connection.
-      sweepFinished();
-    }
-    return drainAndExit(stopRequested(), *Stdio);
+    return runMux(Stdio, *L);
   }
 
   serveChannel(Stdio);
@@ -698,6 +1045,27 @@ int Server::run() {
 int monsem::runServe(const ServeOptions &O) {
   if (!O.JournalDir.empty())
     ::mkdir(O.JournalDir.c_str(), 0777); // EEXIST is the common case.
-  Server Srv(O);
-  return Srv.run();
+  // Eviction spills into the journal directory when one was granted, else
+  // into a private per-process spool under TMPDIR.
+  std::string SpoolDir;
+  bool OwnSpool = false;
+  if (O.MaxResidentBytes) {
+    if (!O.JournalDir.empty()) {
+      SpoolDir = O.JournalDir;
+    } else {
+      const char *Tmp = std::getenv("TMPDIR");
+      SpoolDir = std::string(Tmp && *Tmp ? Tmp : "/tmp") +
+                 "/monsem-serve-spool-" + std::to_string(::getpid());
+      ::mkdir(SpoolDir.c_str(), 0700);
+      OwnSpool = true;
+    }
+  }
+  int Rc;
+  {
+    Server Srv(O, SpoolDir);
+    Rc = Srv.run();
+  } // Session joined: every park file is unlinked by now.
+  if (OwnSpool)
+    ::rmdir(SpoolDir.c_str());
+  return Rc;
 }

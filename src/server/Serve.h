@@ -5,7 +5,11 @@
 /// process that reads JSONL requests (see server/Protocol.h) from stdin, a
 /// unix-domain socket, or a loopback TCP socket, runs each submitted
 /// program under the requested monitors on a shared Session worker pool,
-/// and streams JSONL responses back.
+/// and streams JSONL responses back. Socket transports serve many clients
+/// concurrently through a poll-driven multiplexer with per-client bounded
+/// buffering; per-tenant fair-share scheduling, admission control and
+/// memory-pressure eviction keep one hostile or heavy client from
+/// starving the rest (see server/Session.h).
 ///
 /// Capability policy is deny-by-default: clients only get the monitors in
 /// the serve grant set (profilers, recorders, coverage — nothing
@@ -48,6 +52,44 @@ struct ServeOptions {
 
   std::string UnixPath; ///< --listen-unix=PATH (empty: no unix socket).
   int TcpPort = -1;     ///< --listen-tcp=PORT (-1: no TCP; 0: pick free).
+
+  /// Admission caps (--max-live-runs, --max-runs-per-tenant): unfinished
+  /// runs the daemon will hold, in total and per tenant. Over-cap submits
+  /// get a structured `overloaded` response with a retry-after hint
+  /// instead of unbounded queue growth. 0 = uncapped.
+  uint64_t MaxLiveRuns = 0;
+  uint64_t MaxRunsPerTenant = 0;
+
+  /// --max-resident-bytes: memory-pressure eviction threshold on the
+  /// summed serialized size of resident run checkpoints. Over it, the
+  /// coldest queued/paused runs are parked to per-run journals (under
+  /// --journal=DIR when given, else a private spool directory) and
+  /// restored on demand. 0 = never evict.
+  uint64_t MaxResidentBytes = 0;
+
+  /// --max-request-bytes: cap on one JSONL request line. Over-limit input
+  /// yields a structured `error` record and a disconnect. 0 = uncapped.
+  uint64_t MaxRequestBytes = 1 << 20;
+
+  /// --max-outbox-bytes: per-client bound on queued outbound bytes. A
+  /// reader slow enough to overflow it loses its backlog (truncated at a
+  /// line boundary), receives a final `error` record, and is dropped.
+  uint64_t MaxOutboxBytes = 8u << 20;
+
+  /// --idle-timeout-ms: disconnect a socket client with no requests and
+  /// no live runs after this long. 0 = never.
+  uint64_t IdleTimeoutMs = 0;
+
+  /// --slow-reader-ms: disconnect a socket client whose outbound queue
+  /// has been write-blocked without draining a byte for this long.
+  uint64_t SlowReaderMs = 10000;
+
+  /// --sock-sndbuf-bytes: SO_SNDBUF for accepted client sockets. Bounds
+  /// the *kernel-side* per-client memory on top of --max-outbox-bytes,
+  /// and makes backpressure from a slow reader surface promptly instead
+  /// of hiding behind megabytes of autotuned socket buffer. 0 = leave
+  /// the kernel default.
+  uint64_t SockSndbufBytes = 0;
 
   /// The CLI's SIGINT flag (GCancel). When it flips, serve stops accepting
   /// requests, cancels every in-flight run, drains the final outcome

@@ -2,6 +2,12 @@
 
 #include "server/Session.h"
 
+#include "support/Journal.h"
+
+#include <algorithm>
+
+#include <unistd.h>
+
 using namespace monsem;
 using detail::RunState;
 using Phase = detail::RunState::Phase;
@@ -84,7 +90,9 @@ RunResult RunHandle::outcome() {
 //===----------------------------------------------------------------------===//
 
 Session::Session(Config Cfg)
-    : NumWorkers(Cfg.Workers ? Cfg.Workers : 1), Quantum(Cfg.QuantumSteps) {
+    : NumWorkers(Cfg.Workers ? Cfg.Workers : 1), Quantum(Cfg.QuantumSteps),
+      MaxLiveRuns(Cfg.MaxLiveRuns), MaxLivePerTenant(Cfg.MaxLivePerTenant),
+      MaxResidentBytes(Cfg.MaxResidentBytes), ParkDir(std::move(Cfg.ParkDir)) {
   Workers.reserve(NumWorkers);
   for (unsigned I = 0; I < NumWorkers; ++I)
     Workers.emplace_back([this] { workerLoop(); });
@@ -99,7 +107,7 @@ Session::~Session() {
       if (RunStatePtr R = W.lock())
         Drain.push_back(std::move(R));
   }
-  // Mark every unfinished run cancelled; the workers drain the queue (the
+  // Mark every unfinished run cancelled; the workers drain the queues (the
   // pre-slice triage turns a cancelled pop into an immediate finish), so
   // even an unbounded run cannot wedge the join below past its next
   // governor boundary.
@@ -112,7 +120,7 @@ Session::~Session() {
     if (R->Ph == Phase::Paused) {
       R->Ph = Phase::Queued;
       std::lock_guard<std::mutex> QL(QM);
-      Queue.push_back(R);
+      pushLocked(R);
     }
   }
   QCV.notify_all();
@@ -120,11 +128,36 @@ Session::~Session() {
     T.join();
 }
 
-RunHandle Session::submit(EvalMode Mode, const Expr *Program, RunEvents Ev) {
+bool Session::admissibleLocked(const std::string &Tenant,
+                               std::string *Why) const {
+  if (MaxLiveRuns && Live.load(std::memory_order_relaxed) >= MaxLiveRuns) {
+    if (Why)
+      *Why = "session at max live runs";
+    return false;
+  }
+  if (MaxLivePerTenant) {
+    auto It = Tenants.find(Tenant);
+    if (It != Tenants.end() && It->second.LiveRuns >= MaxLivePerTenant) {
+      if (Why)
+        *Why = "tenant at max live runs";
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Session::admissible(const std::string &Tenant, std::string *Why) const {
+  std::lock_guard<std::mutex> L(QM);
+  return admissibleLocked(Tenant, Why);
+}
+
+RunHandle Session::submit(EvalMode Mode, const Expr *Program, RunEvents Ev,
+                          std::string Tenant, std::string *AdmitErr) {
   auto R = std::make_shared<RunState>();
   R->Mode = std::move(Mode);
   R->Program = Program;
   R->Ev = std::move(Ev);
+  R->Tenant = std::move(Tenant);
   R->Start = std::chrono::steady_clock::now();
   if (R->Mode.ResumeFrom) {
     // Own the resume point so requeued slices can overwrite it in place;
@@ -132,11 +165,15 @@ RunHandle Session::submit(EvalMode Mode, const Expr *Program, RunEvents Ev) {
     R->CK = *R->Mode.ResumeFrom;
     R->HasCK = true;
     R->BaseSteps = R->DoneSteps = R->CK.header().SavedSteps;
+    R->ResidentBytes = R->CK.bytes().size();
     R->Mode.ResumeFrom = nullptr;
   }
-  Live.fetch_add(1, std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> L(QM);
+    if (AdmitErr && !admissibleLocked(R->Tenant, AdmitErr))
+      return RunHandle();
+    Live.fetch_add(1, std::memory_order_relaxed);
+    Resident.fetch_add(R->ResidentBytes, std::memory_order_relaxed);
     R->Id = NextId.fetch_add(1, std::memory_order_relaxed);
     AllRuns.push_back(R);
     // Compact dead registry entries opportunistically so a long-lived
@@ -148,16 +185,62 @@ RunHandle Session::submit(EvalMode Mode, const Expr *Program, RunEvents Ev) {
           AllRuns[Kept++] = std::move(W);
       AllRuns.resize(Kept);
     }
-    Queue.push_back(R);
+    ++Tenants[R->Tenant].LiveRuns;
+    pushLocked(R);
   }
   QCV.notify_one();
+  maybeEvict(); // A resume-submit can push residency over the cap.
   return RunHandle(this, std::move(R));
+}
+
+void Session::pushLocked(RunStatePtr R) {
+  TenantState &TS = Tenants[R->Tenant];
+  if (!TS.InRR) {
+    TS.InRR = true;
+    RR.push_back(R->Tenant);
+  }
+  TS.Q.push_back(std::move(R));
+  ++QueuedCount;
+}
+
+Session::RunStatePtr Session::popNextLocked() {
+  if (QueuedCount == 0)
+    return nullptr;
+  // Deficit round robin with unknown per-slice costs: every slice is
+  // charged one quantum up front (creditSteps refunds what it did not
+  // use), and each rotation visit grants one quantum of credit, so
+  // tenants with many short slices get proportionally more dispatches —
+  // not proportionally more steps for whoever queues most.
+  const uint64_t Cost = Quantum ? Quantum : 1;
+  while (!RR.empty()) {
+    if (RRPos >= RR.size())
+      RRPos = 0;
+    TenantState &TS = Tenants[RR[RRPos]];
+    if (TS.Q.empty()) {
+      // Tenant went idle: drop it from the rotation (and its credit — an
+      // idle tenant must not bank a burst).
+      TS.InRR = false;
+      TS.Deficit = 0;
+      RR.erase(RR.begin() + RRPos);
+      continue;
+    }
+    if (TS.Deficit >= Cost) {
+      TS.Deficit -= Cost;
+      RunStatePtr R = std::move(TS.Q.front());
+      TS.Q.pop_front();
+      --QueuedCount;
+      return R;
+    }
+    TS.Deficit += Cost;
+    ++RRPos;
+  }
+  return nullptr;
 }
 
 void Session::enqueue(RunStatePtr R) {
   {
     std::lock_guard<std::mutex> L(QM);
-    Queue.push_back(std::move(R));
+    pushLocked(std::move(R));
   }
   QCV.notify_one();
 }
@@ -167,25 +250,154 @@ void Session::workerLoop() {
     RunStatePtr R;
     {
       std::unique_lock<std::mutex> L(QM);
-      QCV.wait(L, [&] { return Stopping || !Queue.empty(); });
-      if (Queue.empty())
-        return; // Stopping and drained.
-      R = std::move(Queue.front());
-      Queue.pop_front();
+      QCV.wait(L, [&] { return Stopping || QueuedCount > 0; });
+      R = popNextLocked();
+      if (!R) {
+        if (Stopping)
+          return; // Stopping and drained.
+        continue;
+      }
     }
     runSlice(std::move(R));
   }
 }
 
+void Session::creditSteps(RunState &R, uint64_t Delta) {
+  UserSteps.fetch_add(Delta, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> QL(QM);
+  TenantState &TS = Tenants[R.Tenant];
+  TS.Steps += Delta;
+  const uint64_t Cost = Quantum ? Quantum : 1;
+  if (Delta < Cost)
+    TS.Deficit = std::min(TS.Deficit + (Cost - Delta), 8 * Cost);
+}
+
+void Session::setResidentLocked(RunState &R, uint64_t Bytes) {
+  if (Bytes >= R.ResidentBytes)
+    Resident.fetch_add(Bytes - R.ResidentBytes, std::memory_order_relaxed);
+  else
+    Resident.fetch_sub(R.ResidentBytes - Bytes, std::memory_order_relaxed);
+  R.ResidentBytes = Bytes;
+}
+
+bool Session::parkLocked(RunState &R) {
+  R.ParkPath = ParkDir + "/run-" + std::to_string(R.Id) + ".park";
+  ::unlink(R.ParkPath.c_str());
+  std::string Err;
+  JournalOptions JO;
+  JO.SyncOnCheckpoint = false; // Park files need no crash durability.
+  std::unique_ptr<Journal> J = Journal::open(R.ParkPath, Err, JO);
+  if (!J || !J->appendCheckpoint(R.CK.bytes())) {
+    ::unlink(R.ParkPath.c_str());
+    R.ParkPath.clear();
+    return false; // Spill failed: the run simply stays resident.
+  }
+  J.reset(); // Close (and flush) before the checkpoint goes away.
+  R.CK = Checkpoint();
+  R.HasCK = false;
+  R.Parked = true;
+  setResidentLocked(R, 0);
+  Evictions.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> QL(QM);
+    ++Tenants[R.Tenant].Evicted;
+  }
+  return true;
+}
+
+bool Session::restoreLocked(RunState &R) {
+  JournalRecovery Rec = recoverJournal(R.ParkPath);
+  if (!Rec.Opened || Rec.LastCheckpoint.empty())
+    return false;
+  std::string Err;
+  Checkpoint CK = Checkpoint::fromBytes(Rec.LastCheckpoint, Err);
+  if (!CK.valid())
+    return false;
+  ::unlink(R.ParkPath.c_str());
+  R.ParkPath.clear();
+  R.Parked = false;
+  R.CK = std::move(CK);
+  R.HasCK = true;
+  setResidentLocked(R, R.CK.bytes().size());
+  return true;
+}
+
+void Session::maybeEvict() {
+  if (!MaxResidentBytes || ParkDir.empty())
+    return;
+  if (Resident.load(std::memory_order_relaxed) <= MaxResidentBytes)
+    return;
+  // Snapshot the registry, then park coldest-first until back under the
+  // cap. Races with other evictors or with a worker picking the run up
+  // are settled by the per-run lock and the Parked/Phase recheck.
+  std::vector<RunStatePtr> Cands;
+  {
+    std::lock_guard<std::mutex> L(QM);
+    Cands.reserve(AllRuns.size());
+    for (const std::weak_ptr<RunState> &W : AllRuns)
+      if (RunStatePtr R = W.lock())
+        Cands.push_back(std::move(R));
+  }
+  std::sort(Cands.begin(), Cands.end(),
+            [](const RunStatePtr &A, const RunStatePtr &B) {
+              return A->LastSliceSeq.load(std::memory_order_relaxed) <
+                     B->LastSliceSeq.load(std::memory_order_relaxed);
+            });
+  for (const RunStatePtr &R : Cands) {
+    if (Resident.load(std::memory_order_relaxed) <= MaxResidentBytes)
+      break;
+    std::lock_guard<std::mutex> L(R->M);
+    if (R->Ph != Phase::Queued && R->Ph != Phase::Paused)
+      continue;
+    if (!R->HasCK || R->Parked || R->CancelRequested || R->ResidentBytes == 0)
+      continue;
+    parkLocked(*R);
+  }
+}
+
 void Session::finish(RunState &R, RunResult Res) {
   // Caller holds R.M with Ph != Done.
+  if (!R.ParkPath.empty()) {
+    ::unlink(R.ParkPath.c_str());
+    R.ParkPath.clear();
+  }
+  R.Parked = false;
+  setResidentLocked(R, 0);
+  {
+    std::lock_guard<std::mutex> QL(QM);
+    TenantState &TS = Tenants[R.Tenant];
+    if (TS.LiveRuns)
+      --TS.LiveRuns;
+    ++TS.Done;
+  }
   R.Result = std::move(Res);
   R.HasResult = true;
   R.Ph = Phase::Done;
-  Live.fetch_sub(1, std::memory_order_relaxed);
+  // OnFinish fires before the live count drops: a drainer that sees
+  // liveRuns() == 0 may then rely on every outcome having been delivered
+  // (e.g. queued to a client outbox) already.
   if (R.Ev.OnFinish)
     R.Ev.OnFinish(R.Result);
+  Live.fetch_sub(1, std::memory_order_relaxed);
   R.CV.notify_all();
+}
+
+std::vector<Session::TenantStats> Session::tenantStats() const {
+  std::vector<TenantStats> Out;
+  std::lock_guard<std::mutex> L(QM);
+  Out.reserve(Tenants.size());
+  for (const auto &[Name, TS] : Tenants) {
+    TenantStats Row;
+    Row.Tenant = Name;
+    Row.Queued = TS.Q.size();
+    Row.Active = TS.Active;
+    Row.Live = TS.LiveRuns;
+    Row.UserSteps = TS.Steps;
+    Row.Evicted = TS.Evicted;
+    Row.Done = TS.Done;
+    Out.push_back(std::move(Row));
+  }
+  return Out; // std::map iteration: already sorted by tenant id.
 }
 
 void Session::runSlice(RunStatePtr RP) {
@@ -195,7 +407,8 @@ void Session::runSlice(RunStatePtr RP) {
     if (R.Ph == Phase::Done)
       return;
     if (R.CancelRequested) {
-      // Cancelled while queued or paused: finish without running.
+      // Cancelled while queued or paused: finish without running (and
+      // without restoring a parked checkpoint nobody will use).
       RunResult Res;
       Res.setOutcome(Outcome::Cancelled);
       Res.Steps = R.DoneSteps;
@@ -204,6 +417,14 @@ void Session::runSlice(RunStatePtr RP) {
     }
     if (R.PauseRequested) {
       R.Ph = Phase::Paused; // Parked before the slice started.
+      return;
+    }
+    if (R.Parked && !restoreLocked(R)) {
+      RunResult Res;
+      Res.setOutcome(Outcome::Error);
+      Res.Error = "evicted run could not be restored from " + R.ParkPath;
+      Res.Steps = R.DoneSteps;
+      finish(R, std::move(Res));
       return;
     }
     R.Ph = Phase::Running;
@@ -215,10 +436,19 @@ void Session::runSlice(RunStatePtr RP) {
   // resume point it started from.
   const uint64_t Before = R.DoneSteps;
   ActiveSlices.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> QL(QM);
+    ++Tenants[R.Tenant].Active;
+  }
   struct SliceGuard {
-    std::atomic<uint64_t> &Active;
-    ~SliceGuard() { Active.fetch_sub(1, std::memory_order_relaxed); }
-  } Guard{ActiveSlices};
+    Session &S;
+    RunState &R;
+    ~SliceGuard() {
+      S.ActiveSlices.fetch_sub(1, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> QL(S.QM);
+      --S.Tenants[R.Tenant].Active;
+    }
+  } Guard{*this, R};
 
   // Assemble this quantum's mode from the submitted one.
   EvalMode Slice = R.Mode;
@@ -280,9 +510,12 @@ void Session::runSlice(RunStatePtr RP) {
   RunResult SR = evaluate(Slice, R.Program);
 
   std::unique_lock<std::mutex> L(R.M);
+  R.LastSliceSeq.store(SliceSeq.fetch_add(1, std::memory_order_relaxed) + 1,
+                       std::memory_order_relaxed);
   if (Got) {
     R.CK = std::move(Latest);
     R.HasCK = true;
+    setResidentLocked(R, R.CK.bytes().size());
   }
   if (R.Ph == Phase::Done)
     return; // Defensive; finish only happens here, under this lock.
@@ -295,7 +528,7 @@ void Session::runSlice(RunStatePtr RP) {
     // else: no checkpoint was captured (Direct backend, or serialization
     // failed) — the run restarts from its previous resume point; the
     // machines are deterministic, so re-execution is exact.
-    UserSteps.fetch_add(R.DoneSteps - Before, std::memory_order_relaxed);
+    creditSteps(R, R.DoneSteps - Before);
     uint64_t At = R.DoneSteps;
     auto OnCk = (Got && R.Ev.OnCheckpoint) ? R.Ev.OnCheckpoint : nullptr;
     if (R.PauseRequested) {
@@ -303,6 +536,7 @@ void Session::runSlice(RunStatePtr RP) {
       L.unlock();
       if (OnCk)
         OnCk(At);
+      maybeEvict();
       return;
     }
     // A pause raced with a resume: neither request stands, keep going.
@@ -311,6 +545,7 @@ void Session::runSlice(RunStatePtr RP) {
     if (OnCk)
       OnCk(At);
     enqueue(std::move(RP));
+    maybeEvict();
     return;
   }
   if (SR.St == Outcome::FuelExhausted && QuantumLimited &&
@@ -318,7 +553,7 @@ void Session::runSlice(RunStatePtr RP) {
     // Quantum expired: checkpoint, requeue, let any worker resume it.
     if (Got)
       R.DoneSteps = R.CK.header().SavedSteps;
-    UserSteps.fetch_add(R.DoneSteps - Before, std::memory_order_relaxed);
+    creditSteps(R, R.DoneSteps - Before);
     R.Ph = Phase::Queued;
     uint64_t At = R.DoneSteps;
     auto OnCk = (Got && R.Ev.OnCheckpoint) ? R.Ev.OnCheckpoint : nullptr;
@@ -326,6 +561,7 @@ void Session::runSlice(RunStatePtr RP) {
     if (OnCk)
       OnCk(At);
     enqueue(std::move(RP));
+    maybeEvict();
     return;
   }
   // A cancel that lands just as the quantum expires: the slice reports
@@ -336,7 +572,6 @@ void Session::runSlice(RunStatePtr RP) {
   // Final: the program finished, errored, hit a user limit, or was
   // cancelled. Steps/states are cumulative (the machine continues the
   // counter across resumes), so the result matches an uninterrupted run.
-  if (SR.Steps > Before)
-    UserSteps.fetch_add(SR.Steps - Before, std::memory_order_relaxed);
+  creditSteps(R, SR.Steps > Before ? SR.Steps - Before : 0);
   finish(R, std::move(SR));
 }

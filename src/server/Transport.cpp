@@ -2,9 +2,12 @@
 
 #include "server/Transport.h"
 
+#include "support/FailPoint.h"
+
 #include <cerrno>
 #include <cstring>
 
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
@@ -13,12 +16,79 @@
 
 using namespace monsem;
 
+namespace {
+
+/// Consults a socket failpoint. Cheap when no plan is installed.
+FailAction hitSocket(FailSite S) {
+  if (!failPointsArmed())
+    return FailAction();
+  return failPointHit(S);
+}
+
+bool wouldBlock(int E) { return E == EAGAIN || E == EWOULDBLOCK; }
+
+void setNonBlockingFd(int Fd) {
+  int Flags = ::fcntl(Fd, F_GETFL, 0);
+  if (Flags >= 0)
+    ::fcntl(Fd, F_SETFL, Flags | O_NONBLOCK);
+}
+
+} // namespace
+
 LineChannel::~LineChannel() {
-  if (OwnsFds) {
+  if (OwnsFds && InFd >= 0) {
     ::close(InFd);
-    if (OutFd != InFd)
+    if (OutFd != InFd && OutFd >= 0)
       ::close(OutFd);
   }
+}
+
+ssize_t LineChannel::rawRead(char *Ptr, size_t Len) {
+  // Stdio channels (not OwnsFds) skip injection: the env-delivered plan is
+  // meant for the daemon's durable I/O and its *sockets*, not its stdout.
+  if (OwnsFds) {
+    FailAction A = hitSocket(FailSite::SocketRead);
+    switch (A.K) {
+    case FailAction::Kind::None:
+      break;
+    case FailAction::Kind::Error:
+      errno = A.Errno;
+      return -1;
+    case FailAction::Kind::Short:
+      if (A.Bytes == 0) {
+        errno = EAGAIN;
+        return -1;
+      }
+      Len = A.Bytes < Len ? static_cast<size_t>(A.Bytes) : Len;
+      break;
+    case FailAction::Kind::Crash:
+      _exit(kFailPointCrashExit);
+    }
+  }
+  return ::read(InFd, Ptr, Len);
+}
+
+ssize_t LineChannel::rawWrite(const char *Ptr, size_t Len) {
+  if (OwnsFds) {
+    FailAction A = hitSocket(FailSite::SocketWrite);
+    switch (A.K) {
+    case FailAction::Kind::None:
+      break;
+    case FailAction::Kind::Error:
+      errno = A.Errno;
+      return -1;
+    case FailAction::Kind::Short:
+      if (A.Bytes == 0) {
+        errno = EAGAIN;
+        return -1;
+      }
+      Len = A.Bytes < Len ? static_cast<size_t>(A.Bytes) : Len;
+      break;
+    case FailAction::Kind::Crash:
+      _exit(kFailPointCrashExit);
+    }
+  }
+  return ::write(OutFd, Ptr, Len);
 }
 
 LineChannel::ReadStatus
@@ -31,6 +101,8 @@ LineChannel::readLine(std::string &Out, const std::function<bool()> &Stop) {
       Buf.erase(0, NL + 1);
       return ReadStatus::Line;
     }
+    if (MaxLineBytes && Buf.size() > MaxLineBytes)
+      return ReadStatus::TooLong;
     if (SawEof) {
       if (!Buf.empty()) {
         Out = std::move(Buf);
@@ -53,9 +125,9 @@ LineChannel::readLine(std::string &Out, const std::function<bool()> &Stop) {
       continue; // Timeout: re-check the stop predicate.
 
     char Chunk[4096];
-    ssize_t R = ::read(InFd, Chunk, sizeof(Chunk));
+    ssize_t R = rawRead(Chunk, sizeof(Chunk));
     if (R < 0) {
-      if (errno == EINTR)
+      if (errno == EINTR || wouldBlock(errno))
         continue;
       return ReadStatus::Error;
     }
@@ -66,21 +138,188 @@ LineChannel::readLine(std::string &Out, const std::function<bool()> &Stop) {
   }
 }
 
-bool LineChannel::writeLine(std::string_view Line) {
+void LineChannel::setNonBlocking(size_t MaxOutboxBytes,
+                                 std::string Notice) {
+  setNonBlockingFd(InFd);
+  if (OutFd != InFd)
+    setNonBlockingFd(OutFd);
   std::lock_guard<std::mutex> Lock(WM);
-  std::string Out(Line);
-  Out.push_back('\n');
-  size_t Off = 0;
-  while (Off < Out.size()) {
-    ssize_t W = ::write(OutFd, Out.data() + Off, Out.size() - Off);
+  NonBlocking = true;
+  MaxOutbox = MaxOutboxBytes;
+  OverflowNotice = std::move(Notice);
+}
+
+LineChannel::Pump LineChannel::pumpIn() {
+  if (dead())
+    return Pump::Error;
+  if (SawEof)
+    return Pump::Eof;
+  char Chunk[4096];
+  ssize_t R = rawRead(Chunk, sizeof(Chunk));
+  if (R < 0) {
+    if (errno == EINTR || wouldBlock(errno))
+      return Pump::WouldBlock;
+    return Pump::Error;
+  }
+  if (R == 0) {
+    SawEof = true;
+    return Pump::Eof;
+  }
+  Buf.append(Chunk, static_cast<size_t>(R));
+  // Cap the unterminated tail; complete buffered lines are still handed
+  // out by nextLine before the caller acts on TooLong (it will not — the
+  // serve loop disconnects, because an oversized request is a protocol
+  // error that poisons the rest of the stream).
+  if (MaxLineBytes) {
+    size_t LastNL = Buf.rfind('\n');
+    size_t Tail = LastNL == std::string::npos ? Buf.size()
+                                              : Buf.size() - LastNL - 1;
+    if (Tail > MaxLineBytes)
+      return Pump::TooLong;
+  }
+  return Pump::Progress;
+}
+
+bool LineChannel::nextLine(std::string &Out) {
+  size_t NL = Buf.find('\n');
+  if (NL != std::string::npos) {
+    Out.assign(Buf, 0, NL);
+    Buf.erase(0, NL + 1);
+    return true;
+  }
+  if (SawEof && !Buf.empty()) {
+    Out = std::move(Buf);
+    Buf.clear();
+    return true;
+  }
+  return false;
+}
+
+bool LineChannel::writeLine(std::string_view Line) {
+  if (dead())
+    return false;
+  std::lock_guard<std::mutex> Lock(WM);
+  if (!NonBlocking) {
+    // Blocking mode (stdio): write through, retrying partial writes.
+    std::string Out(Line);
+    Out.push_back('\n');
+    size_t Off = 0;
+    while (Off < Out.size()) {
+      ssize_t W = rawWrite(Out.data() + Off, Out.size() - Off);
+      if (W < 0) {
+        if (errno == EINTR)
+          continue;
+        return false; // Peer hung up (SIGPIPE is ignored by the serve loop).
+      }
+      Off += static_cast<size_t>(W);
+    }
+    return true;
+  }
+
+  if (HardError || Overflow)
+    return false;
+  size_t Pending = Outbox.size() - OutboxSent;
+  if (MaxOutbox && Pending + Line.size() + 1 > MaxOutbox && Pending > 0) {
+    // Maybe the socket just drained; only then is dropping justified.
+    (void)flushLocked();
+    if (HardError)
+      return false;
+    Pending = Outbox.size() - OutboxSent;
+  }
+  // A single line larger than the cap is admitted when nothing else is
+  // pending: the bound degrades to max(MaxOutbox, one line), which is
+  // still bounded — response lines are sized by the server, not the peer.
+  if (MaxOutbox && Pending + Line.size() + 1 > MaxOutbox && Pending > 0) {
+    // Slow reader: drop the backlog at a line boundary (keep only the
+    // partially-sent line, through its '\n'), queue the final notice, and
+    // mark for disconnect. The wire never carries a torn line.
+    size_t Keep = OutboxSent;
+    if (OutboxSent > 0 && Outbox[OutboxSent - 1] != '\n') {
+      size_t NL = Outbox.find('\n', OutboxSent);
+      Keep = NL == std::string::npos ? Outbox.size() : NL + 1;
+    }
+    Outbox.resize(Keep);
+    if (!OverflowNotice.empty()) {
+      Outbox.append(OverflowNotice);
+      Outbox.push_back('\n');
+    }
+    Overflow = true;
+    return false;
+  }
+  Outbox.append(Line);
+  Outbox.push_back('\n');
+  if (Pending == 0)
+    (void)flushLocked(); // Common case: socket is writable; skip a poll round.
+  return !HardError;
+}
+
+LineChannel::Flush LineChannel::flushOut() {
+  if (dead())
+    return Flush::Error;
+  std::lock_guard<std::mutex> Lock(WM);
+  return flushLocked();
+}
+
+LineChannel::Flush LineChannel::flushLocked() {
+  if (HardError)
+    return Flush::Error;
+  if (OutboxSent >= Outbox.size()) {
+    Outbox.clear();
+    OutboxSent = 0;
+    return Flush::Idle;
+  }
+  bool Any = false;
+  while (OutboxSent < Outbox.size()) {
+    ssize_t W = rawWrite(Outbox.data() + OutboxSent, Outbox.size() - OutboxSent);
     if (W < 0) {
       if (errno == EINTR)
         continue;
-      return false; // Peer hung up (SIGPIPE is ignored by the serve loop).
+      if (wouldBlock(errno))
+        break;
+      HardError = true;
+      Outbox.clear();
+      OutboxSent = 0;
+      return Flush::Error;
     }
-    Off += static_cast<size_t>(W);
+    if (W == 0)
+      break;
+    OutboxSent += static_cast<size_t>(W);
+    Any = true;
   }
-  return true;
+  if (OutboxSent >= Outbox.size()) {
+    Outbox.clear();
+    OutboxSent = 0;
+  } else if (OutboxSent > 65536) {
+    Outbox.erase(0, OutboxSent);
+    OutboxSent = 0;
+  }
+  return Any ? Flush::Progress : Flush::Blocked;
+}
+
+bool LineChannel::wantsWrite() const {
+  if (dead())
+    return false;
+  std::lock_guard<std::mutex> Lock(WM);
+  return !HardError && OutboxSent < Outbox.size();
+}
+
+bool LineChannel::overflowed() const {
+  std::lock_guard<std::mutex> Lock(WM);
+  return Overflow;
+}
+
+void LineChannel::shutdownNow() {
+  std::lock_guard<std::mutex> Lock(WM);
+  if (Dead.exchange(true, std::memory_order_acq_rel))
+    return;
+  Outbox.clear();
+  OutboxSent = 0;
+  if (OwnsFds && InFd >= 0) {
+    ::close(InFd);
+    if (OutFd != InFd && OutFd >= 0)
+      ::close(OutFd);
+  }
+  InFd = OutFd = -1;
 }
 
 //===----------------------------------------------------------------------===//
@@ -104,16 +343,17 @@ std::unique_ptr<Listener> Listener::listenUnix(const std::string &Path,
   }
   std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
 
-  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC | SOCK_NONBLOCK, 0);
   if (Fd < 0) {
     Err = std::strerror(errno);
     return nullptr;
   }
   ::unlink(Path.c_str()); // A stale socket from a crashed server.
   if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0 ||
-      ::listen(Fd, 16) < 0) {
+      ::listen(Fd, 64) < 0) {
     Err = std::strerror(errno);
     ::close(Fd);
+    ::unlink(Path.c_str()); // Never leave a half-set-up socket file behind.
     return nullptr;
   }
   return std::unique_ptr<Listener>(new Listener(Fd, Path, 0));
@@ -121,7 +361,7 @@ std::unique_ptr<Listener> Listener::listenUnix(const std::string &Path,
 
 std::unique_ptr<Listener> Listener::listenTcp(uint16_t Port,
                                               std::string &Err) {
-  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  int Fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC | SOCK_NONBLOCK, 0);
   if (Fd < 0) {
     Err = std::strerror(errno);
     return nullptr;
@@ -134,7 +374,7 @@ std::unique_ptr<Listener> Listener::listenTcp(uint16_t Port,
   Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK); // Loopback only, by design.
   Addr.sin_port = htons(Port);
   if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0 ||
-      ::listen(Fd, 16) < 0) {
+      ::listen(Fd, 64) < 0) {
     Err = std::strerror(errno);
     ::close(Fd);
     return nullptr;
@@ -145,26 +385,32 @@ std::unique_ptr<Listener> Listener::listenTcp(uint16_t Port,
   return std::unique_ptr<Listener>(new Listener(Fd, std::string(), Port));
 }
 
-std::unique_ptr<LineChannel>
-Listener::accept(const std::function<bool()> &Stop) {
-  for (;;) {
-    if (Stop && Stop())
+std::unique_ptr<LineChannel> Listener::acceptOne(std::string &Err) {
+  Err.clear();
+  FailAction A = hitSocket(FailSite::SocketAccept);
+  if (A.K == FailAction::Kind::Crash)
+    _exit(kFailPointCrashExit);
+  if (A.armed())
+    return nullptr; // Injected accept failure: transient, daemon survives.
+  int Client = ::accept4(Fd, nullptr, nullptr, SOCK_CLOEXEC | SOCK_NONBLOCK);
+  if (Client < 0) {
+    switch (errno) {
+    case EAGAIN:
+#if EAGAIN != EWOULDBLOCK
+    case EWOULDBLOCK:
+#endif
+    case EINTR:
+    case ECONNABORTED:
+    case EMFILE:  // Out of fds: shed this connection, keep serving.
+    case ENFILE:
+    case ENOBUFS:
+    case ENOMEM:
+    case EPERM:
       return nullptr;
-    struct pollfd P = {Fd, POLLIN, 0};
-    int N = ::poll(&P, 1, 200);
-    if (N < 0) {
-      if (errno == EINTR)
-        continue;
+    default:
+      Err = std::strerror(errno);
       return nullptr;
     }
-    if (N == 0)
-      continue;
-    int Client = ::accept(Fd, nullptr, nullptr);
-    if (Client < 0) {
-      if (errno == EINTR || errno == ECONNABORTED)
-        continue;
-      return nullptr;
-    }
-    return std::make_unique<LineChannel>(Client, Client, /*OwnsFds=*/true);
   }
+  return std::make_unique<LineChannel>(Client, Client, /*OwnsFds=*/true);
 }

@@ -5,17 +5,46 @@
 /// file descriptors into a line-oriented duplex channel, and `Listener`
 /// accepts unix-domain or loopback-TCP connections that become channels.
 ///
-/// Reads poll with a short timeout and consult a stop predicate between
-/// polls, so the serve loop notices SIGINT (or a shutdown request) even
-/// while idle at a blocking read. Writes are mutex-guarded and whole-line
-/// atomic: concurrent workers can stream probe batches for different runs
-/// into one channel without interleaving bytes.
+/// A channel operates in one of two modes:
+///
+///  * **Blocking** (stdio): `readLine` polls with a short timeout and
+///    consults a stop predicate between polls, so the serve loop notices
+///    SIGINT (or a shutdown request) even while idle at a blocking read.
+///    Writes block until the peer drains them.
+///
+///  * **Non-blocking** (socket clients under the serve multiplexer):
+///    `pumpIn`/`nextLine` split reading into "ingest what the socket has"
+///    and "hand out buffered lines", so one poll loop can serve many
+///    clients without any of them blocking it. Writes go through a bounded
+///    outbound queue (`writeLine` enqueues, `flushOut` drains when poll
+///    reports writability); a peer that stops reading overflows the queue,
+///    which truncates the backlog at a line boundary, queues a final
+///    structured notice, and marks the channel for disconnect — a slow
+///    reader can cost the daemon one bounded buffer, never a stalled
+///    worker or serve loop.
+///
+/// In both modes writes are mutex-guarded and whole-line atomic: concurrent
+/// workers can stream probe batches for different runs into one channel
+/// without interleaving bytes. Oversized request lines (no '\n' within the
+/// configured cap) are reported as `TooLong` instead of growing the buffer
+/// without bound.
+///
+/// Socket-owned channels thread every read/write through the
+/// `socket.{read,write}` failpoints (support/FailPoint.h), and `Listener`
+/// threads accepts through `socket.accept`, so the chaos tests can inject
+/// mid-response disconnects, short reads/writes, and accept failures
+/// deterministically. Stdio channels (which do not own their fds) skip the
+/// failpoints — `MONSEM_FAILPOINTS` is delivered via the environment, and
+/// arming the daemon's own stdout would break the test transcripts that
+/// observe the injected faults.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef MONSEM_SERVER_TRANSPORT_H
 #define MONSEM_SERVER_TRANSPORT_H
 
+#include <atomic>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -28,6 +57,9 @@ namespace monsem {
 /// own the fds unless told to (socket channels do, stdio does not).
 class LineChannel {
 public:
+  /// Default cap on one request line; 0 disables the cap.
+  static constexpr size_t kDefaultMaxLineBytes = 1 << 20;
+
   LineChannel(int InFd, int OutFd, bool OwnsFds = false)
       : InFd(InFd), OutFd(OutFd), OwnsFds(OwnsFds) {}
   ~LineChannel();
@@ -41,36 +73,113 @@ public:
              ///< as Line first).
     Stopped, ///< The stop predicate fired.
     Error,   ///< read() failed.
+    TooLong, ///< A single line exceeded the request-size cap.
   };
 
-  /// Reads the next line. Between 200ms polls, \p Stop is consulted; when
-  /// it returns true the call gives up with Stopped.
+  /// Reads the next line (blocking mode). Between 200ms polls, \p Stop is
+  /// consulted; when it returns true the call gives up with Stopped.
   ReadStatus readLine(std::string &Out, const std::function<bool()> &Stop);
 
   /// Writes \p Line plus '\n' atomically with respect to other writeLine
-  /// calls on this channel. Returns false on write failure (e.g. the peer
-  /// hung up); the channel stays usable for the caller to decide.
+  /// calls on this channel. Blocking mode: returns false on write failure
+  /// (e.g. the peer hung up). Non-blocking mode: enqueues into the bounded
+  /// outbox and opportunistically flushes; returns false once the channel
+  /// is dead or the outbox overflowed (the line is dropped, the channel is
+  /// marked for disconnect). The channel stays usable for the caller to
+  /// decide.
   bool writeLine(std::string_view Line);
 
+  /// Caps the size of one request line; lines without a '\n' within the
+  /// cap read as TooLong. 0 disables the cap.
+  void setMaxLineBytes(size_t N) { MaxLineBytes = N; }
+
+  //===--------------------------------------------------------------------===//
+  // Multiplexer surface (non-blocking socket clients)
+  //===--------------------------------------------------------------------===//
+
+  /// Switches the channel to non-blocking mode (O_NONBLOCK on both fds)
+  /// with an outbound queue bounded at \p MaxOutboxBytes (0 = unbounded).
+  /// \p OverflowNotice is the final line queued to a slow reader whose
+  /// backlog overflowed, before the serve loop disconnects it.
+  void setNonBlocking(size_t MaxOutboxBytes, std::string OverflowNotice);
+
+  int fd() const { return InFd; }
+
+  enum class Pump : uint8_t {
+    Progress,   ///< Bytes were ingested; call nextLine().
+    WouldBlock, ///< Nothing to read right now.
+    Eof,        ///< Peer closed its write side; drain buffered lines.
+    TooLong,    ///< A single line exceeded the request-size cap.
+    Error,      ///< read() failed; disconnect.
+  };
+
+  /// One non-blocking read into the line buffer.
+  Pump pumpIn();
+
+  /// Extracts the next buffered complete line (or, after EOF, a final
+  /// unterminated one). False when no full line is buffered.
+  bool nextLine(std::string &Out);
+
+  enum class Flush : uint8_t {
+    Idle,     ///< Outbox empty, nothing to do.
+    Progress, ///< Some bytes drained (possibly all).
+    Blocked,  ///< The socket would block; try after the next POLLOUT.
+    Error,    ///< write() failed; disconnect.
+  };
+
+  /// Drains the outbox as far as the socket allows.
+  Flush flushOut();
+
+  /// True when the outbox holds bytes (poll for POLLOUT).
+  bool wantsWrite() const;
+
+  /// True once the outbox overflowed (slow reader); the serve loop
+  /// disconnects the client after the final notice drains.
+  bool overflowed() const;
+
+  /// Marks the channel dead and closes its fds now (idempotent). Later
+  /// writeLine calls return false without touching the (possibly reused)
+  /// descriptor numbers — runs that still hold the channel simply lose
+  /// their audience.
+  void shutdownNow();
+
+  bool dead() const { return Dead.load(std::memory_order_acquire); }
+
 private:
+  ssize_t rawRead(char *Buf, size_t Len);    ///< socket.read failpoint.
+  ssize_t rawWrite(const char *Buf, size_t Len); ///< socket.write failpoint.
+  Flush flushLocked();
+
   int InFd;
   int OutFd;
   bool OwnsFds;
+  bool NonBlocking = false;
+  size_t MaxLineBytes = kDefaultMaxLineBytes;
   std::string Buf;     ///< Bytes read but not yet returned.
   bool SawEof = false;
-  std::mutex WM;
+  std::atomic<bool> Dead{false};
+
+  mutable std::mutex WM;
+  std::string Outbox;      ///< Queued outbound bytes (whole lines).
+  size_t OutboxSent = 0;   ///< Prefix of Outbox already written.
+  size_t MaxOutbox = 0;    ///< 0 = unbounded.
+  bool Overflow = false;   ///< Backlog overflowed; disconnect after drain.
+  bool HardError = false;  ///< write() failed hard; channel is toast.
+  std::string OverflowNotice;
 };
 
-/// A listening unix-domain or loopback-TCP socket. Connections are served
-/// one at a time (accept, serve to EOF, accept the next); the protocol is
-/// request-streamed, so a client holds the connection for as long as it
-/// wants to submit and observe runs.
+/// A listening unix-domain or loopback-TCP socket. The serve multiplexer
+/// polls fd() alongside its client channels and accepts with acceptOne();
+/// accepted sockets are non-blocking-ready and close-on-exec, so
+/// `--supervise` (or vm-aot compiler) forks never inherit client
+/// connections.
 class Listener {
 public:
   ~Listener();
 
   /// Binds and listens on a unix-domain socket at \p Path (unlinking a
-  /// stale socket first). Null + \p Err on failure.
+  /// stale socket first). Null + \p Err on failure; the socket file is
+  /// never left behind by a failed setup.
   static std::unique_ptr<Listener> listenUnix(const std::string &Path,
                                               std::string &Err);
 
@@ -78,11 +187,14 @@ public:
   /// (see boundPort()). Null + \p Err on failure.
   static std::unique_ptr<Listener> listenTcp(uint16_t Port, std::string &Err);
 
-  /// Accepts the next connection as an owning channel. Polls with the same
-  /// 200ms cadence as reads; returns null when \p Stop fires or accept
-  /// fails terminally.
-  std::unique_ptr<LineChannel> accept(const std::function<bool()> &Stop);
+  /// Accepts one pending connection as an owning channel. Returns null
+  /// with \p Err empty when no connection is ready or the failure is
+  /// transient (EMFILE, ECONNABORTED, an injected `socket.accept` fault —
+  /// the daemon must survive all of these); null with \p Err set only on
+  /// a terminal listener error.
+  std::unique_ptr<LineChannel> acceptOne(std::string &Err);
 
+  int fd() const { return Fd; }
   uint16_t boundPort() const { return Port; }
 
 private:

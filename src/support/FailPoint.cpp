@@ -42,6 +42,12 @@ const char *monsem::failPointSiteName(FailSite S) {
     return "journal.flush";
   case FailSite::JournalSync:
     return "journal.sync";
+  case FailSite::SocketAccept:
+    return "socket.accept";
+  case FailSite::SocketRead:
+    return "socket.read";
+  case FailSite::SocketWrite:
+    return "socket.write";
   }
   return "?";
 }

@@ -23,6 +23,7 @@
 ///   rule    := site '=' action selector*
 ///   site    := checkpoint.{open,write,flush,sync,close,rename,dirsync}
 ///            | journal.{open,truncate,write,flush,sync}
+///            | socket.{accept,read,write}
 ///   action  := 'err' ['(' errno-name ')']     fail the call (default EIO)
 ///            | 'short' '(' N ')'              persist N bytes, then fail
 ///            | 'crash' ['(' N ')']            _exit(kFailPointCrashExit)
@@ -70,10 +71,13 @@ enum class FailSite : uint8_t {
   JournalWrite,      ///< fwrite of one framed record.
   JournalFlush,      ///< fflush after a record append.
   JournalSync,       ///< fsync of the journal (batched; see Journal).
+  SocketAccept,      ///< accept() of a client connection (serve).
+  SocketRead,        ///< read() from a client socket (serve transport).
+  SocketWrite,       ///< write() to a client socket (serve transport).
 };
 
 inline constexpr unsigned kNumFailSites =
-    static_cast<unsigned>(FailSite::JournalSync) + 1;
+    static_cast<unsigned>(FailSite::SocketWrite) + 1;
 
 const char *failPointSiteName(FailSite S);
 

@@ -170,6 +170,14 @@ public:
   ExprKind kind() const { return K; }
   SourceLoc loc() const { return Loc; }
 
+  /// Identity of the Resolution whose annotations this tree currently
+  /// carries. Written on the *root* node only, by the resolver (see
+  /// resolveProgramCached): it lets the process-wide resolution cache
+  /// distinguish a live entry from a stale one left behind when an arena
+  /// died and a new tree was allocated at the same root address. Guarded
+  /// by the cache's mutex; never read by evaluators.
+  mutable const void *ResolutionStamp = nullptr;
+
 protected:
   Expr(ExprKind K, SourceLoc Loc) : K(K), Loc(Loc) {}
 

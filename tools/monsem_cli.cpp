@@ -89,6 +89,14 @@ struct Options {
   uint64_t QuantumSteps = 1 << 16; ///< serve: --quantum-steps=N.
   std::string ListenUnix;      ///< serve: --listen-unix=PATH.
   int ListenTcp = -1;          ///< serve: --listen-tcp=PORT (0 picks).
+  uint64_t MaxLiveRuns = 0;    ///< serve: --max-live-runs=N (0 uncapped).
+  uint64_t MaxRunsPerTenant = 0;   ///< serve: --max-runs-per-tenant=N.
+  uint64_t MaxResidentBytes = 0;   ///< serve: --max-resident-bytes=N.
+  uint64_t MaxRequestBytes = 1 << 20;  ///< serve: --max-request-bytes=N.
+  uint64_t MaxOutboxBytes = 8u << 20;  ///< serve: --max-outbox-bytes=N.
+  uint64_t IdleTimeoutMs = 0;      ///< serve: --idle-timeout-ms=N.
+  uint64_t SlowReaderMs = 10000;   ///< serve: --slow-reader-ms=N.
+  uint64_t SockSndbufBytes = 0;    ///< serve: --sock-sndbuf-bytes=N.
   bool Imp = false;
   bool Trace = false;
   bool Profile = false;
@@ -234,6 +242,27 @@ int usage(const char *Argv0) {
       << "    --journal=DIR      grant durability: persist requests and\n"
       << "                       journal events under DIR, auto-resume\n"
       << "                       interrupted durable runs on restart\n"
+      << "    --max-live-runs=N  admission cap on unfinished runs held by\n"
+      << "                       the daemon; over-cap submits get a\n"
+      << "                       structured 'overloaded' response (0 = off)\n"
+      << "    --max-runs-per-tenant=N\n"
+      << "                       the same cap per tenant (0 = off)\n"
+      << "    --max-resident-bytes=N\n"
+      << "                       evict the coldest paused runs to disk when\n"
+      << "                       resident checkpoint bytes exceed N (0=off)\n"
+      << "    --max-request-bytes=N\n"
+      << "                       cap on one request line (default 1MiB);\n"
+      << "                       over it: error record + disconnect\n"
+      << "    --max-outbox-bytes=N\n"
+      << "                       per-client outbound buffer bound (default\n"
+      << "                       8MiB); overflowing readers are dropped\n"
+      << "    --idle-timeout-ms=N\n"
+      << "                       disconnect idle socket clients (0 = never)\n"
+      << "    --slow-reader-ms=N disconnect a client whose socket has been\n"
+      << "                       write-blocked this long (default 10000)\n"
+      << "    --sock-sndbuf-bytes=N\n"
+      << "                       SO_SNDBUF for client sockets; bounds kernel\n"
+      << "                       per-client memory (0 = kernel default)\n"
       << "    (--max-steps, --deadline-ms, --max-bytes, --max-depth become\n"
       << "     per-run caps that client requests may tighten, not exceed)\n"
       << "  imperative programs:\n"
@@ -304,6 +333,22 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
       O.ListenUnix = *V;
     } else if (auto V = Value("--listen-tcp=")) {
       O.ListenTcp = std::stoi(*V);
+    } else if (auto V = Value("--max-live-runs=")) {
+      O.MaxLiveRuns = std::stoull(*V);
+    } else if (auto V = Value("--max-runs-per-tenant=")) {
+      O.MaxRunsPerTenant = std::stoull(*V);
+    } else if (auto V = Value("--max-resident-bytes=")) {
+      O.MaxResidentBytes = std::stoull(*V);
+    } else if (auto V = Value("--max-request-bytes=")) {
+      O.MaxRequestBytes = std::stoull(*V);
+    } else if (auto V = Value("--max-outbox-bytes=")) {
+      O.MaxOutboxBytes = std::stoull(*V);
+    } else if (auto V = Value("--idle-timeout-ms=")) {
+      O.IdleTimeoutMs = std::stoull(*V);
+    } else if (auto V = Value("--slow-reader-ms=")) {
+      O.SlowReaderMs = std::stoull(*V);
+    } else if (auto V = Value("--sock-sndbuf-bytes=")) {
+      O.SockSndbufBytes = std::stoull(*V);
     } else if (auto V = Value("--backend=")) {
       if (*V == "cek")
         O.B = Backend::CEK;
@@ -1020,6 +1065,14 @@ int main(int Argc, char **Argv) {
     SO.JournalDir = O.JournalPath; // --journal=DIR in serve mode.
     SO.UnixPath = O.ListenUnix;
     SO.TcpPort = O.ListenTcp;
+    SO.MaxLiveRuns = O.MaxLiveRuns;
+    SO.MaxRunsPerTenant = O.MaxRunsPerTenant;
+    SO.MaxResidentBytes = O.MaxResidentBytes;
+    SO.MaxRequestBytes = O.MaxRequestBytes;
+    SO.MaxOutboxBytes = O.MaxOutboxBytes;
+    SO.IdleTimeoutMs = O.IdleTimeoutMs;
+    SO.SlowReaderMs = O.SlowReaderMs;
+    SO.SockSndbufBytes = O.SockSndbufBytes;
     SO.Interrupt = &GCancel; // First ^C drains politely; second hard-exits.
     return runServe(SO);
   }
